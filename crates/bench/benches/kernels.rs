@@ -1,0 +1,114 @@
+//! Criterion micro-benches of the hot kernels underneath the experiments:
+//! the Euler sweep, Berger–Rigoutsos clustering, the balancing primitive,
+//! link timing, the probe, and the gain evaluator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dlb::{balance_level_within, evaluate_gain, BalanceParams, WorkloadHistory};
+use samr_mesh::cluster::{berger_rigoutsos, ClusterParams};
+use samr_mesh::field::Field3;
+use samr_mesh::flag::FlagField;
+use samr_mesh::hierarchy::GridHierarchy;
+use samr_mesh::region::Region;
+use samr_mesh::{ivec3, region};
+use samr_solvers::euler;
+use simnet::NetSim;
+use std::hint::black_box;
+use topology::{presets, LinkEstimator, ProcId, SimTime};
+
+fn euler_fieldset(n: i64) -> Vec<Field3> {
+    let mut fs: Vec<Field3> = (0..euler::NFIELDS)
+        .map(|_| Field3::zeros(Region::cube(n), 1))
+        .collect();
+    euler::set_ambient(&mut fs, 1.0, [0.1, 0.0, 0.0], 1.0, 1.4);
+    // a jump so fluxes are non-trivial
+    for p in fs[0].storage_region().iter_cells() {
+        if p.x < n / 3 {
+            fs[euler::fields::RHO].set(p, 4.0);
+            fs[euler::fields::E].set(p, 10.0);
+        }
+    }
+    fs
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    c.bench_function("euler_step_16cubed", |b| {
+        let mut fs = euler_fieldset(16);
+        b.iter(|| {
+            euler::euler_step(black_box(&mut fs), 0.05, 1.4);
+        })
+    });
+
+    c.bench_function("berger_rigoutsos_tilted_plane_32", |b| {
+        let mut flags = FlagField::new(Region::cube(32));
+        for p in Region::cube(32).iter_cells() {
+            if (2 * p.x + p.y - 32).abs() <= 1 {
+                flags.set(p, true);
+            }
+        }
+        let params = ClusterParams::default();
+        b.iter(|| black_box(berger_rigoutsos(&flags, &params)))
+    });
+
+    c.bench_function("balance_level_within_64_grids", |b| {
+        b.iter_with_setup(
+            || {
+                let mut h =
+                    GridHierarchy::new(region(ivec3(0, 0, 0), ivec3(8 * 64, 8, 8)), 2, 2, 1, 1);
+                for i in 0..64 {
+                    h.insert_patch(
+                        0,
+                        region(ivec3(8 * i, 0, 0), ivec3(8 * (i + 1), 8, 8)),
+                        None,
+                        0,
+                    );
+                }
+                let sim = NetSim::new(presets::single_origin2000(8));
+                (h, sim)
+            },
+            |(mut h, mut sim)| {
+                let procs: Vec<ProcId> = (0..8).map(ProcId).collect();
+                black_box(balance_level_within(
+                    &mut h,
+                    &mut sim,
+                    0,
+                    &procs,
+                    &[1.0; 8],
+                    &BalanceParams::default(),
+                ))
+            },
+        )
+    });
+
+    c.bench_function("wan_transfer_time_1MB", |b| {
+        let link = presets::mren_oc3_wan(7);
+        let mut t = 0u64;
+        b.iter(|| {
+            t = t.wrapping_add(1);
+            black_box(link.transfer_time(SimTime(t * 1_000_000), 1 << 20))
+        })
+    });
+
+    c.bench_function("probe_and_estimate", |b| {
+        let link = presets::mren_oc3_wan(7);
+        let mut est = LinkEstimator::paper_default();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(est.refresh(&link, SimTime::from_secs(i)))
+        })
+    });
+
+    c.bench_function("gain_evaluation_8_procs", |b| {
+        let sys = presets::anl_ncsa_wan(4, 4, 7);
+        let mut h = WorkloadHistory::new(8);
+        h.record_snapshot(
+            vec![vec![1000; 8], vec![4000, 3000, 2000, 1000, 0, 0, 0, 0]],
+            vec![1, 2],
+        );
+        h.record_step_time(12.0);
+        b.iter(|| black_box(evaluate_gain(&h, &sys)))
+    });
+}
+
+criterion_group!(kernels, bench_kernels);
+criterion_main!(kernels);

@@ -1,0 +1,17 @@
+//! Regenerates the three ablation studies (γ sensitivity, processor
+//! heterogeneity, traffic adaptation).
+use samr_engine::AppKind;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let t = bench::ablation_gamma(AppKind::ShockPool3D, quick);
+    println!("{}", bench::emit(&t, "ablation_gamma"));
+    let t = bench::ablation_hetero(quick);
+    println!("{}", bench::emit(&t, "ablation_hetero"));
+    let t = bench::ablation_traffic(quick);
+    println!("{}", bench::emit(&t, "ablation_traffic"));
+    let t = bench::ablation_tolerance(quick);
+    println!("{}", bench::emit(&t, "ablation_tolerance"));
+    let t = bench::ablation_lambda(quick);
+    println!("{}", bench::emit(&t, "ablation_lambda"));
+}

@@ -1,0 +1,29 @@
+//! Scratch calibration tool: prints breakdowns and the global decision log
+//! for one configuration (developer utility).
+use bench::*;
+use samr_engine::{AppKind, Driver, RunConfig, Scheme};
+
+fn main() {
+    let scale = Scale::full();
+    for scheme in [Scheme::Parallel, Scheme::distributed_default()] {
+        let mut cfg =
+            RunConfig::new(AppKind::ShockPool3D, scale.n0, scale.steps, scheme);
+        cfg.max_levels = scale.max_levels;
+        let r = Driver::new(wan_system(1), cfg).run();
+        println!("{}", r.summary());
+        println!(
+            "  compute {:.1} local {:.1} remote {:.1} lb {:.1} rbytes {}M",
+            r.breakdown.compute,
+            r.breakdown.comm_local,
+            r.breakdown.comm_remote,
+            r.breakdown.lb,
+            r.breakdown.remote_bytes / 1_000_000
+        );
+        for d in &r.decisions {
+            println!(
+                "  step {}: imb {:.2} gain {:.2}s cost {:?} invoked {} moved {} loads {:?}",
+                d.step, d.imbalance, d.gain_secs, d.cost_secs, d.invoked, d.moved_cells, d.group_loads
+            );
+        }
+    }
+}

@@ -1,0 +1,6 @@
+//! Regenerates Fig. 3: parallel vs distributed execution under parallel DLB.
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let t = bench::fig3(quick);
+    print!("{}", bench::emit(&t, "fig3"));
+}

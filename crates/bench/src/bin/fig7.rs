@@ -1,0 +1,23 @@
+//! Regenerates Fig. 7: total execution time, parallel vs distributed DLB,
+//! for AMR64 (LAN) and ShockPool3D (WAN), plus the §5 improvement summary.
+use samr_engine::AppKind;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    for (app, name) in [
+        (AppKind::Amr64, "fig7a_amr64"),
+        (AppKind::ShockPool3D, "fig7b_shockpool3d"),
+    ] {
+        let t = bench::fig7(app, quick);
+        print!("{}", bench::emit(&t, name));
+        let imps = t.column("improvement %");
+        let (min, max) = imps
+            .iter()
+            .fold((f64::MAX, f64::MIN), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+        let avg = imps.iter().sum::<f64>() / imps.len() as f64;
+        println!(
+            "summary: improvement {:.1}%..{:.1}%, average {:.1}%\n",
+            min, max, avg
+        );
+    }
+}

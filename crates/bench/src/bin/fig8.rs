@@ -1,0 +1,24 @@
+//! Regenerates Fig. 8: efficiency E(1)/(E·P) for both datasets and schemes.
+use samr_engine::AppKind;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    for (app, name) in [
+        (AppKind::Amr64, "fig8a_amr64"),
+        (AppKind::ShockPool3D, "fig8b_shockpool3d"),
+    ] {
+        let t = bench::fig8(app, quick);
+        print!("{}", bench::emit(&t, name));
+        let par = t.column("parallel DLB");
+        let dist = t.column("distributed DLB");
+        let incr: Vec<f64> = par
+            .iter()
+            .zip(&dist)
+            .map(|(p, d)| (d - p) / p * 100.0)
+            .collect();
+        let (min, max) = incr
+            .iter()
+            .fold((f64::MAX, f64::MIN), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+        println!("summary: efficiency increased by {:.1}%..{:.1}%\n", min, max);
+    }
+}

@@ -1,0 +1,470 @@
+//! # bench — experiment harnesses for every measured figure of the paper
+//!
+//! Each `fig*`/`ablation_*` function reproduces one figure's data as a
+//! [`metrics::Table`]; the `src/bin/*` binaries print them (and write JSON
+//! under `results/`), and `benches/figures.rs` wires them into Criterion.
+//!
+//! `quick = true` shrinks domain/steps for CI-speed smoke runs; `false`
+//! uses the full experiment scale recorded in EXPERIMENTS.md.
+
+use metrics::{efficiency, improvement_percent, ConfigRow, Table};
+use rayon::prelude::*;
+use samr_engine::{AppKind, Driver, RunConfig, RunResult, Scheme};
+use topology::{presets, DistributedSystem};
+
+/// Results of both schemes on one `n+n` configuration.
+#[derive(Clone, Debug)]
+pub struct SchemePair {
+    pub n: usize,
+    pub parallel: RunResult,
+    pub distributed: RunResult,
+}
+
+/// Run parallel-DLB and distributed-DLB over every configuration of `app`'s
+/// testbed, concurrently (results are simulated time, unaffected by host
+/// parallelism).
+pub fn run_pairs(app: AppKind, quick: bool) -> Vec<SchemePair> {
+    let scale = Scale::pick(quick);
+    configs(quick)
+        .par_iter()
+        .map(|&n| {
+            let sys = system_for(app, n);
+            let (parallel, distributed) = rayon::join(
+                || run_once(sys.clone(), app, Scheme::Parallel, scale),
+                || run_once(sys.clone(), app, Scheme::distributed_default(), scale),
+            );
+            SchemePair {
+                n,
+                parallel,
+                distributed,
+            }
+        })
+        .collect()
+}
+
+/// The five processor configurations of the paper's §3/§5 (per site).
+pub const CONFIGS: [usize; 5] = [1, 2, 4, 6, 8];
+
+/// Experiment scale.
+#[derive(Clone, Copy, Debug)]
+pub struct Scale {
+    pub n0: i64,
+    pub max_levels: usize,
+    pub steps: usize,
+}
+
+impl Scale {
+    pub fn full() -> Scale {
+        Scale {
+            n0: 24,
+            max_levels: 4,
+            steps: 5,
+        }
+    }
+
+    pub fn quick() -> Scale {
+        Scale {
+            n0: 16,
+            max_levels: 3,
+            steps: 3,
+        }
+    }
+
+    pub fn pick(quick: bool) -> Scale {
+        if quick {
+            Scale::quick()
+        } else {
+            Scale::full()
+        }
+    }
+}
+
+/// Traffic seed used by all figure runs (fixed for reproducibility; the
+/// paper ran both schemes back-to-back to see similar traffic — we give
+/// both schemes *identical* traffic).
+pub const TRAFFIC_SEED: u64 = 20011110; // SC'01 week
+
+/// Run one configuration.
+pub fn run_once(sys: DistributedSystem, app: AppKind, scheme: Scheme, scale: Scale) -> RunResult {
+    let mut cfg = RunConfig::new(app, scale.n0, scale.steps, scheme);
+    cfg.max_levels = scale.max_levels;
+    Driver::new(sys, cfg).run()
+}
+
+/// The WAN testbed for a `n+n` configuration (ShockPool3D's system).
+pub fn wan_system(n: usize) -> DistributedSystem {
+    presets::anl_ncsa_wan(n, n, TRAFFIC_SEED)
+}
+
+/// The LAN testbed for a `n+n` configuration (AMR64's system).
+pub fn lan_system(n: usize) -> DistributedSystem {
+    presets::anl_lan_pair(n, n, TRAFFIC_SEED)
+}
+
+/// A single parallel machine with `n` processors (§3's comparison system).
+pub fn parallel_system(n: usize) -> DistributedSystem {
+    presets::single_origin2000(n)
+}
+
+/// **Fig. 3** — compare ENZO under the *parallel DLB* on a parallel machine
+/// vs. on the WAN-connected distributed system: per-configuration compute
+/// and communication times. Returns one table with four series.
+pub fn fig3(quick: bool) -> Table {
+    let scale = Scale::pick(quick);
+    let rows: Vec<ConfigRow> = configs(quick)
+        .par_iter()
+        .map(|&n| {
+            let (par, dist) = rayon::join(
+                || {
+                    run_once(
+                        parallel_system(2 * n),
+                        AppKind::ShockPool3D,
+                        Scheme::Parallel,
+                        scale,
+                    )
+                },
+                || run_once(wan_system(n), AppKind::ShockPool3D, Scheme::Parallel, scale),
+            );
+            let mut row = ConfigRow::new(format!("{n}+{n}"));
+            row.push("parallel computation", par.breakdown.compute);
+            row.push("parallel communication", par.breakdown.comm);
+            row.push("distributed computation", dist.breakdown.compute);
+            row.push("distributed communication", dist.breakdown.comm);
+            row
+        })
+        .collect();
+    let mut t = Table::new(
+        "Fig. 3 — parallel vs distributed execution of ShockPool3D (parallel DLB on both)",
+    );
+    for row in rows {
+        t.push(row);
+    }
+    t
+}
+
+/// **Fig. 7** — total execution time, parallel DLB vs distributed DLB, on
+/// the dataset's testbed (`AMR64` → LAN, `ShockPool3D` → WAN).
+pub fn fig7(app: AppKind, quick: bool) -> Table {
+    fig7_from(app, &run_pairs(app, quick))
+}
+
+/// Build the Fig. 7 table from precomputed scheme pairs.
+pub fn fig7_from(app: AppKind, pairs: &[SchemePair]) -> Table {
+    let title = match app {
+        AppKind::Amr64 => "Fig. 7a — AMR64 on ANL LAN pair: total execution time",
+        AppKind::ShockPool3D => "Fig. 7b — ShockPool3D on ANL+NCSA WAN: total execution time",
+        AppKind::AdvectBlob => "Fig. 7 (advect-blob variant)",
+    };
+    let mut t = Table::new(title);
+    for p in pairs {
+        let mut row = ConfigRow::new(format!("{0}+{0}", p.n));
+        row.push("parallel DLB", p.parallel.total_secs);
+        row.push("distributed DLB", p.distributed.total_secs);
+        row.push(
+            "improvement %",
+            improvement_percent(p.parallel.total_secs, p.distributed.total_secs),
+        );
+        t.push(row);
+    }
+    t
+}
+
+/// **Fig. 8** — efficiency `E(1)/(E·P)` for both schemes on both datasets.
+pub fn fig8(app: AppKind, quick: bool) -> Table {
+    fig8_from(app, &run_pairs(app, quick), quick)
+}
+
+/// Build the Fig. 8 table from precomputed scheme pairs (runs the
+/// one-processor sequential reference itself).
+pub fn fig8_from(app: AppKind, pairs: &[SchemePair], quick: bool) -> Table {
+    let scale = Scale::pick(quick);
+    let title = match app {
+        AppKind::Amr64 => "Fig. 8a — AMR64 efficiency",
+        AppKind::ShockPool3D => "Fig. 8b — ShockPool3D efficiency",
+        AppKind::AdvectBlob => "Fig. 8 (advect-blob variant)",
+    };
+    // sequential reference on one processor
+    let seq = run_once(parallel_system(1), app, Scheme::Static, scale);
+    let e1 = seq.total_secs;
+    let mut t = Table::new(title);
+    for p in pairs {
+        let p_total = system_for(app, p.n).total_power();
+        let mut row = ConfigRow::new(format!("{0}+{0}", p.n));
+        row.push("parallel DLB", efficiency(e1, p.parallel.total_secs, p_total));
+        row.push(
+            "distributed DLB",
+            efficiency(e1, p.distributed.total_secs, p_total),
+        );
+        t.push(row);
+    }
+    t
+}
+
+/// **Ablation A** — sensitivity to the γ threshold (the paper's declared
+/// future work, §6), swept under two WAN regimes. On a quiet WAN the Eq.-1
+/// cost is negligible next to the gain so γ barely matters; under heavy
+/// congestion the γ-gate decides how aggressively to fight the network.
+pub fn ablation_gamma(app: AppKind, quick: bool) -> Table {
+    use topology::link::Link;
+    use topology::{SimTime, SystemBuilder, TrafficModel};
+    let scale = Scale::pick(quick);
+    let n = if quick { 2 } else { 4 };
+    let gammas = [0.0, 1.0, 2.0, 16.0, 64.0, 256.0, f64::INFINITY];
+    let mut t = Table::new(format!("Ablation — γ sensitivity ({app:?}, {n}+{n})"));
+    let regimes: Vec<(&str, TrafficModel)> = vec![
+        ("quiet", TrafficModel::Quiet),
+        ("congested", TrafficModel::Constant { load: 0.97 }),
+    ];
+    let rows: Vec<ConfigRow> = gammas
+        .par_iter()
+        .map(|&gamma| {
+            let label = if gamma.is_infinite() {
+                "inf".to_string()
+            } else {
+                format!("{gamma}")
+            };
+            let mut row = ConfigRow::new(format!("γ={label}"));
+            for (name, traffic) in &regimes {
+                let wan = Link::shared(
+                    "WAN",
+                    SimTime::from_millis(6),
+                    19.375e6,
+                    traffic.clone(),
+                );
+                let sys = SystemBuilder::new()
+                    .group("ANL", n, 1.0, presets::origin2000_intra())
+                    .group("NCSA", n, 1.0, presets::origin2000_intra())
+                    .connect(0, 1, wan)
+                    .build();
+                let cfg = dlb::DistributedDlbConfig {
+                    gamma,
+                    ..Default::default()
+                };
+                let res = run_once(sys, app, Scheme::Distributed(cfg), scale);
+                row.push(format!("{name} total"), res.total_secs);
+                row.push(
+                    format!("{name} redist"),
+                    res.global_redistributions as f64,
+                );
+            }
+            row
+        })
+        .collect();
+    for row in rows {
+        t.push(row);
+    }
+    t
+}
+
+/// **Ablation B** — processor heterogeneity (§4 capability the paper's
+/// homogeneous testbeds could not exercise): group B runs at `rel`× speed.
+pub fn ablation_hetero(quick: bool) -> Table {
+    let scale = Scale::pick(quick);
+    let n = if quick { 2 } else { 4 };
+    let mut t = Table::new(format!(
+        "Ablation — heterogeneous processors (ShockPool3D, {n}+{n} WAN)"
+    ));
+    for rel in [0.25, 0.5, 1.0, 2.0, 4.0] {
+        let sys = presets::heterogeneous_wan(n, n, rel, TRAFFIC_SEED);
+        let par = run_once(sys.clone(), AppKind::ShockPool3D, Scheme::Parallel, scale);
+        let dist = run_once(
+            sys,
+            AppKind::ShockPool3D,
+            Scheme::distributed_default(),
+            scale,
+        );
+        let mut row = ConfigRow::new(format!("B@{rel}x"));
+        row.push("parallel DLB", par.total_secs);
+        row.push("distributed DLB", dist.total_secs);
+        row.push(
+            "improvement %",
+            improvement_percent(par.total_secs, dist.total_secs),
+        );
+        t.push(row);
+    }
+    t
+}
+
+/// **Ablation C** — dynamic network adaptation: the same run under
+/// different WAN traffic patterns; reports total time and how many global
+/// redistributions the γ-gate allowed.
+pub fn ablation_traffic(quick: bool) -> Table {
+    use topology::link::Link;
+    use topology::{SimTime, SystemBuilder, TrafficModel};
+    let scale = Scale::pick(quick);
+    let n = if quick { 2 } else { 4 };
+    let patterns: Vec<(&str, TrafficModel)> = vec![
+        ("quiet", TrafficModel::Quiet),
+        (
+            "diurnal",
+            TrafficModel::Diurnal {
+                base: 0.45,
+                amp: 0.4,
+                period: SimTime::from_secs(120).into(),
+            },
+        ),
+        (
+            "bursty",
+            TrafficModel::Bursty {
+                low: 0.2,
+                high: 0.85,
+                p_on: 0.5,
+                slot: SimTime::from_secs(5).into(),
+                seed: TRAFFIC_SEED,
+            },
+        ),
+        ("congested", TrafficModel::Constant { load: 0.95 }),
+    ];
+    let mut t = Table::new(format!(
+        "Ablation — WAN traffic patterns (ShockPool3D, {n}+{n})"
+    ));
+    for (name, traffic) in patterns {
+        let wan = Link::shared("WAN", SimTime::from_millis(6), 19.375e6, traffic);
+        let sys = SystemBuilder::new()
+            .group("ANL", n, 1.0, presets::origin2000_intra())
+            .group("NCSA", n, 1.0, presets::origin2000_intra())
+            .connect(0, 1, wan)
+            .build();
+        let par = run_once(sys.clone(), AppKind::ShockPool3D, Scheme::Parallel, scale);
+        let dist = run_once(
+            sys,
+            AppKind::ShockPool3D,
+            Scheme::distributed_default(),
+            scale,
+        );
+        let mut row = ConfigRow::new(name);
+        row.push("parallel DLB", par.total_secs);
+        row.push("distributed DLB", dist.total_secs);
+        row.push("redistributions", dist.global_redistributions as f64);
+        t.push(row);
+    }
+    t
+}
+
+/// **Ablation D** — sensitivity of the "imbalance exists" threshold (part
+/// of the paper's promised sensitivity analysis, §6). Runs at quick scale.
+pub fn ablation_tolerance(quick: bool) -> Table {
+    let scale = if quick { Scale::quick() } else { Scale { n0: 16, max_levels: 3, steps: 4 } };
+    let n = 2;
+    let mut t = Table::new(format!(
+        "Ablation — imbalance tolerance (ShockPool3D, {n}+{n} WAN)"
+    ));
+    let rows: Vec<ConfigRow> = [1.0f64, 1.05, 1.1, 1.25, 1.5, 2.0]
+        .par_iter()
+        .map(|&tol| {
+            let cfg = dlb::DistributedDlbConfig {
+                imbalance_tolerance: tol,
+                ..Default::default()
+            };
+            let res = run_once(
+                wan_system(n),
+                AppKind::ShockPool3D,
+                Scheme::Distributed(cfg),
+                scale,
+            );
+            let mut row = ConfigRow::new(format!("tol={tol}"));
+            row.push("total time", res.total_secs);
+            row.push("redistributions", res.global_redistributions as f64);
+            row.push("checks", res.global_checks as f64);
+            row
+        })
+        .collect();
+    for row in rows {
+        t.push(row);
+    }
+    t
+}
+
+/// **Ablation E** — probe smoothing λ (NWS-style EWMA vs the paper's
+/// latest-sample estimate) under bursty WAN traffic. Runs at quick scale.
+pub fn ablation_lambda(quick: bool) -> Table {
+    let scale = if quick { Scale::quick() } else { Scale { n0: 16, max_levels: 3, steps: 4 } };
+    let n = 2;
+    let mut t = Table::new(format!(
+        "Ablation — probe smoothing λ (ShockPool3D, {n}+{n} bursty WAN)"
+    ));
+    let rows: Vec<ConfigRow> = [0.25f64, 0.5, 1.0]
+        .par_iter()
+        .map(|&lambda| {
+            let cfg = dlb::DistributedDlbConfig {
+                estimator_lambda: lambda,
+                ..Default::default()
+            };
+            let res = run_once(
+                wan_system(n),
+                AppKind::ShockPool3D,
+                Scheme::Distributed(cfg),
+                scale,
+            );
+            let mut row = ConfigRow::new(format!("λ={lambda}"));
+            row.push("total time", res.total_secs);
+            row.push("redistributions", res.global_redistributions as f64);
+            row
+        })
+        .collect();
+    for row in rows {
+        t.push(row);
+    }
+    t
+}
+
+/// **Ablation F** — donor-selection policy for global redistribution: the
+/// naive cells-based reading of Fig. 6 vs the subtree-workload policy this
+/// reproduction converged on (see DESIGN.md §5 implementation notes).
+pub fn ablation_selection(quick: bool) -> Table {
+    let scale = Scale::pick(quick);
+    let n = if quick { 1 } else { 2 };
+    let mut t = Table::new(format!(
+        "Ablation — donor selection policy (ShockPool3D, {n}+{n} WAN)"
+    ));
+    let rows: Vec<ConfigRow> = [
+        ("subtree-workload", dlb::SelectionPolicy::SubtreeWorkload),
+        ("cells (naive)", dlb::SelectionPolicy::Cells),
+    ]
+    .par_iter()
+    .map(|&(name, selection)| {
+        let cfg = dlb::DistributedDlbConfig {
+            selection,
+            ..Default::default()
+        };
+        let res = run_once(
+            wan_system(n),
+            AppKind::ShockPool3D,
+            Scheme::Distributed(cfg),
+            scale,
+        );
+        let mut row = ConfigRow::new(name);
+        row.push("total time", res.total_secs);
+        row.push("redistributions", res.global_redistributions as f64);
+        row.push("remote MB", res.breakdown.remote_bytes as f64 / 1e6);
+        row
+    })
+    .collect();
+    for row in rows {
+        t.push(row);
+    }
+    t
+}
+
+fn system_for(app: AppKind, n: usize) -> DistributedSystem {
+    match app {
+        AppKind::Amr64 => lan_system(n),
+        _ => wan_system(n),
+    }
+}
+
+fn configs(quick: bool) -> &'static [usize] {
+    if quick {
+        &CONFIGS[..2]
+    } else {
+        &CONFIGS
+    }
+}
+
+/// Write a table to `results/<name>.json` (best-effort) and return the
+/// rendered text.
+pub fn emit(table: &Table, name: &str) -> String {
+    let _ = std::fs::create_dir_all("results");
+    let _ = std::fs::write(format!("results/{name}.json"), table.to_json());
+    table.render()
+}

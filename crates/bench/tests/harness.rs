@@ -1,0 +1,64 @@
+//! Smoke tests of the figure harnesses at quick scale: every figure builds
+//! a structurally valid table with the series the paper plots.
+
+use samr_engine::AppKind;
+
+#[test]
+fn fig7_quick_has_both_schemes_and_improvement() {
+    let t = bench::fig7(AppKind::ShockPool3D, true);
+    let series = t.series();
+    assert!(series.contains(&"parallel DLB".to_string()));
+    assert!(series.contains(&"distributed DLB".to_string()));
+    assert!(series.contains(&"improvement %".to_string()));
+    assert_eq!(t.rows.len(), 2, "quick mode runs two configurations");
+    for row in &t.rows {
+        let p = row.get("parallel DLB").unwrap();
+        let d = row.get("distributed DLB").unwrap();
+        assert!(p > 0.0 && d > 0.0);
+        let imp = row.get("improvement %").unwrap();
+        assert!((imp - (p - d) / p * 100.0).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn fig3_quick_shape() {
+    let t = bench::fig3(true);
+    for row in &t.rows {
+        // compute similar, distributed comm much larger
+        let pc = row.get("parallel computation").unwrap();
+        let dc = row.get("distributed computation").unwrap();
+        assert!((pc / dc - 1.0).abs() < 0.3, "compute ratio {}", pc / dc);
+        let pm = row.get("parallel communication").unwrap();
+        let dm = row.get("distributed communication").unwrap();
+        assert!(dm > pm, "distributed comm {dm} must exceed parallel {pm}");
+    }
+}
+
+#[test]
+fn fig8_quick_efficiencies_sane() {
+    let t = bench::fig8(AppKind::AdvectBlob, true);
+    for row in &t.rows {
+        for (_, v) in &row.values {
+            assert!(*v > 0.0 && *v < 1.6, "efficiency {v} out of range");
+        }
+    }
+}
+
+#[test]
+fn emit_writes_json() {
+    let t = bench::ablation_lambda(true);
+    let rendered = bench::emit(&t, "test_emit_tmp");
+    assert!(rendered.contains("λ=1"));
+    let json = std::fs::read_to_string("results/test_emit_tmp.json").unwrap();
+    assert!(json.contains("total time"));
+    let _ = std::fs::remove_file("results/test_emit_tmp.json");
+}
+
+#[test]
+fn selection_policy_quick_comparison() {
+    let t = bench::ablation_selection(true);
+    assert_eq!(t.rows.len(), 2);
+    let sub = t.rows[0].get("total time").unwrap();
+    let naive = t.rows[1].get("total time").unwrap();
+    assert!(sub > 0.0 && naive > 0.0);
+}

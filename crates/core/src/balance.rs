@@ -1,0 +1,390 @@
+//! The within-set balancing primitive shared by the parallel-DLB baseline
+//! and the distributed scheme's local phase: redistribute one level's grids
+//! among a set of processors, moving (and when necessary splitting) grids
+//! from overloaded to underloaded processors.
+
+use samr_mesh::hierarchy::GridHierarchy;
+use samr_mesh::patch::PatchId;
+use simnet::{Activity, NetSim};
+use topology::ProcId;
+
+/// Tuning for [`balance_level_within`].
+#[derive(Clone, Copy, Debug)]
+pub struct BalanceParams {
+    /// A processor is "balanced enough" when its load is within this factor
+    /// of its target (1.05 = 5% slack).
+    pub tolerance: f64,
+    /// Hard cap on grid moves per invocation.
+    pub max_moves: usize,
+    /// Grids with fewer cells than this are never split.
+    pub min_split_cells: i64,
+    /// Whether oversized grids may be split to hit the target.
+    pub allow_split: bool,
+}
+
+impl Default for BalanceParams {
+    fn default() -> Self {
+        BalanceParams {
+            tolerance: 1.05,
+            max_moves: 256,
+            min_split_cells: 32,
+            allow_split: true,
+        }
+    }
+}
+
+/// What a balancing pass did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BalanceOutcome {
+    /// Number of grid migrations performed.
+    pub moves: usize,
+    /// Number of grid splits performed.
+    pub splits: usize,
+    /// Total cells migrated.
+    pub moved_cells: i64,
+    /// Total bytes shipped for migrations.
+    pub moved_bytes: u64,
+}
+
+/// Balance the grids of `level` among `procs` (weights parallel to `procs`),
+/// leaving grids owned by processors outside the set untouched.
+///
+/// Targets are proportional to weights; grids move from the most-overloaded
+/// to the most-underloaded processor until every load is within
+/// `params.tolerance` of target or no productive move remains. Migration
+/// traffic is charged to the simulator as [`Activity::LoadBalance`].
+pub fn balance_level_within(
+    hier: &mut GridHierarchy,
+    sim: &mut NetSim,
+    level: usize,
+    procs: &[ProcId],
+    weights: &[f64],
+    params: &BalanceParams,
+) -> BalanceOutcome {
+    assert_eq!(procs.len(), weights.len());
+    let mut out = BalanceOutcome::default();
+    if procs.len() < 2 {
+        return out;
+    }
+    let wsum: f64 = weights.iter().sum();
+    assert!(wsum > 0.0);
+
+    let in_set = |owner: usize| procs.iter().position(|p| p.0 == owner);
+
+    for _ in 0..params.max_moves {
+        // Current loads of the set's processors at this level.
+        let mut loads = vec![0i64; procs.len()];
+        let mut owned: Vec<Vec<PatchId>> = vec![Vec::new(); procs.len()];
+        for &id in hier.level_ids(level) {
+            let p = hier.patch(id);
+            if let Some(ix) = in_set(p.owner) {
+                loads[ix] += p.cells();
+                owned[ix].push(id);
+            }
+        }
+        let total: i64 = loads.iter().sum();
+        if total == 0 {
+            break;
+        }
+        let target: Vec<f64> = weights
+            .iter()
+            .map(|w| total as f64 * w / wsum)
+            .collect();
+
+        // Most overloaded / most underloaded (deterministic tie-break by
+        // index).
+        let (mut over, mut under) = (0usize, 0usize);
+        let mut max_sur = f64::MIN;
+        let mut max_def = f64::MIN;
+        for i in 0..procs.len() {
+            let sur = loads[i] as f64 - target[i];
+            if sur > max_sur {
+                max_sur = sur;
+                over = i;
+            }
+            if -sur > max_def {
+                max_def = -sur;
+                under = i;
+            }
+        }
+        // Balanced enough?
+        let within = |i: usize| loads[i] as f64 <= target[i] * params.tolerance + 1.0;
+        if within(over) || over == under {
+            break;
+        }
+        let gap = max_sur.min(max_def).max(0.0) as i64;
+        if gap <= 0 {
+            break;
+        }
+
+        // Choose the grid to move: the largest one not exceeding ~the gap,
+        // else consider splitting the smallest one that is too large.
+        let mut best: Option<(PatchId, i64)> = None; // fits under cap
+        let mut smallest: Option<(PatchId, i64)> = None;
+        for &id in &owned[over] {
+            let c = hier.patch(id).cells();
+            if c as f64 <= gap as f64 * 1.25
+                && best.is_none_or(|(_, bc)| c > bc) {
+                    best = Some((id, c));
+                }
+            if smallest.is_none_or(|(_, sc)| c < sc) {
+                smallest = Some((id, c));
+            }
+        }
+
+        let move_id = match (best, smallest) {
+            (Some((id, _)), _) => Some(id),
+            (None, Some((id, c))) => {
+                // Every grid overshoots the gap. Split if worthwhile,
+                // otherwise move the smallest whole grid only if that still
+                // improves balance.
+                if params.allow_split
+                    && c >= params.min_split_cells * 2
+                    && gap >= params.min_split_cells
+                {
+                    let (a, _b) = hier.split_patch(id, gap, axis_of(hier, id));
+                    out.splits += 1;
+                    Some(a)
+                } else if (c as f64) < 2.0 * gap as f64 {
+                    Some(id)
+                } else {
+                    None
+                }
+            }
+            (None, None) => None,
+        };
+
+        let Some(id) = move_id else { break };
+        let cells = hier.patch(id).cells();
+        let bytes = hier.patch(id).payload_bytes();
+        let src = ProcId(hier.patch(id).owner);
+        let dst = procs[under];
+        hier.set_owner(id, dst.0);
+        sim.send(src, dst, bytes, Activity::LoadBalance);
+        out.moves += 1;
+        out.moved_cells += cells;
+        out.moved_bytes += bytes;
+    }
+    out
+}
+
+/// Pick the split axis for a patch: its longest extent, so slabs stay chunky.
+fn axis_of(hier: &GridHierarchy, id: PatchId) -> usize {
+    hier.patch(id).region.size().longest_axis()
+}
+
+/// Greedy weighted placement for a batch of new grids: processing sizes in
+/// descending order, each grid goes to the processor with the lowest
+/// load-per-weight. `loads` are pre-existing loads (cells) parallel to
+/// `weights`; returns the chosen processor *indices within the set*, in the
+/// input order of `sizes`.
+pub fn place_batch(loads: &[i64], weights: &[f64], sizes: &[i64]) -> Vec<usize> {
+    assert_eq!(loads.len(), weights.len());
+    assert!(!loads.is_empty());
+    let mut cur: Vec<f64> = loads.iter().map(|&l| l as f64).collect();
+    let mut order: Vec<usize> = (0..sizes.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(sizes[i]));
+    let mut out = vec![0usize; sizes.len()];
+    for i in order {
+        let mut best = 0usize;
+        let mut best_norm = f64::MAX;
+        for (j, (&l, &w)) in cur.iter().zip(weights).enumerate() {
+            let norm = (l + sizes[i] as f64) / w;
+            if norm < best_norm {
+                best_norm = norm;
+                best = j;
+            }
+        }
+        out[i] = best;
+        cur[best] += sizes[i] as f64;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use samr_mesh::region::Region;
+    use samr_mesh::{ivec3, region};
+    use topology::link::Link;
+    use topology::{SimTime, SystemBuilder};
+
+    fn sim4() -> NetSim {
+        let intra = Link::dedicated("intra", SimTime::from_micros(10), 1e9);
+        let sys = SystemBuilder::new().group("A", 4, 1.0, intra).build();
+        NetSim::new(sys)
+    }
+
+    /// A hierarchy with `n` equal 8^3 level-0 grids all owned by proc 0.
+    fn lopsided(n: i64) -> GridHierarchy {
+        let mut h = GridHierarchy::new(
+            region(ivec3(0, 0, 0), ivec3(8 * n, 8, 8)),
+            2,
+            3,
+            1,
+            1,
+        );
+        for i in 0..n {
+            h.insert_patch(
+                0,
+                region(ivec3(8 * i, 0, 0), ivec3(8 * (i + 1), 8, 8)),
+                None,
+                0,
+            );
+        }
+        h
+    }
+
+    #[test]
+    fn evens_out_equal_grids() {
+        let mut h = lopsided(8);
+        let mut sim = sim4();
+        let procs: Vec<ProcId> = (0..4).map(ProcId).collect();
+        let out = balance_level_within(
+            &mut h,
+            &mut sim,
+            0,
+            &procs,
+            &[1.0; 4],
+            &BalanceParams::default(),
+        );
+        let loads = h.level_load_by_owner(0, 4);
+        assert_eq!(loads, vec![1024, 1024, 1024, 1024], "{out:?}");
+        assert!(out.moves >= 6);
+        assert_eq!(out.moved_cells, 512 * 6);
+        // migration traffic was charged
+        assert!(sim.stats().procs[0].load_balance > SimTime::ZERO);
+    }
+
+    #[test]
+    fn respects_weights() {
+        let mut h = lopsided(8);
+        let mut sim = sim4();
+        let procs: Vec<ProcId> = (0..2).map(ProcId).collect();
+        balance_level_within(
+            &mut h,
+            &mut sim,
+            0,
+            &procs,
+            &[1.0, 3.0],
+            &BalanceParams::default(),
+        );
+        let loads = h.level_load_by_owner(0, 4);
+        assert_eq!(loads[0], 1024); // 1/4 of 4096
+        assert_eq!(loads[1], 3072); // 3/4
+    }
+
+    #[test]
+    fn splits_single_giant_grid() {
+        let mut h = GridHierarchy::new(Region::cube(16), 2, 3, 1, 1);
+        h.insert_patch(0, Region::cube(16), None, 0);
+        let mut sim = sim4();
+        let procs: Vec<ProcId> = (0..2).map(ProcId).collect();
+        let out = balance_level_within(
+            &mut h,
+            &mut sim,
+            0,
+            &procs,
+            &[1.0, 1.0],
+            &BalanceParams::default(),
+        );
+        assert!(out.splits >= 1);
+        let loads = h.level_load_by_owner(0, 4);
+        assert_eq!(loads[0] + loads[1], 4096);
+        let ratio = loads[0].max(loads[1]) as f64 / loads[0].min(loads[1]) as f64;
+        assert!(ratio < 1.1, "loads {loads:?}");
+        assert!(h.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn no_split_when_disallowed() {
+        let mut h = GridHierarchy::new(Region::cube(16), 2, 3, 1, 1);
+        h.insert_patch(0, Region::cube(16), None, 0);
+        let mut sim = sim4();
+        let procs: Vec<ProcId> = (0..2).map(ProcId).collect();
+        let params = BalanceParams {
+            allow_split: false,
+            ..Default::default()
+        };
+        let out = balance_level_within(&mut h, &mut sim, 0, &procs, &[1.0, 1.0], &params);
+        assert_eq!(out.splits, 0);
+        assert_eq!(out.moves, 0, "moving the only grid helps nothing");
+    }
+
+    #[test]
+    fn leaves_outside_owners_alone() {
+        let mut h = lopsided(4);
+        // give one grid to proc 3 (outside the balanced set)
+        let id = h.level_ids(0)[3];
+        h.set_owner(id, 3);
+        let mut sim = sim4();
+        let procs: Vec<ProcId> = (0..2).map(ProcId).collect();
+        balance_level_within(
+            &mut h,
+            &mut sim,
+            0,
+            &procs,
+            &[1.0, 1.0],
+            &BalanceParams::default(),
+        );
+        let loads = h.level_load_by_owner(0, 4);
+        assert_eq!(loads[3], 512, "outsider untouched");
+        assert_eq!(loads[0], loads[1]);
+    }
+
+    #[test]
+    fn already_balanced_is_noop() {
+        let mut h = lopsided(4);
+        for (i, &id) in h.level_ids(0).to_vec().iter().enumerate() {
+            h.set_owner(id, i);
+        }
+        let mut sim = sim4();
+        let procs: Vec<ProcId> = (0..4).map(ProcId).collect();
+        let out = balance_level_within(
+            &mut h,
+            &mut sim,
+            0,
+            &procs,
+            &[1.0; 4],
+            &BalanceParams::default(),
+        );
+        assert_eq!(out, BalanceOutcome::default());
+        assert_eq!(sim.elapsed(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn single_proc_noop() {
+        let mut h = lopsided(4);
+        let mut sim = sim4();
+        let out = balance_level_within(
+            &mut h,
+            &mut sim,
+            0,
+            &[ProcId(0)],
+            &[1.0],
+            &BalanceParams::default(),
+        );
+        assert_eq!(out, BalanceOutcome::default());
+    }
+
+    #[test]
+    fn place_batch_greedy_lpt() {
+        // sizes 8,7,6,5 onto 2 equal procs -> {8,5} and {7,6}
+        let owners = place_batch(&[0, 0], &[1.0, 1.0], &[8, 7, 6, 5]);
+        let mut loads = [0i64; 2];
+        for (i, &o) in owners.iter().enumerate() {
+            loads[o] += [8, 7, 6, 5][i];
+        }
+        assert_eq!(loads[0], loads[1]);
+    }
+
+    #[test]
+    fn place_batch_respects_existing_load_and_weights() {
+        // proc0 pre-loaded; new work goes to proc1
+        let owners = place_batch(&[100, 0], &[1.0, 1.0], &[10, 10]);
+        assert_eq!(owners, vec![1, 1]);
+        // heavier-weight proc absorbs more
+        let owners = place_batch(&[0, 0], &[1.0, 9.0], &[10, 10, 10]);
+        assert!(owners.iter().filter(|&&o| o == 1).count() >= 2);
+    }
+}

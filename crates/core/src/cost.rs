@@ -1,0 +1,91 @@
+//! Redistribution-cost evaluation — §4.2, Eq. (1):
+//! `Cost = (α + β·W) + δ`.
+//!
+//! The communication term uses α and β measured on-line by the two-message
+//! probe ([`topology::probe`]); the computational term `δ` is the recorded
+//! overhead of the previous redistribution (history information).
+
+use crate::history::WorkloadHistory;
+
+/// Result of evaluating Eq. (1).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CostEstimate {
+    /// Communication part: `α + β·W` seconds.
+    pub comm_secs: f64,
+    /// Computational part `δ`: repartition + rebuild + boundary update,
+    /// taken from the previous redistribution.
+    pub delta_secs: f64,
+}
+
+impl CostEstimate {
+    /// Total redistribution cost in seconds.
+    pub fn total_secs(&self) -> f64 {
+        self.comm_secs + self.delta_secs
+    }
+}
+
+/// Evaluate Eq. (1) for moving `move_bytes` across a link with probed
+/// parameters `alpha` (s) and `beta` (s/byte).
+pub fn evaluate_cost(
+    alpha: f64,
+    beta: f64,
+    move_bytes: u64,
+    history: &WorkloadHistory,
+) -> CostEstimate {
+    assert!(alpha >= 0.0 && beta >= 0.0);
+    CostEstimate {
+        comm_secs: alpha + beta * move_bytes as f64,
+        delta_secs: history.delta(),
+    }
+}
+
+/// The γ-gate of §4.4: redistribution is invoked only when
+/// `Gain > γ · Cost`. `gamma`'s paper default is 2.0.
+pub fn should_redistribute(gain_secs: f64, cost: &CostEstimate, gamma: f64) -> bool {
+    gain_secs > gamma * cost.total_secs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::WorkloadHistory;
+
+    #[test]
+    fn eq1_sum_of_terms() {
+        let mut h = WorkloadHistory::new(1);
+        h.record_redistribution_overhead(0.25);
+        let c = evaluate_cost(0.01, 1e-7, 10_000_000, &h);
+        assert!((c.comm_secs - (0.01 + 1.0)).abs() < 1e-12);
+        assert_eq!(c.delta_secs, 0.25);
+        assert!((c.total_secs() - 1.26).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_bytes_costs_latency_plus_delta() {
+        let h = WorkloadHistory::new(1);
+        let c = evaluate_cost(0.005, 1e-7, 0, &h);
+        assert_eq!(c.comm_secs, 0.005);
+        assert_eq!(c.total_secs(), 0.005);
+    }
+
+    #[test]
+    fn gamma_gate_default() {
+        let h = WorkloadHistory::new(1);
+        let c = evaluate_cost(0.0, 1e-6, 1_000_000, &h); // 1 s
+        assert!(should_redistribute(2.5, &c, 2.0));
+        assert!(!should_redistribute(2.0, &c, 2.0)); // strict inequality
+        assert!(!should_redistribute(1.0, &c, 2.0));
+        // gamma = 0 accepts any positive gain
+        assert!(should_redistribute(0.001, &c, 0.0));
+    }
+
+    #[test]
+    fn congestion_raises_cost_and_blocks() {
+        let h = WorkloadHistory::new(1);
+        let quiet = evaluate_cost(0.005, 5.16e-8, 50_000_000, &h); // ~2.6 s
+        let congested = evaluate_cost(0.005, 5.16e-7, 50_000_000, &h); // ~25.8 s
+        let gain = 10.0;
+        assert!(should_redistribute(gain, &quiet, 2.0));
+        assert!(!should_redistribute(gain, &congested, 2.0));
+    }
+}

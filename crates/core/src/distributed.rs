@@ -1,0 +1,606 @@
+//! The **distributed DLB scheme** — the paper's contribution (§4).
+//!
+//! Two phases:
+//!
+//! * **Global load balancing** — after each level-0 timestep only: check the
+//!   load distribution among groups (allreduce); if imbalance exists,
+//!   estimate the computational gain (Eq. 4) of removing it and, via the
+//!   two-message α/β probe plus the recorded overhead `δ`, the cost (Eq. 1)
+//!   of moving the required level-0 grids; redistribute only when
+//!   `Gain > γ·Cost`, proportionally to each group's compute power.
+//! * **Local load balancing** — after each timestep at the finer levels:
+//!   run the parallel-DLB within each group only, so children grids always
+//!   live in the same group as their parents and no parent↔child remote
+//!   communication is needed.
+//!
+//! The scheme adapts to dynamic network load because the probe measures the
+//! *current* α/β: when the shared WAN is congested, Cost inflates and global
+//! redistribution is deferred.
+
+use crate::balance::{balance_level_within, place_batch, BalanceParams};
+use crate::cost::{evaluate_cost, should_redistribute, CostEstimate};
+use crate::gain::{evaluate_gain, GainEstimate};
+use crate::parallel::LOAD_MSG_BYTES;
+use crate::partition::{global_redistribute_with, group_level0_cells, RedistributionReport, SelectionPolicy};
+use crate::scheme::{proc_total_cells, LbContext, LoadBalancer};
+use samr_mesh::hierarchy::GridHierarchy;
+use simnet::{Activity, NetSim};
+use topology::{DistributedSystem, GroupId, LinkEstimator, ProcId};
+use std::collections::BTreeMap;
+
+/// Tuning of the distributed scheme.
+#[derive(Clone, Debug)]
+pub struct DistributedDlbConfig {
+    /// The γ of `Gain > γ·Cost` (§4.4; paper default 2.0).
+    pub gamma: f64,
+    /// Power-normalized group-load ratio above which "imbalance exists".
+    pub imbalance_tolerance: f64,
+    /// Within-set balancing knobs (local phase and redistribution).
+    pub balance: BalanceParams,
+    /// Modeled repartition scan cost per level-0 cell (seconds) — part of
+    /// the computational overhead charged by a global redistribution.
+    pub repartition_secs_per_cell: f64,
+    /// Modeled rebuild/boundary-update cost per *moved* cell (seconds).
+    pub rebuild_secs_per_moved_cell: f64,
+    /// EWMA factor of the link estimator (1.0 = trust latest probe, like the
+    /// paper's two-message scheme).
+    pub estimator_lambda: f64,
+    /// How donor level-0 grids are selected for global redistribution.
+    pub selection: SelectionPolicy,
+}
+
+impl Default for DistributedDlbConfig {
+    fn default() -> Self {
+        DistributedDlbConfig {
+            gamma: 2.0,
+            imbalance_tolerance: 1.10,
+            balance: BalanceParams::default(),
+            repartition_secs_per_cell: 10e-9,
+            rebuild_secs_per_moved_cell: 150e-9,
+            estimator_lambda: 1.0,
+            selection: SelectionPolicy::default(),
+        }
+    }
+}
+
+/// One global-phase decision, kept for reports and tests.
+#[derive(Clone, Debug)]
+pub struct GlobalDecision {
+    /// Level-0 step index at which the decision was taken.
+    pub step: u64,
+    /// Eq. 4 evaluation.
+    pub gain: GainEstimate,
+    /// Eq. 1 evaluation (None when no imbalance was detected, so no probe
+    /// was paid for).
+    pub cost: Option<CostEstimate>,
+    /// Whether redistribution was invoked.
+    pub invoked: bool,
+    /// Outcome when invoked.
+    pub report: Option<RedistributionReport>,
+}
+
+/// The paper's two-phase distributed DLB.
+#[derive(Clone, Debug)]
+pub struct DistributedDlb {
+    cfg: DistributedDlbConfig,
+    estimators: BTreeMap<(usize, usize), LinkEstimator>,
+    /// Full decision log of the global phase.
+    pub decisions: Vec<GlobalDecision>,
+}
+
+impl DistributedDlb {
+    pub fn new(cfg: DistributedDlbConfig) -> Self {
+        DistributedDlb {
+            cfg,
+            estimators: BTreeMap::new(),
+            decisions: Vec::new(),
+        }
+    }
+
+    /// Config in use.
+    pub fn config(&self) -> &DistributedDlbConfig {
+        &self.cfg
+    }
+
+    /// How many global redistributions were actually invoked.
+    pub fn invocations(&self) -> usize {
+        self.decisions.iter().filter(|d| d.invoked).count()
+    }
+
+    fn estimator(&mut self, a: usize, b: usize) -> &mut LinkEstimator {
+        let lambda = self.cfg.estimator_lambda;
+        self.estimators
+            .entry((a.min(b), a.max(b)))
+            .or_insert_with(|| {
+                let d = LinkEstimator::paper_default();
+                LinkEstimator::new(lambda, d.small, d.large)
+            })
+    }
+
+    /// Predicted level-0 cells each overloaded group would export — the `W`
+    /// whose transfer cost Eq. 1 prices.
+    fn planned_move_cells(
+        hier: &GridHierarchy,
+        sys: &DistributedSystem,
+        group_loads: &[f64],
+    ) -> i64 {
+        let total: f64 = group_loads.iter().sum();
+        let power = sys.total_power();
+        if total <= 0.0 {
+            return 0;
+        }
+        let mut cells = 0i64;
+        for (g, &w) in group_loads.iter().enumerate() {
+            let target = total * sys.group_power(GroupId(g)) / power;
+            if w > target && w > 0.0 {
+                let frac = (w - target) / w;
+                cells += (frac * group_level0_cells(hier, sys, g) as f64).round() as i64;
+            }
+        }
+        cells
+    }
+
+    /// The global load-balancing phase (runs after level-0 steps).
+    fn global_phase(&mut self, ctx: &mut LbContext<'_>) {
+        let sys = ctx.sim.system().clone();
+        if sys.ngroups() < 2 {
+            return;
+        }
+        // Evaluate the load distribution among the groups: every processor
+        // participates (one small collective).
+        ctx.sim.allreduce_all(LOAD_MSG_BYTES, Activity::LoadBalance);
+        let gain = evaluate_gain(ctx.history, &sys);
+
+        let step = ctx.history.steps();
+        // NaN-safe: a NaN ratio reads as balanced
+        let imbalanced = gain.imbalance_ratio > self.cfg.imbalance_tolerance;
+        if !imbalanced || gain.gain_secs <= 0.0 {
+            self.decisions.push(GlobalDecision {
+                step,
+                gain,
+                cost: None,
+                invoked: false,
+                report: None,
+            });
+            return;
+        }
+
+        // Imbalance exists: price the redistribution. Probe the inter-group
+        // links (two messages each — §4.2) and take the slowest path.
+        let move_cells = Self::planned_move_cells(ctx.hier, &sys, &gain.group_loads);
+        let cell_bytes = (ctx.hier.nfields() as u64) * 8;
+        let move_bytes = move_cells.max(0) as u64 * cell_bytes;
+        let mut alpha = 0.0f64;
+        let mut beta = 0.0f64;
+        for a in 0..sys.ngroups() {
+            for b in (a + 1)..sys.ngroups() {
+                let est = self.estimator(a, b);
+                // split borrows: probe via the simulator
+                let sample = ctx.sim.probe_inter(GroupId(a), GroupId(b), est);
+                alpha = alpha.max(sample.alpha);
+                beta = beta.max(sample.beta);
+            }
+        }
+        let cost = evaluate_cost(alpha, beta, move_bytes, ctx.history);
+        let invoked = should_redistribute(gain.gain_secs, &cost, self.cfg.gamma);
+
+        let report = if invoked {
+            let rep = global_redistribute_with(
+                ctx.hier,
+                ctx.sim,
+                &gain.group_loads,
+                &self.cfg.balance,
+                self.cfg.selection,
+            );
+            // Computational overhead of the redistribution: repartitioning
+            // the top-level grids, rebuilding internal data structures, and
+            // updating boundary conditions (§4.2). Charged to every
+            // processor and recorded as the next δ. A redistribution that
+            // found nothing movable costs (and records) nothing.
+            if rep.moves > 0 {
+                let level0: i64 = ctx.hier.level_cells(0);
+                let delta = level0 as f64 * self.cfg.repartition_secs_per_cell
+                    + rep.moved_cells as f64 * self.cfg.rebuild_secs_per_moved_cell;
+                charge_all(ctx.sim, delta);
+                ctx.history.record_redistribution_overhead(delta);
+            }
+            Some(rep)
+        } else {
+            None
+        };
+        self.decisions.push(GlobalDecision {
+            step,
+            gain,
+            cost: Some(cost),
+            invoked,
+            report,
+        });
+    }
+
+    /// The local phase: parallel DLB restricted to each group.
+    fn local_phase(&mut self, ctx: &mut LbContext<'_>, level: usize) {
+        let sys = ctx.sim.system().clone();
+        for g in sys.groups() {
+            if g.nprocs() < 2 {
+                continue;
+            }
+            ctx.sim
+                .allreduce_group(g.id, LOAD_MSG_BYTES, Activity::LoadBalance);
+            let procs: Vec<ProcId> = g.procs.clone();
+            let weights: Vec<f64> = procs.iter().map(|p| sys.proc(*p).weight).collect();
+            balance_level_within(
+                ctx.hier,
+                ctx.sim,
+                level,
+                &procs,
+                &weights,
+                &self.cfg.balance,
+            );
+        }
+    }
+}
+
+fn charge_all(sim: &mut NetSim, secs: f64) {
+    for p in 0..sim.system().nprocs() {
+        sim.busy(ProcId(p), secs, Activity::LoadBalance);
+    }
+}
+
+impl Default for DistributedDlb {
+    fn default() -> Self {
+        Self::new(DistributedDlbConfig::default())
+    }
+}
+
+impl LoadBalancer for DistributedDlb {
+    fn name(&self) -> &'static str {
+        "distributed DLB"
+    }
+
+    fn after_level_step(&mut self, mut ctx: LbContext<'_>, level: usize) {
+        if level == 0 {
+            self.global_phase(&mut ctx);
+            // after any global motion, even out level 0 within each group
+            self.local_phase(&mut ctx, 0);
+        } else {
+            self.local_phase(&mut ctx, level);
+        }
+    }
+
+    fn place_new_patches(
+        &mut self,
+        hier: &GridHierarchy,
+        sys: &DistributedSystem,
+        _level: usize,
+        parents: &[usize],
+        sizes: &[i64],
+    ) -> Vec<usize> {
+        // Children are placed inside their parent's group only — the
+        // mechanism that removes parent↔child remote communication.
+        let all_loads = proc_total_cells(hier, sys.nprocs());
+        let mut owners = vec![0usize; parents.len()];
+        for g in sys.groups() {
+            let idxs: Vec<usize> = (0..parents.len())
+                .filter(|&i| sys.group_of(ProcId(parents[i])) == g.id)
+                .collect();
+            if idxs.is_empty() {
+                continue;
+            }
+            let gloads: Vec<i64> = g.procs.iter().map(|p| all_loads[p.0]).collect();
+            let gweights: Vec<f64> = g.procs.iter().map(|p| sys.proc(*p).weight).collect();
+            let gsizes: Vec<i64> = idxs.iter().map(|&i| sizes[i]).collect();
+            let placed = place_batch(&gloads, &gweights, &gsizes);
+            for (k, &i) in idxs.iter().enumerate() {
+                owners[i] = g.procs[placed[k]].0;
+            }
+        }
+        owners
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::WorkloadHistory;
+    use samr_mesh::{ivec3, region};
+    use topology::link::Link;
+    use topology::{SimTime, SystemBuilder, TrafficModel};
+
+    fn wan_sys(quiet: bool) -> DistributedSystem {
+        let intra = Link::dedicated("intra", SimTime::from_micros(10), 1e9);
+        let wan = if quiet {
+            Link::dedicated("wan", SimTime::from_millis(5), 2e7)
+        } else {
+            Link::shared(
+                "wan",
+                SimTime::from_millis(5),
+                2e7,
+                TrafficModel::Constant { load: 0.98 },
+            )
+        };
+        SystemBuilder::new()
+            .group("A", 2, 1.0, intra.clone())
+            .group("B", 2, 1.0, intra)
+            .connect(0, 1, wan)
+            .build()
+    }
+
+    /// 8 level-0 grids, `na` of them on proc 0 (group A), rest on proc 2.
+    fn hier_split(na: i64) -> GridHierarchy {
+        let mut h = GridHierarchy::new(region(ivec3(0, 0, 0), ivec3(64, 8, 8)), 2, 4, 1, 1);
+        for i in 0..8 {
+            let owner = if i < na { 0 } else { 2 };
+            h.insert_patch(
+                0,
+                region(ivec3(8 * i, 0, 0), ivec3(8 * (i + 1), 8, 8)),
+                None,
+                owner,
+            );
+        }
+        h
+    }
+
+    fn history_for(h: &GridHierarchy, nprocs: usize, t: f64) -> WorkloadHistory {
+        let mut hist = WorkloadHistory::new(nprocs);
+        let loads = vec![h.level_load_by_owner(0, nprocs)];
+        hist.record_snapshot(loads, vec![1]);
+        hist.record_step_time(t);
+        hist
+    }
+
+    #[test]
+    fn invokes_global_redistribution_when_gain_justifies() {
+        let sys = wan_sys(true);
+        let mut sim = NetSim::new(sys);
+        let mut hier = hier_split(6); // A: 3072, B: 1024
+        let mut history = history_for(&hier, 4, 60.0); // one step = 60 s
+        let mut dlb = DistributedDlb::default();
+        dlb.after_level_step(
+            LbContext {
+                hier: &mut hier,
+                sim: &mut sim,
+                history: &mut history,
+            },
+            0,
+        );
+        assert_eq!(dlb.decisions.len(), 1);
+        let d = &dlb.decisions[0];
+        assert!(d.invoked, "decision {d:?}");
+        let rep = d.report.as_ref().unwrap();
+        assert!(rep.moved_cells > 0);
+        // δ recorded for the next cost evaluation
+        assert!(history.delta() > 0.0);
+        // local phase evened out within groups too
+        let loads = hier.level_load_by_owner(0, 4);
+        assert_eq!(loads[0] + loads[1] + loads[2] + loads[3], 4096);
+        assert!(loads.iter().all(|&l| l > 0), "loads {loads:?}");
+    }
+
+    #[test]
+    fn congested_wan_blocks_redistribution() {
+        // Same imbalance and step time; quiet WAN → redistribute,
+        // 98%-congested WAN → defer. This is the "adaptively choosing an
+        // appropriate action based on the current traffic" behaviour.
+        let run = |quiet: bool| {
+            let sys = wan_sys(quiet);
+            let mut sim = NetSim::new(sys);
+            let mut hier = hier_split(6);
+            let mut history = history_for(&hier, 4, 0.05);
+            let mut dlb = DistributedDlb::default();
+            dlb.after_level_step(
+                LbContext {
+                    hier: &mut hier,
+                    sim: &mut sim,
+                    history: &mut history,
+                },
+                0,
+            );
+            let d = dlb.decisions[0].clone();
+            let sys = sim.system().clone();
+            (d, crate::partition::group_level0_cells(&hier, &sys, 0))
+        };
+        let (quiet_d, _) = run(true);
+        assert!(quiet_d.invoked, "quiet WAN should redistribute: {quiet_d:?}");
+        let (busy_d, group_a_cells) = run(false);
+        assert!(!busy_d.invoked, "should defer under congestion: {busy_d:?}");
+        assert!(busy_d.cost.is_some(), "imbalance was detected, cost evaluated");
+        // group ownership at level 0 unchanged under congestion
+        assert_eq!(group_a_cells, 3072);
+    }
+
+    #[test]
+    fn balanced_load_skips_probe() {
+        let sys = wan_sys(true);
+        let mut sim = NetSim::new(sys);
+        let mut hier = hier_split(4);
+        let mut history = history_for(&hier, 4, 10.0);
+        let mut dlb = DistributedDlb::default();
+        dlb.after_level_step(
+            LbContext {
+                hier: &mut hier,
+                sim: &mut sim,
+                history: &mut history,
+            },
+            0,
+        );
+        let d = &dlb.decisions[0];
+        assert!(!d.invoked);
+        assert!(d.cost.is_none(), "no imbalance -> no probe paid");
+    }
+
+    #[test]
+    fn local_phase_never_crosses_groups() {
+        let sys = wan_sys(true);
+        let mut sim = NetSim::new(sys);
+        let mut hier = hier_split(6);
+        let mut history = history_for(&hier, 4, 10.0);
+        let mut dlb = DistributedDlb::default();
+        // fine-level step: local phase only
+        dlb.after_level_step(
+            LbContext {
+                hier: &mut hier,
+                sim: &mut sim,
+                history: &mut history,
+            },
+            1,
+        );
+        // group A still owns 6 grids' worth of cells, B 2 — but spread
+        // within each group
+        let sys = sim.system().clone();
+        assert_eq!(crate::partition::group_level0_cells(&hier, &sys, 0), 3072);
+        assert_eq!(crate::partition::group_level0_cells(&hier, &sys, 1), 1024);
+        assert_eq!(sim.stats().msgs.remote_msgs, 0, "no WAN traffic in local phase");
+        assert!(dlb.decisions.is_empty(), "no global decision at fine levels");
+    }
+
+    #[test]
+    fn placement_keeps_children_in_parent_group() {
+        let sys = wan_sys(true);
+        let hier = hier_split(4);
+        let mut dlb = DistributedDlb::default();
+        let parents = vec![0, 0, 2, 2, 0];
+        let sizes = vec![100, 200, 300, 400, 500];
+        let owners = dlb.place_new_patches(&hier, &sys, 1, &parents, &sizes);
+        for (i, &o) in owners.iter().enumerate() {
+            let pg = sys.group_of(ProcId(parents[i]));
+            let og = sys.group_of(ProcId(o));
+            assert_eq!(pg, og, "child {i} left its parent's group");
+        }
+    }
+
+    #[test]
+    fn gamma_zero_always_redistributes_on_imbalance() {
+        let sys = wan_sys(false); // even congested
+        let mut sim = NetSim::new(sys);
+        let mut hier = hier_split(6);
+        let mut history = history_for(&hier, 4, 0.5);
+        let cfg = DistributedDlbConfig {
+            gamma: 0.0,
+            ..Default::default()
+        };
+        let mut dlb = DistributedDlb::new(cfg);
+        dlb.after_level_step(
+            LbContext {
+                hier: &mut hier,
+                sim: &mut sim,
+                history: &mut history,
+            },
+            0,
+        );
+        assert!(dlb.decisions[0].invoked);
+        assert_eq!(dlb.invocations(), 1);
+    }
+
+    #[test]
+    fn single_group_global_phase_noop() {
+        let intra = Link::dedicated("intra", SimTime::from_micros(10), 1e9);
+        let sys = SystemBuilder::new().group("A", 4, 1.0, intra).build();
+        let mut sim = NetSim::new(sys);
+        let mut hier = hier_split(8);
+        let mut history = history_for(&hier, 4, 10.0);
+        let mut dlb = DistributedDlb::default();
+        dlb.after_level_step(
+            LbContext {
+                hier: &mut hier,
+                sim: &mut sim,
+                history: &mut history,
+            },
+            0,
+        );
+        assert!(dlb.decisions.is_empty());
+        // but local phase still evens out the single group
+        let loads = hier.level_load_by_owner(0, 4);
+        assert!(loads.iter().all(|&l| l == 1024), "{loads:?}");
+    }
+}
+
+#[cfg(test)]
+mod congestion_tests {
+    use super::*;
+    use crate::history::WorkloadHistory;
+    use samr_mesh::{ivec3, region};
+    use topology::link::Link;
+    use topology::{SimTime, SystemBuilder, TrafficModel};
+
+    /// WAN that is quiet until t = 100 s, then 99.5% congested.
+    fn sys_with_congestion_onset() -> DistributedSystem {
+        let intra = Link::dedicated("intra", SimTime::from_micros(10), 1e9);
+        let wan = Link::shared(
+            "wan",
+            SimTime::from_millis(5),
+            2e7,
+            TrafficModel::Trace {
+                initial: 0.0,
+                points: vec![(SimTime::from_secs(100).into(), 0.995)],
+            },
+        );
+        SystemBuilder::new()
+            .group("A", 2, 1.0, intra.clone())
+            .group("B", 2, 1.0, intra)
+            .connect(0, 1, wan)
+            .build()
+    }
+
+    fn imbalanced_hier() -> GridHierarchy {
+        let mut h = GridHierarchy::new(region(ivec3(0, 0, 0), ivec3(64, 8, 8)), 2, 4, 1, 1);
+        for i in 0..8 {
+            let owner = if i < 6 { 0 } else { 2 };
+            h.insert_patch(
+                0,
+                region(ivec3(8 * i, 0, 0), ivec3(8 * (i + 1), 8, 8)),
+                None,
+                owner,
+            );
+        }
+        h
+    }
+
+    #[test]
+    fn congestion_arriving_mid_run_flips_the_decision() {
+        let mut sim = NetSim::new(sys_with_congestion_onset());
+        let mut dlb = DistributedDlb::default();
+
+        // phase 1: quiet network, strong imbalance -> redistribute
+        let mut hier = imbalanced_hier();
+        let mut history = WorkloadHistory::new(4);
+        history.record_snapshot(vec![hier.level_load_by_owner(0, 4)], vec![1]);
+        history.record_step_time(0.05);
+        dlb.after_level_step(
+            LbContext {
+                hier: &mut hier,
+                sim: &mut sim,
+                history: &mut history,
+            },
+            0,
+        );
+        assert!(dlb.decisions[0].invoked, "quiet phase should redistribute");
+
+        // advance simulated time past the congestion onset
+        for p in 0..4 {
+            sim.busy(ProcId(p), 150.0, simnet::Activity::Compute);
+        }
+
+        // phase 2: same imbalance shape, congested WAN -> defer
+        let mut hier2 = imbalanced_hier();
+        history.record_snapshot(vec![hier2.level_load_by_owner(0, 4)], vec![1]);
+        history.record_step_time(0.05);
+        dlb.after_level_step(
+            LbContext {
+                hier: &mut hier2,
+                sim: &mut sim,
+                history: &mut history,
+            },
+            0,
+        );
+        let d = dlb.decisions.last().unwrap();
+        assert!(
+            !d.invoked,
+            "congested phase must defer: {d:?}"
+        );
+        // the probe saw the inflated beta (0.995 load clamps to the model's
+        // 0.99 ceiling: effective bandwidth 1/100th, comm cost ~8.5x here)
+        let cost = d.cost.unwrap();
+        let quiet_cost = dlb.decisions[0].cost.unwrap();
+        assert!(cost.comm_secs > quiet_cost.comm_secs * 5.0);
+    }
+}

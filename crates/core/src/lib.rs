@@ -1,0 +1,36 @@
+//! # dlb — dynamic load balancing for SAMR on distributed systems
+//!
+//! The paper's primary contribution (Lan, Taylor, Bryan — SC'01):
+//!
+//! * [`DistributedDlb`] — the proposed two-phase scheme: a **global phase**
+//!   after each level-0 step gated by the Eq.-4 gain vs. Eq.-1 cost
+//!   heuristic (`Gain > γ·Cost`), moving level-0 grids between groups
+//!   proportionally to compute power; and a **local phase** after every
+//!   finer-level step, balancing strictly within each group so children stay
+//!   with their parents.
+//! * [`ParallelDlb`] — the ICPP'01 baseline: group-blind even distribution
+//!   across all processors after every step.
+//! * [`gain`]/[`cost`] — the decision heuristics exactly as published.
+//! * [`balance`]/[`partition`] — the grid-motion machinery both schemes use.
+
+// Fixed-axis (0..3) loops indexing several parallel arrays read more
+// clearly as index loops.
+#![allow(clippy::needless_range_loop)]
+
+pub mod balance;
+pub mod cost;
+pub mod distributed;
+pub mod gain;
+pub mod history;
+pub mod parallel;
+pub mod partition;
+pub mod scheme;
+
+pub use balance::{balance_level_within, place_batch, BalanceOutcome, BalanceParams};
+pub use cost::{evaluate_cost, should_redistribute, CostEstimate};
+pub use distributed::{DistributedDlb, DistributedDlbConfig, GlobalDecision};
+pub use gain::{evaluate_gain, GainEstimate};
+pub use history::WorkloadHistory;
+pub use parallel::ParallelDlb;
+pub use partition::{decompose_domain, global_redistribute, global_redistribute_with, RedistributionReport, SelectionPolicy};
+pub use scheme::{proc_total_cells, LbContext, LoadBalancer};

@@ -1,0 +1,199 @@
+//! The **parallel DLB scheme** — the baseline the paper compares against
+//! (Lan, Taylor, Bryan, ICPP'01; summarized in §2.3).
+//!
+//! Designed for homogeneous parallel machines: after every level step it
+//! evenly and equally redistributes the level's grids across **all**
+//! processors, and it places newly created grids on the globally
+//! least-loaded processor. It is oblivious to groups, to processor weights,
+//! and to network heterogeneity or load — which is precisely why it performs
+//! poorly on distributed systems (Fig. 3): children land in other groups
+//! than their parents, so parent↔child and sibling traffic crosses the slow
+//! shared WAN, and its load-information exchange synchronizes over the WAN
+//! at every fine step.
+
+use crate::balance::{balance_level_within, place_batch, BalanceOutcome, BalanceParams};
+use crate::scheme::{proc_total_cells, LbContext, LoadBalancer};
+use samr_mesh::hierarchy::GridHierarchy;
+use simnet::Activity;
+use topology::{DistributedSystem, ProcId};
+
+/// Size in bytes of the per-processor load record exchanged before each
+/// balancing decision.
+pub const LOAD_MSG_BYTES: u64 = 64;
+
+/// The group-blind, weight-blind baseline scheme.
+#[derive(Clone, Debug)]
+pub struct ParallelDlb {
+    params: BalanceParams,
+    /// Cumulative outcome, for reports.
+    pub total: BalanceOutcome,
+}
+
+impl ParallelDlb {
+    pub fn new(params: BalanceParams) -> Self {
+        ParallelDlb {
+            params,
+            total: BalanceOutcome::default(),
+        }
+    }
+}
+
+impl Default for ParallelDlb {
+    fn default() -> Self {
+        Self::new(BalanceParams::default())
+    }
+}
+
+impl LoadBalancer for ParallelDlb {
+    fn name(&self) -> &'static str {
+        "parallel DLB"
+    }
+
+    fn after_level_step(&mut self, ctx: LbContext<'_>, level: usize) {
+        let sys = ctx.sim.system().clone();
+        let nprocs = sys.nprocs();
+        if nprocs < 2 {
+            return;
+        }
+        // Load-information exchange involves every processor — over the WAN
+        // on a distributed system, at every level step.
+        ctx.sim.allreduce_all(LOAD_MSG_BYTES, Activity::LoadBalance);
+        let procs: Vec<ProcId> = (0..nprocs).map(ProcId).collect();
+        // "evenly and equally distributed among the processors": uniform
+        // weights regardless of actual processor performance.
+        let weights = vec![1.0; nprocs];
+        let out = balance_level_within(ctx.hier, ctx.sim, level, &procs, &weights, &self.params);
+        self.total.moves += out.moves;
+        self.total.splits += out.splits;
+        self.total.moved_cells += out.moved_cells;
+        self.total.moved_bytes += out.moved_bytes;
+    }
+
+    fn place_new_patches(
+        &mut self,
+        hier: &GridHierarchy,
+        sys: &DistributedSystem,
+        _level: usize,
+        _parents: &[usize],
+        sizes: &[i64],
+    ) -> Vec<usize> {
+        // Globally least-loaded placement, parent location ignored.
+        let loads = proc_total_cells(hier, sys.nprocs());
+        let weights = vec![1.0; sys.nprocs()];
+        place_batch(&loads, &weights, sizes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::WorkloadHistory;
+    use samr_mesh::{ivec3, region};
+    use simnet::NetSim;
+    use topology::link::Link;
+    use topology::{SimTime, SystemBuilder};
+
+    fn wan_sys(na: usize, nb: usize) -> DistributedSystem {
+        let intra = Link::dedicated("intra", SimTime::from_micros(10), 1e9);
+        let wan = Link::dedicated("wan", SimTime::from_millis(10), 1e7);
+        SystemBuilder::new()
+            .group("A", na, 1.0, intra.clone())
+            .group("B", nb, 1.0, intra)
+            .connect(0, 1, wan)
+            .build()
+    }
+
+    fn hier_with_grids(n: i64, owner: usize) -> GridHierarchy {
+        let mut h = GridHierarchy::new(region(ivec3(0, 0, 0), ivec3(8 * n, 8, 8)), 2, 3, 1, 1);
+        for i in 0..n {
+            h.insert_patch(
+                0,
+                region(ivec3(8 * i, 0, 0), ivec3(8 * (i + 1), 8, 8)),
+                None,
+                owner,
+            );
+        }
+        h
+    }
+
+    #[test]
+    fn balances_across_groups_blindly() {
+        let sys = wan_sys(2, 2);
+        let mut sim = NetSim::new(sys);
+        let mut hier = hier_with_grids(8, 0);
+        let mut history = WorkloadHistory::new(4);
+        let mut dlb = ParallelDlb::default();
+        dlb.after_level_step(
+            LbContext {
+                hier: &mut hier,
+                sim: &mut sim,
+                history: &mut history,
+            },
+            0,
+        );
+        let loads = hier.level_load_by_owner(0, 4);
+        assert_eq!(loads, vec![1024; 4]);
+        // crossing the WAN for migrations + allreduce: remote messages happened
+        assert!(sim.stats().msgs.remote_msgs > 0);
+        assert!(dlb.total.moves >= 6);
+    }
+
+    #[test]
+    fn placement_ignores_parent_group() {
+        let sys = wan_sys(2, 2);
+        // all current load on group A's procs
+        let hier = hier_with_grids(4, 0);
+        let mut dlb = ParallelDlb::default();
+        // new children whose parents are all on proc 0 (group A)
+        let owners = dlb.place_new_patches(&hier, &sys, 1, &[0, 0, 0, 0], &[100, 100, 100, 100]);
+        // least-loaded placement sends them to procs 1..3, including group B
+        assert!(owners.iter().any(|&o| o >= 2), "owners {owners:?}");
+        assert!(owners.iter().all(|&o| o != 0));
+    }
+
+    #[test]
+    fn single_proc_is_noop() {
+        let intra = Link::dedicated("intra", SimTime::ZERO, 1e9);
+        let sys = SystemBuilder::new().group("A", 1, 1.0, intra).build();
+        let mut sim = NetSim::new(sys);
+        let mut hier = hier_with_grids(2, 0);
+        let mut history = WorkloadHistory::new(1);
+        let mut dlb = ParallelDlb::default();
+        dlb.after_level_step(
+            LbContext {
+                hier: &mut hier,
+                sim: &mut sim,
+                history: &mut history,
+            },
+            0,
+        );
+        assert_eq!(sim.elapsed(), SimTime::ZERO);
+        assert_eq!(dlb.total.moves, 0);
+    }
+
+    #[test]
+    fn ignores_weights_by_design() {
+        // heterogeneous system: proc 1 is 3x faster, but parallel DLB
+        // still splits work evenly
+        let intra = Link::dedicated("intra", SimTime::from_micros(5), 1e9);
+        let sys = SystemBuilder::new()
+            .group("A", 1, 1.0, intra.clone())
+            .group("B", 1, 3.0, intra)
+            .connect(0, 1, Link::dedicated("wan", SimTime::from_millis(1), 1e8))
+            .build();
+        let mut sim = NetSim::new(sys);
+        let mut hier = hier_with_grids(8, 0);
+        let mut history = WorkloadHistory::new(2);
+        let mut dlb = ParallelDlb::default();
+        dlb.after_level_step(
+            LbContext {
+                hier: &mut hier,
+                sim: &mut sim,
+                history: &mut history,
+            },
+            0,
+        );
+        let loads = hier.level_load_by_owner(0, 2);
+        assert_eq!(loads[0], loads[1], "even split despite weights");
+    }
+}

@@ -1,0 +1,593 @@
+//! Global (inter-group) redistribution of level-0 grids — §4.4 and Fig. 6 —
+//! plus the initial weighted domain decomposition.
+
+use crate::balance::BalanceParams;
+use samr_mesh::hierarchy::GridHierarchy;
+use samr_mesh::patch::PatchId;
+use samr_mesh::region::Region;
+use simnet::{Activity, NetSim};
+use topology::{DistributedSystem, GroupId, ProcId};
+
+/// How donor level-0 grids are selected for global redistribution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum SelectionPolicy {
+    /// Select/split by iteration-weighted **subtree workload** — the work
+    /// that actually follows a grid between groups. Stable (default).
+    #[default]
+    SubtreeWorkload,
+    /// Select by level-0 **cell count** (the naive literal reading of
+    /// Fig. 6). Kept as an ablation: on refinement-concentrated workloads it
+    /// moves workload-free grids and oscillates.
+    Cells,
+}
+
+/// What a global redistribution did.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RedistributionReport {
+    /// Level-0 cells moved between groups.
+    pub moved_cells: i64,
+    /// Bytes shipped across inter-group links.
+    pub moved_bytes: u64,
+    /// Number of grid migrations.
+    pub moves: usize,
+    /// Number of grid splits performed to hit the transfer amount.
+    pub splits: usize,
+    /// Net level-0 cell flow out of (+) or into (−) each group.
+    pub group_flow: Vec<i64>,
+}
+
+/// Move level-0 grids from overloaded to underloaded groups so that each
+/// group's iteration-weighted workload approaches its compute-power share
+/// `n_g·p_g / Σ n·p` (§4.4).
+///
+/// Only level-0 grids move; finer grids stay put and are rebuilt beneath
+/// their (possibly relocated) parents at the next regrid — exactly the
+/// paper's policy. For two homogeneous groups the moved amount reduces to
+/// Fig. 6's `(W_A − W_B)/(2·W_A) · W⁰_A`.
+pub fn global_redistribute(
+    hier: &mut GridHierarchy,
+    sim: &mut NetSim,
+    group_loads: &[f64],
+    params: &BalanceParams,
+) -> RedistributionReport {
+    global_redistribute_with(
+        hier,
+        sim,
+        group_loads,
+        params,
+        SelectionPolicy::SubtreeWorkload,
+    )
+}
+
+/// [`global_redistribute`] with an explicit donor-selection policy.
+pub fn global_redistribute_with(
+    hier: &mut GridHierarchy,
+    sim: &mut NetSim,
+    group_loads: &[f64],
+    params: &BalanceParams,
+    policy: SelectionPolicy,
+) -> RedistributionReport {
+    let sys = sim.system().clone();
+    let ngroups = sys.ngroups();
+    assert_eq!(group_loads.len(), ngroups);
+    let mut report = RedistributionReport {
+        group_flow: vec![0; ngroups],
+        ..Default::default()
+    };
+    if ngroups < 2 {
+        return report;
+    }
+
+    let total_load: f64 = group_loads.iter().sum();
+    let total_power: f64 = sys.total_power();
+    if total_load <= 0.0 {
+        return report;
+    }
+
+    // Iteration-weighted *subtree* workload of every level-0 grid: the work
+    // that actually follows the grid when it changes groups (its refined
+    // descendants are rebuilt beneath it at the next regrid).
+    let iter_w: Vec<f64> = (0..hier.num_levels())
+        .map(|l| (hier.refine_factor() as f64).powi(l as i32))
+        .collect();
+    let subtree = subtree_loads(hier, &iter_w);
+    // grid weight under the active selection policy
+    let grid_weight = |hier: &GridHierarchy, id: PatchId| -> f64 {
+        match policy {
+            SelectionPolicy::SubtreeWorkload => {
+                subtree.get(&id).copied().unwrap_or(0.0) + hier.patch(id).cells() as f64
+            }
+            SelectionPolicy::Cells => hier.patch(id).cells() as f64,
+        }
+    };
+
+    // Workload surplus each overloaded group must export, and each
+    // underloaded group's deficit (both in iteration-weighted cell units).
+    let mut donors: Vec<(usize, f64)> = Vec::new();
+    let mut receivers: Vec<(usize, f64)> = Vec::new();
+    for g in 0..ngroups {
+        let target = total_load * sys.group_power(GroupId(g)) / total_power;
+        let w = group_loads[g];
+        if w > target && w > 0.0 {
+            donors.push((g, w - target));
+        } else if target > w {
+            receivers.push((g, target - w));
+        }
+    }
+    if donors.is_empty() || receivers.is_empty() {
+        return report;
+    }
+
+    // Stop once the residual surplus is within a small fraction of the
+    // fair share — chasing the last few cells costs more than it gains and
+    // risks oscillation between steps.
+    let fair_share = total_load / ngroups as f64;
+    let stop = (0.04 * fair_share).max(params.min_split_cells as f64);
+    let mut moves_left = params.max_moves;
+    for (dg, mut remaining) in donors {
+        while remaining > stop && moves_left > 0 {
+            // Neediest receiver right now.
+            let Some(rix) = receivers
+                .iter()
+                .enumerate()
+                .filter(|(_, (_, d))| *d > 0.0)
+                .max_by(|a, b| a.1 .1.partial_cmp(&b.1 .1).unwrap())
+                .map(|(i, _)| i)
+            else {
+                break;
+            };
+            let rg = receivers[rix].0;
+
+            // Largest-subtree-workload grid of the donor group not
+            // overshooting the remaining surplus; else split the heaviest
+            // grid by cell fraction. The donor's last level-0 grid may be
+            // split but never moved whole (a group must keep owning part of
+            // the root domain).
+            let candidates = donor_level0_patches(hier, &sys, dg);
+            if candidates.is_empty() {
+                break;
+            }
+            let last_one = candidates.len() == 1;
+            let mut fit: Option<(PatchId, f64)> = None;
+            let mut heaviest: Option<(PatchId, f64)> = None;
+            for &(id, _) in &candidates {
+                let w = grid_weight(hier, id);
+                if w <= 0.0 {
+                    continue;
+                }
+                if !last_one && w <= remaining * 1.05 && fit.is_none_or(|(_, fw)| w > fw) {
+                    fit = Some((id, w));
+                }
+                if heaviest.is_none_or(|(_, hw)| w > hw) {
+                    heaviest = Some((id, w));
+                }
+            }
+            // A fit that covers less than half the surplus while a much
+            // heavier (splittable) grid exists means the workload is
+            // concentrated: split the heavy grid instead of shuffling
+            // featherweight ones.
+            let prefer_split = match (fit, heaviest) {
+                (Some((_, fw)), Some((hid, hw))) => {
+                    fw < remaining * 0.5
+                        && hw > remaining * 1.05
+                        && params.allow_split
+                        && hier.patch(hid).cells() >= params.min_split_cells * 2
+                }
+                _ => false,
+            };
+            let fit = if prefer_split { None } else { fit };
+            let (move_id, moved_load) = match (fit, heaviest) {
+                (Some(x), _) => x,
+                (None, Some((id, _w))) => {
+                    let cells = hier.patch(id).cells();
+                    if params.allow_split && cells >= params.min_split_cells * 2 {
+                        // cut the grid where the *workload profile* says the
+                        // desired amount lies — a cell-fraction cut would miss
+                        // when the refined region is concentrated
+                        let Some(plan) = best_workload_split(hier, id, remaining, &iter_w)
+                        else {
+                            break;
+                        };
+                        let (a, b) = hier.split_patch(id, plan.low_cells, plan.axis);
+                        report.splits += 1;
+                        let move_half = if plan.move_low { a } else { b };
+                        let wm = match policy {
+                            SelectionPolicy::SubtreeWorkload => {
+                                subtree_load_of(hier, move_half, &iter_w)
+                                    + hier.patch(move_half).cells() as f64
+                            }
+                            SelectionPolicy::Cells => hier.patch(move_half).cells() as f64,
+                        };
+                        (move_half, wm)
+                    } else {
+                        break; // nothing movable without overshooting badly
+                    }
+                }
+                (None, None) => break,
+            };
+
+            // A move that barely dents the surplus (a childless grid when a
+            // heavy subtree is what's imbalanced) is not worth the traffic
+            // or the churn; moving it cannot converge either.
+            if moved_load < stop.min(remaining * 0.02) {
+                break;
+            }
+
+            // Destination: least-loaded (level-0 cells per weight) processor
+            // of the receiving group.
+            let dst = least_loaded_proc(hier, &sys, rg);
+            let src = ProcId(hier.patch(move_id).owner);
+            let cells = hier.patch(move_id).cells();
+            let bytes = hier.patch(move_id).payload_bytes();
+            hier.set_owner(move_id, dst.0);
+            sim.send(src, dst, bytes, Activity::LoadBalance);
+
+            remaining -= moved_load;
+            moves_left -= 1;
+            report.moved_cells += cells;
+            report.moved_bytes += bytes;
+            report.moves += 1;
+            report.group_flow[dg] += cells;
+            report.group_flow[rg] -= cells;
+            receivers[rix].1 -= moved_load;
+        }
+    }
+    report
+}
+
+/// Level-0 cells owned by processors of group `g`.
+pub fn group_level0_cells(hier: &GridHierarchy, sys: &DistributedSystem, g: usize) -> i64 {
+    hier.level_ids(0)
+        .iter()
+        .map(|id| hier.patch(*id))
+        .filter(|p| sys.group_of(ProcId(p.owner)).0 == g)
+        .map(|p| p.cells())
+        .sum()
+}
+
+
+
+/// A planned workload-aware split of a level-0 grid.
+#[derive(Clone, Copy, Debug)]
+struct SplitPlan {
+    axis: usize,
+    /// Cells in the low-side half (passed to `split_patch` as `want`).
+    low_cells: i64,
+    /// Whether the low-side half is the one to migrate.
+    move_low: bool,
+}
+
+/// Find the cut (axis + plane) of grid `id` whose one-sided subtree-workload
+/// best matches `want`. Projects every descendant's iteration-weighted load
+/// onto each axis (uniform within its extent) plus the grid's own cells,
+/// then scans all cut planes. Returns `None` for grids too thin to split.
+fn best_workload_split(
+    hier: &GridHierarchy,
+    id: PatchId,
+    want: f64,
+    iter_weights: &[f64],
+) -> Option<SplitPlan> {
+    let region = hier.patch(id).region;
+    let size = region.size();
+    let r = hier.refine_factor();
+
+    // gather descendants of this level-0 grid with their loads, projected
+    // onto level-0 coordinates
+    let mut desc: Vec<(Region, f64)> = Vec::new();
+    for l in 1..hier.num_levels() {
+        let w = iter_weights.get(l).copied().unwrap_or(1.0);
+        for &cid in hier.level_ids(l) {
+            let mut cur = cid;
+            while let Some(par) = hier.patch(cur).parent {
+                cur = par;
+            }
+            if cur != id {
+                continue;
+            }
+            let p = hier.patch(cid);
+            let mut creg = p.region;
+            for _ in 0..l {
+                creg = creg.coarsen(r);
+            }
+            desc.push((creg, p.cells() as f64 * w));
+        }
+    }
+
+    let mut best: Option<(f64, SplitPlan)> = None; // (abs error, plan)
+    for axis in 0..3 {
+        let extent = size[axis];
+        if extent < 2 {
+            continue;
+        }
+        // per-plane workload profile along this axis
+        let own_per_plane = region.cells() as f64 / extent as f64;
+        let mut profile = vec![own_per_plane; extent as usize];
+        for (creg, load) in &desc {
+            let lo = (creg.lo[axis].max(region.lo[axis]) - region.lo[axis]) as usize;
+            let hi = (creg.hi[axis].min(region.hi[axis]) - region.lo[axis]).max(0) as usize;
+            if hi <= lo {
+                continue;
+            }
+            let per = load / (hi - lo) as f64;
+            for v in profile.iter_mut().take(hi).skip(lo) {
+                *v += per;
+            }
+        }
+        let total: f64 = profile.iter().sum();
+        let mut cum = 0.0;
+        for cut in 1..extent {
+            cum += profile[(cut - 1) as usize];
+            for (side_load, move_low) in [(cum, true), (total - cum, false)] {
+                let err = (side_load - want).abs();
+                if best.is_none_or(|(be, _)| err < be) {
+                    let plane_cells = region.cells() / extent;
+                    best = Some((
+                        err,
+                        SplitPlan {
+                            axis,
+                            low_cells: cut * plane_cells,
+                            move_low,
+                        },
+                    ));
+                }
+            }
+        }
+    }
+    best.map(|(_, plan)| plan)
+}
+
+/// Iteration-weighted subtree workload (descendants only) of every level-0
+/// grid: `Σ_descendants cells · iter_weight(level)`.
+pub fn subtree_loads(
+    hier: &GridHierarchy,
+    iter_weights: &[f64],
+) -> std::collections::BTreeMap<PatchId, f64> {
+    let mut acc: std::collections::BTreeMap<PatchId, f64> = hier
+        .level_ids(0)
+        .iter()
+        .map(|&id| (id, 0.0))
+        .collect();
+    // map every patch to its level-0 ancestor
+    for l in 1..hier.num_levels() {
+        for &id in hier.level_ids(l) {
+            let mut cur = id;
+            while let Some(par) = hier.patch(cur).parent {
+                cur = par;
+            }
+            let w = iter_weights.get(l).copied().unwrap_or(1.0);
+            *acc.entry(cur).or_default() += hier.patch(id).cells() as f64 * w;
+        }
+    }
+    acc
+}
+
+/// Subtree workload (descendants only) of one level-0 grid.
+pub fn subtree_load_of(hier: &GridHierarchy, root: PatchId, iter_weights: &[f64]) -> f64 {
+    let mut total = 0.0;
+    for l in 1..hier.num_levels() {
+        for &id in hier.level_ids(l) {
+            let mut cur = id;
+            while let Some(par) = hier.patch(cur).parent {
+                cur = par;
+            }
+            if cur == root {
+                let w = iter_weights.get(l).copied().unwrap_or(1.0);
+                total += hier.patch(id).cells() as f64 * w;
+            }
+        }
+    }
+    total
+}
+
+fn donor_level0_patches(
+    hier: &GridHierarchy,
+    sys: &DistributedSystem,
+    g: usize,
+) -> Vec<(PatchId, i64)> {
+    hier.level_ids(0)
+        .iter()
+        .map(|&id| (id, hier.patch(id)))
+        .filter(|(_, p)| sys.group_of(ProcId(p.owner)).0 == g)
+        .map(|(id, p)| (id, p.cells()))
+        .collect()
+}
+
+fn least_loaded_proc(hier: &GridHierarchy, sys: &DistributedSystem, g: usize) -> ProcId {
+    let loads = hier.level_load_by_owner(0, sys.nprocs());
+    *sys.procs_in(GroupId(g))
+        .iter()
+        .min_by(|a, b| {
+            let la = loads[a.0] as f64 / sys.proc(**a).weight;
+            let lb = loads[b.0] as f64 / sys.proc(**b).weight;
+            la.partial_cmp(&lb).unwrap()
+        })
+        .expect("empty group")
+}
+
+/// Initial static decomposition: slice `domain` into one slab per processor
+/// along its longest axis, slab sizes proportional to `shares`. Returns
+/// `(region, share_index)` pairs covering the domain exactly.
+pub fn decompose_domain(domain: Region, shares: &[f64]) -> Vec<(Region, usize)> {
+    assert!(!shares.is_empty());
+    let total: f64 = shares.iter().sum();
+    assert!(total > 0.0);
+    let axis = domain.size().longest_axis();
+    let mut out = Vec::with_capacity(shares.len());
+    let mut rest = domain;
+    for (i, &s) in shares.iter().enumerate() {
+        if i + 1 == shares.len() {
+            if !rest.is_empty() {
+                out.push((rest, i));
+            }
+            break;
+        }
+        let remaining_share: f64 = shares[i..].iter().sum();
+        let want = (rest.cells() as f64 * s / remaining_share).round() as i64;
+        let (slab, r) = rest.split_cells(want.max(1), axis);
+        if !slab.is_empty() {
+            out.push((slab, i));
+        }
+        rest = r;
+        if rest.is_empty() {
+            break;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use samr_mesh::{ivec3, region};
+    use topology::link::Link;
+    use topology::{SimTime, SystemBuilder};
+
+    fn wan_sys(na: usize, nb: usize, wb: f64) -> DistributedSystem {
+        let intra = Link::dedicated("intra", SimTime::from_micros(10), 1e9);
+        let wan = Link::dedicated("wan", SimTime::from_millis(10), 1e7);
+        SystemBuilder::new()
+            .group("A", na, 1.0, intra.clone())
+            .group("B", nb, wb, intra)
+            .connect(0, 1, wan)
+            .build()
+    }
+
+    /// 8 level-0 grids of 512 cells each, split between first procs of the
+    /// two groups.
+    fn hier_split(owner_a: usize, owner_b: usize, na: i64) -> GridHierarchy {
+        let mut h = GridHierarchy::new(region(ivec3(0, 0, 0), ivec3(64, 8, 8)), 2, 3, 1, 1);
+        for i in 0..8 {
+            let owner = if i < na { owner_a } else { owner_b };
+            h.insert_patch(
+                0,
+                region(ivec3(8 * i, 0, 0), ivec3(8 * (i + 1), 8, 8)),
+                None,
+                owner,
+            );
+        }
+        h
+    }
+
+    #[test]
+    fn fig6_two_group_amount() {
+        // Group A holds 6 grids (3072 cells of workload), B holds 2 (1024).
+        // Fig. 6: move (W_A−W_B)/(2·W_A) · W⁰_A
+        //       = 2048/6144 · 3072 = 1024 cells (two 512-cell grids).
+        let sys = wan_sys(2, 2, 1.0);
+        let mut sim = NetSim::new(sys);
+        let mut hier = hier_split(0, 2, 6);
+        let loads = [3072.0, 1024.0];
+        let rep = global_redistribute(
+            &mut hier,
+            &mut sim,
+            &loads,
+            &BalanceParams::default(),
+        );
+        assert_eq!(rep.moved_cells, 1024, "{rep:?}");
+        assert_eq!(rep.moves, 2);
+        assert_eq!(rep.group_flow, vec![1024, -1024]);
+        // groups end holding equal level-0 cells
+        let sys = sim.system().clone();
+        assert_eq!(group_level0_cells(&hier, &sys, 0), 2048);
+        assert_eq!(group_level0_cells(&hier, &sys, 1), 2048);
+        // remote migration traffic happened
+        assert_eq!(sim.stats().msgs.remote_msgs, 2);
+        assert!(hier.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn balanced_loads_no_motion() {
+        let sys = wan_sys(2, 2, 1.0);
+        let mut sim = NetSim::new(sys);
+        let mut hier = hier_split(0, 2, 4);
+        let rep = global_redistribute(
+            &mut hier,
+            &mut sim,
+            &[2048.0, 2048.0],
+            &BalanceParams::default(),
+        );
+        assert_eq!(rep.moved_cells, 0);
+        assert_eq!(sim.elapsed(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn heterogeneous_target_respects_power() {
+        // Group B is 3x faster per proc: with equal loads, A (power 2) vs B
+        // (power 6) ⇒ A's target = total/4 ⇒ A must export half its cells.
+        let sys = wan_sys(2, 2, 3.0);
+        let mut sim = NetSim::new(sys);
+        let mut hier = hier_split(0, 2, 4);
+        let rep = global_redistribute(
+            &mut hier,
+            &mut sim,
+            &[2048.0, 2048.0],
+            &BalanceParams::default(),
+        );
+        assert!(
+            (rep.moved_cells - 1024).abs() <= 64,
+            "expected ≈1024 cells moved, got {}",
+            rep.moved_cells
+        );
+        assert!(rep.group_flow[0] > 0 && rep.group_flow[1] < 0);
+    }
+
+    #[test]
+    fn splits_when_grids_are_chunky() {
+        // One giant grid holds all of A's cells; moving 1/4 of the workload
+        // requires splitting it.
+        let sys = wan_sys(2, 2, 1.0);
+        let mut sim = NetSim::new(sys);
+        let mut hier = GridHierarchy::new(region(ivec3(0, 0, 0), ivec3(64, 8, 8)), 2, 3, 1, 1);
+        hier.insert_patch(0, region(ivec3(0, 0, 0), ivec3(32, 8, 8)), None, 0);
+        hier.insert_patch(0, region(ivec3(32, 0, 0), ivec3(64, 8, 8)), None, 2);
+        // A overloaded 3:1 in workload
+        let rep = global_redistribute(
+            &mut hier,
+            &mut sim,
+            &[3000.0, 1000.0],
+            &BalanceParams::default(),
+        );
+        assert!(rep.splits >= 1, "{rep:?}");
+        assert!(rep.moved_cells > 0);
+        assert!(hier.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn single_group_noop() {
+        let intra = Link::dedicated("intra", SimTime::ZERO, 1e9);
+        let sys = SystemBuilder::new().group("A", 4, 1.0, intra).build();
+        let mut sim = NetSim::new(sys);
+        let mut hier = hier_split(0, 1, 4);
+        let rep =
+            global_redistribute(&mut hier, &mut sim, &[4096.0], &BalanceParams::default());
+        assert_eq!(rep, RedistributionReport {
+            group_flow: vec![0],
+            ..Default::default()
+        });
+    }
+
+    #[test]
+    fn decompose_domain_covers_exactly() {
+        let domain = Region::cube(16);
+        let parts = decompose_domain(domain, &[1.0, 1.0, 1.0, 1.0]);
+        assert_eq!(parts.len(), 4);
+        let total: i64 = parts.iter().map(|(r, _)| r.cells()).sum();
+        assert_eq!(total, domain.cells());
+        for (i, (a, _)) in parts.iter().enumerate() {
+            for (b, _) in &parts[i + 1..] {
+                assert!(!a.overlaps(b));
+            }
+        }
+        // equal shares -> equal slabs
+        assert!(parts.iter().all(|(r, _)| r.cells() == 1024));
+    }
+
+    #[test]
+    fn decompose_domain_weighted() {
+        let domain = Region::cube(16);
+        let parts = decompose_domain(domain, &[1.0, 3.0]);
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0].0.cells(), 1024);
+        assert_eq!(parts[1].0.cells(), 3072);
+    }
+}

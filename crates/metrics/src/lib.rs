@@ -1,0 +1,12 @@
+//! # metrics — measurements and reporting for the experiments
+//!
+//! Implements the paper's §5 metrics (efficiency `E(1)/(E·P)`, relative
+//! improvement) and the row/table formatting used by the figure harnesses.
+
+pub mod efficiency;
+pub mod report;
+pub mod stats;
+
+pub use efficiency::{efficiency, improvement_percent, speedup};
+pub use stats::{geometric_mean, slope, summarize, Summary};
+pub use report::{ConfigRow, RunBreakdown, Table};

@@ -1,0 +1,183 @@
+//! Experiment rows and table rendering used by the figure harnesses.
+
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// Time breakdown of one run (seconds of simulated time).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunBreakdown {
+    /// Total (wall) execution time.
+    pub total: f64,
+    /// Max-over-processors compute time.
+    pub compute: f64,
+    /// Max-over-processors communication time (local + remote).
+    pub comm: f64,
+    /// Mean local-communication seconds.
+    pub comm_local: f64,
+    /// Mean remote-communication seconds.
+    pub comm_remote: f64,
+    /// Mean load-balance overhead seconds.
+    pub lb: f64,
+    /// Remote messages sent.
+    pub remote_msgs: u64,
+    /// Remote bytes shipped.
+    pub remote_bytes: u64,
+}
+
+/// One configuration row of a figure (e.g. "4 + 4").
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ConfigRow {
+    /// Label like "4+4" or "8".
+    pub config: String,
+    /// Named measurements, insertion-ordered (e.g. scheme → seconds).
+    pub values: Vec<(String, f64)>,
+}
+
+impl ConfigRow {
+    pub fn new(config: impl Into<String>) -> Self {
+        ConfigRow {
+            config: config.into(),
+            values: Vec::new(),
+        }
+    }
+
+    pub fn push(&mut self, name: impl Into<String>, value: f64) -> &mut Self {
+        self.values.push((name.into(), value));
+        self
+    }
+
+    /// Value by series name.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.values
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+}
+
+/// A whole figure/table: rows of configurations × named series.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Table {
+    pub title: String,
+    pub rows: Vec<ConfigRow>,
+}
+
+impl Table {
+    pub fn new(title: impl Into<String>) -> Self {
+        Table {
+            title: title.into(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn push(&mut self, row: ConfigRow) {
+        self.rows.push(row);
+    }
+
+    /// Series names in first-appearance order.
+    pub fn series(&self) -> Vec<String> {
+        let mut names = Vec::new();
+        for r in &self.rows {
+            for (n, _) in &r.values {
+                if !names.contains(n) {
+                    names.push(n.clone());
+                }
+            }
+        }
+        names
+    }
+
+    /// Column of one series, ordered by rows (NaN where absent).
+    pub fn column(&self, name: &str) -> Vec<f64> {
+        self.rows
+            .iter()
+            .map(|r| r.get(name).unwrap_or(f64::NAN))
+            .collect()
+    }
+
+    /// Render as an aligned text table (column widths fit the headers).
+    pub fn render(&self) -> String {
+        let series = self.series();
+        let widths: Vec<usize> = series.iter().map(|s| s.len().max(10) + 2).collect();
+        let cfg_w = self
+            .rows
+            .iter()
+            .map(|r| r.config.len())
+            .max()
+            .unwrap_or(6)
+            .max(6)
+            + 2;
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let _ = write!(out, "{:<cfg_w$}", "config");
+        for (s, w) in series.iter().zip(&widths) {
+            let _ = write!(out, "{s:>w$}", w = *w);
+        }
+        let _ = writeln!(out);
+        for r in &self.rows {
+            let _ = write!(out, "{:<cfg_w$}", r.config);
+            for (s, w) in series.iter().zip(&widths) {
+                match r.get(s) {
+                    Some(v) => {
+                        let _ = write!(out, "{v:>w$.3}", w = *w);
+                    }
+                    None => {
+                        let _ = write!(out, "{:>w$}", "-", w = *w);
+                    }
+                }
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// JSON serialization for machine consumption.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("table serializes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("Fig. 7 (AMR64)");
+        let mut r = ConfigRow::new("2+2");
+        r.push("parallel DLB", 100.0);
+        r.push("distributed DLB", 80.0);
+        t.push(r);
+        let mut r = ConfigRow::new("4+4");
+        r.push("parallel DLB", 70.0);
+        r.push("distributed DLB", 40.0);
+        t.push(r);
+        t
+    }
+
+    #[test]
+    fn series_and_columns() {
+        let t = sample();
+        assert_eq!(t.series(), vec!["parallel DLB", "distributed DLB"]);
+        assert_eq!(t.column("parallel DLB"), vec![100.0, 70.0]);
+        assert_eq!(t.rows[1].get("distributed DLB"), Some(40.0));
+        assert!(t.column("missing")[0].is_nan());
+    }
+
+    #[test]
+    fn render_contains_everything() {
+        let s = sample().render();
+        assert!(s.contains("Fig. 7"));
+        assert!(s.contains("2+2"));
+        assert!(s.contains("parallel DLB"));
+        assert!(s.contains("40.000"));
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let t = sample();
+        let j = t.to_json();
+        let back: Table = serde_json::from_str(&j).unwrap();
+        assert_eq!(back.rows.len(), 2);
+        assert_eq!(back.rows[0].get("parallel DLB"), Some(100.0));
+    }
+}

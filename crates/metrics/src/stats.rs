@@ -1,0 +1,110 @@
+//! Small summary-statistics helpers for experiment post-processing.
+
+/// Summary of a sample: count, mean, standard deviation, min, max, median.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    pub n: usize,
+    pub mean: f64,
+    pub stddev: f64,
+    pub min: f64,
+    pub max: f64,
+    pub median: f64,
+}
+
+/// Compute a [`Summary`] of `xs` (panics on empty input).
+pub fn summarize(xs: &[f64]) -> Summary {
+    assert!(!xs.is_empty(), "summarize of empty sample");
+    let n = xs.len();
+    let mean = xs.iter().sum::<f64>() / n as f64;
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+    let median = if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
+    };
+    Summary {
+        n,
+        mean,
+        stddev: var.sqrt(),
+        min: sorted[0],
+        max: sorted[n - 1],
+        median,
+    }
+}
+
+/// Geometric mean (all inputs must be positive) — the right average for
+/// ratios such as speedups.
+pub fn geometric_mean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty());
+    assert!(xs.iter().all(|&x| x > 0.0), "geometric mean needs positives");
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// Linear-regression slope of `ys` against `xs` (least squares).
+pub fn slope(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len());
+    assert!(xs.len() >= 2);
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let cov: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    let var: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
+    assert!(var > 0.0, "degenerate x values");
+    cov / var
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = summarize(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.n, 8);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.stddev - 2.0).abs() < 1e-12); // classic textbook sample
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert!((s.median - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_odd_sample() {
+        let s = summarize(&[3.0, 1.0, 2.0]);
+        assert_eq!(s.median, 2.0);
+    }
+
+    #[test]
+    fn single_element() {
+        let s = summarize(&[7.0]);
+        assert_eq!(s.mean, 7.0);
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!(s.median, 7.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_panics() {
+        let _ = summarize(&[]);
+    }
+
+    #[test]
+    fn geometric_mean_of_ratios() {
+        assert!((geometric_mean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!((geometric_mean(&[1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+        // gm <= am
+        assert!(geometric_mean(&[1.0, 9.0]) < 5.0);
+    }
+
+    #[test]
+    fn slope_of_line() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [3.0, 5.0, 7.0, 9.0];
+        assert!((slope(&xs, &ys) - 2.0).abs() < 1e-12);
+        // noisy flat data has ~zero slope
+        let ys = [5.0, 5.1, 4.9, 5.0];
+        assert!(slope(&xs, &ys).abs() < 0.1);
+    }
+}

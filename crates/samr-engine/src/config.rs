@@ -1,0 +1,122 @@
+//! Run configuration and result types.
+
+use crate::app::AppKind;
+use crate::scheme::Scheme;
+use metrics::RunBreakdown;
+use serde::Serialize;
+
+/// Parameters of one simulated SAMR run.
+#[derive(Clone, Debug)]
+pub struct RunConfig {
+    /// Workload.
+    pub app: AppKind,
+    /// Level-0 domain cells per side.
+    pub n0: i64,
+    /// Maximum refinement levels (root included). The paper's Fig. 1 shows 4.
+    pub max_levels: usize,
+    /// Refinement factor between levels (paper uses 2).
+    pub refine_factor: i64,
+    /// Number of level-0 timesteps to run.
+    pub steps: usize,
+    /// The DLB scheme driving the run.
+    pub scheme: Scheme,
+    /// RNG seed for initial conditions (and, via the topology presets, for
+    /// background traffic).
+    pub seed: u64,
+    /// Regrid a level every this many of its steps.
+    pub regrid_interval: usize,
+    /// Flag-buffer width in cells.
+    pub flag_buffer: usize,
+    /// Largest allowed cells per created subgrid (keeps grids movable).
+    pub max_box_cells: i64,
+    /// Override of the application's per-cell-update compute cost (seconds
+    /// on a weight-1.0 processor). `None` uses the app default. This is the
+    /// calibration knob for the compute/communication ratio of the modeled
+    /// testbed.
+    pub cost_per_cell: Option<f64>,
+}
+
+impl RunConfig {
+    /// Sensible defaults for `app` at domain size `n0`: 4 levels, r = 2,
+    /// regrid every step, one-cell flag buffer.
+    pub fn new(app: AppKind, n0: i64, steps: usize, scheme: Scheme) -> Self {
+        RunConfig {
+            app,
+            n0,
+            max_levels: 4,
+            refine_factor: 2,
+            steps,
+            scheme,
+            seed: 42,
+            regrid_interval: 1,
+            flag_buffer: 1,
+            max_box_cells: (n0 * n0 * n0 / 8).max(512),
+            cost_per_cell: None,
+        }
+    }
+}
+
+/// Outcome of one run (all times are simulated seconds).
+#[derive(Clone, Debug, Serialize)]
+pub struct RunResult {
+    /// Scheme name ("parallel DLB", "distributed DLB", "static").
+    pub scheme: String,
+    /// System description (e.g. "ANL(4) + NCSA(4) over MREN OC-3").
+    pub system: String,
+    /// Workload.
+    pub app: AppKind,
+    /// Total execution time.
+    pub total_secs: f64,
+    /// Where the time went.
+    pub breakdown: RunBreakdown,
+    /// Level-0 steps executed.
+    pub steps: usize,
+    /// Levels present at the end.
+    pub levels: usize,
+    /// Grids present at the end.
+    pub final_patches: usize,
+    /// Total cell updates executed (workload size; equal across schemes for
+    /// the same app/seed when adaptation follows the same physics).
+    pub cell_updates: u64,
+    /// Global-phase decisions evaluated (distributed scheme).
+    pub global_checks: usize,
+    /// Global redistributions actually invoked.
+    pub global_redistributions: usize,
+    /// Per-level-0-step global decision log (distributed scheme only).
+    pub decisions: Vec<DecisionSummary>,
+}
+
+/// Serializable summary of one global-phase decision.
+#[derive(Clone, Debug, Serialize)]
+pub struct DecisionSummary {
+    pub step: u64,
+    /// Eq.-4 gain estimate, seconds.
+    pub gain_secs: f64,
+    /// Eq.-1 cost estimate, seconds (absent when no imbalance detected).
+    pub cost_secs: Option<f64>,
+    /// Power-normalized group imbalance ratio.
+    pub imbalance: f64,
+    pub invoked: bool,
+    /// Level-0 cells moved (when invoked).
+    pub moved_cells: i64,
+    /// Iteration-weighted workload per group at decision time.
+    pub group_loads: Vec<f64>,
+}
+
+impl RunResult {
+    /// One-line summary for logs.
+    pub fn summary(&self) -> String {
+        format!(
+            "{:<16} {:<36} total {:>9.2}s  (compute {:>8.2}s, comm {:>8.2}s, lb {:>7.2}s)  grids {:>4}  redist {}/{}",
+            self.scheme,
+            self.system,
+            self.total_secs,
+            self.breakdown.compute,
+            self.breakdown.comm,
+            self.breakdown.lb,
+            self.final_patches,
+            self.global_redistributions,
+            self.global_checks,
+        )
+    }
+}

@@ -1,0 +1,595 @@
+//! The SAMR driver: recursive sub-cycled integration (Fig. 2 of the paper)
+//! with ghost exchange, regridding, restriction, workload accounting, and
+//! the DLB hook points of Fig. 4/5 — all on simulated time.
+//!
+//! Real numerics run on the patch data (so refinement follows the physics);
+//! *timing* is charged to the [`NetSim`] according to grid ownership: solver
+//! work to the owning processor, boundary windows and migrations as messages
+//! over the links between owners.
+
+use crate::app::AppState;
+use crate::config::{RunConfig, RunResult};
+use crate::scheme::SchemeInstance;
+use crate::trace::{RunTrace, StepRecord};
+use dlb::{decompose_domain, LbContext, WorkloadHistory};
+use rayon::prelude::*;
+use samr_mesh::cluster::{berger_rigoutsos, ClusterParams};
+use samr_mesh::field::Field3;
+use samr_mesh::hierarchy::GridHierarchy;
+use samr_mesh::interp::{prolong_constant, restrict_average};
+use samr_mesh::patch::PatchId;
+use samr_mesh::region::Region;
+use simnet::NetSim;
+use topology::{DistributedSystem, ProcId, SimTime};
+
+/// Snapshot of a retired patch's data, used to seed re-created fine grids.
+#[derive(Clone, Debug)]
+struct OldPatch {
+    region: Region,
+    owner: usize,
+    fields: Vec<Field3>,
+}
+
+/// The SAMR execution driver.
+pub struct Driver {
+    cfg: RunConfig,
+    app: AppState,
+    sim: NetSim,
+    hier: GridHierarchy,
+    history: WorkloadHistory,
+    scheme: SchemeInstance,
+    /// Steps completed per level (drives regrid cadence).
+    step_count: Vec<u64>,
+    /// Stashed data of cleared fine levels, by level.
+    old_data: Vec<Vec<OldPatch>>,
+    /// Total cell updates executed (the workload measure).
+    cell_updates: u64,
+    /// Per-step trace.
+    trace: RunTrace,
+}
+
+impl Driver {
+    /// Build a driver: decompose the level-0 domain over the processors
+    /// (proportional to their weights), initialize the application fields,
+    /// and construct the initial refinement hierarchy.
+    pub fn new(sys: DistributedSystem, cfg: RunConfig) -> Driver {
+        let app = AppState::new(cfg.app, cfg.n0, cfg.seed);
+        let domain = Region::cube(cfg.n0);
+        let mut hier = GridHierarchy::new(
+            domain,
+            cfg.refine_factor,
+            cfg.max_levels,
+            app.nfields(),
+            app.ghost(),
+        );
+        // initial decomposition: one slab per processor, weighted
+        let shares: Vec<f64> = sys.procs().iter().map(|p| p.weight).collect();
+        for (region, proc_ix) in decompose_domain(domain, &shares) {
+            let id = hier.insert_patch(0, region, None, proc_ix);
+            app.init_patch(hier.patch_mut(id));
+        }
+        let nprocs = sys.nprocs();
+        let mut d = Driver {
+            cfg,
+            app,
+            sim: NetSim::new(sys),
+            hier,
+            history: WorkloadHistory::new(nprocs),
+            scheme: SchemeInstance::Static, // replaced in run()
+            step_count: Vec::new(),
+            old_data: Vec::new(),
+            cell_updates: 0,
+            trace: RunTrace::default(),
+        };
+        d.scheme = d.cfg.scheme.instantiate();
+        d.step_count = vec![0; d.cfg.max_levels];
+        d.old_data = vec![Vec::new(); d.cfg.max_levels];
+        // build the initial hierarchy: regrid cascade, no timing charged
+        // (setup happens before the measured run on all schemes equally)
+        for l in 0..d.cfg.max_levels - 1 {
+            if d.hier.level_ids(l).is_empty() {
+                break;
+            }
+            d.exchange_ghosts(l);
+            d.regrid(l);
+        }
+        d
+    }
+
+    /// The simulated system.
+    pub fn system(&self) -> &DistributedSystem {
+        self.sim.system()
+    }
+
+    /// The hierarchy (for inspection/tests).
+    pub fn hierarchy(&self) -> &GridHierarchy {
+        &self.hier
+    }
+
+    /// The simulator (for inspection/tests).
+    pub fn sim(&self) -> &NetSim {
+        &self.sim
+    }
+
+    /// Decision log of the distributed scheme (empty otherwise).
+    pub fn decisions(&self) -> &[dlb::GlobalDecision] {
+        self.scheme.decisions()
+    }
+
+    /// The workload-history records feeding the DLB heuristics.
+    pub fn history(&self) -> &WorkloadHistory {
+        &self.history
+    }
+
+    /// Per-step trace of the run so far.
+    pub fn trace(&self) -> &RunTrace {
+        &self.trace
+    }
+
+    /// The application state (particles, wells, criteria).
+    pub fn app(&self) -> &AppState {
+        &self.app
+    }
+
+    /// Steps completed per level.
+    pub fn step_counts(&self) -> &[u64] {
+        &self.step_count
+    }
+
+    /// Cell updates executed so far.
+    pub fn cell_updates_so_far(&self) -> u64 {
+        self.cell_updates
+    }
+
+    /// Assemble a driver from restored parts (checkpoint resume). The
+    /// hierarchy is taken as-is — no initial decomposition or regrid cascade
+    /// runs, and simulated time starts at zero.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        sys: DistributedSystem,
+        cfg: RunConfig,
+        app: AppState,
+        hier: GridHierarchy,
+        history: WorkloadHistory,
+        step_count: Vec<u64>,
+        cell_updates: u64,
+    ) -> Driver {
+        let mut d = Driver {
+            scheme: cfg.scheme.instantiate(),
+            cfg,
+            app,
+            sim: NetSim::new(sys),
+            hier,
+            history,
+            step_count,
+            old_data: Vec::new(),
+            cell_updates,
+            trace: RunTrace::default(),
+        };
+        d.old_data = vec![Vec::new(); d.cfg.max_levels];
+        d.step_count.resize(d.cfg.max_levels, 0);
+        d
+    }
+
+    /// Execute `cfg.steps` level-0 timesteps and report. Setup (initial
+    /// decomposition and hierarchy construction) is excluded from the
+    /// measured time — identically for every scheme.
+    pub fn run(mut self) -> RunResult {
+        self.sim.reset();
+        for _ in 0..self.cfg.steps {
+            self.step_once();
+        }
+        self.finish()
+    }
+
+    /// Advance one level-0 timestep (with all its sub-cycled fine steps and
+    /// balancing). Useful for inspecting the hierarchy/decisions mid-run;
+    /// callers driving steps manually should `sim` inspect between calls and
+    /// end with [`Driver::finish`].
+    pub fn step_once(&mut self) {
+        let t0 = self.sim.barrier_all();
+        let redists_before = self
+            .scheme
+            .decisions()
+            .iter()
+            .filter(|d| d.invoked)
+            .count();
+        self.advance_level(0);
+        let t1 = self.sim.barrier_all();
+        self.history.record_step_time((t1 - t0).as_secs_f64());
+
+        // trace record
+        let nlevels = self.hier.num_levels();
+        let sys = self.sim.system();
+        let mut group_workload = vec![0f64; sys.ngroups()];
+        for p in self.hier.iter() {
+            let w = (self.cfg.refine_factor as f64).powi(p.level as i32);
+            group_workload[sys.group_of(ProcId(p.owner)).0] += p.cells() as f64 * w;
+        }
+        let redists_after = self
+            .scheme
+            .decisions()
+            .iter()
+            .filter(|d| d.invoked)
+            .count();
+        self.trace.push(StepRecord {
+            step: self.step_count[0].saturating_sub(1),
+            step_secs: (t1 - t0).as_secs_f64(),
+            elapsed_secs: t1.as_secs_f64(),
+            grids_per_level: (0..nlevels).map(|l| self.hier.level_ids(l).len()).collect(),
+            cells_per_level: (0..nlevels).map(|l| self.hier.level_cells(l)).collect(),
+            group_workload,
+            redistributed: redists_after > redists_before,
+        });
+    }
+
+    /// Synchronize trailing work and produce the run report.
+    pub fn finish(mut self) -> RunResult {
+        let total = self.sim.finish();
+        self.into_result(total)
+    }
+
+    fn into_result(self, total: SimTime) -> RunResult {
+        let stats = self.sim.stats();
+        let sys = self.sim.system();
+        let breakdown = metrics::RunBreakdown {
+            total: total.as_secs_f64(),
+            compute: stats.max_compute().as_secs_f64(),
+            comm: stats.max_comm().as_secs_f64(),
+            comm_local: stats
+                .procs
+                .iter()
+                .map(|p| p.local_comm.as_secs_f64())
+                .sum::<f64>()
+                / sys.nprocs() as f64,
+            comm_remote: stats
+                .procs
+                .iter()
+                .map(|p| p.remote_comm.as_secs_f64())
+                .sum::<f64>()
+                / sys.nprocs() as f64,
+            lb: stats.mean_lb_secs(),
+            remote_msgs: stats.msgs.remote_msgs,
+            remote_bytes: stats.msgs.remote_bytes,
+        };
+        let decisions = self.scheme.decisions();
+        RunResult {
+            scheme: self.scheme.name().to_string(),
+            system: sys.describe(),
+            app: self.cfg.app,
+            total_secs: total.as_secs_f64(),
+            breakdown,
+            steps: self.cfg.steps,
+            levels: self.hier.num_levels(),
+            final_patches: self.hier.num_patches(),
+            cell_updates: self.cell_updates,
+            global_checks: decisions.len(),
+            global_redistributions: decisions.iter().filter(|d| d.invoked).count(),
+            decisions: decisions
+                .iter()
+                .map(|d| crate::config::DecisionSummary {
+                    step: d.step,
+                    gain_secs: d.gain.gain_secs,
+                    cost_secs: d.cost.map(|c| c.total_secs()),
+                    imbalance: d.gain.imbalance_ratio,
+                    invoked: d.invoked,
+                    moved_cells: d.report.as_ref().map(|r| r.moved_cells).unwrap_or(0),
+                    group_loads: d.gain.group_loads.clone(),
+                })
+                .collect(),
+        }
+    }
+
+    /// One timestep at `level` (Fig. 4 flow): exchange ghosts, solve, regrid
+    /// the next finer level, recurse `r` sub-steps into it, restrict, then
+    /// hand control to the load balancer.
+    fn advance_level(&mut self, level: usize) {
+        self.exchange_ghosts(level);
+        self.solve_level(level);
+        if level == 0 {
+            let dt0 = self.app.dt_over_dx0(); // dx0 = 1
+            self.app.post_level0_step(dt0, self.hier.domain());
+        }
+
+        // regrid: rebuild level+1 from this level's flags
+        let may_refine = level + 1 < self.cfg.max_levels;
+        if may_refine && self.step_count[level].is_multiple_of(self.cfg.regrid_interval as u64) {
+            self.regrid(level);
+        }
+
+        // sub-cycle the finer level
+        if !self.hier.level_ids(level + 1).is_empty() {
+            for _ in 0..self.cfg.refine_factor {
+                self.advance_level(level + 1);
+            }
+            self.restrict_level(level + 1);
+        }
+
+        // workload records must be fresh before the level-0 decision
+        if level == 0 {
+            self.update_history_snapshot();
+        }
+        let ctx = LbContext {
+            hier: &mut self.hier,
+            sim: &mut self.sim,
+            history: &mut self.history,
+        };
+        self.scheme.after_level_step(ctx, level);
+        self.step_count[level] += 1;
+    }
+
+    /// Effective per-cell compute cost (config override or app default).
+    fn cost_per_cell(&self) -> f64 {
+        self.cfg.cost_per_cell.unwrap_or_else(|| self.app.cost_per_cell())
+    }
+
+    /// Record `w_proc^i(t)` and `N_iter^i(t)` for the gain heuristic.
+    fn update_history_snapshot(&mut self) {
+        let nprocs = self.sim.system().nprocs();
+        let nlevels = self.hier.num_levels();
+        let loads: Vec<Vec<i64>> = (0..nlevels)
+            .map(|l| self.hier.level_load_by_owner(l, nprocs))
+            .collect();
+        let n_iter: Vec<u32> = (0..nlevels)
+            .map(|l| (self.cfg.refine_factor as u32).pow(l as u32))
+            .collect();
+        self.history.record_snapshot(loads, n_iter);
+    }
+
+    /// Solve every grid at `level` once. Real numerics run with rayon
+    /// across patches; simulated compute time is charged to each owner.
+    fn solve_level(&mut self, level: usize) {
+        let ids: Vec<PatchId> = self.hier.level_ids(level).to_vec();
+        if ids.is_empty() {
+            return;
+        }
+        let dt_over_dx = self.app.dt_over_dx0(); // constant Courant per level
+        // take the field data out, step in parallel, put it back
+        let mut work: Vec<(PatchId, Vec<Field3>)> = ids
+            .iter()
+            .map(|&id| (id, std::mem::take(&mut self.hier.patch_mut(id).fields)))
+            .collect();
+        let app = &self.app;
+        work.par_iter_mut()
+            .for_each(|(_, fields)| app.step_patch(fields, dt_over_dx));
+        for (id, fields) in work {
+            self.hier.patch_mut(id).fields = fields;
+        }
+        // charge simulated solver time per owner
+        let sys = self.sim.system().clone();
+        let cost = self.cost_per_cell();
+        for &id in &ids {
+            let p = self.hier.patch(id);
+            let weight = sys.proc(ProcId(p.owner)).weight;
+            let secs = p.cells() as f64 * cost / weight;
+            self.sim.compute(ProcId(p.owner), secs);
+            self.cell_updates += p.cells() as u64;
+        }
+    }
+
+    /// Fill ghost zones at `level`: physical boundaries by zero-gradient,
+    /// interior boundaries from siblings, the rest from the parent grids.
+    /// Data really moves, and each inter-owner window is charged as a
+    /// message.
+    fn exchange_ghosts(&mut self, level: usize) {
+        let ids: Vec<PatchId> = self.hier.level_ids(level).to_vec();
+        if ids.is_empty() {
+            return;
+        }
+        let nf = self.hier.nfields();
+        let ghost = self.hier.ghost();
+
+        // 1) physical-boundary default
+        for &id in &ids {
+            for f in self.hier.patch_mut(id).fields.iter_mut() {
+                f.fill_ghosts_zero_gradient();
+            }
+        }
+
+        // 2) parent fill (level > 0): prolong the parent's data into the
+        // ghost shell (sibling windows are overwritten afterwards, which is
+        // the standard fill order).
+        let mut batch: std::collections::BTreeMap<(usize, usize), u64> = Default::default();
+        if level > 0 {
+            let r = self.hier.refine_factor();
+            for &id in &ids {
+                let (parent_id, region, owner) = {
+                    let p = self.hier.patch(id);
+                    (p.parent.expect("fine patch has parent"), p.region, p.owner)
+                };
+                let parent = self.hier.patch(parent_id);
+                let parent_owner = parent.owner;
+                let parent_fields = parent.fields.clone();
+                let shell_boxes = region.grow(ghost).subtract(&region);
+                let mut shell_cells = 0i64;
+                {
+                    let patch = self.hier.patch_mut(id);
+                    for (k, pf) in parent_fields.iter().enumerate() {
+                        for b in &shell_boxes {
+                            prolong_constant(pf, &mut patch.fields[k], b, r);
+                        }
+                    }
+                }
+                for b in &shell_boxes {
+                    shell_cells += b.cells();
+                }
+                if parent_owner != owner {
+                    *batch.entry((parent_owner, owner)).or_default() +=
+                        (shell_cells as u64) * 8 * nf as u64;
+                }
+            }
+        }
+
+        // 3) sibling windows (authoritative where available)
+        let overlaps = self.hier.sibling_overlaps(level);
+        if !overlaps.is_empty() {
+            // snapshot source fields once per source patch
+            let mut srcs: std::collections::BTreeMap<PatchId, Vec<Field3>> = Default::default();
+            for o in &overlaps {
+                srcs.entry(o.src)
+                    .or_insert_with(|| self.hier.patch(o.src).fields.clone());
+            }
+            for o in &overlaps {
+                let src_owner = self.hier.patch(o.src).owner;
+                let dst_owner = self.hier.patch(o.dst).owner;
+                let sf = &srcs[&o.src];
+                let patch = self.hier.patch_mut(o.dst);
+                for (k, f) in sf.iter().enumerate() {
+                    patch.fields[k].copy_from(f, &o.window);
+                }
+                if src_owner != dst_owner {
+                    *batch.entry((src_owner, dst_owner)).or_default() +=
+                        (o.cells as u64) * 8 * nf as u64;
+                }
+            }
+        }
+
+        // One aggregated message per communicating owner pair — matching how
+        // MPI SAMR codes pack all boundary windows for a neighbour rank into
+        // a single send per phase.
+        for ((src, dst), bytes) in batch {
+            self.sim.send_auto(ProcId(src), ProcId(dst), bytes);
+        }
+    }
+
+    /// Rebuild `level + 1` from the flags of `level`'s grids: flag, buffer,
+    /// cluster (Berger–Rigoutsos), place via the DLB scheme, prolong from
+    /// parents, then copy surviving data from the retired fine grids.
+    fn regrid(&mut self, level: usize) {
+        let r = self.hier.refine_factor();
+        let ids: Vec<PatchId> = self.hier.level_ids(level).to_vec();
+
+        // flag + cluster per parent grid
+        let cluster = ClusterParams {
+            min_efficiency: 0.7,
+            min_box_cells: 4,
+            max_depth: 64,
+            max_box_cells: self.cfg.max_box_cells,
+        };
+        let mut parents: Vec<usize> = Vec::new();
+        let mut parent_ids: Vec<PatchId> = Vec::new();
+        let mut regions: Vec<Region> = Vec::new();
+        let mut flag_cost_cells = 0i64;
+        for &id in &ids {
+            let p = self.hier.patch(id);
+            let owner = p.owner;
+            flag_cost_cells += p.cells();
+            let mut flags = self.app.flag_patch(p);
+            flags.buffer(self.cfg.flag_buffer);
+            for coarse_box in berger_rigoutsos(&flags, &cluster) {
+                parents.push(owner);
+                parent_ids.push(id);
+                regions.push(coarse_box.refine(r));
+            }
+        }
+        // charge flag/cluster work to the owners (part of adaptation)
+        let sys = self.sim.system().clone();
+        let cost = self.cost_per_cell() * 0.15;
+        for &id in &ids {
+            let p = self.hier.patch(id);
+            let secs = p.cells() as f64 * cost / sys.proc(ProcId(p.owner)).weight;
+            self.sim.compute(ProcId(p.owner), secs);
+        }
+        let _ = flag_cost_cells;
+
+        // stash the data of every level being cleared
+        for l in (level + 1)..self.hier.num_levels() {
+            let mut stash = Vec::new();
+            for &id in self.hier.level_ids(l) {
+                let p = self.hier.patch(id);
+                stash.push(OldPatch {
+                    region: p.region,
+                    owner: p.owner,
+                    fields: p.fields.clone(),
+                });
+            }
+            self.old_data[l] = stash;
+        }
+        if self.hier.num_levels() > level + 1 {
+            self.hier.clear_levels_from(level + 1);
+        }
+        if regions.is_empty() {
+            return;
+        }
+
+        // placement decided by the DLB scheme
+        let sizes: Vec<i64> = regions.iter().map(|r| r.cells()).collect();
+        let owners =
+            self.scheme
+                .place_new_patches(&self.hier, &sys, level + 1, &parents, &sizes);
+
+        // create patches: prolong from parent, then copy overlapping old data
+        let nf = self.hier.nfields();
+        let mut batch: std::collections::BTreeMap<(usize, usize), u64> = Default::default();
+        for ((region, parent_id), (&owner, &parent_owner)) in regions
+            .into_iter()
+            .zip(parent_ids)
+            .zip(owners.iter().zip(parents.iter()))
+        {
+            let id = self.hier.insert_patch(level + 1, region, Some(parent_id), owner);
+            // prolongation: parent -> child data (full patch volume)
+            let parent_fields = self.hier.patch(parent_id).fields.clone();
+            {
+                let patch = self.hier.patch_mut(id);
+                let window = patch.fields[0].storage_region();
+                for (k, pf) in parent_fields.iter().enumerate() {
+                    prolong_constant(pf, &mut patch.fields[k], &window, r);
+                }
+            }
+            if parent_owner != owner {
+                *batch.entry((parent_owner, owner)).or_default() +=
+                    self.hier.patch(id).payload_bytes();
+            }
+            // copy from retired fine grids where they overlapped
+            let old = std::mem::take(&mut self.old_data[level + 1]);
+            for op in &old {
+                let w = op.region.intersect(&region);
+                if w.is_empty() {
+                    continue;
+                }
+                let patch = self.hier.patch_mut(id);
+                for (k, f) in op.fields.iter().enumerate() {
+                    patch.fields[k].copy_from(f, &w);
+                }
+                if op.owner != owner {
+                    *batch.entry((op.owner, owner)).or_default() +=
+                        (w.cells() as u64) * 8 * nf as u64;
+                }
+            }
+            self.old_data[level + 1] = old;
+        }
+        for ((src, dst), bytes) in batch {
+            self.sim.send_auto(ProcId(src), ProcId(dst), bytes);
+        }
+        debug_assert!(self.hier.check_invariants().is_ok());
+    }
+
+    /// Project the fine solution onto the parents (conservative average) and
+    /// charge child→parent messages where owners differ.
+    fn restrict_level(&mut self, fine_level: usize) {
+        let ids: Vec<PatchId> = self.hier.level_ids(fine_level).to_vec();
+        let r = self.hier.refine_factor();
+        let nf = self.hier.nfields();
+        let mut batch: std::collections::BTreeMap<(usize, usize), u64> = Default::default();
+        for &id in &ids {
+            let (parent_id, region, owner) = {
+                let p = self.hier.patch(id);
+                (p.parent.expect("fine patch has parent"), p.region, p.owner)
+            };
+            let child_fields = self.hier.patch(id).fields.clone();
+            let coarse_window = region.coarsen(r);
+            let parent = self.hier.patch_mut(parent_id);
+            let parent_owner = parent.owner;
+            for (k, cf) in child_fields.iter().enumerate() {
+                restrict_average(cf, &mut parent.fields[k], &coarse_window, r);
+            }
+            if parent_owner != owner {
+                *batch.entry((owner, parent_owner)).or_default() +=
+                    (coarse_window.cells() as u64) * 8 * nf as u64;
+            }
+        }
+        for ((src, dst), bytes) in batch {
+            self.sim.send_auto(ProcId(src), ProcId(dst), bytes);
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Per-step trace records: what the run looked like after every level-0
+//! step, for analysis, plotting, and regression baselines.
+
+use serde::Serialize;
+
+/// Snapshot taken after each level-0 step.
+#[derive(Clone, Debug, Serialize)]
+pub struct StepRecord {
+    /// Level-0 step index (0-based).
+    pub step: u64,
+    /// Simulated wall time of this step (seconds).
+    pub step_secs: f64,
+    /// Cumulative simulated time after this step.
+    pub elapsed_secs: f64,
+    /// Grids per level after the step.
+    pub grids_per_level: Vec<usize>,
+    /// Cells per level after the step.
+    pub cells_per_level: Vec<i64>,
+    /// Iteration-weighted workload per group after the step.
+    pub group_workload: Vec<f64>,
+    /// Whether the global phase redistributed this step (distributed DLB).
+    pub redistributed: bool,
+}
+
+/// A whole run's trace plus CSV export.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct RunTrace {
+    pub records: Vec<StepRecord>,
+}
+
+impl RunTrace {
+    pub fn push(&mut self, r: StepRecord) {
+        self.records.push(r);
+    }
+
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// CSV with one row per step (levels and groups flattened to columns of
+    /// the maximum width seen in the trace).
+    pub fn to_csv(&self) -> String {
+        let max_levels = self
+            .records
+            .iter()
+            .map(|r| r.grids_per_level.len())
+            .max()
+            .unwrap_or(0);
+        let max_groups = self
+            .records
+            .iter()
+            .map(|r| r.group_workload.len())
+            .max()
+            .unwrap_or(0);
+        let mut out = String::from("step,step_secs,elapsed_secs,redistributed");
+        for l in 0..max_levels {
+            out.push_str(&format!(",grids_l{l},cells_l{l}"));
+        }
+        for g in 0..max_groups {
+            out.push_str(&format!(",workload_g{g}"));
+        }
+        out.push('\n');
+        for r in &self.records {
+            out.push_str(&format!(
+                "{},{:.6},{:.6},{}",
+                r.step, r.step_secs, r.elapsed_secs, r.redistributed as u8
+            ));
+            for l in 0..max_levels {
+                let grids = r.grids_per_level.get(l).copied().unwrap_or(0);
+                let cells = r.cells_per_level.get(l).copied().unwrap_or(0);
+                out.push_str(&format!(",{grids},{cells}"));
+            }
+            for g in 0..max_groups {
+                let w = r.group_workload.get(g).copied().unwrap_or(0.0);
+                out.push_str(&format!(",{w:.1}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(step: u64) -> StepRecord {
+        StepRecord {
+            step,
+            step_secs: 1.5,
+            elapsed_secs: 1.5 * (step + 1) as f64,
+            grids_per_level: vec![2, 5],
+            cells_per_level: vec![100, 200],
+            group_workload: vec![300.0, 200.0],
+            redistributed: step == 1,
+        }
+    }
+
+    #[test]
+    fn csv_shape() {
+        let mut t = RunTrace::default();
+        t.push(rec(0));
+        t.push(rec(1));
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("step,step_secs,elapsed_secs,redistributed"));
+        assert!(lines[0].contains("grids_l1"));
+        assert!(lines[0].contains("workload_g1"));
+        assert!(lines[1].starts_with("0,"));
+        assert!(lines[2].contains(",1,")); // redistributed flag on step 1
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn ragged_records_padded() {
+        let mut t = RunTrace::default();
+        let mut a = rec(0);
+        a.grids_per_level = vec![1];
+        a.cells_per_level = vec![50];
+        t.push(a);
+        t.push(rec(1));
+        let csv = t.to_csv();
+        let row0: Vec<&str> = csv.lines().nth(1).unwrap().split(',').collect();
+        let row1: Vec<&str> = csv.lines().nth(2).unwrap().split(',').collect();
+        assert_eq!(row0.len(), row1.len());
+        // the padded level reads zero
+        assert_eq!(row0[6], "0");
+    }
+}

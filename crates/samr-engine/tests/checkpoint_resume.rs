@@ -1,0 +1,113 @@
+//! Checkpoint/resume: the physics must continue exactly across a restart.
+
+use samr_engine::{AppKind, Checkpoint, Driver, RunConfig, Scheme};
+use topology::presets;
+
+fn cfg(steps: usize) -> RunConfig {
+    let mut c = RunConfig::new(AppKind::ShockPool3D, 16, steps, Scheme::Static);
+    c.max_levels = 3;
+    c
+}
+
+/// Hash-like fingerprint of the solution state.
+fn solution_fingerprint(d: &Driver) -> (usize, i64, u64) {
+    let h = d.hierarchy();
+    let mut bits: u64 = 0;
+    let mut cells = 0;
+    for p in h.iter() {
+        cells += p.cells();
+        for f in &p.fields {
+            for c in p.region.iter_cells() {
+                bits ^= f.get(c).to_bits().rotate_left((c.x % 63) as u32);
+            }
+        }
+    }
+    (h.num_patches(), cells, bits)
+}
+
+#[test]
+fn resume_continues_exactly() {
+    let sys = presets::single_origin2000(2);
+    // reference: run 4 steps straight through
+    let mut straight = Driver::new(sys.clone(), cfg(4));
+    for _ in 0..4 {
+        straight.step_once();
+    }
+
+    // checkpointed: 2 steps, save, resume, 2 more
+    let mut first = Driver::new(sys.clone(), cfg(4));
+    first.step_once();
+    first.step_once();
+    let ckpt = first.checkpoint();
+    let json = ckpt.to_json();
+    let restored = Checkpoint::from_json(&json).unwrap();
+    let mut second = Driver::resume(sys, cfg(4), &restored);
+    second.step_once();
+    second.step_once();
+
+    assert_eq!(
+        solution_fingerprint(&straight),
+        solution_fingerprint(&second),
+        "resumed run must reproduce the straight run's solution exactly"
+    );
+    assert_eq!(
+        straight.cell_updates_so_far(),
+        second.cell_updates_so_far()
+    );
+}
+
+#[test]
+fn resume_onto_a_different_system() {
+    // physics state carries over even when the machine changes (e.g. a
+    // restart onto the distributed system)
+    let smp = presets::single_origin2000(2);
+    let mut first = Driver::new(smp, cfg(4));
+    first.step_once();
+    let ckpt = first.checkpoint();
+
+    let wan = presets::anl_ncsa_wan(2, 2, 7);
+    let mut resumed = Driver::resume(wan, cfg(4), &ckpt);
+    // hierarchy intact and stepping works
+    assert!(resumed.hierarchy().check_invariants().is_ok());
+    let before = resumed.hierarchy().level_cells(0);
+    resumed.step_once();
+    assert_eq!(resumed.hierarchy().level_cells(0), before);
+    assert!(resumed.sim().elapsed() > topology::SimTime::ZERO);
+}
+
+#[test]
+fn checkpoint_roundtrips_through_json() {
+    let sys = presets::anl_lan_pair(1, 1, 3);
+    let mut c = RunConfig::new(AppKind::Amr64, 16, 2, Scheme::distributed_default());
+    c.max_levels = 3;
+    let mut d = Driver::new(sys, c);
+    d.step_once();
+    let ckpt = d.checkpoint();
+    let back = Checkpoint::from_json(&ckpt.to_json()).unwrap();
+    assert_eq!(back.particles.len(), ckpt.particles.len());
+    assert_eq!(back.step_count, ckpt.step_count);
+    assert_eq!(back.cell_updates, ckpt.cell_updates);
+    assert_eq!(back.hierarchy.patches.len(), ckpt.hierarchy.patches.len());
+}
+
+#[test]
+#[should_panic]
+fn mismatched_domain_rejected() {
+    let sys = presets::single_origin2000(1);
+    let d = Driver::new(sys.clone(), cfg(1));
+    let ckpt = d.checkpoint();
+    let mut wrong = cfg(1);
+    wrong.n0 = 24;
+    let _ = Driver::resume(sys, wrong, &ckpt);
+}
+
+#[test]
+#[should_panic]
+fn resume_onto_too_small_system_rejected() {
+    let sys = presets::single_origin2000(2);
+    let mut d = Driver::new(sys, cfg(1));
+    d.step_once();
+    let ckpt = d.checkpoint();
+    // grids owned by proc 1 cannot live on a 1-proc system
+    let _ = Driver::resume(presets::single_origin2000(1), cfg(1), &ckpt);
+}

@@ -1,0 +1,43 @@
+//! Configuration fuzzing: any sane combination of app, scheme, system shape
+//! and seed must run to completion with invariants intact.
+
+use proptest::prelude::*;
+use samr_engine::{AppKind, Driver, RunConfig, Scheme};
+use topology::presets;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn any_sane_config_runs(
+        app_ix in 0usize..3,
+        scheme_ix in 0usize..3,
+        na in 1usize..3,
+        nb in 1usize..3,
+        seed in 0u64..1000,
+        gamma in 0.0f64..8.0,
+        steps in 1usize..3,
+    ) {
+        let app = [AppKind::ShockPool3D, AppKind::Amr64, AppKind::AdvectBlob][app_ix];
+        let scheme = match scheme_ix {
+            0 => Scheme::Static,
+            1 => Scheme::Parallel,
+            _ => Scheme::Distributed(dlb::DistributedDlbConfig {
+                gamma,
+                ..Default::default()
+            }),
+        };
+        let sys = presets::anl_ncsa_wan(na, nb, seed);
+        let mut cfg = RunConfig::new(app, 8, steps, scheme);
+        cfg.max_levels = 2;
+        cfg.seed = seed;
+        let mut d = Driver::new(sys, cfg);
+        for _ in 0..steps {
+            d.step_once();
+            prop_assert!(d.hierarchy().check_invariants().is_ok());
+        }
+        let r = d.finish();
+        prop_assert!(r.total_secs.is_finite() && r.total_secs > 0.0);
+        prop_assert!(r.cell_updates > 0);
+    }
+}

@@ -1,0 +1,88 @@
+//! End-to-end driver tests: full SAMR runs on simulated testbeds.
+
+use samr_engine::{AppKind, Driver, RunConfig, Scheme};
+use topology::presets;
+
+fn run(app: AppKind, scheme: Scheme, steps: usize) -> samr_engine::RunResult {
+    let sys = presets::anl_ncsa_wan(2, 2, 7);
+    let mut cfg = RunConfig::new(app, 16, steps, scheme);
+    cfg.max_levels = 3;
+    Driver::new(sys, cfg).run()
+}
+
+#[test]
+fn shockpool_runs_and_refines() {
+    let r = run(AppKind::ShockPool3D, Scheme::Static, 2);
+    assert_eq!(r.steps, 2);
+    assert!(r.levels >= 2, "shock must trigger refinement: {r:?}");
+    assert!(r.total_secs > 0.0);
+    assert!(r.cell_updates > 0);
+}
+
+#[test]
+fn distributed_beats_parallel_on_wan() {
+    let p = run(AppKind::ShockPool3D, Scheme::Parallel, 3);
+    let d = run(AppKind::ShockPool3D, Scheme::distributed_default(), 3);
+    println!("parallel:    {}", p.summary());
+    println!("distributed: {}", d.summary());
+    // the headline claim, in miniature: distributed DLB reduces total time
+    assert!(
+        d.total_secs < p.total_secs,
+        "distributed {:.2}s should beat parallel {:.2}s",
+        d.total_secs,
+        p.total_secs
+    );
+    // mechanism: less remote traffic
+    assert!(d.breakdown.remote_bytes < p.breakdown.remote_bytes);
+}
+
+#[test]
+fn same_physics_same_workload() {
+    // adaptation follows the physics, so both schemes execute a similar
+    // number of cell updates (ownership differs, work does not much)
+    let p = run(AppKind::ShockPool3D, Scheme::Parallel, 2);
+    let d = run(AppKind::ShockPool3D, Scheme::distributed_default(), 2);
+    let ratio = p.cell_updates as f64 / d.cell_updates as f64;
+    assert!((0.8..1.25).contains(&ratio), "workload ratio {ratio}");
+}
+
+#[test]
+fn amr64_runs() {
+    let r = run(AppKind::Amr64, Scheme::distributed_default(), 2);
+    assert!(r.levels >= 2, "{r:?}");
+    assert!(r.final_patches >= 2);
+}
+
+#[test]
+fn deterministic_across_runs() {
+    let a = run(AppKind::ShockPool3D, Scheme::distributed_default(), 2);
+    let b = run(AppKind::ShockPool3D, Scheme::distributed_default(), 2);
+    assert_eq!(a.total_secs, b.total_secs);
+    assert_eq!(a.cell_updates, b.cell_updates);
+    assert_eq!(a.breakdown.remote_bytes, b.breakdown.remote_bytes);
+}
+
+#[test]
+fn children_stay_local_under_distributed_dlb() {
+    let sys = presets::anl_ncsa_wan(2, 2, 7);
+    let mut cfg = RunConfig::new(
+        AppKind::ShockPool3D,
+        16,
+        2,
+        Scheme::distributed_default(),
+    );
+    cfg.max_levels = 3;
+    let mut driver = Driver::new(sys, cfg);
+    // run manually? Driver::run consumes; instead inspect after construction
+    // (initial hierarchy) and rely on placement invariant
+    let hier = driver.hierarchy();
+    let sys = driver.system().clone();
+    for p in hier.iter() {
+        if let Some(parent) = p.parent {
+            let pg = sys.group_of(topology::ProcId(hier.patch(parent).owner));
+            let cg = sys.group_of(topology::ProcId(p.owner));
+            assert_eq!(pg, cg, "child in different group than parent");
+        }
+    }
+    let _ = &mut driver;
+}

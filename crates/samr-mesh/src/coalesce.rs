@@ -1,0 +1,130 @@
+//! Merging adjacent boxes: clustering and subtraction produce many small
+//! rectangles; coalescing reduces grid counts (fewer patches = less
+//! bookkeeping and fewer boundary messages) without changing coverage.
+
+use crate::region::Region;
+
+/// Can `a` and `b` be merged into one box exactly? True when they share a
+/// full face: equal extents on two axes and touching on the third.
+pub fn mergeable(a: &Region, b: &Region) -> Option<Region> {
+    if a.is_empty() || b.is_empty() {
+        return None;
+    }
+    for axis in 0..3 {
+        let (o1, o2) = ((axis + 1) % 3, (axis + 2) % 3);
+        let same_cross = a.lo[o1] == b.lo[o1]
+            && a.hi[o1] == b.hi[o1]
+            && a.lo[o2] == b.lo[o2]
+            && a.hi[o2] == b.hi[o2];
+        if !same_cross {
+            continue;
+        }
+        if a.hi[axis] == b.lo[axis] || b.hi[axis] == a.lo[axis] {
+            return Some(a.hull(b));
+        }
+    }
+    None
+}
+
+/// Repeatedly merge face-adjacent compatible boxes until no merge applies.
+/// The result covers exactly the same cells with `<=` the input count.
+/// Deterministic: scans in index order, restarting after each merge.
+pub fn coalesce(boxes: &[Region]) -> Vec<Region> {
+    let mut out: Vec<Region> = boxes.iter().copied().filter(|b| !b.is_empty()).collect();
+    'outer: loop {
+        for i in 0..out.len() {
+            for j in (i + 1)..out.len() {
+                if let Some(m) = mergeable(&out[i], &out[j]) {
+                    out[i] = m;
+                    out.swap_remove(j);
+                    continue 'outer;
+                }
+            }
+        }
+        break;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ivec3;
+    use crate::region::region;
+
+    #[test]
+    fn face_adjacent_same_cross_section_merges() {
+        let a = region(ivec3(0, 0, 0), ivec3(4, 4, 4));
+        let b = region(ivec3(4, 0, 0), ivec3(8, 4, 4));
+        assert_eq!(mergeable(&a, &b), Some(region(ivec3(0, 0, 0), ivec3(8, 4, 4))));
+        assert_eq!(mergeable(&b, &a), Some(region(ivec3(0, 0, 0), ivec3(8, 4, 4))));
+    }
+
+    #[test]
+    fn mismatched_cross_section_does_not_merge() {
+        let a = region(ivec3(0, 0, 0), ivec3(4, 4, 4));
+        let b = region(ivec3(4, 0, 0), ivec3(8, 4, 3));
+        assert_eq!(mergeable(&a, &b), None);
+        // diagonal neighbours don't merge either
+        let c = region(ivec3(4, 4, 4), ivec3(8, 8, 8));
+        assert_eq!(mergeable(&a, &c), None);
+        // overlapping boxes don't merge
+        let d = region(ivec3(2, 0, 0), ivec3(6, 4, 4));
+        assert_eq!(mergeable(&a, &d), None);
+    }
+
+    #[test]
+    fn coalesce_reassembles_a_subtraction() {
+        // subtract returns up to 6 slabs; coalescing a hole-free split must
+        // reduce the count
+        let a = Region::cube(8);
+        let hole = region(ivec3(0, 0, 0), ivec3(8, 8, 4)); // bottom half
+        let parts = a.subtract(&hole);
+        let merged = coalesce(&parts);
+        assert_eq!(merged, vec![region(ivec3(0, 0, 4), ivec3(8, 8, 8))]);
+    }
+
+    #[test]
+    fn coalesce_grid_of_octants() {
+        // 8 octants of a cube coalesce back to the cube
+        let mut parts = Vec::new();
+        for dx in 0..2 {
+            for dy in 0..2 {
+                for dz in 0..2 {
+                    parts.push(region(
+                        ivec3(4 * dx, 4 * dy, 4 * dz),
+                        ivec3(4 * dx + 4, 4 * dy + 4, 4 * dz + 4),
+                    ));
+                }
+            }
+        }
+        let merged = coalesce(&parts);
+        assert_eq!(merged, vec![Region::cube(8)]);
+    }
+
+    #[test]
+    fn coalesce_preserves_coverage() {
+        let parts = vec![
+            region(ivec3(0, 0, 0), ivec3(2, 2, 2)),
+            region(ivec3(2, 0, 0), ivec3(4, 2, 2)),
+            region(ivec3(0, 2, 0), ivec3(2, 4, 2)),
+            region(ivec3(5, 5, 5), ivec3(6, 6, 6)),
+        ];
+        let merged = coalesce(&parts);
+        let total_before: i64 = parts.iter().map(|r| r.cells()).sum();
+        let total_after: i64 = merged.iter().map(|r| r.cells()).sum();
+        assert_eq!(total_before, total_after);
+        assert!(merged.len() < parts.len());
+        for p in &parts {
+            for c in p.iter_cells() {
+                assert_eq!(merged.iter().filter(|m| m.contains(c)).count(), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_inputs_dropped() {
+        assert!(coalesce(&[]).is_empty());
+        assert!(coalesce(&[Region::EMPTY]).is_empty());
+    }
+}

@@ -1,0 +1,224 @@
+//! Scalar field storage over a region, with ghost zones.
+//!
+//! A [`Field3`] owns an `f64` array covering `region.grow(ghost)`; the
+//! *interior* is `region` and the surrounding shell of width `ghost` holds
+//! boundary data copied from siblings or interpolated from the parent.
+
+use crate::index::IVec3;
+use crate::region::Region;
+use serde::{Deserialize, Serialize};
+
+/// A 3-D scalar field over `interior.grow(ghost)` cells.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Field3 {
+    interior: Region,
+    ghost: i64,
+    storage: Region,
+    data: Vec<f64>,
+}
+
+impl Field3 {
+    /// Allocate a zero-filled field over `interior` with `ghost` ghost cells.
+    pub fn zeros(interior: Region, ghost: i64) -> Self {
+        assert!(ghost >= 0);
+        assert!(!interior.is_empty(), "field over empty region");
+        let storage = interior.grow(ghost);
+        let data = vec![0.0; storage.cells() as usize];
+        Field3 {
+            interior,
+            ghost,
+            storage,
+            data,
+        }
+    }
+
+    /// Allocate with every cell (ghosts included) set to `v`.
+    pub fn constant(interior: Region, ghost: i64, v: f64) -> Self {
+        let mut f = Self::zeros(interior, ghost);
+        f.data.fill(v);
+        f
+    }
+
+    /// The interior region this field is defined on.
+    pub fn interior(&self) -> Region {
+        self.interior
+    }
+
+    /// Ghost-zone width.
+    pub fn ghost(&self) -> i64 {
+        self.ghost
+    }
+
+    /// The full storage region including ghosts.
+    pub fn storage_region(&self) -> Region {
+        self.storage
+    }
+
+    /// Value at cell `p` (must be inside storage, ghosts included).
+    #[inline]
+    pub fn get(&self, p: IVec3) -> f64 {
+        self.data[self.storage.linear_index(p)]
+    }
+
+    /// Mutable access to cell `p`.
+    #[inline]
+    pub fn at_mut(&mut self, p: IVec3) -> &mut f64 {
+        let i = self.storage.linear_index(p);
+        &mut self.data[i]
+    }
+
+    /// Set cell `p` to `v`.
+    #[inline]
+    pub fn set(&mut self, p: IVec3, v: f64) {
+        let i = self.storage.linear_index(p);
+        self.data[i] = v;
+    }
+
+    /// Raw data slice (z fastest within storage region).
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable raw data slice.
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Fill every cell (ghosts included) with `v`.
+    pub fn fill(&mut self, v: f64) {
+        self.data.fill(v);
+    }
+
+    /// Copy values over `src_window ∩ both fields' storage` from `src`.
+    /// The window is in shared (same-level) coordinates.
+    pub fn copy_from(&mut self, src: &Field3, window: &Region) {
+        let w = window
+            .intersect(&self.storage)
+            .intersect(&src.storage);
+        for p in w.iter_cells() {
+            let v = src.get(p);
+            self.set(p, v);
+        }
+    }
+
+    /// Sum of interior values.
+    pub fn interior_sum(&self) -> f64 {
+        self.interior.iter_cells().map(|p| self.get(p)).sum()
+    }
+
+    /// Maximum absolute interior value.
+    pub fn interior_max_abs(&self) -> f64 {
+        self.interior
+            .iter_cells()
+            .map(|p| self.get(p).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// L2 norm of interior values.
+    pub fn interior_l2(&self) -> f64 {
+        self.interior
+            .iter_cells()
+            .map(|p| {
+                let v = self.get(p);
+                v * v
+            })
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Apply `f` to every interior cell.
+    pub fn map_interior(&mut self, mut f: impl FnMut(IVec3, f64) -> f64) {
+        for p in self.interior.iter_cells() {
+            let v = self.get(p);
+            self.set(p, f(p, v));
+        }
+    }
+
+    /// Extrapolate ghost zones from the nearest interior cell (zero-gradient /
+    /// outflow physical boundary). Only cells outside the interior are
+    /// touched.
+    pub fn fill_ghosts_zero_gradient(&mut self) {
+        if self.ghost == 0 {
+            return;
+        }
+        let int = self.interior;
+        for p in self.storage.iter_cells() {
+            if int.contains(p) {
+                continue;
+            }
+            let clamped = p.max(int.lo).min(int.hi - IVec3::ONE);
+            let v = self.get(clamped);
+            self.set(p, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::ivec3;
+    use crate::region::region;
+
+    #[test]
+    fn zeros_and_shape() {
+        let r = Region::cube(4);
+        let f = Field3::zeros(r, 2);
+        assert_eq!(f.interior(), r);
+        assert_eq!(f.storage_region(), r.grow(2));
+        assert_eq!(f.data().len(), 8 * 8 * 8);
+        assert!(f.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut f = Field3::zeros(Region::cube(4), 1);
+        f.set(ivec3(2, 3, 1), 7.5);
+        assert_eq!(f.get(ivec3(2, 3, 1)), 7.5);
+        // ghost cells addressable
+        f.set(ivec3(-1, -1, -1), 1.25);
+        assert_eq!(f.get(ivec3(-1, -1, -1)), 1.25);
+        *f.at_mut(ivec3(0, 0, 0)) += 2.0;
+        assert_eq!(f.get(ivec3(0, 0, 0)), 2.0);
+    }
+
+    #[test]
+    fn copy_from_respects_window() {
+        let mut a = Field3::zeros(Region::cube(4), 1);
+        let mut b = Field3::zeros(region(ivec3(2, 0, 0), ivec3(6, 4, 4)), 1);
+        b.fill(3.0);
+        // copy b's values into a over their shared window
+        let window = region(ivec3(2, 0, 0), ivec3(4, 4, 4));
+        a.copy_from(&b, &window);
+        assert_eq!(a.get(ivec3(2, 0, 0)), 3.0);
+        assert_eq!(a.get(ivec3(3, 3, 3)), 3.0);
+        assert_eq!(a.get(ivec3(1, 0, 0)), 0.0);
+    }
+
+    #[test]
+    fn interior_reductions() {
+        let mut f = Field3::constant(Region::cube(2), 1, 1.0);
+        assert_eq!(f.interior_sum(), 8.0);
+        f.set(ivec3(0, 0, 0), -5.0);
+        assert_eq!(f.interior_max_abs(), 5.0);
+        let l2 = f.interior_l2();
+        assert!((l2 - (25.0f64 + 7.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_gradient_ghosts() {
+        let mut f = Field3::zeros(Region::cube(2), 1);
+        f.map_interior(|p, _| (p.x * 4 + p.y * 2 + p.z) as f64);
+        f.fill_ghosts_zero_gradient();
+        // corner ghost copies nearest interior corner
+        assert_eq!(f.get(ivec3(-1, -1, -1)), f.get(ivec3(0, 0, 0)));
+        assert_eq!(f.get(ivec3(2, 2, 2)), f.get(ivec3(1, 1, 1)));
+        // face ghost copies adjacent interior cell
+        assert_eq!(f.get(ivec3(-1, 0, 1)), f.get(ivec3(0, 0, 1)));
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_interior_panics() {
+        let _ = Field3::zeros(Region::EMPTY, 1);
+    }
+}

@@ -1,0 +1,288 @@
+//! Refinement flagging: marking the cells of a patch that need finer
+//! resolution, plus flag buffering.
+
+use crate::field::Field3;
+use crate::index::{ivec3, IVec3, FACE_NEIGHBORS};
+use crate::region::Region;
+
+/// A boolean mask over a region marking cells that require refinement.
+#[derive(Clone, Debug)]
+pub struct FlagField {
+    region: Region,
+    flags: Vec<bool>,
+}
+
+impl FlagField {
+    /// All-clear flags over `region`.
+    pub fn new(region: Region) -> Self {
+        assert!(!region.is_empty());
+        FlagField {
+            region,
+            flags: vec![false; region.cells() as usize],
+        }
+    }
+
+    /// Region covered.
+    pub fn region(&self) -> Region {
+        self.region
+    }
+
+    /// Is cell `p` flagged? Cells outside the region are unflagged.
+    #[inline]
+    pub fn get(&self, p: IVec3) -> bool {
+        if !self.region.contains(p) {
+            return false;
+        }
+        self.flags[self.region.linear_index(p)]
+    }
+
+    /// Set the flag of interior cell `p`.
+    #[inline]
+    pub fn set(&mut self, p: IVec3, v: bool) {
+        let i = self.region.linear_index(p);
+        self.flags[i] = v;
+    }
+
+    /// Number of flagged cells.
+    pub fn count(&self) -> i64 {
+        self.flags.iter().filter(|&&f| f).count() as i64
+    }
+
+    /// `true` if no cell is flagged.
+    pub fn is_clear(&self) -> bool {
+        self.count() == 0
+    }
+
+    /// Tight bounding box of flagged cells (`Region::EMPTY` when clear).
+    pub fn bounding_box(&self) -> Region {
+        let mut lo = ivec3(i64::MAX, i64::MAX, i64::MAX);
+        let mut hi = ivec3(i64::MIN, i64::MIN, i64::MIN);
+        let mut any = false;
+        for p in self.region.iter_cells() {
+            if self.get(p) {
+                any = true;
+                lo = lo.min(p);
+                hi = hi.max(p + IVec3::ONE);
+            }
+        }
+        if any {
+            Region { lo, hi }
+        } else {
+            Region::EMPTY
+        }
+    }
+
+    /// Count flagged cells within `window`.
+    pub fn count_in(&self, window: &Region) -> i64 {
+        window
+            .intersect(&self.region)
+            .iter_cells()
+            .filter(|&p| self.get(p))
+            .count() as i64
+    }
+
+    /// Expand every flag to its face neighbours, `buffer` times, clipped to
+    /// the region. Buffering keeps features inside refined grids between
+    /// regrids.
+    pub fn buffer(&mut self, buffer: usize) {
+        for _ in 0..buffer {
+            let mut next = self.flags.clone();
+            for p in self.region.iter_cells() {
+                if !self.get(p) {
+                    continue;
+                }
+                for d in FACE_NEIGHBORS {
+                    let q = p + d;
+                    if self.region.contains(q) {
+                        next[self.region.linear_index(q)] = true;
+                    }
+                }
+            }
+            self.flags = next;
+        }
+    }
+
+    /// OR another flag field (over the same region) into this one.
+    pub fn union_with(&mut self, other: &FlagField) {
+        assert_eq!(self.region, other.region, "flag regions differ");
+        for (a, b) in self.flags.iter_mut().zip(&other.flags) {
+            *a |= *b;
+        }
+    }
+}
+
+/// Refinement criteria applied to a patch's fields to produce flags.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum RefineCriterion {
+    /// Flag cells where the max absolute one-sided difference of field `field`
+    /// over the 6 face neighbours exceeds `threshold`.
+    Gradient { field: usize, threshold: f64 },
+    /// Flag cells where field `field` exceeds `threshold`.
+    Overdensity { field: usize, threshold: f64 },
+    /// Flag cells where the relative slope (|Δu| / (|u| + eps)) exceeds
+    /// `threshold` — scale-free shock detector.
+    RelativeSlope { field: usize, threshold: f64, eps: f64 },
+}
+
+/// Evaluate `criteria` on `fields` (all over the same interior region) and
+/// return the union of the produced flags.
+pub fn flag_cells(fields: &[Field3], criteria: &[RefineCriterion]) -> FlagField {
+    assert!(!fields.is_empty());
+    let interior = fields[0].interior();
+    let mut flags = FlagField::new(interior);
+    for c in criteria {
+        match *c {
+            RefineCriterion::Gradient { field, threshold } => {
+                let f = &fields[field];
+                for p in interior.iter_cells() {
+                    let u = f.get(p);
+                    let mut g: f64 = 0.0;
+                    for d in FACE_NEIGHBORS {
+                        let q = p + d;
+                        if f.storage_region().contains(q) {
+                            g = g.max((f.get(q) - u).abs());
+                        }
+                    }
+                    if g > threshold {
+                        flags.set(p, true);
+                    }
+                }
+            }
+            RefineCriterion::Overdensity { field, threshold } => {
+                let f = &fields[field];
+                for p in interior.iter_cells() {
+                    if f.get(p) > threshold {
+                        flags.set(p, true);
+                    }
+                }
+            }
+            RefineCriterion::RelativeSlope { field, threshold, eps } => {
+                let f = &fields[field];
+                for p in interior.iter_cells() {
+                    let u = f.get(p);
+                    let mut g: f64 = 0.0;
+                    for d in FACE_NEIGHBORS {
+                        let q = p + d;
+                        if f.storage_region().contains(q) {
+                            g = g.max((f.get(q) - u).abs());
+                        }
+                    }
+                    if g / (u.abs() + eps) > threshold {
+                        flags.set(p, true);
+                    }
+                }
+            }
+        }
+    }
+    flags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::region;
+
+    #[test]
+    fn set_get_count() {
+        let mut f = FlagField::new(Region::cube(4));
+        assert!(f.is_clear());
+        f.set(ivec3(1, 1, 1), true);
+        f.set(ivec3(2, 3, 0), true);
+        assert_eq!(f.count(), 2);
+        assert!(f.get(ivec3(1, 1, 1)));
+        assert!(!f.get(ivec3(0, 0, 0)));
+        // outside region reads false
+        assert!(!f.get(ivec3(-1, 0, 0)));
+    }
+
+    #[test]
+    fn bounding_box_tight() {
+        let mut f = FlagField::new(Region::cube(8));
+        f.set(ivec3(2, 3, 4), true);
+        f.set(ivec3(5, 3, 4), true);
+        assert_eq!(
+            f.bounding_box(),
+            region(ivec3(2, 3, 4), ivec3(6, 4, 5))
+        );
+        let clear = FlagField::new(Region::cube(4));
+        assert!(clear.bounding_box().is_empty());
+    }
+
+    #[test]
+    fn buffering_spreads_to_neighbors() {
+        let mut f = FlagField::new(Region::cube(5));
+        f.set(ivec3(2, 2, 2), true);
+        f.buffer(1);
+        assert_eq!(f.count(), 7); // center + 6 faces
+        assert!(f.get(ivec3(1, 2, 2)));
+        assert!(!f.get(ivec3(1, 1, 2))); // diagonal untouched
+        f.buffer(1);
+        assert!(f.get(ivec3(0, 2, 2)));
+        assert!(f.get(ivec3(1, 1, 2)));
+    }
+
+    #[test]
+    fn buffer_clips_at_region_edge() {
+        let mut f = FlagField::new(Region::cube(2));
+        f.set(ivec3(0, 0, 0), true);
+        f.buffer(5);
+        assert_eq!(f.count(), 8); // fills the whole 2^3 region, no panic
+    }
+
+    #[test]
+    fn gradient_criterion_flags_jump() {
+        // step in x: u = 0 for x<2, 10 for x>=2
+        let mut fld = Field3::zeros(Region::cube(4), 1);
+        fld.map_interior(|p, _| if p.x >= 2 { 10.0 } else { 0.0 });
+        fld.fill_ghosts_zero_gradient();
+        let flags = flag_cells(
+            std::slice::from_ref(&fld),
+            &[RefineCriterion::Gradient { field: 0, threshold: 5.0 }],
+        );
+        // cells adjacent to the jump plane flagged on both sides
+        assert!(flags.get(ivec3(1, 0, 0)));
+        assert!(flags.get(ivec3(2, 0, 0)));
+        assert!(!flags.get(ivec3(0, 0, 0)));
+        assert!(!flags.get(ivec3(3, 0, 0)));
+    }
+
+    #[test]
+    fn overdensity_criterion() {
+        let mut fld = Field3::zeros(Region::cube(3), 0);
+        fld.set(ivec3(1, 1, 1), 4.0);
+        let flags = flag_cells(
+            std::slice::from_ref(&fld),
+            &[RefineCriterion::Overdensity { field: 0, threshold: 2.0 }],
+        );
+        assert_eq!(flags.count(), 1);
+        assert!(flags.get(ivec3(1, 1, 1)));
+    }
+
+    #[test]
+    fn union_of_criteria() {
+        let mut a = Field3::zeros(Region::cube(3), 0);
+        a.set(ivec3(0, 0, 0), 9.0);
+        let mut b = Field3::zeros(Region::cube(3), 0);
+        b.set(ivec3(2, 2, 2), 9.0);
+        let flags = flag_cells(
+            &[a, b],
+            &[
+                RefineCriterion::Overdensity { field: 0, threshold: 5.0 },
+                RefineCriterion::Overdensity { field: 1, threshold: 5.0 },
+            ],
+        );
+        assert!(flags.get(ivec3(0, 0, 0)));
+        assert!(flags.get(ivec3(2, 2, 2)));
+        assert_eq!(flags.count(), 2);
+    }
+
+    #[test]
+    fn union_with_merges() {
+        let mut a = FlagField::new(Region::cube(2));
+        let mut b = FlagField::new(Region::cube(2));
+        a.set(ivec3(0, 0, 0), true);
+        b.set(ivec3(1, 1, 1), true);
+        a.union_with(&b);
+        assert_eq!(a.count(), 2);
+    }
+}

@@ -1,0 +1,558 @@
+//! The SAMR grid hierarchy: a tree of patches, one list per refinement level
+//! (Fig. 1 of the paper).
+//!
+//! The hierarchy is an arena keyed by [`PatchId`]; levels store ids in
+//! deterministic creation order. The number of levels, the number of grids,
+//! and the locations of the grids all change with each adaptation.
+
+use crate::index::IVec3;
+use crate::patch::{GridPatch, OwnerProc, PatchId};
+use crate::region::Region;
+use std::collections::BTreeMap;
+
+/// A tree of grid patches organized by refinement level.
+#[derive(Clone, Debug)]
+pub struct GridHierarchy {
+    /// Refinement factor between consecutive levels (paper uses 2).
+    refine_factor: i64,
+    /// Maximum number of levels allowed (root counts as one).
+    max_levels: usize,
+    /// Ghost-zone width used by all patch fields.
+    ghost: i64,
+    /// Number of solution fields per patch.
+    nfields: usize,
+    /// Root-level problem domain.
+    domain: Region,
+    /// Arena of live patches.
+    patches: BTreeMap<PatchId, GridPatch>,
+    /// Patch ids per level, creation-ordered.
+    levels: Vec<Vec<PatchId>>,
+    /// Next fresh id.
+    next_id: u64,
+}
+
+impl GridHierarchy {
+    /// Create a hierarchy whose level-0 domain is `domain`, with no patches.
+    pub fn new(domain: Region, refine_factor: i64, max_levels: usize, nfields: usize, ghost: i64) -> Self {
+        assert!(refine_factor >= 2, "refinement factor must be >= 2");
+        assert!(max_levels >= 1);
+        assert!(!domain.is_empty());
+        GridHierarchy {
+            refine_factor,
+            max_levels,
+            ghost,
+            nfields,
+            domain,
+            patches: BTreeMap::new(),
+            levels: vec![Vec::new()],
+            next_id: 0,
+        }
+    }
+
+    /// Refinement factor between levels.
+    pub fn refine_factor(&self) -> i64 {
+        self.refine_factor
+    }
+
+    /// Maximum level count.
+    pub fn max_levels(&self) -> usize {
+        self.max_levels
+    }
+
+    /// Ghost width of patch fields.
+    pub fn ghost(&self) -> i64 {
+        self.ghost
+    }
+
+    /// Fields per patch.
+    pub fn nfields(&self) -> usize {
+        self.nfields
+    }
+
+    /// Level-0 domain.
+    pub fn domain(&self) -> Region {
+        self.domain
+    }
+
+    /// Domain expressed at level `l` resolution.
+    pub fn domain_at_level(&self, l: usize) -> Region {
+        let mut d = self.domain;
+        for _ in 0..l {
+            d = d.refine(self.refine_factor);
+        }
+        d
+    }
+
+    /// Number of levels that currently hold at least one patch... plus empty
+    /// trailing levels are trimmed, so this is `deepest level + 1` (at least 1).
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Ids of patches at `level` (empty slice when the level doesn't exist).
+    pub fn level_ids(&self, level: usize) -> &[PatchId] {
+        self.levels.get(level).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Borrow a patch.
+    pub fn patch(&self, id: PatchId) -> &GridPatch {
+        &self.patches[&id]
+    }
+
+    /// Mutably borrow a patch.
+    pub fn patch_mut(&mut self, id: PatchId) -> &mut GridPatch {
+        self.patches.get_mut(&id).expect("unknown patch id")
+    }
+
+    /// Does the hierarchy contain this id?
+    pub fn contains(&self, id: PatchId) -> bool {
+        self.patches.contains_key(&id)
+    }
+
+    /// Iterate over all live patches in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &GridPatch> {
+        self.patches.values()
+    }
+
+    /// Total number of live patches.
+    pub fn num_patches(&self) -> usize {
+        self.patches.len()
+    }
+
+    /// Total cells at `level`.
+    pub fn level_cells(&self, level: usize) -> i64 {
+        self.level_ids(level)
+            .iter()
+            .map(|id| self.patch(*id).cells())
+            .sum()
+    }
+
+    /// Children ids of `id` (patches at `level+1` whose parent is `id`).
+    pub fn children_of(&self, id: PatchId) -> Vec<PatchId> {
+        let level = self.patch(id).level;
+        self.level_ids(level + 1)
+            .iter()
+            .copied()
+            .filter(|c| self.patch(*c).parent == Some(id))
+            .collect()
+    }
+
+    /// Allocate a fresh patch id.
+    fn fresh_id(&mut self) -> PatchId {
+        let id = PatchId(self.next_id);
+        self.next_id += 1;
+        id
+    }
+
+    /// Insert a new patch at `level` covering `region` (level-`level`
+    /// coordinates), owned by `owner`. Returns its id.
+    ///
+    /// The caller is responsible for region validity (inside the level
+    /// domain, non-empty). Parent must be given for `level > 0`.
+    pub fn insert_patch(
+        &mut self,
+        level: usize,
+        region: Region,
+        parent: Option<PatchId>,
+        owner: OwnerProc,
+    ) -> PatchId {
+        assert!(!region.is_empty(), "inserting empty patch region");
+        assert!(level < self.max_levels, "level {level} exceeds max_levels");
+        assert!(
+            self.domain_at_level(level).contains_region(&region),
+            "patch region {region:?} outside level-{level} domain"
+        );
+        assert_eq!(level == 0, parent.is_none(), "non-root patches need a parent");
+        let id = self.fresh_id();
+        let patch = GridPatch::new(id, level, region, parent, owner, self.nfields, self.ghost);
+        while self.levels.len() <= level {
+            self.levels.push(Vec::new());
+        }
+        self.levels[level].push(id);
+        self.patches.insert(id, patch);
+        id
+    }
+
+    /// Remove a patch (and no others — callers remove descendants first).
+    pub fn remove_patch(&mut self, id: PatchId) {
+        let p = self.patches.remove(&id).expect("removing unknown patch");
+        let lvl = &mut self.levels[p.level];
+        lvl.retain(|x| *x != id);
+        self.trim_levels();
+    }
+
+    /// Remove every patch at `level` and deeper. Used when regridding a
+    /// level: the finer structure is rebuilt from scratch.
+    pub fn clear_levels_from(&mut self, level: usize) {
+        if level == 0 {
+            panic!("cannot clear level 0: the root grid must always exist");
+        }
+        for l in level..self.levels.len() {
+            for id in std::mem::take(&mut self.levels[l]) {
+                self.patches.remove(&id);
+            }
+        }
+        self.trim_levels();
+    }
+
+    fn trim_levels(&mut self) {
+        while self.levels.len() > 1 && self.levels.last().is_some_and(|v| v.is_empty()) {
+            self.levels.pop();
+        }
+    }
+
+    /// Change the owner of a patch.
+    pub fn set_owner(&mut self, id: PatchId, owner: OwnerProc) {
+        self.patch_mut(id).owner = owner;
+    }
+
+    /// Insert a patch under a caller-chosen id (checkpoint restore support).
+    /// The id must be unused; the fresh-id counter is bumped past it so
+    /// future insertions never collide. Same validity rules as
+    /// [`GridHierarchy::insert_patch`].
+    pub fn insert_patch_with_id(
+        &mut self,
+        id: PatchId,
+        level: usize,
+        region: Region,
+        parent: Option<PatchId>,
+        owner: OwnerProc,
+    ) {
+        assert!(!self.patches.contains_key(&id), "{id:?} already in use");
+        assert!(!region.is_empty(), "inserting empty patch region");
+        assert!(level < self.max_levels, "level {level} exceeds max_levels");
+        assert!(
+            self.domain_at_level(level).contains_region(&region),
+            "patch region {region:?} outside level-{level} domain"
+        );
+        assert_eq!(level == 0, parent.is_none(), "non-root patches need a parent");
+        let patch = GridPatch::new(id, level, region, parent, owner, self.nfields, self.ghost);
+        while self.levels.len() <= level {
+            self.levels.push(Vec::new());
+        }
+        self.levels[level].push(id);
+        self.patches.insert(id, patch);
+        self.next_id = self.next_id.max(id.0 + 1);
+    }
+
+    /// Split patch `id` in two along `axis` so that the first part has
+    /// (approximately, whole planes) `want_cells` cells. Returns the two new
+    /// ids `(a, b)`; patch `id` is removed. See [`GridHierarchy::split_patch_at`].
+    ///
+    /// Used by load balancers when a single grid is too large to move whole.
+    pub fn split_patch(&mut self, id: PatchId, want_cells: i64, axis: usize) -> (PatchId, PatchId) {
+        let region = self.patch(id).region;
+        let (ra, _rb) = region.split_cells(want_cells, axis);
+        assert!(
+            !ra.is_empty() && ra != region,
+            "split produced an empty half: {region:?} want={want_cells} axis={axis}"
+        );
+        self.split_patch_at(id, axis, ra.hi[axis])
+    }
+
+    /// Split patch `id` at plane `cut` (its own level's coordinates) normal
+    /// to `axis`. Field data is copied into the two new patches. Children
+    /// fully inside one half reattach to it; children straddling the cut are
+    /// recursively split at the same plane so the parent-containment
+    /// invariant always holds. Returns the two new ids `(low, high)`;
+    /// patch `id` is removed.
+    pub fn split_patch_at(&mut self, id: PatchId, axis: usize, cut: i64) -> (PatchId, PatchId) {
+        let (level, region, parent, owner) = {
+            let p = self.patch(id);
+            (p.level, p.region, p.parent, p.owner)
+        };
+        let (ra, rb) = region.split_at(axis, cut);
+        assert!(
+            !ra.is_empty() && !rb.is_empty(),
+            "cut {cut} does not bisect {region:?} on axis {axis}"
+        );
+        let old_fields = self.patch(id).fields.clone();
+        let children = self.children_of(id);
+
+        let a = self.insert_patch(level, ra, parent, owner);
+        let b = self.insert_patch(level, rb, parent, owner);
+        // copy solution data
+        for (k, of) in old_fields.iter().enumerate() {
+            self.patch_mut(a).fields[k].copy_from(of, &ra);
+            self.patch_mut(b).fields[k].copy_from(of, &rb);
+        }
+        // reattach (splitting straddlers at the refined cut plane)
+        let r = self.refine_factor;
+        let fine_cut = cut * r;
+        for c in children {
+            let creg = self.patch(c).region;
+            if creg.hi[axis] <= fine_cut {
+                self.patch_mut(c).parent = Some(a);
+            } else if creg.lo[axis] >= fine_cut {
+                self.patch_mut(c).parent = Some(b);
+            } else {
+                let (ca, cb) = self.split_patch_at(c, axis, fine_cut);
+                self.patch_mut(ca).parent = Some(a);
+                self.patch_mut(cb).parent = Some(b);
+            }
+        }
+        self.remove_patch(id);
+        (a, b)
+    }
+
+    /// Overlap descriptors for sibling boundary exchange at `level`: for
+    /// every ordered pair of distinct patches `(dst, src)` at the level whose
+    /// ghost shell of `dst` overlaps `src`'s interior, the overlap window and
+    /// its cell count.
+    pub fn sibling_overlaps(&self, level: usize) -> Vec<SiblingOverlap> {
+        let ids = self.level_ids(level);
+        let mut out = Vec::new();
+        for &dst in ids {
+            let dp = self.patch(dst);
+            let shell = dp.region.grow(self.ghost);
+            for &src in ids {
+                if src == dst {
+                    continue;
+                }
+                let sp = self.patch(src);
+                let w = shell.intersect(&sp.region);
+                // exclude the (impossible for disjoint siblings) interior part
+                let w = w.intersect(&sp.region);
+                if !w.is_empty() && !dp.region.contains_region(&w) {
+                    out.push(SiblingOverlap {
+                        dst,
+                        src,
+                        window: w,
+                        cells: w.cells(),
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Total cells owned by `owner` at `level`.
+    pub fn owner_level_cells(&self, owner: OwnerProc, level: usize) -> i64 {
+        self.level_ids(level)
+            .iter()
+            .map(|id| self.patch(*id))
+            .filter(|p| p.owner == owner)
+            .map(|p| p.cells())
+            .sum()
+    }
+
+    /// Per-owner cell totals at `level` for `nprocs` processors.
+    pub fn level_load_by_owner(&self, level: usize, nprocs: usize) -> Vec<i64> {
+        let mut v = vec![0i64; nprocs];
+        for id in self.level_ids(level) {
+            let p = self.patch(*id);
+            v[p.owner] += p.cells();
+        }
+        v
+    }
+
+    /// Check structural invariants; returns a description of the first
+    /// violation, if any. Used by tests and debug assertions.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (l, ids) in self.levels.iter().enumerate() {
+            for id in ids {
+                let p = self
+                    .patches
+                    .get(id)
+                    .ok_or_else(|| format!("{id:?} listed at level {l} but not in arena"))?;
+                if p.level != l {
+                    return Err(format!("{id:?} stored at level {l} but claims {}", p.level));
+                }
+                if p.region.is_empty() {
+                    return Err(format!("{id:?} has empty region"));
+                }
+                if !self.domain_at_level(l).contains_region(&p.region) {
+                    return Err(format!("{id:?} region {:?} outside domain", p.region));
+                }
+                match (l, p.parent) {
+                    (0, Some(_)) => return Err(format!("{id:?} at level 0 has a parent")),
+                    (0, None) => {}
+                    (_, None) => return Err(format!("{id:?} at level {l} has no parent")),
+                    (_, Some(par)) => {
+                        let pp = self
+                            .patches
+                            .get(&par)
+                            .ok_or_else(|| format!("{id:?} parent {par:?} missing"))?;
+                        if pp.level + 1 != l {
+                            return Err(format!("{id:?} parent {par:?} not one level up"));
+                        }
+                        // child must lie within its parent (outer-coarsened)
+                        let creg = p.region.coarsen(self.refine_factor);
+                        if !pp.region.contains_region(&creg) {
+                            return Err(format!(
+                                "{id:?} ({:?}) not inside parent {par:?} ({:?})",
+                                p.region, pp.region
+                            ));
+                        }
+                    }
+                }
+            }
+            // siblings must be pairwise disjoint
+            for (i, a) in ids.iter().enumerate() {
+                for b in &ids[i + 1..] {
+                    if self.patches[a].region.overlaps(&self.patches[b].region) {
+                        return Err(format!("{a:?} and {b:?} overlap at level {l}"));
+                    }
+                }
+            }
+        }
+        if self.patches.len() != self.levels.iter().map(|v| v.len()).sum::<usize>() {
+            return Err("arena/level count mismatch".into());
+        }
+        Ok(())
+    }
+}
+
+/// One sibling ghost-exchange dependency: `dst` needs `window` (which lies in
+/// `src`'s interior) to fill its ghost shell.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SiblingOverlap {
+    pub dst: PatchId,
+    pub src: PatchId,
+    pub window: Region,
+    pub cells: i64,
+}
+
+/// Convenience: map a cell position from level-`l` coordinates to the
+/// containing cell at level `l - k` (coarsening by `r^k`).
+pub fn coarsen_point(p: IVec3, r: i64, k: usize) -> IVec3 {
+    let mut q = p;
+    for _ in 0..k {
+        q = q.div_floor(r);
+    }
+    q
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::ivec3;
+    use crate::region::region;
+
+    fn basic() -> GridHierarchy {
+        // 8^3 root domain, r=2, up to 4 levels, 1 field, ghost 1
+        GridHierarchy::new(Region::cube(8), 2, 4, 1, 1)
+    }
+
+    #[test]
+    fn build_two_levels() {
+        let mut h = basic();
+        let root = h.insert_patch(0, Region::cube(8), None, 0);
+        let child = h.insert_patch(
+            1,
+            region(ivec3(2, 2, 2), ivec3(8, 8, 8)),
+            Some(root),
+            1,
+        );
+        assert_eq!(h.num_levels(), 2);
+        assert_eq!(h.level_cells(0), 512);
+        assert_eq!(h.level_cells(1), 216);
+        assert_eq!(h.children_of(root), vec![child]);
+        assert!(h.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn domain_at_level_refines() {
+        let h = basic();
+        assert_eq!(h.domain_at_level(0), Region::cube(8));
+        assert_eq!(h.domain_at_level(2), Region::cube(32));
+    }
+
+    #[test]
+    fn clear_levels_from_removes_descendants() {
+        let mut h = basic();
+        let root = h.insert_patch(0, Region::cube(8), None, 0);
+        let c1 = h.insert_patch(1, region(ivec3(0, 0, 0), ivec3(4, 4, 4)), Some(root), 0);
+        let _g1 = h.insert_patch(2, region(ivec3(0, 0, 0), ivec3(4, 4, 4)), Some(c1), 0);
+        assert_eq!(h.num_levels(), 3);
+        h.clear_levels_from(1);
+        assert_eq!(h.num_levels(), 1);
+        assert_eq!(h.num_patches(), 1);
+        assert!(h.check_invariants().is_ok());
+    }
+
+    #[test]
+    #[should_panic]
+    fn cannot_clear_root() {
+        let mut h = basic();
+        h.insert_patch(0, Region::cube(8), None, 0);
+        h.clear_levels_from(0);
+    }
+
+    #[test]
+    fn split_patch_conserves_cells_and_children() {
+        let mut h = basic();
+        let root = h.insert_patch(0, Region::cube(8), None, 0);
+        // child entirely within the first half (x < 4 at level 0 -> x < 8 at level 1)
+        let c = h.insert_patch(1, region(ivec3(0, 0, 0), ivec3(6, 6, 6)), Some(root), 0);
+        let (a, b) = h.split_patch(root, 256, 0);
+        assert!(!h.contains(root));
+        assert_eq!(h.patch(a).cells() + h.patch(b).cells(), 512);
+        assert_eq!(h.patch(a).cells(), 256);
+        // child reattached to the half containing it
+        assert_eq!(h.patch(c).parent, Some(a));
+        assert!(h.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn split_patch_copies_field_data() {
+        let mut h = basic();
+        let root = h.insert_patch(0, Region::cube(8), None, 0);
+        h.patch_mut(root).fields[0].map_interior(|p, _| p.x as f64);
+        let (a, b) = h.split_patch(root, 256, 0);
+        assert_eq!(h.patch(a).fields[0].get(ivec3(1, 1, 1)), 1.0);
+        assert_eq!(h.patch(b).fields[0].get(ivec3(6, 2, 3)), 6.0);
+    }
+
+    #[test]
+    fn sibling_overlaps_found() {
+        let mut h = basic();
+        let root = h.insert_patch(0, Region::cube(8), None, 0);
+        // two adjacent children at level 1 sharing the x=8 plane
+        let a = h.insert_patch(1, region(ivec3(0, 0, 0), ivec3(8, 8, 8)), Some(root), 0);
+        let b = h.insert_patch(1, region(ivec3(8, 0, 0), ivec3(16, 8, 8)), Some(root), 1);
+        let ov = h.sibling_overlaps(1);
+        // each needs a 1-deep 8x8 slab from the other
+        assert_eq!(ov.len(), 2);
+        for o in &ov {
+            assert_eq!(o.cells, 64);
+            assert!((o.dst == a && o.src == b) || (o.dst == b && o.src == a));
+        }
+    }
+
+    #[test]
+    fn no_overlap_for_distant_siblings() {
+        let mut h = basic();
+        let root = h.insert_patch(0, Region::cube(8), None, 0);
+        h.insert_patch(1, region(ivec3(0, 0, 0), ivec3(4, 4, 4)), Some(root), 0);
+        h.insert_patch(1, region(ivec3(10, 10, 10), ivec3(14, 14, 14)), Some(root), 0);
+        assert!(h.sibling_overlaps(1).is_empty());
+    }
+
+    #[test]
+    fn invariant_catches_overlapping_siblings() {
+        let mut h = basic();
+        let root = h.insert_patch(0, Region::cube(8), None, 0);
+        h.insert_patch(1, region(ivec3(0, 0, 0), ivec3(6, 6, 6)), Some(root), 0);
+        h.insert_patch(1, region(ivec3(4, 4, 4), ivec3(8, 8, 8)), Some(root), 0);
+        assert!(h.check_invariants().is_err());
+    }
+
+    #[test]
+    fn owner_loads() {
+        let mut h = basic();
+        let root = h.insert_patch(0, Region::cube(8), None, 0);
+        h.insert_patch(1, region(ivec3(0, 0, 0), ivec3(4, 4, 4)), Some(root), 1);
+        h.insert_patch(1, region(ivec3(8, 8, 8), ivec3(12, 12, 12)), Some(root), 1);
+        let loads = h.level_load_by_owner(1, 2);
+        assert_eq!(loads, vec![0, 128]);
+        assert_eq!(h.owner_level_cells(0, 0), 512);
+    }
+
+    #[test]
+    fn coarsen_point_maps_down() {
+        assert_eq!(coarsen_point(ivec3(7, 6, 5), 2, 1), ivec3(3, 3, 2));
+        assert_eq!(coarsen_point(ivec3(7, 6, 5), 2, 2), ivec3(1, 1, 1));
+        assert_eq!(coarsen_point(ivec3(3, 3, 3), 2, 0), ivec3(3, 3, 3));
+    }
+}

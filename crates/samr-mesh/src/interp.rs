@@ -1,0 +1,159 @@
+//! Inter-level data transfer: prolongation (coarse → fine) and restriction
+//! (fine → coarse).
+
+use crate::field::Field3;
+use crate::index::{ivec3, IVec3};
+use crate::region::Region;
+
+/// Piecewise-constant prolongation: fill `fine`'s cells inside `fine_window`
+/// (fine-level coordinates) by injecting the containing coarse cell's value.
+///
+/// Conservative for cell-averaged quantities and monotone, which is what a
+/// newly created refined grid needs before its first fine step.
+pub fn prolong_constant(coarse: &Field3, fine: &mut Field3, fine_window: &Region, r: i64) {
+    let w = fine_window.intersect(&fine.storage_region());
+    for p in w.iter_cells() {
+        let cp = p.div_floor(r);
+        if coarse.storage_region().contains(cp) {
+            fine.set(p, coarse.get(cp));
+        }
+    }
+}
+
+/// Trilinear prolongation: fill fine cells by linear interpolation between
+/// coarse cell centers. Falls back to the containing-cell value at coarse
+/// boundaries where a full stencil is unavailable.
+pub fn prolong_linear(coarse: &Field3, fine: &mut Field3, fine_window: &Region, r: i64) {
+    let w = fine_window.intersect(&fine.storage_region());
+    let cs = coarse.storage_region();
+    let rf = r as f64;
+    for p in w.iter_cells() {
+        // fine cell center in coarse index space
+        let cx = (p.x as f64 + 0.5) / rf - 0.5;
+        let cy = (p.y as f64 + 0.5) / rf - 0.5;
+        let cz = (p.z as f64 + 0.5) / rf - 0.5;
+        let ix = cx.floor() as i64;
+        let iy = cy.floor() as i64;
+        let iz = cz.floor() as i64;
+        let fx = cx - ix as f64;
+        let fy = cy - iy as f64;
+        let fz = cz - iz as f64;
+        let corner = ivec3(ix, iy, iz);
+        let ok = cs.contains(corner) && cs.contains(corner + IVec3::ONE);
+        let v = if ok {
+            let mut acc = 0.0;
+            for (dx, wx) in [(0i64, 1.0 - fx), (1, fx)] {
+                for (dy, wy) in [(0i64, 1.0 - fy), (1, fy)] {
+                    for (dz, wz) in [(0i64, 1.0 - fz), (1, fz)] {
+                        acc += wx * wy * wz * coarse.get(corner + ivec3(dx, dy, dz));
+                    }
+                }
+            }
+            acc
+        } else {
+            let cp = p.div_floor(r);
+            if cs.contains(cp) {
+                coarse.get(cp)
+            } else {
+                continue;
+            }
+        };
+        fine.set(p, v);
+    }
+}
+
+/// Conservative restriction: replace each coarse cell inside `coarse_window`
+/// (coarse-level coordinates) with the average of its `r^3` fine children.
+pub fn restrict_average(fine: &Field3, coarse: &mut Field3, coarse_window: &Region, r: i64) {
+    let w = coarse_window.intersect(&coarse.storage_region());
+    let inv = 1.0 / (r * r * r) as f64;
+    for cp in w.iter_cells() {
+        let fine_block = Region::at(cp * r, IVec3::splat(r));
+        if !fine.storage_region().contains_region(&fine_block) {
+            continue;
+        }
+        let sum: f64 = fine_block.iter_cells().map(|fp| fine.get(fp)).sum();
+        coarse.set(cp, sum * inv);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::region;
+
+    #[test]
+    fn constant_prolong_injects_parent_value() {
+        let mut coarse = Field3::zeros(Region::cube(4), 1);
+        coarse.map_interior(|p, _| (p.x * 100 + p.y * 10 + p.z) as f64);
+        let fine_region = Region::cube(8);
+        let mut fine = Field3::zeros(fine_region, 0);
+        prolong_constant(&coarse, &mut fine, &fine_region, 2);
+        assert_eq!(fine.get(ivec3(0, 0, 0)), 0.0);
+        assert_eq!(fine.get(ivec3(1, 1, 1)), 0.0);
+        assert_eq!(fine.get(ivec3(2, 0, 0)), 100.0);
+        assert_eq!(fine.get(ivec3(7, 7, 7)), 333.0);
+    }
+
+    #[test]
+    fn constant_prolong_conserves_sum() {
+        let mut coarse = Field3::zeros(Region::cube(4), 0);
+        coarse.map_interior(|p, _| (p.x + p.y + p.z) as f64 + 1.0);
+        let fine_region = Region::cube(8);
+        let mut fine = Field3::zeros(fine_region, 0);
+        prolong_constant(&coarse, &mut fine, &fine_region, 2);
+        // each coarse value copied into 8 fine cells
+        assert!((fine.interior_sum() - 8.0 * coarse.interior_sum()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn linear_prolong_reproduces_linear_fields() {
+        // u = x (in coarse index units) should be reproduced exactly away
+        // from boundaries
+        let mut coarse = Field3::zeros(Region::cube(6), 2);
+        for p in coarse.storage_region().iter_cells() {
+            coarse.set(p, p.x as f64);
+        }
+        let fine_region = region(ivec3(4, 4, 4), ivec3(8, 8, 8));
+        let mut fine = Field3::zeros(fine_region, 0);
+        prolong_linear(&coarse, &mut fine, &fine_region, 2);
+        for p in fine_region.iter_cells() {
+            let expect = (p.x as f64 + 0.5) / 2.0 - 0.5;
+            assert!(
+                (fine.get(p) - expect).abs() < 1e-12,
+                "at {p:?}: {} vs {expect}",
+                fine.get(p)
+            );
+        }
+    }
+
+    #[test]
+    fn restrict_average_of_constant_is_constant() {
+        let fine = Field3::constant(Region::cube(8), 0, 3.5);
+        let mut coarse = Field3::zeros(Region::cube(4), 0);
+        restrict_average(&fine, &mut coarse, &Region::cube(4), 2);
+        for p in Region::cube(4).iter_cells() {
+            assert_eq!(coarse.get(p), 3.5);
+        }
+    }
+
+    #[test]
+    fn restrict_then_prolong_conserves_total() {
+        let mut fine = Field3::zeros(Region::cube(8), 0);
+        fine.map_interior(|p, _| (p.x * p.y + p.z) as f64);
+        let mut coarse = Field3::zeros(Region::cube(4), 0);
+        restrict_average(&fine, &mut coarse, &Region::cube(4), 2);
+        // total mass conserved under restriction: coarse sum * 8 == fine sum
+        assert!((coarse.interior_sum() * 8.0 - fine.interior_sum()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn restrict_partial_window_only_touches_window() {
+        let fine = Field3::constant(Region::cube(8), 0, 2.0);
+        let mut coarse = Field3::constant(Region::cube(4), 0, -1.0);
+        let window = region(ivec3(0, 0, 0), ivec3(2, 4, 4));
+        restrict_average(&fine, &mut coarse, &window, 2);
+        assert_eq!(coarse.get(ivec3(1, 1, 1)), 2.0);
+        assert_eq!(coarse.get(ivec3(3, 3, 3)), -1.0);
+    }
+}

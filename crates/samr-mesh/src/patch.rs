@@ -1,0 +1,112 @@
+//! Grid patches: rectangular subgrids carrying solution fields.
+
+use crate::field::Field3;
+use crate::region::Region;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a grid patch, unique within a [`crate::hierarchy::GridHierarchy`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PatchId(pub u64);
+
+impl fmt::Debug for PatchId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+/// Index of the processor that owns a patch (meaningful to the caller's
+/// system model; the mesh crate only stores it).
+pub type OwnerProc = usize;
+
+/// A rectangular subgrid at one refinement level.
+///
+/// `region` is expressed in the patch's *own level's* cell coordinates; the
+/// physical span of one cell at level `l` is `h0 / r^l`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct GridPatch {
+    /// Unique id within the hierarchy.
+    pub id: PatchId,
+    /// Refinement level (0 = root).
+    pub level: usize,
+    /// Cell region at this level's resolution.
+    pub region: Region,
+    /// Parent patch (`None` for level-0 patches).
+    pub parent: Option<PatchId>,
+    /// Owning processor index.
+    pub owner: OwnerProc,
+    /// Solution fields (application-defined layout; same length for all
+    /// patches of a hierarchy).
+    pub fields: Vec<Field3>,
+}
+
+impl GridPatch {
+    /// Create a patch with `nfields` zero-initialized fields of ghost width
+    /// `ghost`.
+    pub fn new(
+        id: PatchId,
+        level: usize,
+        region: Region,
+        parent: Option<PatchId>,
+        owner: OwnerProc,
+        nfields: usize,
+        ghost: i64,
+    ) -> Self {
+        let fields = (0..nfields).map(|_| Field3::zeros(region, ghost)).collect();
+        GridPatch {
+            id,
+            level,
+            region,
+            parent,
+            owner,
+            fields,
+        }
+    }
+
+    /// Cell count — the unit of workload throughout the DLB schemes.
+    pub fn cells(&self) -> i64 {
+        self.region.cells()
+    }
+
+    /// Approximate in-memory size of the patch's field data in bytes; the
+    /// payload size used when the patch migrates between processors.
+    pub fn payload_bytes(&self) -> u64 {
+        self.fields
+            .iter()
+            .map(|f| (f.storage_region().cells() as u64) * 8)
+            .sum()
+    }
+
+    /// Boundary-exchange volume in bytes for a sibling overlap of `cells`
+    /// cells: every field ships its ghost strip.
+    pub fn boundary_bytes(&self, cells: i64) -> u64 {
+        (cells.max(0) as u64) * 8 * self.fields.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_patch_shapes_fields() {
+        let p = GridPatch::new(PatchId(3), 1, Region::cube(4), Some(PatchId(0)), 2, 5, 2);
+        assert_eq!(p.fields.len(), 5);
+        assert_eq!(p.cells(), 64);
+        for f in &p.fields {
+            assert_eq!(f.interior(), Region::cube(4));
+            assert_eq!(f.ghost(), 2);
+        }
+        assert_eq!(p.owner, 2);
+        assert_eq!(p.parent, Some(PatchId(0)));
+    }
+
+    #[test]
+    fn payload_counts_ghosts() {
+        let p = GridPatch::new(PatchId(0), 0, Region::cube(4), None, 0, 2, 1);
+        // storage is 6^3 per field, 8 bytes per cell, 2 fields
+        assert_eq!(p.payload_bytes(), 2 * 6 * 6 * 6 * 8);
+        assert_eq!(p.boundary_bytes(10), 10 * 8 * 2);
+        assert_eq!(p.boundary_bytes(-5), 0);
+    }
+}

@@ -1,0 +1,34 @@
+//! # samr-solvers — numerical kernels for the SAMR substrate
+//!
+//! Real numerics (not cost stubs) so the grid hierarchy adapts the way the
+//! paper's datasets do:
+//!
+//! * [`euler`] — 3-D compressible Euler with HLL fluxes: the hyperbolic
+//!   solver behind `ShockPool3D` (tilted planar shock) and the fluid half of
+//!   `AMR64`.
+//! * [`advection`] — scalar linear advection (upwind/minmod), used by tests
+//!   and the quickstart.
+//! * [`poisson`] — red-black Gauss–Seidel relaxation for `∇²φ = ρ`, the
+//!   elliptic half of `AMR64`; [`multigrid`] accelerates it with V-cycles
+//!   built on the mesh crate's inter-level transfer operators.
+//! * [`particles`] — leapfrog particle trajectories with NGP deposition,
+//!   `AMR64`'s ODE component.
+//!
+//! [`par`] runs a solver over many patches with rayon; simulated timing is
+//! charged separately by the driver, so real parallelism only shortens
+//! wall-clock time, never changes results.
+
+// Fixed-axis (0..3) loops indexing several parallel arrays read more
+// clearly as index loops.
+#![allow(clippy::needless_range_loop)]
+
+pub mod advection;
+pub mod euler;
+pub mod multigrid;
+pub mod muscl;
+pub mod par;
+pub mod particles;
+pub mod poisson;
+pub mod riemann;
+
+pub use particles::{Particle, ParticleSet};

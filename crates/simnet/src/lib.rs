@@ -1,0 +1,15 @@
+//! # simnet — virtual-time execution simulator
+//!
+//! Simulates SAMR execution timing on a [`topology::DistributedSystem`]:
+//! per-processor clocks, point-to-point messages that serialize on shared
+//! physical links and feel time-varying background traffic, group and global
+//! collectives, and the two-message α/β probe of the paper's §4.2. Every
+//! clock advance is attributed to compute / local comm / remote comm / DLB
+//! overhead / wait, which is exactly the decomposition the paper's Fig. 3
+//! plots.
+
+pub mod sim;
+pub mod stats;
+
+pub use sim::NetSim;
+pub use stats::{Activity, MsgStats, ProcStats, SimStats};

@@ -1,0 +1,475 @@
+//! The virtual-time execution simulator.
+//!
+//! Every processor carries a local clock; compute blocks advance one clock,
+//! messages advance sender and receiver and serialize on their physical
+//! link (a shared link is busy while a transfer is in flight, so concurrent
+//! transfers queue — contention among the application's own messages). On
+//! top of that, each link's *background* traffic (other grid users) scales
+//! its effective bandwidth at the transfer's start time.
+//!
+//! The model is BSP/LogP-flavoured rather than packet-level: exact enough to
+//! reproduce who-waits-for-what and how shared-WAN slowness scales, while
+//! staying deterministic and fast.
+
+use crate::stats::{Activity, SimStats};
+use topology::{DistributedSystem, GroupId, ProcId, SimTime};
+
+/// Physical link identity for contention tracking.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+enum LinkKey {
+    Intra(usize),
+    Inter(usize, usize),
+}
+
+/// Virtual-time simulator over a [`DistributedSystem`].
+#[derive(Clone, Debug)]
+pub struct NetSim {
+    sys: DistributedSystem,
+    clocks: Vec<SimTime>,
+    link_free: std::collections::BTreeMap<LinkKey, SimTime>,
+    link_busy: std::collections::BTreeMap<LinkKey, SimTime>,
+    stats: SimStats,
+}
+
+impl NetSim {
+    /// A fresh simulator with all clocks at zero.
+    pub fn new(sys: DistributedSystem) -> Self {
+        let n = sys.nprocs();
+        NetSim {
+            sys,
+            clocks: vec![SimTime::ZERO; n],
+            link_free: std::collections::BTreeMap::new(),
+            link_busy: std::collections::BTreeMap::new(),
+            stats: SimStats::new(n),
+        }
+    }
+
+    /// The system being simulated.
+    pub fn system(&self) -> &DistributedSystem {
+        &self.sys
+    }
+
+    /// Local clock of processor `p`.
+    pub fn now(&self, p: ProcId) -> SimTime {
+        self.clocks[p.0]
+    }
+
+    /// Wall-clock so far: the maximum processor clock.
+    pub fn elapsed(&self) -> SimTime {
+        *self.clocks.iter().max().expect("no processors")
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// Zero all clocks, link-busy state and statistics — used to exclude
+    /// setup work from a measured run.
+    pub fn reset(&mut self) {
+        self.clocks.fill(SimTime::ZERO);
+        self.link_free.clear();
+        self.link_busy.clear();
+        self.stats = SimStats::new(self.sys.nprocs());
+    }
+
+    /// Fraction of elapsed time each inter-group link spent carrying the
+    /// application's own transfers — `(group_a, group_b, utilization)` rows.
+    pub fn inter_link_utilization(&self) -> Vec<(usize, usize, f64)> {
+        let total = self.elapsed().as_secs_f64();
+        if total <= 0.0 {
+            return Vec::new();
+        }
+        self.link_busy
+            .iter()
+            .filter_map(|(k, busy)| match k {
+                LinkKey::Inter(a, b) => Some((*a, *b, busy.as_secs_f64() / total)),
+                LinkKey::Intra(_) => None,
+            })
+            .collect()
+    }
+
+    fn advance(&mut self, p: ProcId, to: SimTime, act: Activity) {
+        let cur = self.clocks[p.0];
+        if to > cur {
+            self.stats.procs[p.0].charge(act, to - cur);
+            self.clocks[p.0] = to;
+        }
+    }
+
+    /// Processor `p` computes for `secs` seconds of simulated time.
+    pub fn compute(&mut self, p: ProcId, secs: f64) {
+        let to = self.clocks[p.0] + SimTime::from_secs_f64(secs);
+        self.advance(p, to, Activity::Compute);
+    }
+
+    /// Processor `p` is busy for `secs` seconds attributed to `act` — used
+    /// for non-solver local work such as regridding or repartitioning.
+    pub fn busy(&mut self, p: ProcId, secs: f64, act: Activity) {
+        let to = self.clocks[p.0] + SimTime::from_secs_f64(secs);
+        self.advance(p, to, act);
+    }
+
+    fn link_key(&self, a: ProcId, b: ProcId) -> LinkKey {
+        let ga = self.sys.group_of(a);
+        let gb = self.sys.group_of(b);
+        if ga == gb {
+            LinkKey::Intra(ga.0)
+        } else {
+            LinkKey::Inter(ga.0.min(gb.0), ga.0.max(gb.0))
+        }
+    }
+
+    /// Is the `src → dst` path remote (crosses groups)?
+    pub fn is_remote(&self, src: ProcId, dst: ProcId) -> bool {
+        !self.sys.same_group(src, dst)
+    }
+
+    /// Send `bytes` from `src` to `dst`, attributing the time to `act`
+    /// (commonly [`Activity::LocalComm`]/[`Activity::RemoteComm`] — pass
+    /// [`Activity::LoadBalance`] for migration traffic). Returns the
+    /// completion time. Sender and receiver both block until completion
+    /// (rendezvous semantics, as for large MPI messages).
+    ///
+    /// A zero-byte send still pays latency — it is a control message.
+    pub fn send(&mut self, src: ProcId, dst: ProcId, bytes: u64, act: Activity) {
+        if src == dst {
+            return; // same address space: free
+        }
+        let link = self.sys.link_between(src, dst).clone();
+        let key = self.link_key(src, dst);
+        let ready = self.clocks[src.0].max(self.clocks[dst.0]);
+        let free = self.link_free.get(&key).copied().unwrap_or(SimTime::ZERO);
+        let start = ready.max(free);
+        let finish = start + link.transfer_time(start, bytes);
+        self.link_free.insert(key, finish);
+        *self.link_busy.entry(key).or_default() += finish - start;
+        // receiver waits for the data; sender blocks in rendezvous
+        self.advance(src, finish, act);
+        self.advance(dst, finish, act);
+        let remote = matches!(key, LinkKey::Inter(_, _));
+        if remote {
+            self.stats.msgs.remote_msgs += 1;
+            self.stats.msgs.remote_bytes += bytes;
+        } else {
+            self.stats.msgs.local_msgs += 1;
+            self.stats.msgs.local_bytes += bytes;
+        }
+    }
+
+    /// Convenience: send classifying the time automatically as local or
+    /// remote communication.
+    pub fn send_auto(&mut self, src: ProcId, dst: ProcId, bytes: u64) {
+        let act = if self.is_remote(src, dst) {
+            Activity::RemoteComm
+        } else {
+            Activity::LocalComm
+        };
+        self.send(src, dst, bytes, act);
+    }
+
+    /// Synchronize a set of processors: all clocks jump to the set's max;
+    /// the slack is charged as `act` (normally [`Activity::Wait`]).
+    pub fn sync(&mut self, procs: &[ProcId], act: Activity) -> SimTime {
+        let t = procs
+            .iter()
+            .map(|p| self.clocks[p.0])
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        for &p in procs {
+            self.advance(p, t, act);
+        }
+        t
+    }
+
+    /// Barrier over every processor.
+    pub fn barrier_all(&mut self) -> SimTime {
+        let all: Vec<ProcId> = (0..self.sys.nprocs()).map(ProcId).collect();
+        self.sync(&all, Activity::Wait)
+    }
+
+    /// Barrier within one group.
+    pub fn barrier_group(&mut self, g: GroupId) -> SimTime {
+        let procs = self.sys.procs_in(g).to_vec();
+        self.sync(&procs, Activity::Wait)
+    }
+
+    /// Allreduce of `bytes` over every processor, charged to `act`.
+    ///
+    /// Model: synchronize; recursive-doubling inside each group
+    /// (`2·⌈log₂ n_g⌉` intra messages deep); for multi-group systems a
+    /// reduce-exchange-broadcast over the inter links (2 messages deep on the
+    /// slowest inter link). The whole operation completes simultaneously on
+    /// all participants.
+    pub fn allreduce_all(&mut self, bytes: u64, act: Activity) {
+        let all: Vec<ProcId> = (0..self.sys.nprocs()).map(ProcId).collect();
+        let t0 = self.sync(&all, Activity::Wait);
+        let mut dur = SimTime::ZERO;
+        for g in self.sys.groups() {
+            let rounds = (g.nprocs() as f64).log2().ceil() as u32;
+            let per = g.intra.transfer_time(t0, bytes);
+            let d = SimTime(per.as_nanos() * 2 * rounds as u64);
+            dur = dur.max(d);
+        }
+        if self.sys.ngroups() > 1 {
+            let mut inter_d = SimTime::ZERO;
+            for a in 0..self.sys.ngroups() {
+                for b in (a + 1)..self.sys.ngroups() {
+                    let l = self.sys.inter_link(GroupId(a), GroupId(b));
+                    let per = l.transfer_time(t0 + dur, bytes);
+                    inter_d = inter_d.max(SimTime(per.as_nanos() * 2));
+                }
+            }
+            dur += inter_d;
+        }
+        let t1 = t0 + dur;
+        for &p in &all {
+            self.advance(p, t1, act);
+        }
+    }
+
+    /// Allreduce of `bytes` within one group only.
+    pub fn allreduce_group(&mut self, g: GroupId, bytes: u64, act: Activity) {
+        let procs = self.sys.procs_in(g).to_vec();
+        let t0 = self.sync(&procs, Activity::Wait);
+        let grp = self.sys.group(g);
+        let rounds = (grp.nprocs() as f64).log2().ceil() as u32;
+        let per = grp.intra.transfer_time(t0, bytes);
+        let t1 = t0 + SimTime(per.as_nanos() * 2 * rounds as u64);
+        for &p in &procs {
+            self.advance(p, t1, act);
+        }
+    }
+
+    /// One-to-all broadcast of `bytes` from `root`, charged to `act`: a
+    /// binomial tree within `root`'s group, one inter-group message to each
+    /// other group's leader, then intra-group trees there.
+    pub fn broadcast(&mut self, root: ProcId, bytes: u64, act: Activity) {
+        let all: Vec<ProcId> = (0..self.sys.nprocs()).map(ProcId).collect();
+        let t0 = self.sync(&all, Activity::Wait);
+        let rg = self.sys.group_of(root);
+        let mut finish = t0;
+        // intra tree at the root group
+        {
+            let g = self.sys.group(rg);
+            let rounds = (g.nprocs() as f64).log2().ceil() as u64;
+            let per = g.intra.transfer_time(t0, bytes);
+            finish = finish.max(t0 + SimTime(per.as_nanos() * rounds));
+        }
+        // fan out to other groups, then their intra trees
+        for g in self.sys.groups() {
+            if g.id == rg {
+                continue;
+            }
+            let inter = self.sys.inter_link(rg, g.id).transfer_time(t0, bytes);
+            let rounds = (g.nprocs() as f64).log2().ceil() as u64;
+            let per = g.intra.transfer_time(t0 + inter, bytes);
+            finish = finish.max(t0 + inter + SimTime(per.as_nanos() * rounds));
+            self.stats.msgs.remote_msgs += 1;
+            self.stats.msgs.remote_bytes += bytes;
+        }
+        for &p in &all {
+            self.advance(p, finish, act);
+        }
+    }
+
+    /// All-to-one gather of `bytes` per processor to `root`, charged to
+    /// `act`: intra-group trees concentrate each group's data at its leader,
+    /// leaders forward the group's aggregate over the inter links (which
+    /// serialize on the shared medium).
+    pub fn gather(&mut self, root: ProcId, bytes: u64, act: Activity) {
+        let all: Vec<ProcId> = (0..self.sys.nprocs()).map(ProcId).collect();
+        let t0 = self.sync(&all, Activity::Wait);
+        let rg = self.sys.group_of(root);
+        let mut finish = t0;
+        for g in self.sys.groups() {
+            let rounds = (g.nprocs() as f64).log2().ceil() as u64;
+            let per = g.intra.transfer_time(t0, bytes);
+            let intra_done = t0 + SimTime(per.as_nanos() * rounds);
+            if g.id == rg {
+                finish = finish.max(intra_done);
+            } else {
+                let agg = bytes * g.nprocs() as u64;
+                let inter = self.sys.inter_link(g.id, rg).transfer_time(intra_done, agg);
+                finish = finish.max(intra_done + inter);
+                self.stats.msgs.remote_msgs += 1;
+                self.stats.msgs.remote_bytes += agg;
+            }
+        }
+        for &p in &all {
+            self.advance(p, finish, act);
+        }
+    }
+
+    /// Probe the inter-group link between `a` and `b` with the two-message
+    /// scheme of §4.2, performed by each group's first processor; the probe's
+    /// simulated duration is charged to both as load-balance overhead.
+    pub fn probe_inter(
+        &mut self,
+        a: GroupId,
+        b: GroupId,
+        est: &mut topology::LinkEstimator,
+    ) -> topology::ProbeSample {
+        let pa = self.sys.procs_in(a)[0];
+        let pb = self.sys.procs_in(b)[0];
+        let t0 = self.clocks[pa.0].max(self.clocks[pb.0]);
+        let link = self.sys.inter_link(a, b).clone();
+        let sample = est.refresh(&link, t0);
+        let t1 = t0 + sample.elapsed;
+        self.advance(pa, t1, Activity::LoadBalance);
+        self.advance(pb, t1, Activity::LoadBalance);
+        sample
+    }
+
+    /// Advance every clock to the current maximum and return it — used at
+    /// the end of a run so idle processors account their trailing wait.
+    pub fn finish(&mut self) -> SimTime {
+        self.barrier_all()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topology::link::Link;
+    use topology::SystemBuilder;
+
+    fn sys2x2() -> DistributedSystem {
+        let intra = Link::dedicated("intra", SimTime::from_micros(10), 1e9);
+        let wan = Link::dedicated("wan", SimTime::from_millis(10), 1e7);
+        SystemBuilder::new()
+            .group("A", 2, 1.0, intra.clone())
+            .group("B", 2, 1.0, intra)
+            .connect(0, 1, wan)
+            .build()
+    }
+
+    #[test]
+    fn compute_advances_only_one_clock() {
+        let mut sim = NetSim::new(sys2x2());
+        sim.compute(ProcId(0), 2.0);
+        assert_eq!(sim.now(ProcId(0)), SimTime::from_secs(2));
+        assert_eq!(sim.now(ProcId(1)), SimTime::ZERO);
+        assert_eq!(sim.elapsed(), SimTime::from_secs(2));
+        assert_eq!(sim.stats().procs[0].compute, SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn send_blocks_both_ends() {
+        let mut sim = NetSim::new(sys2x2());
+        sim.send_auto(ProcId(0), ProcId(1), 1_000_000); // local: 10us + 1ms
+        let t = sim.now(ProcId(0));
+        assert_eq!(t, sim.now(ProcId(1)));
+        assert!((t.as_secs_f64() - 0.00101).abs() < 1e-9);
+        assert_eq!(sim.stats().msgs.local_msgs, 1);
+        assert_eq!(sim.stats().msgs.remote_msgs, 0);
+    }
+
+    #[test]
+    fn remote_send_classified_and_slow() {
+        let mut sim = NetSim::new(sys2x2());
+        sim.send_auto(ProcId(0), ProcId(2), 1_000_000); // wan: 10ms + 100ms
+        let t = sim.now(ProcId(2)).as_secs_f64();
+        assert!((t - 0.11).abs() < 1e-9, "{t}");
+        assert_eq!(sim.stats().msgs.remote_msgs, 1);
+        assert!(sim.stats().procs[0].remote_comm > SimTime::ZERO);
+        assert_eq!(sim.stats().procs[0].local_comm, SimTime::ZERO);
+    }
+
+    #[test]
+    fn self_send_free() {
+        let mut sim = NetSim::new(sys2x2());
+        sim.send_auto(ProcId(1), ProcId(1), 1 << 30);
+        assert_eq!(sim.elapsed(), SimTime::ZERO);
+        assert_eq!(sim.stats().msgs.local_msgs, 0);
+    }
+
+    #[test]
+    fn link_contention_serializes() {
+        let mut sim = NetSim::new(sys2x2());
+        // two disjoint proc pairs share the single wan link
+        sim.send_auto(ProcId(0), ProcId(2), 1_000_000);
+        sim.send_auto(ProcId(1), ProcId(3), 1_000_000);
+        // second transfer had to wait for the first: ~0.11 + 0.11
+        let t = sim.now(ProcId(3)).as_secs_f64();
+        assert!((t - 0.22).abs() < 1e-6, "{t}");
+        // but intra transfers in different groups don't contend
+        let mut sim2 = NetSim::new(sys2x2());
+        sim2.send_auto(ProcId(0), ProcId(1), 1_000_000);
+        sim2.send_auto(ProcId(2), ProcId(3), 1_000_000);
+        assert_eq!(sim2.now(ProcId(1)), sim2.now(ProcId(3)));
+    }
+
+    #[test]
+    fn sync_charges_wait_to_laggards() {
+        let mut sim = NetSim::new(sys2x2());
+        sim.compute(ProcId(0), 5.0);
+        sim.barrier_all();
+        assert_eq!(sim.now(ProcId(3)), SimTime::from_secs(5));
+        assert_eq!(sim.stats().procs[3].wait, SimTime::from_secs(5));
+        assert_eq!(sim.stats().procs[0].wait, SimTime::ZERO);
+    }
+
+    #[test]
+    fn barrier_group_leaves_other_group_alone() {
+        let mut sim = NetSim::new(sys2x2());
+        sim.compute(ProcId(0), 3.0);
+        sim.barrier_group(GroupId(0));
+        assert_eq!(sim.now(ProcId(1)), SimTime::from_secs(3));
+        assert_eq!(sim.now(ProcId(2)), SimTime::ZERO);
+    }
+
+    #[test]
+    fn allreduce_all_costs_more_than_group() {
+        let mut a = NetSim::new(sys2x2());
+        a.allreduce_all(64, Activity::LoadBalance);
+        let ta = a.elapsed();
+        let mut b = NetSim::new(sys2x2());
+        b.allreduce_group(GroupId(0), 64, Activity::LoadBalance);
+        let tb = b.elapsed();
+        assert!(ta > tb, "{ta:?} vs {tb:?}");
+        // all-proc allreduce pays the WAN: >= 2 * 10ms
+        assert!(ta >= SimTime::from_millis(20));
+        // group allreduce never does
+        assert!(tb < SimTime::from_millis(1));
+    }
+
+    #[test]
+    fn allreduce_synchronizes_everyone() {
+        let mut sim = NetSim::new(sys2x2());
+        sim.compute(ProcId(2), 1.0);
+        sim.allreduce_all(8, Activity::LoadBalance);
+        let t = sim.now(ProcId(0));
+        for p in 0..4 {
+            assert_eq!(sim.now(ProcId(p)), t);
+        }
+        assert!(t > SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn probe_charges_lb_overhead_to_leaders() {
+        let mut sim = NetSim::new(sys2x2());
+        let mut est = topology::LinkEstimator::paper_default();
+        let s = sim.probe_inter(GroupId(0), GroupId(1), &mut est);
+        assert!(est.alpha().is_some());
+        assert!(s.elapsed > SimTime::ZERO);
+        assert!(sim.stats().procs[0].load_balance > SimTime::ZERO);
+        assert!(sim.stats().procs[2].load_balance > SimTime::ZERO);
+        assert_eq!(sim.stats().procs[1].load_balance, SimTime::ZERO);
+        // estimator recovered wan alpha ~ 10ms
+        assert!((est.alpha().unwrap() - 0.01).abs() < 1e-4);
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let run = || {
+            let mut sim = NetSim::new(sys2x2());
+            sim.compute(ProcId(0), 0.5);
+            sim.send_auto(ProcId(0), ProcId(2), 123_456);
+            sim.allreduce_all(64, Activity::LoadBalance);
+            sim.compute(ProcId(3), 0.25);
+            sim.finish()
+        };
+        assert_eq!(run(), run());
+    }
+}

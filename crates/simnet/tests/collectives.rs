@@ -1,0 +1,78 @@
+//! Tests for the broadcast/gather collective models and link-utilization
+//! accounting.
+
+use simnet::{Activity, NetSim};
+use topology::link::Link;
+use topology::{ProcId, SimTime, SystemBuilder};
+
+fn sys2x2() -> topology::DistributedSystem {
+    let intra = Link::dedicated("intra", SimTime::from_micros(10), 1e9);
+    let wan = Link::dedicated("wan", SimTime::from_millis(10), 1e7);
+    SystemBuilder::new()
+        .group("A", 2, 1.0, intra.clone())
+        .group("B", 2, 1.0, intra)
+        .connect(0, 1, wan)
+        .build()
+}
+
+#[test]
+fn broadcast_synchronizes_everyone_and_pays_wan() {
+    let mut sim = NetSim::new(sys2x2());
+    sim.broadcast(ProcId(0), 1_000_000, Activity::LoadBalance);
+    let t = sim.now(ProcId(0));
+    for p in 1..4 {
+        assert_eq!(sim.now(ProcId(p)), t);
+    }
+    // must at least pay the WAN transfer: 10ms + 0.1s
+    assert!(t >= SimTime::from_millis(110), "{t:?}");
+    assert_eq!(sim.stats().msgs.remote_msgs, 1);
+}
+
+#[test]
+fn broadcast_single_group_never_remote() {
+    let intra = Link::dedicated("intra", SimTime::from_micros(10), 1e9);
+    let sys = SystemBuilder::new().group("A", 4, 1.0, intra).build();
+    let mut sim = NetSim::new(sys);
+    sim.broadcast(ProcId(2), 1 << 20, Activity::LoadBalance);
+    assert_eq!(sim.stats().msgs.remote_msgs, 0);
+    assert!(sim.elapsed() > SimTime::ZERO);
+}
+
+#[test]
+fn gather_aggregates_group_payloads() {
+    let mut sim = NetSim::new(sys2x2());
+    sim.gather(ProcId(0), 500_000, Activity::LoadBalance);
+    // group B ships 2 * 500_000 bytes over the WAN
+    assert_eq!(sim.stats().msgs.remote_bytes, 1_000_000);
+    // everyone finishes at the same time
+    let t = sim.now(ProcId(0));
+    for p in 1..4 {
+        assert_eq!(sim.now(ProcId(p)), t);
+    }
+}
+
+#[test]
+fn gather_costs_more_with_remote_root_data() {
+    let mut a = NetSim::new(sys2x2());
+    a.gather(ProcId(0), 1 << 20, Activity::LoadBalance);
+    let mut b = NetSim::new(sys2x2());
+    b.allreduce_group(topology::GroupId(0), 1 << 20, Activity::LoadBalance);
+    assert!(a.elapsed() > b.elapsed());
+}
+
+#[test]
+fn link_utilization_tracks_busy_time() {
+    let mut sim = NetSim::new(sys2x2());
+    assert!(sim.inter_link_utilization().is_empty());
+    // saturate the WAN for most of the run: 1MB at 1e7 B/s ≈ 0.1 s
+    sim.send_auto(ProcId(0), ProcId(2), 1_000_000);
+    let rows = sim.inter_link_utilization();
+    assert_eq!(rows.len(), 1);
+    let (a, b, u) = rows[0];
+    assert_eq!((a, b), (0, 1));
+    assert!(u > 0.9, "WAN should be ~fully busy: {u}");
+    // add idle compute: utilization fraction must drop
+    sim.compute(ProcId(1), 10.0);
+    let (_, _, u2) = sim.inter_link_utilization()[0];
+    assert!(u2 < 0.05, "{u2}");
+}

@@ -1,0 +1,140 @@
+//! Property-based tests for the virtual-time simulator: clocks never run
+//! backwards, accounting is complete, messages respect link physics.
+
+use proptest::prelude::*;
+use simnet::{Activity, NetSim};
+use topology::link::Link;
+use topology::{ProcId, SimTime, SystemBuilder, TrafficModel};
+
+#[derive(Clone, Debug)]
+enum Op {
+    Compute(u8, u16),
+    Send(u8, u8, u32),
+    Barrier,
+    GroupReduce(bool),
+    AllReduce,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..4, 1u16..5000).prop_map(|(p, ms)| Op::Compute(p, ms)),
+        (0u8..4, 0u8..4, 0u32..5_000_000).prop_map(|(a, b, n)| Op::Send(a, b, n)),
+        Just(Op::Barrier),
+        any::<bool>().prop_map(Op::GroupReduce),
+        Just(Op::AllReduce),
+    ]
+}
+
+fn sys() -> topology::DistributedSystem {
+    let intra = Link::dedicated("intra", SimTime::from_micros(10), 1e9);
+    let wan = Link::shared(
+        "wan",
+        SimTime::from_millis(5),
+        2e7,
+        TrafficModel::Bursty {
+            low: 0.1,
+            high: 0.8,
+            p_on: 0.5,
+            slot: SimTime::from_secs(1).into(),
+            seed: 99,
+        },
+    );
+    SystemBuilder::new()
+        .group("A", 2, 1.0, intra.clone())
+        .group("B", 2, 1.0, intra)
+        .connect(0, 1, wan)
+        .build()
+}
+
+fn apply(sim: &mut NetSim, op: &Op) {
+    match *op {
+        Op::Compute(p, ms) => sim.compute(ProcId(p as usize), ms as f64 * 1e-3),
+        Op::Send(a, b, n) => sim.send_auto(ProcId(a as usize), ProcId(b as usize), n as u64),
+        Op::Barrier => {
+            sim.barrier_all();
+        }
+        Op::GroupReduce(b) => {
+            sim.allreduce_group(topology::GroupId(b as usize), 64, Activity::LoadBalance)
+        }
+        Op::AllReduce => sim.allreduce_all(64, Activity::LoadBalance),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn clocks_never_go_backwards(ops in prop::collection::vec(arb_op(), 0..40)) {
+        let mut sim = NetSim::new(sys());
+        let mut prev = [SimTime::ZERO; 4];
+        for op in &ops {
+            apply(&mut sim, op);
+            for (p, prev_t) in prev.iter_mut().enumerate() {
+                let now = sim.now(ProcId(p));
+                prop_assert!(now >= *prev_t, "clock {} went backwards", p);
+                *prev_t = now;
+            }
+        }
+    }
+
+    #[test]
+    fn accounting_is_complete(ops in prop::collection::vec(arb_op(), 0..40)) {
+        // every nanosecond of every clock is attributed to exactly one bucket
+        let mut sim = NetSim::new(sys());
+        for op in &ops {
+            apply(&mut sim, op);
+        }
+        for p in 0..4 {
+            let total = sim.stats().procs[p].total();
+            prop_assert_eq!(total, sim.now(ProcId(p)), "proc {}", p);
+        }
+    }
+
+    #[test]
+    fn replay_is_deterministic(ops in prop::collection::vec(arb_op(), 0..30)) {
+        let run = |ops: &[Op]| {
+            let mut sim = NetSim::new(sys());
+            for op in ops {
+                apply(&mut sim, op);
+            }
+            (sim.elapsed(), sim.stats().msgs)
+        };
+        prop_assert_eq!(run(&ops), run(&ops));
+    }
+
+    #[test]
+    fn elapsed_is_max_clock(ops in prop::collection::vec(arb_op(), 0..30)) {
+        let mut sim = NetSim::new(sys());
+        for op in &ops {
+            apply(&mut sim, op);
+        }
+        let max = (0..4).map(|p| sim.now(ProcId(p))).max().unwrap();
+        prop_assert_eq!(sim.elapsed(), max);
+    }
+
+    #[test]
+    fn send_pays_at_least_latency_and_size(
+        bytes in 0u64..50_000_000,
+        from_a in any::<bool>(),
+    ) {
+        let mut sim = NetSim::new(sys());
+        let (src, dst) = if from_a { (ProcId(0), ProcId(2)) } else { (ProcId(3), ProcId(1)) };
+        sim.send_auto(src, dst, bytes);
+        let t = sim.now(dst);
+        // latency 5ms; best-case bandwidth 2e7 B/s
+        let floor = 0.005 + bytes as f64 / 2e7;
+        prop_assert!(t.as_secs_f64() >= floor - 1e-9, "{} < {}", t.as_secs_f64(), floor);
+        prop_assert_eq!(sim.stats().msgs.remote_bytes, bytes);
+    }
+
+    #[test]
+    fn barrier_idempotent(ops in prop::collection::vec(arb_op(), 0..20)) {
+        let mut sim = NetSim::new(sys());
+        for op in &ops {
+            apply(&mut sim, op);
+        }
+        let t1 = sim.barrier_all();
+        let t2 = sim.barrier_all();
+        prop_assert_eq!(t1, t2, "second barrier is free");
+    }
+}

@@ -1,0 +1,166 @@
+//! Testbed presets mirroring the systems of the paper's evaluation (§3, §5).
+//!
+//! * 250 MHz R10000 SGI Origin2000 machines at ANL and NCSA;
+//! * a fiber Gigabit-Ethernet LAN joining two machines at ANL;
+//! * the MREN ATM OC-3 WAN joining ANL and NCSA.
+//!
+//! Both experiment networks were *shared*; the presets attach bursty
+//! background-traffic models with magnitudes chosen to match the paper's
+//! observation that remote communication dominates on the WAN.
+
+use crate::link::Link;
+use crate::system::{DistributedSystem, SystemBuilder};
+use crate::time::SimTime;
+use crate::traffic::TrafficModel;
+
+/// Origin2000 intra-machine interconnect (CrayLink-class): a dedicated,
+/// low-latency, high-bandwidth link. MPI-visible numbers, not raw hardware.
+pub fn origin2000_intra() -> Link {
+    Link::dedicated("Origin2000", SimTime::from_micros(15), 250e6)
+}
+
+/// Fiber Gigabit Ethernet LAN between two machines at ANL (shared).
+pub fn gige_lan(seed: u64) -> Link {
+    Link::shared(
+        "GigE LAN",
+        SimTime::from_micros(120),
+        125e6, // 1 Gb/s
+        TrafficModel::Bursty {
+            low: 0.10,
+            high: 0.55,
+            p_on: 0.35,
+            slot: SimTime::from_secs(2).into(),
+            seed,
+        },
+    )
+}
+
+/// MREN ATM OC-3 WAN between ANL and NCSA (shared, high latency).
+pub fn mren_oc3_wan(seed: u64) -> Link {
+    Link::shared(
+        "MREN OC-3",
+        SimTime::from_millis(6),
+        19.375e6, // 155 Mb/s
+        TrafficModel::Bursty {
+            low: 0.25,
+            high: 0.75,
+            p_on: 0.45,
+            slot: SimTime::from_secs(5).into(),
+            seed,
+        },
+    )
+}
+
+/// A single parallel machine of `n` Origin2000 processors — the paper's
+/// "parallel system" baseline in §3 (one group, intra network only).
+pub fn single_origin2000(n: usize) -> DistributedSystem {
+    SystemBuilder::new()
+        .group("ANL", n, 1.0, origin2000_intra())
+        .build()
+}
+
+/// Two Origin2000s at ANL over the shared Gigabit LAN (`AMR64` testbed).
+pub fn anl_lan_pair(na: usize, nb: usize, seed: u64) -> DistributedSystem {
+    SystemBuilder::new()
+        .group("ANL-1", na, 1.0, origin2000_intra())
+        .group("ANL-2", nb, 1.0, origin2000_intra())
+        .connect(0, 1, gige_lan(seed))
+        .build()
+}
+
+/// ANL + NCSA Origin2000s over the MREN OC-3 WAN (`ShockPool3D` testbed).
+pub fn anl_ncsa_wan(na: usize, nb: usize, seed: u64) -> DistributedSystem {
+    SystemBuilder::new()
+        .group("ANL", na, 1.0, origin2000_intra())
+        .group("NCSA", nb, 1.0, origin2000_intra())
+        .connect(0, 1, mren_oc3_wan(seed))
+        .build()
+}
+
+/// Three-site extension: ANL + NCSA over MREN OC-3 plus a third site
+/// reachable from both over a slower, busier vBNS-class path. Exercises the
+/// multi-group paths of the DLB (the paper's scheme generalizes beyond two
+/// groups).
+pub fn three_site_wan(na: usize, nb: usize, nc: usize, seed: u64) -> DistributedSystem {
+    let slow_wan = |seed: u64| {
+        Link::shared(
+            "vBNS",
+            SimTime::from_millis(12),
+            12e6,
+            TrafficModel::Bursty {
+                low: 0.3,
+                high: 0.8,
+                p_on: 0.5,
+                slot: SimTime::from_secs(4).into(),
+                seed,
+            },
+        )
+    };
+    SystemBuilder::new()
+        .group("ANL", na, 1.0, origin2000_intra())
+        .group("NCSA", nb, 1.0, origin2000_intra())
+        .group("SDSC", nc, 1.0, origin2000_intra())
+        .connect(0, 1, mren_oc3_wan(seed))
+        .connect(0, 2, slow_wan(seed ^ 0x5555))
+        .connect(1, 2, slow_wan(seed ^ 0xAAAA))
+        .build()
+}
+
+/// Heterogeneous extension: `nb` processors in group B run at `rel` times the
+/// speed of group A's (exercises the weight-proportional code path the paper
+/// describes but could not test on its homogeneous testbeds).
+pub fn heterogeneous_wan(na: usize, nb: usize, rel: f64, seed: u64) -> DistributedSystem {
+    SystemBuilder::new()
+        .group("Site-A", na, 1.0, origin2000_intra())
+        .group("Site-B", nb, rel, origin2000_intra())
+        .connect(0, 1, mren_oc3_wan(seed))
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::{GroupId, ProcId};
+
+    #[test]
+    fn wan_slower_than_lan_slower_than_intra() {
+        let t = SimTime::ZERO;
+        let bytes = 1 << 20;
+        let intra = origin2000_intra().transfer_time(t, bytes);
+        let lan = gige_lan(1).transfer_time(t, bytes);
+        let wan = mren_oc3_wan(1).transfer_time(t, bytes);
+        assert!(intra < lan, "{intra:?} vs {lan:?}");
+        assert!(lan < wan, "{lan:?} vs {wan:?}");
+    }
+
+    #[test]
+    fn preset_systems_shape() {
+        let s = anl_ncsa_wan(4, 4, 3);
+        assert_eq!(s.nprocs(), 8);
+        assert_eq!(s.ngroups(), 2);
+        assert_eq!(s.inter_link(GroupId(0), GroupId(1)).name, "MREN OC-3");
+        let p = single_origin2000(8);
+        assert_eq!(p.ngroups(), 1);
+        assert_eq!(p.nprocs(), 8);
+    }
+
+    #[test]
+    fn heterogeneous_weights() {
+        let s = heterogeneous_wan(4, 4, 2.0, 0);
+        assert_eq!(s.group_power(GroupId(0)), 4.0);
+        assert_eq!(s.group_power(GroupId(1)), 8.0);
+        assert_eq!(s.proc(ProcId(6)).weight, 2.0);
+        assert_eq!(s.total_power(), 12.0);
+    }
+
+    #[test]
+    fn shared_links_fluctuate() {
+        let l = mren_oc3_wan(11);
+        let betas: Vec<f64> = (0..40)
+            .map(|i| l.beta(SimTime::from_secs(i * 5)))
+            .collect();
+        let min = betas.iter().cloned().fold(f64::MAX, f64::min);
+        let max = betas.iter().cloned().fold(0.0, f64::max);
+        assert!(max > min * 1.5, "WAN beta should vary: {min} .. {max}");
+    }
+}

@@ -1,0 +1,215 @@
+//! NWS-lite: on-line estimation of a link's α and β by active probing.
+//!
+//! §4.2 of the paper: *"the scheme sends two messages between groups, and
+//! calculates the network performance parameters α and β"*. We reproduce
+//! exactly that two-message probe, plus exponentially-weighted smoothing in
+//! the spirit of the Network Weather Service the authors cite as future work.
+
+use crate::link::Link;
+use crate::time::SimTime;
+
+/// Result of one two-message probe: estimated latency and per-byte rate.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ProbeSample {
+    /// Estimated latency α in seconds.
+    pub alpha: f64,
+    /// Estimated transfer rate β in seconds/byte.
+    pub beta: f64,
+    /// Simulated time spent performing the probe (both messages).
+    pub elapsed: SimTime,
+}
+
+/// Probe a link at time `t` with two messages of `small` and `large` bytes.
+///
+/// Solves `t1 = α + β·s1`, `t2 = α + β·s2` for `(α, β)`. The probe itself
+/// consumes simulated time `t1 + t2` (the messages really cross the link),
+/// which callers charge as DLB overhead.
+///
+/// ```
+/// use topology::{probe_link, Link, SimTime};
+/// let link = Link::dedicated("x", SimTime::from_millis(2), 1e7);
+/// let s = probe_link(&link, SimTime::ZERO, 1 << 10, 1 << 16);
+/// assert!((s.alpha - 0.002).abs() < 1e-6);
+/// assert!((s.beta - 1e-7).abs() < 1e-12);
+/// ```
+pub fn probe_link(link: &Link, t: SimTime, small: u64, large: u64) -> ProbeSample {
+    assert!(large > small, "probe sizes must differ");
+    let t1 = link.transfer_time(t, small);
+    // second message departs after the first completes
+    let t2 = link.transfer_time(t + t1, large);
+    let s1 = t1.as_secs_f64();
+    let s2 = t2.as_secs_f64();
+    let beta = (s2 - s1) / (large - small) as f64;
+    let alpha = (s1 - beta * small as f64).max(0.0);
+    ProbeSample {
+        alpha,
+        beta: beta.max(0.0),
+        elapsed: t1 + t2,
+    }
+}
+
+/// EWMA smoother over probe samples, NWS-style.
+#[derive(Clone, Debug)]
+pub struct LinkEstimator {
+    /// Smoothing factor λ ∈ (0, 1]: weight of the newest sample.
+    lambda: f64,
+    alpha: Option<f64>,
+    beta: Option<f64>,
+    /// Probe message sizes.
+    pub small: u64,
+    pub large: u64,
+    samples: usize,
+}
+
+impl LinkEstimator {
+    /// A fresh estimator. `lambda = 1.0` means "trust only the latest probe"
+    /// (what the paper's two-message scheme does); smaller values smooth.
+    pub fn new(lambda: f64, small: u64, large: u64) -> Self {
+        assert!(lambda > 0.0 && lambda <= 1.0);
+        assert!(large > small);
+        LinkEstimator {
+            lambda,
+            alpha: None,
+            beta: None,
+            small,
+            large,
+            samples: 0,
+        }
+    }
+
+    /// Defaults matching the paper's decision cadence: latest-sample
+    /// weighting, 1 KiB / 64 KiB probe messages.
+    pub fn paper_default() -> Self {
+        LinkEstimator::new(1.0, 1 << 10, 1 << 16)
+    }
+
+    /// Probe `link` at `t`, fold the sample in, and return it.
+    pub fn refresh(&mut self, link: &Link, t: SimTime) -> ProbeSample {
+        let s = probe_link(link, t, self.small, self.large);
+        self.alpha = Some(match self.alpha {
+            None => s.alpha,
+            Some(a) => self.lambda * s.alpha + (1.0 - self.lambda) * a,
+        });
+        self.beta = Some(match self.beta {
+            None => s.beta,
+            Some(b) => self.lambda * s.beta + (1.0 - self.lambda) * b,
+        });
+        self.samples += 1;
+        s
+    }
+
+    /// Current α estimate (seconds); `None` before the first probe.
+    pub fn alpha(&self) -> Option<f64> {
+        self.alpha
+    }
+
+    /// Current β estimate (seconds/byte).
+    pub fn beta(&self) -> Option<f64> {
+        self.beta
+    }
+
+    /// Number of probes folded in.
+    pub fn samples(&self) -> usize {
+        self.samples
+    }
+
+    /// Predicted time to ship `bytes` across the estimated link:
+    /// `α + β·bytes` (the paper's Eq. 1 communication term). `None` before
+    /// the first probe.
+    pub fn predict(&self, bytes: u64) -> Option<f64> {
+        match (self.alpha, self.beta) {
+            (Some(a), Some(b)) => Some(a + b * bytes as f64),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traffic::TrafficModel;
+
+    #[test]
+    fn probe_recovers_dedicated_link_params() {
+        let link = Link::dedicated("x", SimTime::from_millis(2), 1e7);
+        let s = probe_link(&link, SimTime::ZERO, 1 << 10, 1 << 16);
+        assert!((s.alpha - 0.002).abs() < 1e-6, "alpha {}", s.alpha);
+        assert!((s.beta - 1e-7).abs() < 1e-12, "beta {}", s.beta);
+    }
+
+    #[test]
+    fn probe_elapsed_accounts_both_messages() {
+        let link = Link::dedicated("x", SimTime::from_millis(1), 1e6);
+        let s = probe_link(&link, SimTime::ZERO, 1000, 2000);
+        let expect = 0.001 + 0.001 + 0.001 + 0.002;
+        assert!((s.elapsed.as_secs_f64() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn probe_sees_congestion() {
+        let busy = Link::shared(
+            "b",
+            SimTime::from_millis(2),
+            1e7,
+            TrafficModel::Constant { load: 0.8 },
+        );
+        let s = probe_link(&busy, SimTime::ZERO, 1 << 10, 1 << 16);
+        // effective bandwidth 2e6 => beta 5e-7
+        assert!((s.beta - 5e-7).abs() < 1e-10, "beta {}", s.beta);
+    }
+
+    #[test]
+    fn estimator_latest_sample_mode() {
+        let mut est = LinkEstimator::paper_default();
+        assert!(est.predict(100).is_none());
+        let link = Link::shared(
+            "t",
+            SimTime::from_millis(1),
+            1e7,
+            TrafficModel::Trace {
+                initial: 0.0,
+                points: vec![(SimTime::from_secs(10).into(), 0.9)],
+            },
+        );
+        est.refresh(&link, SimTime::ZERO);
+        let quiet_beta = est.beta().unwrap();
+        est.refresh(&link, SimTime::from_secs(10));
+        let busy_beta = est.beta().unwrap();
+        assert!(
+            (busy_beta / quiet_beta - 10.0).abs() < 1e-6,
+            "λ=1 tracks the newest sample exactly"
+        );
+        assert_eq!(est.samples(), 2);
+    }
+
+    #[test]
+    fn estimator_smoothing() {
+        let mut est = LinkEstimator::new(0.5, 1 << 10, 1 << 16);
+        let link = Link::shared(
+            "t",
+            SimTime::ZERO,
+            1e7,
+            TrafficModel::Trace {
+                initial: 0.0,
+                points: vec![(SimTime::from_secs(10).into(), 0.9)],
+            },
+        );
+        est.refresh(&link, SimTime::ZERO);
+        let b0 = est.beta().unwrap();
+        est.refresh(&link, SimTime::from_secs(10));
+        let b1 = est.beta().unwrap();
+        // smoothed estimate lies strictly between quiet and congested betas
+        let congested = link.beta(SimTime::from_secs(10));
+        assert!(b1 > b0 && b1 < congested);
+    }
+
+    #[test]
+    fn prediction_matches_link_for_dedicated() {
+        let link = Link::dedicated("x", SimTime::from_millis(5), 2e7);
+        let mut est = LinkEstimator::paper_default();
+        est.refresh(&link, SimTime::ZERO);
+        let predicted = est.predict(1 << 20).unwrap();
+        let actual = link.transfer_time(SimTime::ZERO, 1 << 20).as_secs_f64();
+        assert!((predicted - actual).abs() / actual < 1e-6);
+    }
+}

@@ -1,0 +1,122 @@
+//! Simulated time: integer nanoseconds, totally ordered and exact.
+//!
+//! Every timing quantity in the simulator is a [`SimTime`] (a point) or a
+//! [`SimTime`] difference expressed with [`SimTime::from_secs_f64`]. Integer
+//! nanoseconds keep event ordering deterministic across platforms.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point (or span) of simulated time in nanoseconds.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Construct from (non-negative, finite) seconds, rounding to nanos.
+    pub fn from_secs_f64(s: f64) -> SimTime {
+        assert!(s.is_finite() && s >= 0.0, "invalid time {s}");
+        SimTime((s * 1e9).round() as u64)
+    }
+
+    /// Construct from microseconds.
+    pub fn from_micros(us: u64) -> SimTime {
+        SimTime(us * 1_000)
+    }
+
+    /// Construct from milliseconds.
+    pub fn from_millis(ms: u64) -> SimTime {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// Construct from whole seconds.
+    pub fn from_secs(s: u64) -> SimTime {
+        SimTime(s * 1_000_000_000)
+    }
+
+    /// As floating-point seconds (for reporting and models).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Nanosecond count.
+    pub fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, o: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(o.0))
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    fn add(self, o: SimTime) -> SimTime {
+        SimTime(self.0 + o.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, o: SimTime) {
+        self.0 += o.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    fn sub(self, o: SimTime) -> SimTime {
+        SimTime(self.0.checked_sub(o.0).expect("negative SimTime"))
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_roundtrip() {
+        assert_eq!(SimTime::from_secs(2).as_nanos(), 2_000_000_000);
+        assert_eq!(SimTime::from_millis(5).as_nanos(), 5_000_000);
+        assert_eq!(SimTime::from_micros(7).as_nanos(), 7_000);
+        let t = SimTime::from_secs_f64(1.25);
+        assert!((t.as_secs_f64() - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimTime::from_secs(3);
+        let b = SimTime::from_secs(1);
+        assert_eq!((a + b).as_secs_f64(), 4.0);
+        assert_eq!((a - b).as_secs_f64(), 2.0);
+        assert_eq!(b.saturating_sub(a), SimTime::ZERO);
+        let mut c = a;
+        c += b;
+        assert_eq!(c, SimTime::from_secs(4));
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_subtraction_panics() {
+        let _ = SimTime::from_secs(1) - SimTime::from_secs(2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_seconds_panics() {
+        let _ = SimTime::from_secs_f64(-0.5);
+    }
+}

@@ -1,0 +1,86 @@
+//! Edge cases of system construction and description.
+
+use topology::link::Link;
+use topology::{presets, GroupId, ProcId, SimTime, SystemBuilder};
+
+#[test]
+fn single_group_has_no_inter_links() {
+    let sys = presets::single_origin2000(3);
+    assert_eq!(sys.ngroups(), 1);
+    let d = sys.describe();
+    assert!(d.contains("ANL(3)"));
+    assert!(!d.contains(" over "), "no inter link to mention: {d}");
+}
+
+#[test]
+fn three_site_fully_connected() {
+    let sys = presets::three_site_wan(1, 2, 3, 9);
+    assert_eq!(sys.ngroups(), 3);
+    assert_eq!(sys.nprocs(), 6);
+    for a in 0..3 {
+        for b in (a + 1)..3 {
+            let l = sys.inter_link(GroupId(a), GroupId(b));
+            assert!(!l.name.is_empty());
+        }
+    }
+    // ANL-NCSA is the OC-3; the others are the slower vBNS path
+    assert_eq!(sys.inter_link(GroupId(0), GroupId(1)).name, "MREN OC-3");
+    assert_eq!(sys.inter_link(GroupId(0), GroupId(2)).name, "vBNS");
+}
+
+#[test]
+#[should_panic]
+fn empty_group_rejected() {
+    let intra = Link::dedicated("x", SimTime::ZERO, 1e9);
+    let _ = SystemBuilder::new().group("A", 0, 1.0, intra).build();
+}
+
+#[test]
+#[should_panic]
+fn non_positive_weight_rejected() {
+    let intra = Link::dedicated("x", SimTime::ZERO, 1e9);
+    let _ = SystemBuilder::new().group("A", 2, 0.0, intra).build();
+}
+
+#[test]
+#[should_panic]
+fn self_connect_rejected() {
+    let intra = Link::dedicated("x", SimTime::ZERO, 1e9);
+    let wan = Link::dedicated("w", SimTime::ZERO, 1e7);
+    let _ = SystemBuilder::new()
+        .group("A", 2, 1.0, intra.clone())
+        .group("B", 2, 1.0, intra)
+        .connect(0, 0, wan.clone())
+        .connect(0, 1, wan)
+        .build();
+}
+
+#[test]
+#[should_panic]
+fn inter_link_within_group_panics() {
+    let sys = presets::single_origin2000(2);
+    let _ = sys.inter_link(GroupId(0), GroupId(0));
+}
+
+#[test]
+fn transfer_time_self_is_zero_everywhere() {
+    let sys = presets::three_site_wan(2, 2, 2, 1);
+    for p in 0..6 {
+        assert_eq!(
+            sys.transfer_time(SimTime::from_secs(5), ProcId(p), ProcId(p), 1 << 30),
+            SimTime::ZERO
+        );
+    }
+}
+
+#[test]
+fn heterogeneous_wan_weights_only_group_b() {
+    let sys = presets::heterogeneous_wan(3, 2, 0.5, 4);
+    for p in sys.procs_in(GroupId(0)) {
+        assert_eq!(sys.proc(*p).weight, 1.0);
+    }
+    for p in sys.procs_in(GroupId(1)) {
+        assert_eq!(sys.proc(*p).weight, 0.5);
+    }
+    assert_eq!(sys.total_power(), 4.0);
+}

@@ -1,0 +1,37 @@
+//! Quickstart: the smallest end-to-end run.
+//!
+//! Simulates a scalar advected blob on a two-site distributed system
+//! (2 processors at each site joined by a WAN), once under the baseline
+//! *parallel DLB* and once under the paper's *distributed DLB*, then prints
+//! the execution-time breakdowns side by side.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use samr_dlb::prelude::*;
+
+fn main() {
+    // a 2+2 distributed system: ANL + NCSA over the MREN OC-3 WAN preset
+    let sys = presets::anl_ncsa_wan(2, 2, 7);
+    println!("system: {}\n", sys.describe());
+
+    for scheme in [
+        samr_engine::Scheme::Parallel,
+        samr_engine::Scheme::distributed_default(),
+    ] {
+        let cfg = RunConfig::new(AppKind::AdvectBlob, 16, 4, scheme);
+        let result = Driver::new(sys.clone(), cfg).run();
+        println!("{}", result.summary());
+        println!(
+            "    remote messages: {:>6}   remote bytes: {:>10}",
+            result.breakdown.remote_msgs, result.breakdown.remote_bytes
+        );
+    }
+
+    println!(
+        "\nThe distributed scheme keeps children grids in their parents' group\n\
+         and gates inter-group moves on the gain/cost heuristic, so it ships\n\
+         far less data across the shared WAN."
+    );
+}

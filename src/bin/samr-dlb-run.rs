@@ -1,0 +1,141 @@
+//! `samr-dlb-run` — command-line runner for one simulated SAMR execution.
+//!
+//! ```text
+//! samr-dlb-run [--app shockpool3d|amr64|advect] [--scheme distributed|parallel|static]
+//!              [--testbed wan|lan|smp|three-site|hetero] [--procs N] [--n0 N]
+//!              [--steps N] [--levels N] [--gamma F] [--seed N] [--json]
+//! ```
+//!
+//! Prints the run summary (and the full result as JSON with `--json`).
+
+use samr_dlb::prelude::*;
+use samr_engine::Scheme;
+
+struct Args {
+    app: AppKind,
+    scheme: String,
+    testbed: String,
+    procs: usize,
+    n0: i64,
+    steps: usize,
+    levels: usize,
+    gamma: f64,
+    seed: u64,
+    json: bool,
+}
+
+fn parse() -> Result<Args, String> {
+    let mut a = Args {
+        app: AppKind::ShockPool3D,
+        scheme: "distributed".into(),
+        testbed: "wan".into(),
+        procs: 4,
+        n0: 24,
+        steps: 4,
+        levels: 4,
+        gamma: 2.0,
+        seed: 42,
+        json: false,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let flag = argv[i].as_str();
+        let mut val = || -> Result<&str, String> {
+            i += 1;
+            argv.get(i)
+                .map(|s| s.as_str())
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag {
+            "--app" => {
+                a.app = match val()? {
+                    "shockpool3d" => AppKind::ShockPool3D,
+                    "amr64" => AppKind::Amr64,
+                    "advect" => AppKind::AdvectBlob,
+                    x => return Err(format!("unknown app {x}")),
+                }
+            }
+            "--scheme" => a.scheme = val()?.to_string(),
+            "--testbed" => a.testbed = val()?.to_string(),
+            "--procs" => a.procs = val()?.parse().map_err(|e| format!("{e}"))?,
+            "--n0" => a.n0 = val()?.parse().map_err(|e| format!("{e}"))?,
+            "--steps" => a.steps = val()?.parse().map_err(|e| format!("{e}"))?,
+            "--levels" => a.levels = val()?.parse().map_err(|e| format!("{e}"))?,
+            "--gamma" => a.gamma = val()?.parse().map_err(|e| format!("{e}"))?,
+            "--seed" => a.seed = val()?.parse().map_err(|e| format!("{e}"))?,
+            "--json" => a.json = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: samr-dlb-run [--app shockpool3d|amr64|advect] \
+                     [--scheme distributed|parallel|static] \
+                     [--testbed wan|lan|smp|three-site|hetero] [--procs N] \
+                     [--n0 N] [--steps N] [--levels N] [--gamma F] [--seed N] [--json]"
+                );
+                std::process::exit(0);
+            }
+            x => return Err(format!("unknown flag {x}")),
+        }
+        i += 1;
+    }
+    Ok(a)
+}
+
+fn main() {
+    let a = match parse() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let per_site = a.procs.div_ceil(2).max(1);
+    let sys = match a.testbed.as_str() {
+        "wan" => presets::anl_ncsa_wan(per_site, per_site, a.seed),
+        "lan" => presets::anl_lan_pair(per_site, per_site, a.seed),
+        "smp" => presets::single_origin2000(a.procs.max(1)),
+        "three-site" => {
+            let per = (a.procs / 3).max(1);
+            presets::three_site_wan(per, per, per, a.seed)
+        }
+        "hetero" => presets::heterogeneous_wan(per_site, per_site, 2.0, a.seed),
+        x => {
+            eprintln!("error: unknown testbed {x}");
+            std::process::exit(2);
+        }
+    };
+    let scheme = match a.scheme.as_str() {
+        "distributed" => Scheme::Distributed(dlb::DistributedDlbConfig {
+            gamma: a.gamma,
+            ..Default::default()
+        }),
+        "parallel" => Scheme::Parallel,
+        "static" => Scheme::Static,
+        x => {
+            eprintln!("error: unknown scheme {x}");
+            std::process::exit(2);
+        }
+    };
+
+    let mut cfg = RunConfig::new(a.app, a.n0, a.steps, scheme);
+    cfg.max_levels = a.levels;
+    cfg.seed = a.seed;
+    let result = Driver::new(sys, cfg).run();
+
+    if a.json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&result).expect("result serializes")
+        );
+    } else {
+        println!("{}", result.summary());
+        println!(
+            "levels {}  grids {}  cell-updates {}  remote {} msgs / {} bytes",
+            result.levels,
+            result.final_patches,
+            result.cell_updates,
+            result.breakdown.remote_msgs,
+            result.breakdown.remote_bytes
+        );
+    }
+}

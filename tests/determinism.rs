@@ -1,0 +1,76 @@
+//! Every run must be a pure function of (app, system, scheme, seed) —
+//! including across host thread counts, since rayon only parallelizes
+//! independent per-patch numerics.
+
+use samr_dlb::prelude::*;
+use samr_engine::Scheme;
+
+fn run_result() -> samr_engine::RunResult {
+    let sys = presets::anl_ncsa_wan(2, 2, 11);
+    let mut cfg = RunConfig::new(AppKind::ShockPool3D, 16, 3, Scheme::distributed_default());
+    cfg.max_levels = 3;
+    Driver::new(sys, cfg).run()
+}
+
+fn fingerprint(r: &samr_engine::RunResult) -> (u64, u64, u64, usize, usize) {
+    (
+        r.total_secs.to_bits(),
+        r.cell_updates,
+        r.breakdown.remote_bytes,
+        r.final_patches,
+        r.global_redistributions,
+    )
+}
+
+#[test]
+fn identical_runs_identical_results() {
+    assert_eq!(fingerprint(&run_result()), fingerprint(&run_result()));
+}
+
+#[test]
+fn thread_count_does_not_change_results() {
+    let one = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .unwrap()
+        .install(run_result);
+    let four = rayon::ThreadPoolBuilder::new()
+        .num_threads(4)
+        .build()
+        .unwrap()
+        .install(run_result);
+    assert_eq!(fingerprint(&one), fingerprint(&four));
+}
+
+#[test]
+fn different_seeds_different_amr64_runs() {
+    let mk = |seed| {
+        let sys = presets::anl_lan_pair(2, 2, 11);
+        let mut cfg = RunConfig::new(AppKind::Amr64, 16, 2, Scheme::distributed_default());
+        cfg.max_levels = 3;
+        cfg.seed = seed;
+        Driver::new(sys, cfg).run()
+    };
+    let a = mk(1);
+    let b = mk(2);
+    // different initial blobs -> different hierarchies and workloads
+    assert_ne!(a.cell_updates, b.cell_updates);
+}
+
+#[test]
+fn traffic_seed_changes_timing_not_physics() {
+    let mk = |traffic_seed| {
+        let sys = presets::anl_ncsa_wan(2, 2, traffic_seed);
+        let mut cfg = RunConfig::new(AppKind::ShockPool3D, 16, 3, Scheme::Parallel);
+        cfg.max_levels = 3;
+        Driver::new(sys, cfg).run()
+    };
+    let a = mk(1);
+    let b = mk(99);
+    assert_eq!(a.cell_updates, b.cell_updates, "physics identical");
+    assert_ne!(
+        a.total_secs.to_bits(),
+        b.total_secs.to_bits(),
+        "timing feels different background traffic"
+    );
+}

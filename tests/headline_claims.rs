@@ -1,0 +1,131 @@
+//! Integration tests asserting the paper's headline claims hold in shape on
+//! quick-scale runs (the full-scale numbers live in EXPERIMENTS.md).
+
+use samr_dlb::prelude::*;
+use samr_engine::Scheme;
+
+fn run(app: AppKind, sys: DistributedSystem, scheme: Scheme, steps: usize) -> samr_engine::RunResult {
+    let cfg = RunConfig::new(app, 16, steps, scheme);
+    let mut cfg = cfg;
+    cfg.max_levels = 3;
+    Driver::new(sys, cfg).run()
+}
+
+#[test]
+fn fig3_shape_distributed_comm_dominates() {
+    // §3 / Fig. 3: same parallel DLB, parallel machine vs WAN system —
+    // compute similar, communication much larger on the distributed system.
+    let par = run(
+        AppKind::ShockPool3D,
+        presets::single_origin2000(4),
+        Scheme::Parallel,
+        3,
+    );
+    let dist = run(
+        AppKind::ShockPool3D,
+        presets::anl_ncsa_wan(2, 2, 7),
+        Scheme::Parallel,
+        3,
+    );
+    let compute_ratio = dist.breakdown.compute / par.breakdown.compute;
+    assert!(
+        (0.8..1.25).contains(&compute_ratio),
+        "computation should be similar: {compute_ratio}"
+    );
+    assert!(
+        dist.breakdown.comm > 3.0 * par.breakdown.comm,
+        "distributed communication ({:.2}s) must dwarf parallel ({:.2}s)",
+        dist.breakdown.comm,
+        par.breakdown.comm
+    );
+}
+
+#[test]
+fn fig7_shape_distributed_dlb_wins_on_both_testbeds() {
+    for (app, sys) in [
+        (AppKind::ShockPool3D, presets::anl_ncsa_wan(2, 2, 7)),
+        (AppKind::Amr64, presets::anl_lan_pair(2, 2, 7)),
+    ] {
+        let par = run(app, sys.clone(), Scheme::Parallel, 3);
+        let dist = run(app, sys, Scheme::distributed_default(), 3);
+        let imp = metrics::improvement_percent(par.total_secs, dist.total_secs);
+        assert!(
+            imp > 0.0,
+            "{app:?}: distributed DLB must improve over parallel DLB, got {imp:.1}%"
+        );
+    }
+}
+
+#[test]
+fn fig8_shape_distributed_dlb_more_efficient() {
+    let app = AppKind::ShockPool3D;
+    let seq = run(app, presets::single_origin2000(1), Scheme::Static, 3);
+    let sys = presets::anl_ncsa_wan(2, 2, 7);
+    let p_total = sys.total_power();
+    let par = run(app, sys.clone(), Scheme::Parallel, 3);
+    let dist = run(app, sys, Scheme::distributed_default(), 3);
+    let e_par = metrics::efficiency(seq.total_secs, par.total_secs, p_total);
+    let e_dist = metrics::efficiency(seq.total_secs, dist.total_secs, p_total);
+    assert!(e_dist > e_par, "efficiency {e_dist:.3} vs {e_par:.3}");
+    assert!(e_par > 0.0 && e_dist <= 1.5, "sane range: {e_par} {e_dist}");
+}
+
+#[test]
+fn mechanism_remote_traffic_reduced() {
+    // the mechanism behind the improvement: far less remote data motion
+    let sys = presets::anl_ncsa_wan(2, 2, 7);
+    let par = run(AppKind::ShockPool3D, sys.clone(), Scheme::Parallel, 3);
+    let dist = run(AppKind::ShockPool3D, sys, Scheme::distributed_default(), 3);
+    assert!(
+        (dist.breakdown.remote_bytes as f64) < 0.5 * par.breakdown.remote_bytes as f64,
+        "remote bytes {} vs {}",
+        dist.breakdown.remote_bytes,
+        par.breakdown.remote_bytes
+    );
+}
+
+#[test]
+fn gamma_gate_defers_under_congestion() {
+    use topology::link::Link;
+    use topology::{SystemBuilder, TrafficModel};
+    let build = |traffic: TrafficModel| {
+        SystemBuilder::new()
+            .group("A", 2, 1.0, presets::origin2000_intra())
+            .group("B", 2, 1.0, presets::origin2000_intra())
+            .connect(
+                0,
+                1,
+                Link::shared("WAN", SimTime::from_millis(6), 19.375e6, traffic),
+            )
+            .build()
+    };
+    let quiet = run(
+        AppKind::ShockPool3D,
+        build(TrafficModel::Quiet),
+        Scheme::distributed_default(),
+        4,
+    );
+    let congested = run(
+        AppKind::ShockPool3D,
+        build(TrafficModel::Constant { load: 0.995 }),
+        Scheme::distributed_default(),
+        4,
+    );
+    assert!(
+        congested.global_redistributions <= quiet.global_redistributions,
+        "congestion must not increase redistributions: {} vs {}",
+        congested.global_redistributions,
+        quiet.global_redistributions
+    );
+}
+
+#[test]
+fn heterogeneity_handled_by_distributed_dlb() {
+    // with a 4x-faster site B, distributed DLB's weight-proportional split
+    // must beat the weight-blind even split clearly
+    let sys = presets::heterogeneous_wan(2, 2, 4.0, 7);
+    let par = run(AppKind::ShockPool3D, sys.clone(), Scheme::Parallel, 3);
+    let dist = run(AppKind::ShockPool3D, sys, Scheme::distributed_default(), 3);
+    let imp = metrics::improvement_percent(par.total_secs, dist.total_secs);
+    assert!(imp > 10.0, "expected a clear win, got {imp:.1}%");
+}

@@ -1,0 +1,54 @@
+//! On a single parallel machine (one group) the distributed scheme's global
+//! phase is inert and its local phase *is* the parallel DLB — so the two
+//! schemes must perform near-identically. This is the degenerate case that
+//! makes the paper's scheme a strict generalization of its baseline.
+
+use samr_dlb::prelude::*;
+use samr_engine::Scheme;
+
+fn run(scheme: Scheme) -> samr_engine::RunResult {
+    let sys = presets::single_origin2000(4);
+    let mut cfg = RunConfig::new(AppKind::ShockPool3D, 16, 3, scheme);
+    cfg.max_levels = 3;
+    Driver::new(sys, cfg).run()
+}
+
+#[test]
+fn distributed_reduces_to_parallel_on_one_group() {
+    let par = run(Scheme::Parallel);
+    let dist = run(Scheme::distributed_default());
+    // identical workload
+    let work_ratio = par.cell_updates as f64 / dist.cell_updates as f64;
+    assert!((0.9..1.12).contains(&work_ratio), "work ratio {work_ratio}");
+    // near-identical total time (same balancing behaviour, no WAN to differ on)
+    let t_ratio = par.total_secs / dist.total_secs;
+    assert!(
+        (0.85..1.18).contains(&t_ratio),
+        "single-machine totals should match: parallel {:.2}s vs distributed {:.2}s",
+        par.total_secs,
+        dist.total_secs
+    );
+    // and the distributed scheme never even evaluated a global decision
+    assert_eq!(dist.global_checks, 0);
+    assert_eq!(dist.global_redistributions, 0);
+}
+
+#[test]
+fn both_schemes_beat_static_on_one_group() {
+    // on a single machine, any balancing beats none for an adaptive workload
+    let stat = run(Scheme::Static);
+    let par = run(Scheme::Parallel);
+    let dist = run(Scheme::distributed_default());
+    assert!(
+        par.total_secs < stat.total_secs,
+        "parallel {:.2} vs static {:.2}",
+        par.total_secs,
+        stat.total_secs
+    );
+    assert!(
+        dist.total_secs < stat.total_secs,
+        "distributed {:.2} vs static {:.2}",
+        dist.total_secs,
+        stat.total_secs
+    );
+}
