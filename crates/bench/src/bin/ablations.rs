@@ -14,4 +14,6 @@ fn main() {
     println!("{}", bench::emit(&t, "ablation_tolerance"));
     let t = bench::ablation_lambda(quick);
     println!("{}", bench::emit(&t, "ablation_lambda"));
+    let t = bench::ablation_faults(quick);
+    println!("{}", bench::emit(&t, "ablation_faults"));
 }

@@ -446,6 +446,58 @@ pub fn ablation_selection(quick: bool) -> Table {
     t
 }
 
+/// **Ablation G** — fault injection: the WAN run of Fig. 7 with a seeded
+/// outage/degradation schedule on the inter-group link, reporting what the
+/// degradation protocol did (retries, rollbacks, quarantines, re-admissions)
+/// next to the fault-free baseline.
+pub fn ablation_faults(quick: bool) -> Table {
+    use topology::faults::FaultSchedule;
+    use topology::{SimTime, SystemBuilder};
+
+    let scale = Scale::pick(quick);
+    let n = if quick { 2 } else { 4 };
+    // Up/down spans scaled to the simulated run length (seconds to minutes),
+    // so every seed actually exercises the degradation protocol.
+    let (mean_up, mean_down) = (SimTime::from_secs(3), SimTime::from_secs(3));
+    let horizon = SimTime::from_secs(3600);
+    let mut t = Table::new(format!(
+        "Ablation — WAN link faults (ShockPool3D, {n}+{n})"
+    ));
+    let cases: Vec<(String, Option<u64>)> = std::iter::once(("fault-free".to_string(), None))
+        .chain([1u64, 2, 3].into_iter().map(|s| (format!("faults seed {s}"), Some(s))))
+        .collect();
+    let rows: Vec<ConfigRow> = cases
+        .par_iter()
+        .map(|(name, seed)| {
+            let sys = match seed {
+                None => wan_system(n),
+                Some(s) => {
+                    let wan = presets::mren_oc3_wan(TRAFFIC_SEED)
+                        .with_faults(FaultSchedule::generate(*s, horizon, mean_up, mean_down));
+                    SystemBuilder::new()
+                        .group("ANL", n, 1.0, presets::origin2000_intra())
+                        .group("NCSA", n, 1.0, presets::origin2000_intra())
+                        .connect(0, 1, wan)
+                        .build()
+                }
+            };
+            let res = run_once(sys, AppKind::ShockPool3D, Scheme::distributed_default(), scale);
+            let mut row = ConfigRow::new(name.clone());
+            row.push("total time", res.total_secs);
+            row.push("retries", res.faults.retries as f64);
+            row.push("aborts", res.faults.aborts as f64);
+            row.push("quarantines", res.faults.quarantines as f64);
+            row.push("readmissions", res.faults.readmissions as f64);
+            row.push("recovery secs", res.faults.recovery_secs);
+            row
+        })
+        .collect();
+    for row in rows {
+        t.push(row);
+    }
+    t
+}
+
 fn system_for(app: AppKind, n: usize) -> DistributedSystem {
     match app {
         AppKind::Amr64 => lan_system(n),

@@ -44,6 +44,9 @@ pub struct BalanceOutcome {
     pub moved_cells: i64,
     /// Total bytes shipped for migrations.
     pub moved_bytes: u64,
+    /// Migrations abandoned because the transfer failed (the grid stays
+    /// with its current owner).
+    pub failed_moves: usize,
 }
 
 /// Balance the grids of `level` among `procs` (weights parallel to `procs`),
@@ -159,8 +162,14 @@ pub fn balance_level_within(
         let bytes = hier.patch(id).payload_bytes();
         let src = ProcId(hier.patch(id).owner);
         let dst = procs[under];
+        // Ship the grid before committing ownership; a failed transfer
+        // leaves it with its current owner. The pass stops there — the
+        // same move would be picked again and fail again.
+        if sim.send(src, dst, bytes, Activity::LoadBalance).is_err() {
+            out.failed_moves += 1;
+            break;
+        }
         hier.set_owner(id, dst.0);
-        sim.send(src, dst, bytes, Activity::LoadBalance);
         out.moves += 1;
         out.moved_cells += cells;
         out.moved_bytes += bytes;
@@ -365,6 +374,34 @@ mod tests {
             &BalanceParams::default(),
         );
         assert_eq!(out, BalanceOutcome::default());
+    }
+
+    #[test]
+    fn failed_transfer_leaves_owner_and_counts() {
+        use topology::faults::{FaultKind, FaultSchedule};
+        let intra = Link::dedicated("intra", SimTime::from_micros(10), 1e9).with_faults(
+            FaultSchedule::none().with_window(
+                SimTime::ZERO,
+                SimTime::from_secs(3600),
+                FaultKind::Outage,
+            ),
+        );
+        let sys = SystemBuilder::new().group("A", 4, 1.0, intra).build();
+        let mut sim = NetSim::new(sys);
+        let mut h = lopsided(8);
+        let out = balance_level_within(
+            &mut h,
+            &mut sim,
+            0,
+            &(0..4).map(ProcId).collect::<Vec<_>>(),
+            &[1.0; 4],
+            &BalanceParams::default(),
+        );
+        assert_eq!(out.moves, 0);
+        assert_eq!(out.failed_moves, 1, "gave up after the first failure");
+        let loads = h.level_load_by_owner(0, 4);
+        assert_eq!(loads[0], 4096, "nothing moved: {loads:?}");
+        assert!(h.check_invariants().is_ok());
     }
 
     #[test]

@@ -16,16 +16,28 @@
 //! The scheme adapts to dynamic network load because the probe measures the
 //! *current* α/β: when the shared WAN is congested, Cost inflates and global
 //! redistribution is deferred.
+//!
+//! On top of the paper's protocol sits a **degradation policy**
+//! ([`FaultTolerancePolicy`]): probes retry with exponential backoff, a
+//! group whose inter-link keeps failing is *quarantined* out of the global
+//! phase (its local phase continues — children stay with parents), a
+//! redistribution whose migration traffic dies mid-flight is rolled back
+//! from a snapshot and the wasted work recorded as abort overhead, and
+//! quarantined groups are re-admitted once a probation probe succeeds.
 
 use crate::balance::{balance_level_within, place_batch, BalanceParams};
 use crate::cost::{evaluate_cost, should_redistribute, CostEstimate};
-use crate::gain::{evaluate_gain, GainEstimate};
+use crate::fault::{FaultEvent, FaultStats, FaultTolerancePolicy, GroupHealth, QuarantineRoster};
+use crate::gain::{evaluate_gain_among, GainEstimate};
 use crate::parallel::LOAD_MSG_BYTES;
-use crate::partition::{global_redistribute_with, group_level0_cells, RedistributionReport, SelectionPolicy};
+use crate::partition::{
+    global_redistribute_guarded, group_level0_cells, RedistributionReport, SelectionPolicy,
+};
 use crate::scheme::{proc_total_cells, LbContext, LoadBalancer};
+use samr_mesh::checkpoint;
 use samr_mesh::hierarchy::GridHierarchy;
-use simnet::{Activity, NetSim};
-use topology::{DistributedSystem, GroupId, LinkEstimator, ProcId};
+use simnet::{Activity, NetSim, SimError, SimResult};
+use topology::{DistributedSystem, GroupId, LinkEstimator, ProcId, SimTime};
 use std::collections::BTreeMap;
 
 /// Tuning of the distributed scheme.
@@ -45,8 +57,16 @@ pub struct DistributedDlbConfig {
     /// EWMA factor of the link estimator (1.0 = trust latest probe, like the
     /// paper's two-message scheme).
     pub estimator_lambda: f64,
+    /// Sizes of the two probe messages (paper: 1 KiB / 64 KiB). Smaller
+    /// probes squeeze through links that drop bulk traffic, which is what
+    /// lets probation distinguish "degraded" from "dead".
+    pub probe_small_bytes: u64,
+    /// See [`Self::probe_small_bytes`]; must be strictly larger.
+    pub probe_large_bytes: u64,
     /// How donor level-0 grids are selected for global redistribution.
     pub selection: SelectionPolicy,
+    /// Retry / timeout / quarantine behaviour.
+    pub fault: FaultTolerancePolicy,
 }
 
 impl Default for DistributedDlbConfig {
@@ -58,7 +78,10 @@ impl Default for DistributedDlbConfig {
             repartition_secs_per_cell: 10e-9,
             rebuild_secs_per_moved_cell: 150e-9,
             estimator_lambda: 1.0,
+            probe_small_bytes: 1 << 10,
+            probe_large_bytes: 1 << 16,
             selection: SelectionPolicy::default(),
+            fault: FaultTolerancePolicy::default(),
         }
     }
 }
@@ -68,14 +91,20 @@ impl Default for DistributedDlbConfig {
 pub struct GlobalDecision {
     /// Level-0 step index at which the decision was taken.
     pub step: u64,
-    /// Eq. 4 evaluation.
+    /// Eq. 4 evaluation (over the healthy groups only).
     pub gain: GainEstimate,
-    /// Eq. 1 evaluation (None when no imbalance was detected, so no probe
-    /// was paid for).
+    /// Eq. 1 evaluation (None when no imbalance was detected — so no probe
+    /// was paid for — or when the decision collective / probing failed).
     pub cost: Option<CostEstimate>,
     /// Whether redistribution was invoked.
     pub invoked: bool,
-    /// Outcome when invoked.
+    /// Whether an invoked redistribution was aborted and rolled back.
+    pub aborted: bool,
+    /// Wasted computational overhead of an aborted redistribution,
+    /// seconds (0 unless `aborted`). The driver records this as the next δ.
+    pub abort_delta_secs: f64,
+    /// Outcome when invoked (for an aborted invocation: the partial motion
+    /// that was rolled back).
     pub report: Option<RedistributionReport>,
 }
 
@@ -84,6 +113,8 @@ pub struct GlobalDecision {
 pub struct DistributedDlb {
     cfg: DistributedDlbConfig,
     estimators: BTreeMap<(usize, usize), LinkEstimator>,
+    /// Quarantine state, fault-event log and counters.
+    pub roster: QuarantineRoster,
     /// Full decision log of the global phase.
     pub decisions: Vec<GlobalDecision>,
 }
@@ -93,6 +124,7 @@ impl DistributedDlb {
         DistributedDlb {
             cfg,
             estimators: BTreeMap::new(),
+            roster: QuarantineRoster::default(),
             decisions: Vec::new(),
         }
     }
@@ -107,30 +139,54 @@ impl DistributedDlb {
         self.decisions.iter().filter(|d| d.invoked).count()
     }
 
+    /// Chronological fault-event log.
+    pub fn fault_events(&self) -> &[FaultEvent] {
+        &self.roster.events
+    }
+
+    /// Aggregate fault counters.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.roster.stats
+    }
+
     fn estimator(&mut self, a: usize, b: usize) -> &mut LinkEstimator {
         let lambda = self.cfg.estimator_lambda;
+        let (small, large) = (self.cfg.probe_small_bytes, self.cfg.probe_large_bytes);
+        let fault = self.cfg.fault;
         self.estimators
             .entry((a.min(b), a.max(b)))
             .or_insert_with(|| {
-                let d = LinkEstimator::paper_default();
-                LinkEstimator::new(lambda, d.small, d.large)
+                LinkEstimator::new(lambda, small, large)
+                    .with_staleness(fault.estimator_ttl_secs, fault.quarantine_after.max(1))
             })
     }
 
-    /// Predicted level-0 cells each overloaded group would export — the `W`
-    /// whose transfer cost Eq. 1 prices.
+    /// Predicted level-0 cells each overloaded *eligible* group would
+    /// export — the `W` whose transfer cost Eq. 1 prices.
     fn planned_move_cells(
         hier: &GridHierarchy,
         sys: &DistributedSystem,
         group_loads: &[f64],
+        eligible: &[bool],
     ) -> i64 {
-        let total: f64 = group_loads.iter().sum();
-        let power = sys.total_power();
-        if total <= 0.0 {
+        let total: f64 = group_loads
+            .iter()
+            .enumerate()
+            .filter(|(g, _)| eligible[*g])
+            .map(|(_, &w)| w)
+            .sum();
+        let power: f64 = (0..sys.ngroups())
+            .filter(|&g| eligible[g])
+            .map(|g| sys.group_power(GroupId(g)))
+            .sum();
+        if total <= 0.0 || power <= 0.0 {
             return 0;
         }
         let mut cells = 0i64;
         for (g, &w) in group_loads.iter().enumerate() {
+            if !eligible[g] {
+                continue;
+            }
             let target = total * sys.group_power(GroupId(g)) / power;
             if w > target && w > 0.0 {
                 let frac = (w - target) / w;
@@ -140,18 +196,123 @@ impl DistributedDlb {
         cells
     }
 
+    /// Attempt re-admission of quarantined groups via a single probation
+    /// probe toward the lowest-indexed healthy group.
+    fn probation(&mut self, ctx: &mut LbContext<'_>, sys: &DistributedSystem, step: u64) {
+        let fault = self.cfg.fault;
+        for g in self.roster.quarantined_groups() {
+            let due = match self.roster.health(g) {
+                GroupHealth::Quarantined { since_step, .. } => {
+                    step > since_step
+                        && (step - since_step).is_multiple_of(fault.probation_interval.max(1))
+                }
+                GroupHealth::Healthy => false,
+            };
+            if !due {
+                continue;
+            }
+            // group 0 is never quarantined, so a healthy peer always exists
+            let h0 = self.roster.healthy_groups()[0];
+            let pa = sys.procs_in(GroupId(h0))[0];
+            let pb = sys.procs_in(GroupId(g))[0];
+            let t0 = ctx.sim.now(pa).max(ctx.sim.now(pb));
+            let dl = t0 + SimTime::from_secs_f64(fault.probe_timeout_secs);
+            let est = self.estimator(h0, g);
+            if ctx
+                .sim
+                .probe_inter(GroupId(h0), GroupId(g), est, Some(dl))
+                .is_ok()
+            {
+                let now = ctx.sim.now(pb);
+                self.roster.record_pair_success(h0, g);
+                self.roster.readmit(g, step, now);
+            }
+        }
+    }
+
     /// The global load-balancing phase (runs after level-0 steps).
     fn global_phase(&mut self, ctx: &mut LbContext<'_>) {
         let sys = ctx.sim.system().clone();
         if sys.ngroups() < 2 {
             return;
         }
-        // Evaluate the load distribution among the groups: every processor
-        // participates (one small collective).
-        ctx.sim.allreduce_all(LOAD_MSG_BYTES, Activity::LoadBalance);
-        let gain = evaluate_gain(ctx.history, &sys);
-
+        self.roster.ensure_len(sys.ngroups());
         let step = ctx.history.steps();
+        let fault = self.cfg.fault;
+
+        // Quarantined groups get their probation probe first, so a
+        // recovered link rejoins in the same step that notices it.
+        self.probation(ctx, &sys, step);
+
+        let healthy = self.roster.healthy_groups();
+        if healthy.len() < 2 {
+            return; // nobody to exchange work with; local phases continue
+        }
+
+        // Evaluate the load distribution among the *healthy* groups: one
+        // small collective in degraded mode, retried with backoff like any
+        // other inter-group exchange.
+        let gids: Vec<GroupId> = healthy.iter().map(|&g| GroupId(g)).collect();
+        let mut attempt = 0u32;
+        let collective = loop {
+            match ctx
+                .sim
+                .allreduce_groups(&gids, LOAD_MSG_BYTES, Activity::LoadBalance)
+            {
+                Ok(t) => break Ok((t, attempt)),
+                Err(e) => {
+                    attempt += 1;
+                    if attempt >= fault.retry.max_attempts.max(1) {
+                        break Err(e);
+                    }
+                    let backoff = fault.retry.backoff_secs(attempt - 1);
+                    for &gid in &gids {
+                        for &p in sys.procs_in(gid) {
+                            ctx.sim.busy(p, backoff, Activity::Wait);
+                        }
+                    }
+                }
+            }
+        };
+        match collective {
+            Ok((_, retries)) => {
+                if retries > 0 {
+                    self.roster.stats.retries += retries as u64;
+                    self.roster
+                        .events
+                        .push(FaultEvent::RetrySucceeded { step, retries });
+                }
+            }
+            Err(e) => {
+                self.roster.stats.comm_failures += 1;
+                if let SimError::CollectiveFailed {
+                    at,
+                    group_a,
+                    group_b,
+                } = e
+                {
+                    self.roster
+                        .record_pair_failure(group_a, group_b, step, at, fault.quarantine_after);
+                }
+                // no load information this step: defer the decision entirely
+                self.decisions.push(GlobalDecision {
+                    step,
+                    gain: GainEstimate {
+                        gain_secs: 0.0,
+                        group_loads: Vec::new(),
+                        imbalance_ratio: 1.0,
+                    },
+                    cost: None,
+                    invoked: false,
+                    aborted: false,
+                    abort_delta_secs: 0.0,
+                    report: None,
+                });
+                return;
+            }
+        }
+        let gain = evaluate_gain_among(ctx.history, &sys, &healthy);
+
         // NaN-safe: a NaN ratio reads as balanced
         let imbalanced = gain.imbalance_ratio > self.cfg.imbalance_tolerance;
         if !imbalanced || gain.gain_secs <= 0.0 {
@@ -160,51 +321,153 @@ impl DistributedDlb {
                 gain,
                 cost: None,
                 invoked: false,
+                aborted: false,
+                abort_delta_secs: 0.0,
                 report: None,
             });
             return;
         }
 
-        // Imbalance exists: price the redistribution. Probe the inter-group
-        // links (two messages each — §4.2) and take the slowest path.
-        let move_cells = Self::planned_move_cells(ctx.hier, &sys, &gain.group_loads);
+        // Imbalance exists: price the redistribution. Probe the healthy
+        // inter-group links (two messages each — §4.2, retried with backoff
+        // on failure) and take the slowest path.
+        let eligible: Vec<bool> = (0..sys.ngroups()).map(|g| healthy.contains(&g)).collect();
+        let move_cells = Self::planned_move_cells(ctx.hier, &sys, &gain.group_loads, &eligible);
         let cell_bytes = (ctx.hier.nfields() as u64) * 8;
         let move_bytes = move_cells.max(0) as u64 * cell_bytes;
         let mut alpha = 0.0f64;
         let mut beta = 0.0f64;
-        for a in 0..sys.ngroups() {
-            for b in (a + 1)..sys.ngroups() {
+        let mut probe_failed = false;
+        'pairs: for (i, &a) in healthy.iter().enumerate() {
+            for &b in &healthy[i + 1..] {
+                let pa = sys.procs_in(GroupId(a))[0];
+                let pb = sys.procs_in(GroupId(b))[0];
+                let retry = fault.retry;
                 let est = self.estimator(a, b);
-                // split borrows: probe via the simulator
-                let sample = ctx.sim.probe_inter(GroupId(a), GroupId(b), est);
-                alpha = alpha.max(sample.alpha);
-                beta = beta.max(sample.beta);
+                let mut attempt = 0u32;
+                let outcome = loop {
+                    if attempt > 0 {
+                        // backoff is idle waiting on both leaders
+                        let backoff = retry.backoff_secs(attempt - 1);
+                        ctx.sim.busy(pa, backoff, Activity::Wait);
+                        ctx.sim.busy(pb, backoff, Activity::Wait);
+                    }
+                    let t0 = ctx.sim.now(pa).max(ctx.sim.now(pb));
+                    let dl = t0 + SimTime::from_secs_f64(fault.probe_timeout_secs);
+                    match ctx.sim.probe_inter(GroupId(a), GroupId(b), est, Some(dl)) {
+                        Ok(s) => break Ok((s, attempt)),
+                        Err(e) => {
+                            attempt += 1;
+                            if attempt >= retry.max_attempts.max(1) {
+                                break Err(e);
+                            }
+                        }
+                    }
+                };
+                match outcome {
+                    Ok((s, retries)) => {
+                        if retries > 0 {
+                            self.roster.stats.retries += retries as u64;
+                            self.roster
+                                .events
+                                .push(FaultEvent::RetrySucceeded { step, retries });
+                        }
+                        self.roster.record_pair_success(a, b);
+                        alpha = alpha.max(s.alpha);
+                        beta = beta.max(s.beta);
+                    }
+                    Err(e) => {
+                        self.roster.stats.probe_failures += 1;
+                        self.roster.events.push(FaultEvent::ProbeFailure {
+                            step,
+                            group_a: a,
+                            group_b: b,
+                        });
+                        self.roster
+                            .record_pair_failure(a, b, step, e.at(), fault.quarantine_after);
+                        probe_failed = true;
+                        break 'pairs;
+                    }
+                }
             }
+        }
+        if probe_failed {
+            // α/β for some path is unknown (and that link is suspect):
+            // defer — the quarantine protocol decides who sits out next step
+            self.decisions.push(GlobalDecision {
+                step,
+                gain,
+                cost: None,
+                invoked: false,
+                aborted: false,
+                abort_delta_secs: 0.0,
+                report: None,
+            });
+            return;
         }
         let cost = evaluate_cost(alpha, beta, move_bytes, ctx.history);
         let invoked = should_redistribute(gain.gain_secs, &cost, self.cfg.gamma);
 
+        let mut aborted = false;
+        let mut abort_delta_secs = 0.0;
         let report = if invoked {
-            let rep = global_redistribute_with(
+            // Checkpoint first: migration traffic may die mid-flight, and a
+            // half-moved hierarchy must be rolled back exactly.
+            let snap = checkpoint::snapshot(ctx.hier);
+            let deadline = fault
+                .transfer_deadline_slack
+                .map(|slack| ctx.sim.elapsed() + SimTime::from_secs_f64(slack));
+            match global_redistribute_guarded(
                 ctx.hier,
                 ctx.sim,
                 &gain.group_loads,
+                &eligible,
                 &self.cfg.balance,
                 self.cfg.selection,
-            );
-            // Computational overhead of the redistribution: repartitioning
-            // the top-level grids, rebuilding internal data structures, and
-            // updating boundary conditions (§4.2). Charged to every
-            // processor and recorded as the next δ. A redistribution that
-            // found nothing movable costs (and records) nothing.
-            if rep.moves > 0 {
-                let level0: i64 = ctx.hier.level_cells(0);
-                let delta = level0 as f64 * self.cfg.repartition_secs_per_cell
-                    + rep.moved_cells as f64 * self.cfg.rebuild_secs_per_moved_cell;
-                charge_all(ctx.sim, delta);
-                ctx.history.record_redistribution_overhead(delta);
+                deadline,
+            ) {
+                Ok(rep) => {
+                    // Computational overhead of the redistribution:
+                    // repartitioning the top-level grids, rebuilding internal
+                    // data structures, and updating boundary conditions
+                    // (§4.2). Charged to every processor and recorded as the
+                    // next δ. A redistribution that found nothing movable
+                    // costs (and records) nothing.
+                    if rep.moves > 0 {
+                        let level0: i64 = ctx.hier.level_cells(0);
+                        let delta = level0 as f64 * self.cfg.repartition_secs_per_cell
+                            + rep.moved_cells as f64 * self.cfg.rebuild_secs_per_moved_cell;
+                        charge_all(ctx.sim, delta);
+                        ctx.history.record_redistribution_overhead(delta);
+                    }
+                    Some(rep)
+                }
+                Err(ab) => {
+                    *ctx.hier = checkpoint::restore(&snap);
+                    aborted = true;
+                    // Wasted work: the repartition scan plus rebuilding the
+                    // partially-moved cells twice (out and back). The driver
+                    // records this as the next δ.
+                    let level0: i64 = ctx.hier.level_cells(0);
+                    abort_delta_secs = level0 as f64 * self.cfg.repartition_secs_per_cell
+                        + 2.0 * ab.partial.moved_cells as f64
+                            * self.cfg.rebuild_secs_per_moved_cell;
+                    charge_all(ctx.sim, abort_delta_secs);
+                    self.roster.stats.aborts += 1;
+                    self.roster.events.push(FaultEvent::RedistributionAborted {
+                        step,
+                        error: ab.error,
+                    });
+                    self.roster.record_pair_failure(
+                        ab.src_group,
+                        ab.dst_group,
+                        step,
+                        ab.error.at(),
+                        fault.quarantine_after,
+                    );
+                    Some(ab.partial)
+                }
             }
-            Some(rep)
         } else {
             None
         };
@@ -213,19 +476,30 @@ impl DistributedDlb {
             gain,
             cost: Some(cost),
             invoked,
+            aborted,
+            abort_delta_secs,
             report,
         });
     }
 
-    /// The local phase: parallel DLB restricted to each group.
+    /// The local phase: parallel DLB restricted to each group. Runs for
+    /// every group — quarantined ones included: intra-group links are
+    /// unaffected by an inter-link failure, and children stay with parents.
     fn local_phase(&mut self, ctx: &mut LbContext<'_>, level: usize) {
         let sys = ctx.sim.system().clone();
         for g in sys.groups() {
             if g.nprocs() < 2 {
                 continue;
             }
-            ctx.sim
-                .allreduce_group(g.id, LOAD_MSG_BYTES, Activity::LoadBalance);
+            // single-group collectives cross no inter-link and cannot fail,
+            // but stay defensive: a failed exchange skips the group's pass
+            if ctx
+                .sim
+                .allreduce_group(g.id, LOAD_MSG_BYTES, Activity::LoadBalance)
+                .is_err()
+            {
+                continue;
+            }
             let procs: Vec<ProcId> = g.procs.clone();
             let weights: Vec<f64> = procs.iter().map(|p| sys.proc(*p).weight).collect();
             balance_level_within(
@@ -257,7 +531,7 @@ impl LoadBalancer for DistributedDlb {
         "distributed DLB"
     }
 
-    fn after_level_step(&mut self, mut ctx: LbContext<'_>, level: usize) {
+    fn after_level_step(&mut self, mut ctx: LbContext<'_>, level: usize) -> SimResult<()> {
         if level == 0 {
             self.global_phase(&mut ctx);
             // after any global motion, even out level 0 within each group
@@ -265,6 +539,7 @@ impl LoadBalancer for DistributedDlb {
         } else {
             self.local_phase(&mut ctx, level);
         }
+        Ok(())
     }
 
     fn place_new_patches(
@@ -362,10 +637,12 @@ mod tests {
                 history: &mut history,
             },
             0,
-        );
+        )
+        .unwrap();
         assert_eq!(dlb.decisions.len(), 1);
         let d = &dlb.decisions[0];
         assert!(d.invoked, "decision {d:?}");
+        assert!(!d.aborted);
         let rep = d.report.as_ref().unwrap();
         assert!(rep.moved_cells > 0);
         // δ recorded for the next cost evaluation
@@ -374,6 +651,8 @@ mod tests {
         let loads = hier.level_load_by_owner(0, 4);
         assert_eq!(loads[0] + loads[1] + loads[2] + loads[3], 4096);
         assert!(loads.iter().all(|&l| l > 0), "loads {loads:?}");
+        // nothing fault-related happened
+        assert_eq!(dlb.fault_stats(), crate::fault::FaultStats::default());
     }
 
     #[test]
@@ -394,7 +673,8 @@ mod tests {
                     history: &mut history,
                 },
                 0,
-            );
+            )
+            .unwrap();
             let d = dlb.decisions[0].clone();
             let sys = sim.system().clone();
             (d, crate::partition::group_level0_cells(&hier, &sys, 0))
@@ -422,7 +702,8 @@ mod tests {
                 history: &mut history,
             },
             0,
-        );
+        )
+        .unwrap();
         let d = &dlb.decisions[0];
         assert!(!d.invoked);
         assert!(d.cost.is_none(), "no imbalance -> no probe paid");
@@ -443,7 +724,8 @@ mod tests {
                 history: &mut history,
             },
             1,
-        );
+        )
+        .unwrap();
         // group A still owns 6 grids' worth of cells, B 2 — but spread
         // within each group
         let sys = sim.system().clone();
@@ -486,7 +768,8 @@ mod tests {
                 history: &mut history,
             },
             0,
-        );
+        )
+        .unwrap();
         assert!(dlb.decisions[0].invoked);
         assert_eq!(dlb.invocations(), 1);
     }
@@ -506,7 +789,8 @@ mod tests {
                 history: &mut history,
             },
             0,
-        );
+        )
+        .unwrap();
         assert!(dlb.decisions.is_empty());
         // but local phase still evens out the single group
         let loads = hier.level_load_by_owner(0, 4);
@@ -572,7 +856,8 @@ mod congestion_tests {
                 history: &mut history,
             },
             0,
-        );
+        )
+        .unwrap();
         assert!(dlb.decisions[0].invoked, "quiet phase should redistribute");
 
         // advance simulated time past the congestion onset
@@ -591,7 +876,8 @@ mod congestion_tests {
                 history: &mut history,
             },
             0,
-        );
+        )
+        .unwrap();
         let d = dlb.decisions.last().unwrap();
         assert!(
             !d.invoked,
@@ -602,5 +888,191 @@ mod congestion_tests {
         let cost = d.cost.unwrap();
         let quiet_cost = dlb.decisions[0].cost.unwrap();
         assert!(cost.comm_secs > quiet_cost.comm_secs * 5.0);
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use crate::history::WorkloadHistory;
+    use samr_mesh::{ivec3, region};
+    use topology::faults::{FaultKind, FaultSchedule};
+    use topology::link::Link;
+    use topology::{SimTime, SystemBuilder};
+
+    fn faulty_wan_sys(sched: FaultSchedule) -> DistributedSystem {
+        let intra = Link::dedicated("intra", SimTime::from_micros(10), 1e9);
+        let wan = Link::dedicated("wan", SimTime::from_millis(5), 2e7).with_faults(sched);
+        SystemBuilder::new()
+            .group("A", 2, 1.0, intra.clone())
+            .group("B", 2, 1.0, intra)
+            .connect(0, 1, wan)
+            .build()
+    }
+
+    fn hier_split(na: i64) -> GridHierarchy {
+        let mut h = GridHierarchy::new(region(ivec3(0, 0, 0), ivec3(64, 8, 8)), 2, 4, 1, 1);
+        for i in 0..8 {
+            let owner = if i < na { 0 } else { 2 };
+            h.insert_patch(
+                0,
+                region(ivec3(8 * i, 0, 0), ivec3(8 * (i + 1), 8, 8)),
+                None,
+                owner,
+            );
+        }
+        h
+    }
+
+    /// One level-0 step: record the current load picture, then run the
+    /// balancer. The shared history keeps the step counter advancing, which
+    /// is what drives probation scheduling.
+    fn step(
+        dlb: &mut DistributedDlb,
+        sim: &mut NetSim,
+        hier: &mut GridHierarchy,
+        history: &mut WorkloadHistory,
+        t: f64,
+    ) {
+        history.record_snapshot(vec![hier.level_load_by_owner(0, 4)], vec![1]);
+        history.record_step_time(t);
+        dlb.after_level_step(
+            LbContext {
+                hier,
+                sim,
+                history,
+            },
+            0,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn transient_outage_is_survived_by_retry() {
+        // WAN down for the first 40 ms only; the default backoff (50 ms)
+        // pushes the retry past the window.
+        let sched = FaultSchedule::none().with_window(
+            SimTime::ZERO,
+            SimTime::from_millis(40),
+            FaultKind::Outage,
+        );
+        let mut sim = NetSim::new(faulty_wan_sys(sched));
+        let mut hier = hier_split(6);
+        let mut history = WorkloadHistory::new(4);
+        let mut dlb = DistributedDlb::default();
+        step(&mut dlb, &mut sim, &mut hier, &mut history, 60.0);
+        let d = &dlb.decisions[0];
+        assert!(d.invoked, "{d:?}");
+        assert!(!d.aborted);
+        let stats = dlb.fault_stats();
+        assert!(stats.retries >= 1, "{stats:?}");
+        assert_eq!(stats.quarantines, 0);
+        assert!(dlb
+            .fault_events()
+            .iter()
+            .any(|e| matches!(e, FaultEvent::RetrySucceeded { .. })));
+    }
+
+    #[test]
+    fn persistent_outage_quarantines_then_readmits() {
+        // WAN dead from 0 to 1000 s, healthy afterwards.
+        let sched = FaultSchedule::none().with_window(
+            SimTime::ZERO,
+            SimTime::from_secs(1000),
+            FaultKind::Outage,
+        );
+        let mut sim = NetSim::new(faulty_wan_sys(sched));
+        let mut hier = hier_split(6);
+        let cfg = DistributedDlbConfig {
+            fault: FaultTolerancePolicy {
+                quarantine_after: 2,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let mut dlb = DistributedDlb::new(cfg);
+        let mut history = WorkloadHistory::new(4);
+
+        // Two steps with the link dead: the decision collective fails even
+        // after retries — one strike per step; quarantine_after = 2.
+        step(&mut dlb, &mut sim, &mut hier, &mut history, 60.0);
+        step(&mut dlb, &mut sim, &mut hier, &mut history, 60.0);
+        assert!(
+            !dlb.roster.is_healthy(1),
+            "B should be quarantined: {:?}",
+            dlb.fault_events()
+        );
+        assert_eq!(dlb.fault_stats().quarantines, 1);
+        assert_eq!(group_level0_cells(&hier, sim.system(), 0), 3072, "no motion");
+
+        // While quarantined the global phase is silent (healthy set = {A}),
+        // and the probation probe keeps failing inside the fault window.
+        let before = dlb.decisions.len();
+        step(&mut dlb, &mut sim, &mut hier, &mut history, 60.0);
+        assert_eq!(dlb.decisions.len(), before, "no global decision while alone");
+        assert!(!dlb.roster.is_healthy(1));
+
+        // Advance past the fault window; probation probe re-admits B.
+        for p in 0..4 {
+            sim.busy(ProcId(p), 1100.0, Activity::Compute);
+        }
+        step(&mut dlb, &mut sim, &mut hier, &mut history, 60.0);
+        assert!(dlb.roster.is_healthy(1), "{:?}", dlb.fault_events());
+        let stats = dlb.fault_stats();
+        assert_eq!(stats.readmissions, 1);
+        assert!(stats.recovery_secs > 0.0);
+        // and with the link back, the imbalance finally gets fixed
+        let d = dlb.decisions.last().unwrap();
+        assert!(d.invoked, "{d:?}");
+        assert_eq!(group_level0_cells(&hier, sim.system(), 0), 2048);
+    }
+
+    #[test]
+    fn midflight_failure_rolls_back_and_records_abort() {
+        // Lossy WAN: small messages (the decision collective and the
+        // 1 KiB / 64 KiB probes) get through, bulk payloads above 64 KiB
+        // die mid-flight. Grids of 32×32×32 = 32768 cells carry a 256 KiB
+        // payload, so the migration itself is what fails.
+        let sched = FaultSchedule::none().with_window(
+            SimTime::ZERO,
+            SimTime::from_secs(3600),
+            FaultKind::DropLarge {
+                threshold_bytes: (1 << 16) + 1,
+            },
+        );
+        let mut sim = NetSim::new(faulty_wan_sys(sched));
+        let mut hier = {
+            let mut h =
+                GridHierarchy::new(region(ivec3(0, 0, 0), ivec3(256, 32, 32)), 2, 4, 1, 1);
+            for i in 0..8 {
+                let owner = if i < 6 { 0 } else { 2 };
+                h.insert_patch(
+                    0,
+                    region(ivec3(32 * i, 0, 0), ivec3(32 * (i + 1), 32, 32)),
+                    None,
+                    owner,
+                );
+            }
+            h
+        };
+        let grids_before = hier.level_ids(0).len();
+        let cells_a_before = group_level0_cells(&hier, sim.system(), 0);
+        let mut history = WorkloadHistory::new(4);
+        let mut dlb = DistributedDlb::default();
+        step(&mut dlb, &mut sim, &mut hier, &mut history, 600.0);
+        let d = &dlb.decisions[0];
+        assert!(d.invoked, "{d:?}");
+        assert!(d.aborted, "bulk transfer must have failed: {d:?}");
+        assert!(d.abort_delta_secs > 0.0);
+        let stats = dlb.fault_stats();
+        assert_eq!(stats.aborts, 1);
+        // rollback restored ownership exactly
+        assert_eq!(group_level0_cells(&hier, sim.system(), 0), cells_a_before);
+        assert_eq!(hier.level_ids(0).len(), grids_before, "splits rolled back");
+        assert!(hier.check_invariants().is_ok());
+        assert!(dlb
+            .fault_events()
+            .iter()
+            .any(|e| matches!(e, FaultEvent::RedistributionAborted { .. })));
     }
 }

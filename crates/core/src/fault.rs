@@ -1,0 +1,310 @@
+//! Fault-tolerance policy for the distributed DLB: retries, probe
+//! deadlines, and the group **quarantine** protocol.
+//!
+//! The paper assumes the WAN between groups stays up; real distributed
+//! systems do not. The degradation policy implemented here keeps the
+//! scheme's structure intact while making every inter-group interaction
+//! abortable:
+//!
+//! * control traffic (probes, decision collectives) is retried with
+//!   exponential backoff under a [`RetryPolicy`];
+//! * a group whose inter-link keeps failing is **quarantined** — excluded
+//!   from the global phase's collective, gain evaluation, and
+//!   redistribution, while its *local* intra-group DLB continues (children
+//!   stay with parents, so a partitioned group remains self-sufficient);
+//! * a quarantined group is re-admitted after a **probation probe**
+//!   succeeds, and the time it spent excluded is recorded as recovery time.
+
+use simnet::{RetryPolicy, SimError};
+use topology::SimTime;
+
+/// Tuning of the fault-tolerance behaviour of [`DistributedDlb`]
+/// (crate::DistributedDlb).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultTolerancePolicy {
+    /// Retry/backoff applied to inter-group probes.
+    pub retry: RetryPolicy,
+    /// Deadline for one α/β probe attempt, seconds.
+    pub probe_timeout_secs: f64,
+    /// Deadline for the whole migration traffic of one global
+    /// redistribution, seconds past its start (`None` = unbounded).
+    pub transfer_deadline_slack: Option<f64>,
+    /// Consecutive inter-link failures after which the remote group is
+    /// quarantined.
+    pub quarantine_after: u32,
+    /// Probation probes are attempted every this many level-0 steps.
+    pub probation_interval: u64,
+    /// Staleness TTL handed to the link estimators: an α/β estimate older
+    /// than this (in simulated seconds) no longer informs the γ-gate.
+    pub estimator_ttl_secs: f64,
+}
+
+impl Default for FaultTolerancePolicy {
+    fn default() -> Self {
+        FaultTolerancePolicy {
+            retry: RetryPolicy::default(),
+            probe_timeout_secs: 2.0,
+            transfer_deadline_slack: Some(4.0),
+            quarantine_after: 2,
+            probation_interval: 1,
+            estimator_ttl_secs: 300.0,
+        }
+    }
+}
+
+/// Participation state of a group in the global phase.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum GroupHealth {
+    /// Fully participating.
+    Healthy,
+    /// Excluded from the global phase since level-0 step `since_step`
+    /// (simulated time `since`); local DLB continues.
+    Quarantined { since_step: u64, since: SimTime },
+}
+
+impl GroupHealth {
+    pub fn is_healthy(&self) -> bool {
+        matches!(self, GroupHealth::Healthy)
+    }
+}
+
+/// One entry of the fault log kept by the scheme.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FaultEvent {
+    /// An inter-group probe (or its retries) ultimately failed.
+    ProbeFailure {
+        step: u64,
+        group_a: usize,
+        group_b: usize,
+    },
+    /// A retried operation eventually succeeded after `retries` re-attempts.
+    RetrySucceeded { step: u64, retries: u32 },
+    /// `group` was quarantined.
+    Quarantined { step: u64, group: usize },
+    /// `group` passed its probation probe and rejoined the global phase;
+    /// it had been excluded for `recovery_secs` of simulated time.
+    Readmitted {
+        step: u64,
+        group: usize,
+        recovery_secs: f64,
+    },
+    /// A global redistribution was aborted mid-flight and rolled back.
+    RedistributionAborted { step: u64, error: SimError },
+}
+
+/// Aggregate fault counters (mirrored into the run-level report by the
+/// driver).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct FaultStats {
+    /// Inter-group probes that failed even after retries.
+    pub probe_failures: u64,
+    /// Re-attempts consumed by eventually-successful retried operations.
+    pub retries: u64,
+    /// Global redistributions aborted and rolled back.
+    pub aborts: u64,
+    /// Groups placed in quarantine.
+    pub quarantines: u64,
+    /// Groups re-admitted after probation.
+    pub readmissions: u64,
+    /// Collectives that failed outright (before any retry).
+    pub comm_failures: u64,
+    /// Total simulated seconds groups spent quarantined before re-admission.
+    pub recovery_secs: f64,
+}
+
+/// Tracks which groups are quarantined, their failure strikes, and the
+/// fault-event log.
+#[derive(Clone, Debug, Default)]
+pub struct QuarantineRoster {
+    health: Vec<GroupHealth>,
+    /// Consecutive inter-link failures charged against each group.
+    strikes: Vec<u32>,
+    /// Chronological fault log.
+    pub events: Vec<FaultEvent>,
+    /// Aggregate counters.
+    pub stats: FaultStats,
+}
+
+impl QuarantineRoster {
+    pub fn new(ngroups: usize) -> Self {
+        QuarantineRoster {
+            health: vec![GroupHealth::Healthy; ngroups],
+            strikes: vec![0; ngroups],
+            events: Vec::new(),
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// Grow to `ngroups` entries if needed (roster may be created lazily).
+    pub fn ensure_len(&mut self, ngroups: usize) {
+        while self.health.len() < ngroups {
+            self.health.push(GroupHealth::Healthy);
+            self.strikes.push(0);
+        }
+    }
+
+    pub fn health(&self, g: usize) -> GroupHealth {
+        self.health[g]
+    }
+
+    pub fn is_healthy(&self, g: usize) -> bool {
+        self.health[g].is_healthy()
+    }
+
+    /// Indices of groups currently participating in the global phase.
+    pub fn healthy_groups(&self) -> Vec<usize> {
+        (0..self.health.len())
+            .filter(|&g| self.health[g].is_healthy())
+            .collect()
+    }
+
+    /// Indices of quarantined groups.
+    pub fn quarantined_groups(&self) -> Vec<usize> {
+        (0..self.health.len())
+            .filter(|&g| !self.health[g].is_healthy())
+            .collect()
+    }
+
+    /// Charge a failure on the link between `a` and `b` at level-0 step
+    /// `step` (simulated time `now`). The higher-indexed group takes the
+    /// blame — group 0 hosts the coordinator and is never quarantined, so
+    /// the scheme always retains a quorum to keep running. Returns the
+    /// group that was quarantined by this strike, if any.
+    pub fn record_pair_failure(
+        &mut self,
+        a: usize,
+        b: usize,
+        step: u64,
+        now: SimTime,
+        quarantine_after: u32,
+    ) -> Option<usize> {
+        let blamed = a.max(b);
+        if blamed == 0 || !self.health[blamed].is_healthy() {
+            return None;
+        }
+        self.strikes[blamed] = self.strikes[blamed].saturating_add(1);
+        if self.strikes[blamed] >= quarantine_after.max(1) {
+            self.health[blamed] = GroupHealth::Quarantined {
+                since_step: step,
+                since: now,
+            };
+            self.events.push(FaultEvent::Quarantined {
+                step,
+                group: blamed,
+            });
+            self.stats.quarantines += 1;
+            return Some(blamed);
+        }
+        None
+    }
+
+    /// A successful interaction over the link between `a` and `b` clears
+    /// both groups' strikes.
+    pub fn record_pair_success(&mut self, a: usize, b: usize) {
+        self.strikes[a] = 0;
+        self.strikes[b] = 0;
+    }
+
+    /// Re-admit `g` after a successful probation probe at step `step`
+    /// (simulated time `now`); records the recovery time.
+    pub fn readmit(&mut self, g: usize, step: u64, now: SimTime) {
+        if let GroupHealth::Quarantined { since, .. } = self.health[g] {
+            let recovery_secs = now.saturating_sub(since).as_secs_f64();
+            self.health[g] = GroupHealth::Healthy;
+            self.strikes[g] = 0;
+            self.events.push(FaultEvent::Readmitted {
+                step,
+                group: g,
+                recovery_secs,
+            });
+            self.stats.readmissions += 1;
+            self.stats.recovery_secs += recovery_secs;
+        }
+    }
+
+    /// Current strike count of `g`.
+    pub fn strikes(&self, g: usize) -> u32 {
+        self.strikes[g]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strikes_accumulate_into_quarantine() {
+        let mut r = QuarantineRoster::new(3);
+        assert_eq!(r.healthy_groups(), vec![0, 1, 2]);
+        assert!(r
+            .record_pair_failure(0, 2, 1, SimTime::from_secs(1), 2)
+            .is_none());
+        assert_eq!(r.strikes(2), 1);
+        let q = r.record_pair_failure(0, 2, 2, SimTime::from_secs(2), 2);
+        assert_eq!(q, Some(2));
+        assert!(!r.is_healthy(2));
+        assert_eq!(r.healthy_groups(), vec![0, 1]);
+        assert_eq!(r.quarantined_groups(), vec![2]);
+        assert_eq!(r.stats.quarantines, 1);
+    }
+
+    #[test]
+    fn group_zero_is_never_blamed() {
+        let mut r = QuarantineRoster::new(2);
+        // pair failure between 0 and 1 blames 1, never 0
+        r.record_pair_failure(1, 0, 1, SimTime::ZERO, 1);
+        assert!(r.is_healthy(0));
+        assert!(!r.is_healthy(1));
+        // a failure "between 0 and 0" (degenerate) can't quarantine 0
+        assert!(r.record_pair_failure(0, 0, 1, SimTime::ZERO, 1).is_none());
+        assert!(r.is_healthy(0));
+    }
+
+    #[test]
+    fn success_clears_strikes() {
+        let mut r = QuarantineRoster::new(2);
+        r.record_pair_failure(0, 1, 1, SimTime::ZERO, 3);
+        r.record_pair_failure(0, 1, 2, SimTime::ZERO, 3);
+        assert_eq!(r.strikes(1), 2);
+        r.record_pair_success(0, 1);
+        assert_eq!(r.strikes(1), 0);
+        // strikes must re-accumulate from scratch
+        r.record_pair_failure(0, 1, 3, SimTime::ZERO, 3);
+        assert!(r.is_healthy(1));
+    }
+
+    #[test]
+    fn readmit_records_recovery_time() {
+        let mut r = QuarantineRoster::new(2);
+        r.record_pair_failure(0, 1, 5, SimTime::from_secs(10), 1);
+        assert!(!r.is_healthy(1));
+        r.readmit(1, 8, SimTime::from_secs(25));
+        assert!(r.is_healthy(1));
+        assert_eq!(r.stats.readmissions, 1);
+        assert!((r.stats.recovery_secs - 15.0).abs() < 1e-9);
+        assert!(matches!(
+            r.events.last(),
+            Some(FaultEvent::Readmitted { group: 1, .. })
+        ));
+        // re-admitting a healthy group is a no-op
+        r.readmit(1, 9, SimTime::from_secs(30));
+        assert_eq!(r.stats.readmissions, 1);
+    }
+
+    #[test]
+    fn quarantined_group_takes_no_further_strikes() {
+        let mut r = QuarantineRoster::new(2);
+        r.record_pair_failure(0, 1, 1, SimTime::ZERO, 1);
+        assert_eq!(r.stats.quarantines, 1);
+        assert!(r.record_pair_failure(0, 1, 2, SimTime::ZERO, 1).is_none());
+        assert_eq!(r.stats.quarantines, 1, "no double quarantine");
+    }
+
+    #[test]
+    fn policy_default_is_sane() {
+        let p = FaultTolerancePolicy::default();
+        assert!(p.probe_timeout_secs > 0.0);
+        assert!(p.quarantine_after >= 1);
+        assert!(p.estimator_ttl_secs > 0.0);
+    }
+}

@@ -21,16 +21,38 @@ pub struct GainEstimate {
 /// deliberately conservative estimate of the per-step time saved by removing
 /// the inter-group imbalance, scaled from the measured last step time `T(t)`.
 pub fn evaluate_gain(history: &WorkloadHistory, sys: &DistributedSystem) -> GainEstimate {
+    let all: Vec<usize> = (0..sys.ngroups()).collect();
+    evaluate_gain_among(history, sys, &all)
+}
+
+/// [`evaluate_gain`] restricted to the listed (healthy) groups: the max/min
+/// and imbalance ratio consider only `among`, so a quarantined group's
+/// unreachable load can neither trigger nor suppress a redistribution among
+/// the groups that can actually exchange work. `group_loads` in the result
+/// still covers every group (entries outside `among` are reported but not
+/// compared).
+pub fn evaluate_gain_among(
+    history: &WorkloadHistory,
+    sys: &DistributedSystem,
+    among: &[usize],
+) -> GainEstimate {
     let ngroups = sys.ngroups();
     let mut group_loads = Vec::with_capacity(ngroups);
     for g in 0..ngroups {
         let procs: Vec<usize> = sys.procs_in(GroupId(g)).iter().map(|p| p.0).collect();
         group_loads.push(history.group_total_load(&procs));
     }
-    let max = group_loads.iter().cloned().fold(0.0, f64::max);
-    let min = group_loads.iter().cloned().fold(f64::MAX, f64::min);
-    let gain_secs = if max > 0.0 && ngroups > 1 {
-        history.last_step_secs() * (max - min) / (ngroups as f64 * max)
+    let active = among.len();
+    let max = among
+        .iter()
+        .map(|&g| group_loads[g])
+        .fold(0.0, f64::max);
+    let min = among
+        .iter()
+        .map(|&g| group_loads[g])
+        .fold(f64::MAX, f64::min);
+    let gain_secs = if max > 0.0 && active > 1 {
+        history.last_step_secs() * (max - min) / (active as f64 * max)
     } else {
         0.0
     };
@@ -39,11 +61,15 @@ pub fn evaluate_gain(history: &WorkloadHistory, sys: &DistributedSystem) -> Gain
     // *supposed* to hold more work.
     let mut norm_max = 0.0f64;
     let mut norm_min = f64::MAX;
-    for (g, &w) in group_loads.iter().enumerate() {
+    for &g in among {
+        let w = group_loads[g];
         let p = sys.group_power(GroupId(g));
         let norm = w / p;
         norm_max = norm_max.max(norm);
         norm_min = norm_min.min(norm);
+    }
+    if among.is_empty() {
+        norm_min = 0.0;
     }
     let imbalance_ratio = if norm_max == 0.0 {
         1.0
@@ -136,5 +162,23 @@ mod tests {
         let h = history(1000, 0, 0.0);
         let g = evaluate_gain(&h, &sys(2, 2, 1.0));
         assert_eq!(g.gain_secs, 0.0);
+    }
+
+    #[test]
+    fn gain_among_ignores_excluded_groups() {
+        // B holds nothing; among all groups that is a huge imbalance, but
+        // with B quarantined the healthy subset {A} is trivially balanced.
+        let h = history(1000, 0, 10.0);
+        let sys = sys(2, 2, 1.0);
+        let full = evaluate_gain_among(&h, &sys, &[0, 1]);
+        assert!(full.gain_secs > 0.0);
+        assert!(full.imbalance_ratio.is_infinite());
+        let only_a = evaluate_gain_among(&h, &sys, &[0]);
+        assert_eq!(only_a.gain_secs, 0.0);
+        assert!((only_a.imbalance_ratio - 1.0).abs() < 1e-12);
+        // group_loads still reports every group
+        assert_eq!(only_a.group_loads.len(), 2);
+        // matches unrestricted evaluation when every group is listed
+        assert_eq!(evaluate_gain(&h, &sys), full);
     }
 }

@@ -12,6 +12,8 @@
 //!   across all processors after every step.
 //! * [`gain`]/[`cost`] — the decision heuristics exactly as published.
 //! * [`balance`]/[`partition`] — the grid-motion machinery both schemes use.
+//! * [`fault`] — the retry / timeout / quarantine degradation policy that
+//!   keeps the distributed scheme making progress over failing WAN links.
 
 // Fixed-axis (0..3) loops indexing several parallel arrays read more
 // clearly as index loops.
@@ -20,6 +22,7 @@
 pub mod balance;
 pub mod cost;
 pub mod distributed;
+pub mod fault;
 pub mod gain;
 pub mod history;
 pub mod parallel;
@@ -29,8 +32,12 @@ pub mod scheme;
 pub use balance::{balance_level_within, place_batch, BalanceOutcome, BalanceParams};
 pub use cost::{evaluate_cost, should_redistribute, CostEstimate};
 pub use distributed::{DistributedDlb, DistributedDlbConfig, GlobalDecision};
-pub use gain::{evaluate_gain, GainEstimate};
+pub use fault::{FaultEvent, FaultStats, FaultTolerancePolicy, GroupHealth, QuarantineRoster};
+pub use gain::{evaluate_gain, evaluate_gain_among, GainEstimate};
 pub use history::WorkloadHistory;
 pub use parallel::ParallelDlb;
-pub use partition::{decompose_domain, global_redistribute, global_redistribute_with, RedistributionReport, SelectionPolicy};
+pub use partition::{
+    decompose_domain, global_redistribute, global_redistribute_guarded, global_redistribute_with,
+    RedistributionAbort, RedistributionReport, SelectionPolicy,
+};
 pub use scheme::{proc_total_cells, LbContext, LoadBalancer};

@@ -49,15 +49,16 @@ impl LoadBalancer for ParallelDlb {
         "parallel DLB"
     }
 
-    fn after_level_step(&mut self, ctx: LbContext<'_>, level: usize) {
+    fn after_level_step(&mut self, ctx: LbContext<'_>, level: usize) -> simnet::SimResult<()> {
         let sys = ctx.sim.system().clone();
         let nprocs = sys.nprocs();
         if nprocs < 2 {
-            return;
+            return Ok(());
         }
         // Load-information exchange involves every processor — over the WAN
-        // on a distributed system, at every level step.
-        ctx.sim.allreduce_all(LOAD_MSG_BYTES, Activity::LoadBalance);
+        // on a distributed system, at every level step. The baseline has no
+        // degraded mode: a failed collective fails the step.
+        ctx.sim.allreduce_all(LOAD_MSG_BYTES, Activity::LoadBalance)?;
         let procs: Vec<ProcId> = (0..nprocs).map(ProcId).collect();
         // "evenly and equally distributed among the processors": uniform
         // weights regardless of actual processor performance.
@@ -67,6 +68,8 @@ impl LoadBalancer for ParallelDlb {
         self.total.splits += out.splits;
         self.total.moved_cells += out.moved_cells;
         self.total.moved_bytes += out.moved_bytes;
+        self.total.failed_moves += out.failed_moves;
+        Ok(())
     }
 
     fn place_new_patches(
@@ -130,7 +133,8 @@ mod tests {
                 history: &mut history,
             },
             0,
-        );
+        )
+        .unwrap();
         let loads = hier.level_load_by_owner(0, 4);
         assert_eq!(loads, vec![1024; 4]);
         // crossing the WAN for migrations + allreduce: remote messages happened
@@ -166,7 +170,8 @@ mod tests {
                 history: &mut history,
             },
             0,
-        );
+        )
+        .unwrap();
         assert_eq!(sim.elapsed(), SimTime::ZERO);
         assert_eq!(dlb.total.moves, 0);
     }
@@ -192,7 +197,8 @@ mod tests {
                 history: &mut history,
             },
             0,
-        );
+        )
+        .unwrap();
         let loads = hier.level_load_by_owner(0, 2);
         assert_eq!(loads[0], loads[1], "even split despite weights");
     }

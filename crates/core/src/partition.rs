@@ -5,8 +5,8 @@ use crate::balance::BalanceParams;
 use samr_mesh::hierarchy::GridHierarchy;
 use samr_mesh::patch::PatchId;
 use samr_mesh::region::Region;
-use simnet::{Activity, NetSim};
-use topology::{DistributedSystem, GroupId, ProcId};
+use simnet::{Activity, NetSim, SimError};
+use topology::{DistributedSystem, GroupId, ProcId, SimTime};
 
 /// How donor level-0 grids are selected for global redistribution.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -36,6 +36,23 @@ pub struct RedistributionReport {
     pub group_flow: Vec<i64>,
 }
 
+/// A global redistribution that died mid-flight: the migration transfer
+/// between `src_group` and `dst_group` failed with `error` after the moves
+/// in `partial` had already been issued. The hierarchy has been partially
+/// mutated (owners changed, possibly grids split) — the caller is expected
+/// to roll it back from a pre-redistribution snapshot.
+#[derive(Clone, Debug)]
+pub struct RedistributionAbort {
+    /// The communication failure that killed the redistribution.
+    pub error: SimError,
+    /// Donor group of the failed transfer.
+    pub src_group: usize,
+    /// Receiving group of the failed transfer.
+    pub dst_group: usize,
+    /// What had been done before the failure (failed move excluded).
+    pub partial: RedistributionReport,
+}
+
 /// Move level-0 grids from overloaded to underloaded groups so that each
 /// group's iteration-weighted workload approaches its compute-power share
 /// `n_g·p_g / Σ n·p` (§4.4).
@@ -60,6 +77,12 @@ pub fn global_redistribute(
 }
 
 /// [`global_redistribute`] with an explicit donor-selection policy.
+///
+/// Infallible legacy entry point: every group is eligible, transfers have
+/// no deadline, and a mid-flight failure simply truncates the result to the
+/// moves that completed (adequate on fault-free links, where failures
+/// cannot occur; fault-aware callers use
+/// [`global_redistribute_guarded`]).
 pub fn global_redistribute_with(
     hier: &mut GridHierarchy,
     sim: &mut NetSim,
@@ -67,21 +90,55 @@ pub fn global_redistribute_with(
     params: &BalanceParams,
     policy: SelectionPolicy,
 ) -> RedistributionReport {
+    let eligible = vec![true; sim.system().ngroups()];
+    match global_redistribute_guarded(hier, sim, group_loads, &eligible, params, policy, None) {
+        Ok(rep) => rep,
+        Err(abort) => abort.partial,
+    }
+}
+
+/// Fault-aware [`global_redistribute_with`]: only groups with
+/// `eligible[g] == true` donate or receive (quarantined groups keep their
+/// grids), every migration transfer carries the absolute `deadline`, and a
+/// transfer failure aborts the redistribution with a
+/// [`RedistributionAbort`] instead of pressing on over a dead link.
+///
+/// Ownership is only committed after the transfer succeeds, but earlier
+/// moves (and any grid splits) remain applied on `Err` — roll back from a
+/// [`samr_mesh::checkpoint`] snapshot taken before the call.
+pub fn global_redistribute_guarded(
+    hier: &mut GridHierarchy,
+    sim: &mut NetSim,
+    group_loads: &[f64],
+    eligible: &[bool],
+    params: &BalanceParams,
+    policy: SelectionPolicy,
+    deadline: Option<SimTime>,
+) -> Result<RedistributionReport, RedistributionAbort> {
     let sys = sim.system().clone();
     let ngroups = sys.ngroups();
     assert_eq!(group_loads.len(), ngroups);
+    assert_eq!(eligible.len(), ngroups);
     let mut report = RedistributionReport {
         group_flow: vec![0; ngroups],
         ..Default::default()
     };
-    if ngroups < 2 {
-        return report;
+    if eligible.iter().filter(|&&e| e).count() < 2 {
+        return Ok(report);
     }
 
-    let total_load: f64 = group_loads.iter().sum();
-    let total_power: f64 = sys.total_power();
-    if total_load <= 0.0 {
-        return report;
+    let total_load: f64 = group_loads
+        .iter()
+        .enumerate()
+        .filter(|(g, _)| eligible[*g])
+        .map(|(_, &w)| w)
+        .sum();
+    let total_power: f64 = (0..ngroups)
+        .filter(|&g| eligible[g])
+        .map(|g| sys.group_power(GroupId(g)))
+        .sum();
+    if total_load <= 0.0 || total_power <= 0.0 {
+        return Ok(report);
     }
 
     // Iteration-weighted *subtree* workload of every level-0 grid: the work
@@ -105,7 +162,7 @@ pub fn global_redistribute_with(
     // underloaded group's deficit (both in iteration-weighted cell units).
     let mut donors: Vec<(usize, f64)> = Vec::new();
     let mut receivers: Vec<(usize, f64)> = Vec::new();
-    for g in 0..ngroups {
+    for g in (0..ngroups).filter(|&g| eligible[g]) {
         let target = total_load * sys.group_power(GroupId(g)) / total_power;
         let w = group_loads[g];
         if w > target && w > 0.0 {
@@ -115,13 +172,14 @@ pub fn global_redistribute_with(
         }
     }
     if donors.is_empty() || receivers.is_empty() {
-        return report;
+        return Ok(report);
     }
 
     // Stop once the residual surplus is within a small fraction of the
     // fair share — chasing the last few cells costs more than it gains and
     // risks oscillation between steps.
-    let fair_share = total_load / ngroups as f64;
+    let active = eligible.iter().filter(|&&e| e).count();
+    let fair_share = total_load / active as f64;
     let stop = (0.04 * fair_share).max(params.min_split_cells as f64);
     let mut moves_left = params.max_moves;
     for (dg, mut remaining) in donors {
@@ -131,7 +189,7 @@ pub fn global_redistribute_with(
                 .iter()
                 .enumerate()
                 .filter(|(_, (_, d))| *d > 0.0)
-                .max_by(|a, b| a.1 .1.partial_cmp(&b.1 .1).unwrap())
+                .max_by(|a, b| a.1 .1.total_cmp(&b.1 .1))
                 .map(|(i, _)| i)
             else {
                 break;
@@ -215,12 +273,26 @@ pub fn global_redistribute_with(
 
             // Destination: least-loaded (level-0 cells per weight) processor
             // of the receiving group.
-            let dst = least_loaded_proc(hier, &sys, rg);
+            let Some(dst) = least_loaded_proc(hier, &sys, rg) else {
+                break;
+            };
             let src = ProcId(hier.patch(move_id).owner);
             let cells = hier.patch(move_id).cells();
             let bytes = hier.patch(move_id).payload_bytes();
+            // Transfer first, commit ownership only once the bytes arrived:
+            // a grid must never end up owned by a processor that did not
+            // receive it.
+            if let Err(error) =
+                sim.send_with_deadline(src, dst, bytes, Activity::LoadBalance, deadline)
+            {
+                return Err(RedistributionAbort {
+                    error,
+                    src_group: dg,
+                    dst_group: rg,
+                    partial: report,
+                });
+            }
             hier.set_owner(move_id, dst.0);
-            sim.send(src, dst, bytes, Activity::LoadBalance);
 
             remaining -= moved_load;
             moves_left -= 1;
@@ -232,7 +304,7 @@ pub fn global_redistribute_with(
             receivers[rix].1 -= moved_load;
         }
     }
-    report
+    Ok(report)
 }
 
 /// Level-0 cells owned by processors of group `g`.
@@ -392,16 +464,16 @@ fn donor_level0_patches(
         .collect()
 }
 
-fn least_loaded_proc(hier: &GridHierarchy, sys: &DistributedSystem, g: usize) -> ProcId {
+fn least_loaded_proc(hier: &GridHierarchy, sys: &DistributedSystem, g: usize) -> Option<ProcId> {
     let loads = hier.level_load_by_owner(0, sys.nprocs());
-    *sys.procs_in(GroupId(g))
+    sys.procs_in(GroupId(g))
         .iter()
         .min_by(|a, b| {
             let la = loads[a.0] as f64 / sys.proc(**a).weight;
             let lb = loads[b.0] as f64 / sys.proc(**b).weight;
-            la.partial_cmp(&lb).unwrap()
+            la.total_cmp(&lb)
         })
-        .expect("empty group")
+        .copied()
 }
 
 /// Initial static decomposition: slice `domain` into one slab per processor
@@ -589,5 +661,77 @@ mod tests {
         assert_eq!(parts.len(), 2);
         assert_eq!(parts[0].0.cells(), 1024);
         assert_eq!(parts[1].0.cells(), 3072);
+    }
+
+    #[test]
+    fn guarded_excludes_ineligible_groups() {
+        // Three groups; C is quarantined. A's surplus flows to B only, and
+        // C's grids never move despite C being the emptiest group.
+        let intra = Link::dedicated("intra", SimTime::from_micros(10), 1e9);
+        let wan = Link::dedicated("wan", SimTime::from_millis(10), 1e7);
+        let sys = SystemBuilder::new()
+            .group("A", 2, 1.0, intra.clone())
+            .group("B", 2, 1.0, intra.clone())
+            .group("C", 2, 1.0, intra)
+            .connect(0, 1, wan.clone())
+            .connect(0, 2, wan.clone())
+            .connect(1, 2, wan)
+            .build();
+        let mut sim = NetSim::new(sys);
+        let mut hier = hier_split(0, 2, 6); // A: 6 grids, B: 2, C: 0
+        let rep = global_redistribute_guarded(
+            &mut hier,
+            &mut sim,
+            &[3072.0, 1024.0, 0.0],
+            &[true, true, false],
+            &BalanceParams::default(),
+            SelectionPolicy::SubtreeWorkload,
+            None,
+        )
+        .unwrap();
+        assert!(rep.moved_cells > 0);
+        assert_eq!(rep.group_flow[2], 0, "quarantined group untouched: {rep:?}");
+        let sys = sim.system().clone();
+        assert_eq!(group_level0_cells(&hier, &sys, 2), 0);
+        // A and B converge toward equal shares of *their* load
+        assert_eq!(group_level0_cells(&hier, &sys, 0), 2048);
+        assert_eq!(group_level0_cells(&hier, &sys, 1), 2048);
+    }
+
+    #[test]
+    fn guarded_aborts_on_failed_transfer_without_committing_ownership() {
+        use topology::faults::{FaultKind, FaultSchedule};
+        let intra = Link::dedicated("intra", SimTime::from_micros(10), 1e9);
+        let wan = Link::dedicated("wan", SimTime::from_millis(10), 1e7).with_faults(
+            FaultSchedule::none().with_window(
+                SimTime::ZERO,
+                SimTime::from_secs(3600),
+                FaultKind::Outage,
+            ),
+        );
+        let sys = SystemBuilder::new()
+            .group("A", 2, 1.0, intra.clone())
+            .group("B", 2, 1.0, intra)
+            .connect(0, 1, wan)
+            .build();
+        let mut sim = NetSim::new(sys);
+        let mut hier = hier_split(0, 2, 6);
+        let abort = global_redistribute_guarded(
+            &mut hier,
+            &mut sim,
+            &[3072.0, 1024.0],
+            &[true, true],
+            &BalanceParams::default(),
+            SelectionPolicy::SubtreeWorkload,
+            None,
+        )
+        .unwrap_err();
+        assert!(matches!(abort.error, SimError::LinkDown { .. }));
+        assert_eq!((abort.src_group, abort.dst_group), (0, 1));
+        assert_eq!(abort.partial.moves, 0, "first transfer already failed");
+        // ownership was not committed for the failed move
+        let sys = sim.system().clone();
+        assert_eq!(group_level0_cells(&hier, &sys, 0), 3072);
+        assert_eq!(sim.stats().msgs.failed_msgs, 1);
     }
 }

@@ -4,7 +4,7 @@
 
 use crate::history::WorkloadHistory;
 use samr_mesh::hierarchy::GridHierarchy;
-use simnet::NetSim;
+use simnet::{NetSim, SimResult};
 use topology::DistributedSystem;
 
 /// Mutable state handed to a balancer after a level step.
@@ -22,7 +22,12 @@ pub trait LoadBalancer {
     /// Invoked after each completed timestep at `level` (level 0 included).
     /// This is where grids migrate. Communication and migration costs must
     /// be charged to `ctx.sim`.
-    fn after_level_step(&mut self, ctx: LbContext<'_>, level: usize);
+    ///
+    /// Returns `Err` only when the scheme could not leave the hierarchy in
+    /// a consistent state (a fault-tolerant scheme absorbs link failures
+    /// itself — degrading, retrying, or rolling back — and still returns
+    /// `Ok`).
+    fn after_level_step(&mut self, ctx: LbContext<'_>, level: usize) -> SimResult<()>;
 
     /// Choose owners for a batch of grids about to be created at `level`
     /// during regridding. `parents[i]` is the owner of grid `i`'s parent and

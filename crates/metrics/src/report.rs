@@ -24,6 +24,26 @@ pub struct RunBreakdown {
     pub remote_bytes: u64,
 }
 
+/// Fault-protocol counters of one run: how often the degradation policy
+/// (retry, quarantine, rollback) had to act, and how long recoveries took.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultCounters {
+    /// Inter-group probes that failed after exhausting retries.
+    pub probe_failures: u64,
+    /// Successful retries of probes and decision collectives.
+    pub retries: u64,
+    /// Global redistributions aborted and rolled back.
+    pub aborts: u64,
+    /// Groups placed in quarantine.
+    pub quarantines: u64,
+    /// Quarantined groups re-admitted after a probation probe.
+    pub readmissions: u64,
+    /// Failed collectives / tolerated failed boundary transfers.
+    pub comm_failures: u64,
+    /// Total simulated seconds groups spent quarantined before re-admission.
+    pub recovery_secs: f64,
+}
+
 /// One configuration row of a figure (e.g. "4 + 4").
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct ConfigRow {

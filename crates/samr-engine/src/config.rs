@@ -2,8 +2,9 @@
 
 use crate::app::AppKind;
 use crate::scheme::Scheme;
-use metrics::RunBreakdown;
+use metrics::{FaultCounters, RunBreakdown};
 use serde::Serialize;
+use simnet::RetryPolicy;
 
 /// Parameters of one simulated SAMR run.
 #[derive(Clone, Debug)]
@@ -34,6 +35,11 @@ pub struct RunConfig {
     /// calibration knob for the compute/communication ratio of the modeled
     /// testbed.
     pub cost_per_cell: Option<f64>,
+    /// Retry policy for the driver's bulk boundary/regrid transfers. A
+    /// transfer that still fails after these retries is tolerated (the
+    /// receiver advances with stale ghost data) and counted in
+    /// [`RunResult::faults`].
+    pub comm_retry: RetryPolicy,
 }
 
 impl RunConfig {
@@ -52,6 +58,7 @@ impl RunConfig {
             flag_buffer: 1,
             max_box_cells: (n0 * n0 * n0 / 8).max(512),
             cost_per_cell: None,
+            comm_retry: RetryPolicy::default(),
         }
     }
 }
@@ -82,6 +89,9 @@ pub struct RunResult {
     pub global_checks: usize,
     /// Global redistributions actually invoked.
     pub global_redistributions: usize,
+    /// Fault-protocol counters: scheme-level retries/quarantines/aborts
+    /// plus the driver's tolerated bulk-transfer failures.
+    pub faults: FaultCounters,
     /// Per-level-0-step global decision log (distributed scheme only).
     pub decisions: Vec<DecisionSummary>,
 }
@@ -97,6 +107,8 @@ pub struct DecisionSummary {
     /// Power-normalized group imbalance ratio.
     pub imbalance: f64,
     pub invoked: bool,
+    /// Whether an invoked redistribution was aborted and rolled back.
+    pub aborted: bool,
     /// Level-0 cells moved (when invoked).
     pub moved_cells: i64,
     /// Iteration-weighted workload per group at decision time.

@@ -10,7 +10,7 @@
 use crate::app::AppState;
 use crate::config::{RunConfig, RunResult};
 use crate::scheme::SchemeInstance;
-use crate::trace::{RunTrace, StepRecord};
+use crate::trace::{RunTrace, StepFaults, StepRecord};
 use dlb::{decompose_domain, LbContext, WorkloadHistory};
 use rayon::prelude::*;
 use samr_mesh::cluster::{berger_rigoutsos, ClusterParams};
@@ -19,7 +19,7 @@ use samr_mesh::hierarchy::GridHierarchy;
 use samr_mesh::interp::{prolong_constant, restrict_average};
 use samr_mesh::patch::PatchId;
 use samr_mesh::region::Region;
-use simnet::NetSim;
+use simnet::{send_with_retry, Activity, NetSim};
 use topology::{DistributedSystem, ProcId, SimTime};
 
 /// Snapshot of a retired patch's data, used to seed re-created fine grids.
@@ -46,6 +46,13 @@ pub struct Driver {
     cell_updates: u64,
     /// Per-step trace.
     trace: RunTrace,
+    /// Bulk boundary/regrid transfers that failed even after retries (the
+    /// run tolerates them: the receiver advances with stale ghost data).
+    failed_transfers: u64,
+    /// Successful retries of bulk transfers.
+    transfer_retries: u64,
+    /// Cumulative fault counters already attributed to step records.
+    faults_seen: StepFaults,
 }
 
 impl Driver {
@@ -80,6 +87,9 @@ impl Driver {
             old_data: Vec::new(),
             cell_updates: 0,
             trace: RunTrace::default(),
+            failed_transfers: 0,
+            transfer_retries: 0,
+            faults_seen: StepFaults::default(),
         };
         d.scheme = d.cfg.scheme.instantiate();
         d.step_count = vec![0; d.cfg.max_levels];
@@ -165,6 +175,9 @@ impl Driver {
             old_data: Vec::new(),
             cell_updates,
             trace: RunTrace::default(),
+            failed_transfers: 0,
+            transfer_retries: 0,
+            faults_seen: StepFaults::default(),
         };
         d.old_data = vec![Vec::new(); d.cfg.max_levels];
         d.step_count.resize(d.cfg.max_levels, 0);
@@ -188,6 +201,7 @@ impl Driver {
     /// end with [`Driver::finish`].
     pub fn step_once(&mut self) {
         let t0 = self.sim.barrier_all();
+        let decisions_before = self.scheme.decisions().len();
         let redists_before = self
             .scheme
             .decisions()
@@ -197,6 +211,17 @@ impl Driver {
         self.advance_level(0);
         let t1 = self.sim.barrier_all();
         self.history.record_step_time((t1 - t0).as_secs_f64());
+
+        // a redistribution aborted this step wasted real work — the
+        // rollback's cost becomes the δ the next cost evaluation sees
+        let abort_delta: f64 = self.scheme.decisions()[decisions_before..]
+            .iter()
+            .filter(|d| d.aborted)
+            .map(|d| d.abort_delta_secs)
+            .sum();
+        if abort_delta > 0.0 {
+            self.history.record_redistribution_overhead(abort_delta);
+        }
 
         // trace record
         let nlevels = self.hier.num_levels();
@@ -212,6 +237,17 @@ impl Driver {
             .iter()
             .filter(|d| d.invoked)
             .count();
+        let cum = self.cumulative_faults();
+        let prev = self.faults_seen;
+        let faults = StepFaults {
+            retries: cum.retries - prev.retries,
+            aborts: cum.aborts - prev.aborts,
+            quarantines: cum.quarantines - prev.quarantines,
+            readmissions: cum.readmissions - prev.readmissions,
+            comm_failures: cum.comm_failures - prev.comm_failures,
+            recovery_secs: cum.recovery_secs - prev.recovery_secs,
+        };
+        self.faults_seen = cum;
         self.trace.push(StepRecord {
             step: self.step_count[0].saturating_sub(1),
             step_secs: (t1 - t0).as_secs_f64(),
@@ -220,7 +256,22 @@ impl Driver {
             cells_per_level: (0..nlevels).map(|l| self.hier.level_cells(l)).collect(),
             group_workload,
             redistributed: redists_after > redists_before,
+            faults,
         });
+    }
+
+    /// Fault counters since the start of the run: the scheme's protocol
+    /// counters plus the driver's own bulk-transfer bookkeeping.
+    fn cumulative_faults(&self) -> StepFaults {
+        let s = self.scheme.fault_stats();
+        StepFaults {
+            retries: s.retries + self.transfer_retries,
+            aborts: s.aborts,
+            quarantines: s.quarantines,
+            readmissions: s.readmissions,
+            comm_failures: s.comm_failures + self.failed_transfers,
+            recovery_secs: s.recovery_secs,
+        }
     }
 
     /// Synchronize trailing work and produce the run report.
@@ -252,6 +303,16 @@ impl Driver {
             remote_msgs: stats.msgs.remote_msgs,
             remote_bytes: stats.msgs.remote_bytes,
         };
+        let scheme_stats = self.scheme.fault_stats();
+        let faults = metrics::FaultCounters {
+            probe_failures: scheme_stats.probe_failures,
+            retries: scheme_stats.retries + self.transfer_retries,
+            aborts: scheme_stats.aborts,
+            quarantines: scheme_stats.quarantines,
+            readmissions: scheme_stats.readmissions,
+            comm_failures: scheme_stats.comm_failures + self.failed_transfers,
+            recovery_secs: scheme_stats.recovery_secs,
+        };
         let decisions = self.scheme.decisions();
         RunResult {
             scheme: self.scheme.name().to_string(),
@@ -265,6 +326,7 @@ impl Driver {
             cell_updates: self.cell_updates,
             global_checks: decisions.len(),
             global_redistributions: decisions.iter().filter(|d| d.invoked).count(),
+            faults,
             decisions: decisions
                 .iter()
                 .map(|d| crate::config::DecisionSummary {
@@ -273,6 +335,7 @@ impl Driver {
                     cost_secs: d.cost.map(|c| c.total_secs()),
                     imbalance: d.gain.imbalance_ratio,
                     invoked: d.invoked,
+                    aborted: d.aborted,
                     moved_cells: d.report.as_ref().map(|r| r.moved_cells).unwrap_or(0),
                     group_loads: d.gain.group_loads.clone(),
                 })
@@ -314,8 +377,32 @@ impl Driver {
             sim: &mut self.sim,
             history: &mut self.history,
         };
-        self.scheme.after_level_step(ctx, level);
+        // A fault-tolerant scheme absorbs link failures itself; a baseline
+        // scheme without a degraded mode skips this step's balancing when
+        // its load exchange dies. Either way the run continues.
+        if self.scheme.after_level_step(ctx, level).is_err() {
+            self.failed_transfers += 1;
+        }
         self.step_count[level] += 1;
+    }
+
+    /// Ship one aggregated boundary/regrid payload between owners, retrying
+    /// per the run's comm policy. A transfer that still fails is tolerated —
+    /// the receiver advances with stale ghost data — and counted.
+    fn send_batch(&mut self, src: usize, dst: usize, bytes: u64) {
+        let (s, d) = (ProcId(src), ProcId(dst));
+        let act = if self.sim.system().group_of(s) == self.sim.system().group_of(d) {
+            Activity::LocalComm
+        } else {
+            Activity::RemoteComm
+        };
+        let (retries, res) =
+            send_with_retry(&mut self.sim, s, d, bytes, act, None, self.cfg.comm_retry);
+        if res.is_ok() {
+            self.transfer_retries += retries as u64;
+        } else {
+            self.failed_transfers += 1;
+        }
     }
 
     /// Effective per-cell compute cost (config override or app default).
@@ -448,7 +535,7 @@ impl Driver {
         // MPI SAMR codes pack all boundary windows for a neighbour rank into
         // a single send per phase.
         for ((src, dst), bytes) in batch {
-            self.sim.send_auto(ProcId(src), ProcId(dst), bytes);
+            self.send_batch(src, dst, bytes);
         }
     }
 
@@ -559,7 +646,7 @@ impl Driver {
             self.old_data[level + 1] = old;
         }
         for ((src, dst), bytes) in batch {
-            self.sim.send_auto(ProcId(src), ProcId(dst), bytes);
+            self.send_batch(src, dst, bytes);
         }
         debug_assert!(self.hier.check_invariants().is_ok());
     }
@@ -589,7 +676,7 @@ impl Driver {
             }
         }
         for ((src, dst), bytes) in batch {
-            self.sim.send_auto(ProcId(src), ProcId(dst), bytes);
+            self.send_batch(src, dst, bytes);
         }
     }
 }

@@ -35,6 +35,7 @@ impl Scheme {
 /// A live balancer (enum dispatch keeps the driver object-safe and
 /// inspectable after the run).
 #[derive(Debug)]
+#[allow(clippy::large_enum_variant)] // one instance per run
 pub enum SchemeInstance {
     Static,
     Parallel(ParallelDlb),
@@ -50,9 +51,13 @@ impl SchemeInstance {
         }
     }
 
-    pub fn after_level_step(&mut self, ctx: LbContext<'_>, level: usize) {
+    pub fn after_level_step(
+        &mut self,
+        ctx: LbContext<'_>,
+        level: usize,
+    ) -> simnet::SimResult<()> {
         match self {
-            SchemeInstance::Static => {}
+            SchemeInstance::Static => Ok(()),
             SchemeInstance::Parallel(p) => p.after_level_step(ctx, level),
             SchemeInstance::Distributed(d) => d.after_level_step(ctx, level),
         }
@@ -80,6 +85,23 @@ impl SchemeInstance {
     pub fn decisions(&self) -> &[dlb::GlobalDecision] {
         match self {
             SchemeInstance::Distributed(d) => &d.decisions,
+            _ => &[],
+        }
+    }
+
+    /// Aggregate fault counters of the scheme's degradation protocol
+    /// (zeroes for schemes without one).
+    pub fn fault_stats(&self) -> dlb::FaultStats {
+        match self {
+            SchemeInstance::Distributed(d) => d.fault_stats(),
+            _ => dlb::FaultStats::default(),
+        }
+    }
+
+    /// Chronological fault-event log (empty for schemes without one).
+    pub fn fault_events(&self) -> &[dlb::FaultEvent] {
+        match self {
+            SchemeInstance::Distributed(d) => d.fault_events(),
             _ => &[],
         }
     }

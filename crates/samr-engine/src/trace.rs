@@ -3,6 +3,34 @@
 
 use serde::Serialize;
 
+/// Fault-protocol activity during one level-0 step (deltas, not totals).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize)]
+pub struct StepFaults {
+    /// Retries (probe or collective) that eventually succeeded.
+    pub retries: u64,
+    /// Global redistributions aborted and rolled back.
+    pub aborts: u64,
+    /// Groups newly quarantined.
+    pub quarantines: u64,
+    /// Groups re-admitted from quarantine.
+    pub readmissions: u64,
+    /// Failed collectives plus tolerated failed bulk transfers.
+    pub comm_failures: u64,
+    /// Simulated seconds of quarantine ended by this step's re-admissions.
+    pub recovery_secs: f64,
+}
+
+impl StepFaults {
+    /// Whether anything fault-related happened this step.
+    pub fn any(&self) -> bool {
+        self.retries != 0
+            || self.aborts != 0
+            || self.quarantines != 0
+            || self.readmissions != 0
+            || self.comm_failures != 0
+    }
+}
+
 /// Snapshot taken after each level-0 step.
 #[derive(Clone, Debug, Serialize)]
 pub struct StepRecord {
@@ -20,6 +48,8 @@ pub struct StepRecord {
     pub group_workload: Vec<f64>,
     /// Whether the global phase redistributed this step (distributed DLB).
     pub redistributed: bool,
+    /// Fault-protocol activity during the step.
+    pub faults: StepFaults,
 }
 
 /// A whole run's trace plus CSV export.
@@ -41,8 +71,23 @@ impl RunTrace {
         self.records.is_empty()
     }
 
+    /// Sum of the per-step fault activity over the whole trace.
+    pub fn fault_totals(&self) -> StepFaults {
+        let mut t = StepFaults::default();
+        for r in &self.records {
+            t.retries += r.faults.retries;
+            t.aborts += r.faults.aborts;
+            t.quarantines += r.faults.quarantines;
+            t.readmissions += r.faults.readmissions;
+            t.comm_failures += r.faults.comm_failures;
+            t.recovery_secs += r.faults.recovery_secs;
+        }
+        t
+    }
+
     /// CSV with one row per step (levels and groups flattened to columns of
-    /// the maximum width seen in the trace).
+    /// the maximum width seen in the trace; fault columns stay at the end so
+    /// older column indices remain valid).
     pub fn to_csv(&self) -> String {
         let max_levels = self
             .records
@@ -63,6 +108,7 @@ impl RunTrace {
         for g in 0..max_groups {
             out.push_str(&format!(",workload_g{g}"));
         }
+        out.push_str(",retries,aborts,quarantines,readmissions,comm_failures,recovery_secs");
         out.push('\n');
         for r in &self.records {
             out.push_str(&format!(
@@ -78,6 +124,16 @@ impl RunTrace {
                 let w = r.group_workload.get(g).copied().unwrap_or(0.0);
                 out.push_str(&format!(",{w:.1}"));
             }
+            let f = &r.faults;
+            out.push_str(&format!(
+                ",{},{},{},{},{},{:.3}",
+                f.retries,
+                f.aborts,
+                f.quarantines,
+                f.readmissions,
+                f.comm_failures,
+                f.recovery_secs
+            ));
             out.push('\n');
         }
         out
@@ -97,6 +153,7 @@ mod tests {
             cells_per_level: vec![100, 200],
             group_workload: vec![300.0, 200.0],
             redistributed: step == 1,
+            faults: StepFaults::default(),
         }
     }
 
@@ -131,5 +188,32 @@ mod tests {
         assert_eq!(row0.len(), row1.len());
         // the padded level reads zero
         assert_eq!(row0[6], "0");
+    }
+
+    #[test]
+    fn fault_columns_ride_at_the_end() {
+        let mut t = RunTrace::default();
+        t.push(rec(0));
+        let mut r = rec(1);
+        r.faults = StepFaults {
+            retries: 2,
+            aborts: 1,
+            quarantines: 1,
+            readmissions: 0,
+            comm_failures: 3,
+            recovery_secs: 0.0,
+        };
+        t.push(r);
+        let csv = t.to_csv();
+        let header: Vec<&str> = csv.lines().next().unwrap().split(',').collect();
+        assert_eq!(header[header.len() - 6..].join(","),
+            "retries,aborts,quarantines,readmissions,comm_failures,recovery_secs");
+        let row1: Vec<&str> = csv.lines().nth(2).unwrap().split(',').collect();
+        assert_eq!(&row1[row1.len() - 6..row1.len() - 1], &["2", "1", "1", "0", "3"]);
+        let totals = t.fault_totals();
+        assert_eq!(totals.retries, 2);
+        assert_eq!(totals.aborts, 1);
+        assert!(totals.any());
+        assert!(!rec(0).faults.any());
     }
 }

@@ -8,8 +8,17 @@
 //! overhead / wait, which is exactly the decomposition the paper's Fig. 3
 //! plots.
 
+//! Faults are first-class: links may carry a [`topology::FaultSchedule`],
+//! and every comms call returns a [`SimResult`] whose [`SimError`] carries
+//! the simulated detection time. [`retry`] layers exponential backoff on
+//! top for the DLB's control traffic.
+
+pub mod error;
+pub mod retry;
 pub mod sim;
 pub mod stats;
 
+pub use error::{SimError, SimResult};
+pub use retry::{send_with_retry, RetryPolicy};
 pub use sim::NetSim;
 pub use stats::{Activity, MsgStats, ProcStats, SimStats};

@@ -1,0 +1,152 @@
+//! Retry-with-exponential-backoff over fallible simulator sends.
+//!
+//! The DLB's control traffic must survive transient link faults; this
+//! module provides the shared retry policy (attempt count, base backoff,
+//! multiplier) and a helper that re-issues a point-to-point transfer,
+//! charging the backoff sleeps to [`Activity::Wait`] on both endpoints so
+//! the accounting invariant (every clock advance is attributed) holds.
+
+use crate::error::{SimError, SimResult};
+use crate::sim::NetSim;
+use crate::stats::Activity;
+use topology::{ProcId, SimTime};
+
+/// Exponential-backoff retry policy.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included). 1 means "no retries".
+    pub max_attempts: u32,
+    /// Backoff before the first retry, in seconds.
+    pub base_backoff_secs: f64,
+    /// Multiplier applied to the backoff after each failed attempt.
+    pub backoff_multiplier: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff_secs: 0.05,
+            backoff_multiplier: 2.0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Policy that never retries.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            base_backoff_secs: 0.0,
+            backoff_multiplier: 1.0,
+        }
+    }
+
+    /// Backoff to sleep after failed attempt number `attempt` (0-based):
+    /// `base · multiplier^attempt`.
+    pub fn backoff_secs(&self, attempt: u32) -> f64 {
+        self.base_backoff_secs * self.backoff_multiplier.powi(attempt as i32)
+    }
+}
+
+/// Send with retries under `policy`; an optional absolute `deadline`
+/// applies to each attempt. Returns how many retries were consumed along
+/// with the outcome (the error of the last attempt, if all failed).
+pub fn send_with_retry(
+    sim: &mut NetSim,
+    src: ProcId,
+    dst: ProcId,
+    bytes: u64,
+    act: Activity,
+    deadline: Option<SimTime>,
+    policy: RetryPolicy,
+) -> (u32, SimResult<SimTime>) {
+    let attempts = policy.max_attempts.max(1);
+    let mut last: SimError = SimError::LinkDown { at: sim.now(src) };
+    for attempt in 0..attempts {
+        if attempt > 0 {
+            let backoff = policy.backoff_secs(attempt - 1);
+            sim.busy(src, backoff, Activity::Wait);
+            sim.busy(dst, backoff, Activity::Wait);
+        }
+        match sim.send_with_deadline(src, dst, bytes, act, deadline) {
+            Ok(t) => return (attempt, Ok(t)),
+            Err(e) => last = e,
+        }
+    }
+    (attempts - 1, Err(last))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topology::faults::{FaultKind, FaultSchedule};
+    use topology::link::Link;
+    use topology::SystemBuilder;
+
+    fn faulty_pair(windows: FaultSchedule) -> NetSim {
+        let intra = Link::dedicated("intra", SimTime::from_micros(10), 1e9);
+        let wan = Link::dedicated("wan", SimTime::from_millis(10), 1e7).with_faults(windows);
+        NetSim::new(
+            SystemBuilder::new()
+                .group("A", 1, 1.0, intra.clone())
+                .group("B", 1, 1.0, intra)
+                .connect(0, 1, wan)
+                .build(),
+        )
+    }
+
+    #[test]
+    fn backoff_grows_exponentially() {
+        let p = RetryPolicy::default();
+        assert!((p.backoff_secs(0) - 0.05).abs() < 1e-12);
+        assert!((p.backoff_secs(1) - 0.10).abs() < 1e-12);
+        assert!((p.backoff_secs(2) - 0.20).abs() < 1e-12);
+        assert_eq!(RetryPolicy::none().max_attempts, 1);
+    }
+
+    #[test]
+    fn retry_succeeds_once_fault_clears() {
+        // outage covers [0, 60 ms); first attempt fails, backoff pushes the
+        // retry past the window and it succeeds
+        let sched = FaultSchedule::none().with_window(
+            SimTime::ZERO,
+            SimTime::from_millis(60),
+            FaultKind::Outage,
+        );
+        let mut sim = faulty_pair(sched);
+        let (retries, res) = send_with_retry(
+            &mut sim,
+            ProcId(0),
+            ProcId(1),
+            1_000,
+            Activity::LoadBalance,
+            None,
+            RetryPolicy::default(),
+        );
+        assert!(res.is_ok(), "{res:?}");
+        assert!(retries >= 1);
+        assert!(sim.stats().procs[0].wait > SimTime::ZERO, "backoff charged");
+    }
+
+    #[test]
+    fn exhausted_retries_return_last_error() {
+        let sched = FaultSchedule::none().with_window(
+            SimTime::ZERO,
+            SimTime::from_secs(3600),
+            FaultKind::Outage,
+        );
+        let mut sim = faulty_pair(sched);
+        let (retries, res) = send_with_retry(
+            &mut sim,
+            ProcId(0),
+            ProcId(1),
+            1_000,
+            Activity::LoadBalance,
+            None,
+            RetryPolicy::default(),
+        );
+        assert_eq!(retries, 2, "default policy = 3 attempts");
+        assert!(matches!(res, Err(SimError::LinkDown { .. })), "{res:?}");
+    }
+}

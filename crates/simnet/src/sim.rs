@@ -7,11 +7,20 @@
 //! top of that, each link's *background* traffic (other grid users) scales
 //! its effective bandwidth at the transfer's start time.
 //!
+//! Links may also carry a fault schedule. A transfer that starts on (or
+//! runs into) an outage, blackhole, or large-message-drop window fails with
+//! a typed [`SimError`] instead of silently succeeding; the endpoint clocks
+//! are advanced to the moment the failure was *detected*, so wasted time is
+//! fully accounted.
+//!
 //! The model is BSP/LogP-flavoured rather than packet-level: exact enough to
 //! reproduce who-waits-for-what and how shared-WAN slowness scales, while
 //! staying deterministic and fast.
 
+use crate::error::{SimError, SimResult};
 use crate::stats::{Activity, SimStats};
+use topology::faults::FaultKind;
+use topology::link::Link;
 use topology::{DistributedSystem, GroupId, ProcId, SimTime};
 
 /// Physical link identity for contention tracking.
@@ -29,6 +38,9 @@ pub struct NetSim {
     link_free: std::collections::BTreeMap<LinkKey, SimTime>,
     link_busy: std::collections::BTreeMap<LinkKey, SimTime>,
     stats: SimStats,
+    /// How long a sender waits on a blackholed link (or a transfer with no
+    /// explicit deadline) before declaring a timeout.
+    default_timeout: SimTime,
 }
 
 impl NetSim {
@@ -41,6 +53,7 @@ impl NetSim {
             link_free: std::collections::BTreeMap::new(),
             link_busy: std::collections::BTreeMap::new(),
             stats: SimStats::new(n),
+            default_timeout: SimTime::from_secs(5),
         }
     }
 
@@ -62,6 +75,18 @@ impl NetSim {
     /// Accumulated statistics.
     pub fn stats(&self) -> &SimStats {
         &self.stats
+    }
+
+    /// The timeout applied to blackholed transfers without an explicit
+    /// deadline.
+    pub fn default_timeout(&self) -> SimTime {
+        self.default_timeout
+    }
+
+    /// Override the default blackhole-detection timeout.
+    pub fn set_default_timeout(&mut self, t: SimTime) {
+        assert!(t > SimTime::ZERO, "timeout must be positive");
+        self.default_timeout = t;
     }
 
     /// Zero all clocks, link-busy state and statistics — used to exclude
@@ -129,12 +154,27 @@ impl NetSim {
     /// (commonly [`Activity::LocalComm`]/[`Activity::RemoteComm`] — pass
     /// [`Activity::LoadBalance`] for migration traffic). Returns the
     /// completion time. Sender and receiver both block until completion
-    /// (rendezvous semantics, as for large MPI messages).
+    /// (rendezvous semantics, as for large MPI messages); on failure both
+    /// block until the failure was detected.
     ///
     /// A zero-byte send still pays latency — it is a control message.
-    pub fn send(&mut self, src: ProcId, dst: ProcId, bytes: u64, act: Activity) {
+    pub fn send(&mut self, src: ProcId, dst: ProcId, bytes: u64, act: Activity) -> SimResult<SimTime> {
+        self.send_with_deadline(src, dst, bytes, act, None)
+    }
+
+    /// [`send`](Self::send) with an absolute per-transfer deadline: if the
+    /// transfer would not complete by `deadline`, both ends give up there
+    /// and the call returns [`SimError::Timeout`].
+    pub fn send_with_deadline(
+        &mut self,
+        src: ProcId,
+        dst: ProcId,
+        bytes: u64,
+        act: Activity,
+        deadline: Option<SimTime>,
+    ) -> SimResult<SimTime> {
         if src == dst {
-            return; // same address space: free
+            return Ok(self.clocks[src.0]); // same address space: free
         }
         let link = self.sys.link_between(src, dst).clone();
         let key = self.link_key(src, dst);
@@ -142,6 +182,20 @@ impl NetSim {
         let free = self.link_free.get(&key).copied().unwrap_or(SimTime::ZERO);
         let start = ready.max(free);
         let finish = start + link.transfer_time(start, bytes);
+        let disruption = link.faults.first_disruption_in(start, finish, bytes);
+        // a deadline that expires before the fault bites fires first
+        let deadline_violation = deadline.filter(|&dl| finish > dl);
+        if let Some(dl) = deadline_violation {
+            let fault_first = matches!(disruption, Some((tf, _)) if tf < dl);
+            if !fault_first {
+                return Err(self.fail_transfer_at(src, dst, key, bytes, start, dl.max(start), act, |at| {
+                    SimError::Timeout { at, deadline: dl }
+                }));
+            }
+        }
+        if let Some((tf, kind)) = disruption {
+            return Err(self.fail_transfer(src, dst, key, &link, bytes, start, finish, tf, kind, deadline, act));
+        }
         self.link_free.insert(key, finish);
         *self.link_busy.entry(key).or_default() += finish - start;
         // receiver waits for the data; sender blocks in rendezvous
@@ -155,17 +209,102 @@ impl NetSim {
             self.stats.msgs.local_msgs += 1;
             self.stats.msgs.local_bytes += bytes;
         }
+        Ok(finish)
+    }
+
+    /// Common bookkeeping for a transfer that dies at `at`: the link is
+    /// held until the failure, both endpoints block until they learn of it,
+    /// and the attempt is counted as a failed message.
+    #[allow(clippy::too_many_arguments)]
+    fn fail_transfer_at(
+        &mut self,
+        src: ProcId,
+        dst: ProcId,
+        key: LinkKey,
+        bytes: u64,
+        start: SimTime,
+        at: SimTime,
+        act: Activity,
+        err: impl FnOnce(SimTime) -> SimError,
+    ) -> SimError {
+        if at > start {
+            self.link_free.insert(key, at);
+            *self.link_busy.entry(key).or_default() += at - start;
+        }
+        self.advance(src, at, act);
+        self.advance(dst, at, act);
+        self.stats.msgs.failed_msgs += 1;
+        self.stats.msgs.failed_bytes += bytes;
+        err(at)
+    }
+
+    /// Turn a fault-window disruption into the right [`SimError`].
+    #[allow(clippy::too_many_arguments)]
+    fn fail_transfer(
+        &mut self,
+        src: ProcId,
+        dst: ProcId,
+        key: LinkKey,
+        link: &Link,
+        bytes: u64,
+        start: SimTime,
+        finish: SimTime,
+        tf: SimTime,
+        kind: FaultKind,
+        deadline: Option<SimTime>,
+        act: Activity,
+    ) -> SimError {
+        match kind {
+            // down before the first byte: the sender detects the dead peer
+            // after a round trip of silence
+            FaultKind::Outage if tf <= start => {
+                let at = start + link.alpha() + link.alpha();
+                self.fail_transfer_at(src, dst, key, bytes, start, at, act, |at| {
+                    SimError::LinkDown { at }
+                })
+            }
+            // blackhole: the transfer hangs until its deadline
+            FaultKind::Blackhole => {
+                let dl = deadline
+                    .unwrap_or(start + self.default_timeout)
+                    .max(start);
+                self.fail_transfer_at(src, dst, key, bytes, start, dl, act, |at| {
+                    SimError::Timeout { at, deadline: dl }
+                })
+            }
+            // cut mid-flight: a fraction of the payload arrived
+            FaultKind::Outage | FaultKind::DropLarge { .. } => {
+                let at = tf.max(start + link.alpha()).min(finish);
+                let span = (finish - start).as_nanos();
+                let frac = if span == 0 {
+                    1.0
+                } else {
+                    (at - start).as_nanos() as f64 / span as f64
+                };
+                let sent = ((bytes as f64 * frac) as u64).min(bytes.saturating_sub(1));
+                self.fail_transfer_at(src, dst, key, bytes, start, at, act, |at| {
+                    SimError::PartialTransfer {
+                        at,
+                        sent,
+                        total: bytes,
+                    }
+                })
+            }
+            FaultKind::Slowdown { .. } => {
+                unreachable!("slowdowns are priced into bandwidth, never disruptive")
+            }
+        }
     }
 
     /// Convenience: send classifying the time automatically as local or
     /// remote communication.
-    pub fn send_auto(&mut self, src: ProcId, dst: ProcId, bytes: u64) {
+    pub fn send_auto(&mut self, src: ProcId, dst: ProcId, bytes: u64) -> SimResult<SimTime> {
         let act = if self.is_remote(src, dst) {
             Activity::RemoteComm
         } else {
             Activity::LocalComm
         };
-        self.send(src, dst, bytes, act);
+        self.send(src, dst, bytes, act)
     }
 
     /// Synchronize a set of processors: all clocks jump to the set's max;
@@ -194,60 +333,115 @@ impl NetSim {
         self.sync(&procs, Activity::Wait)
     }
 
+    /// A collective failed because the link between `a` and `b` is
+    /// unusable: charge all `procs` a round trip of detection silence on
+    /// that link, then report the failure.
+    fn fail_collective(
+        &mut self,
+        procs: &[ProcId],
+        link: &Link,
+        t0: SimTime,
+        a: GroupId,
+        b: GroupId,
+        act: Activity,
+    ) -> SimError {
+        let at = t0 + link.alpha() + link.alpha();
+        for &p in procs {
+            self.advance(p, at, act);
+        }
+        self.stats.msgs.failed_msgs += 1;
+        SimError::CollectiveFailed {
+            at,
+            group_a: a.0,
+            group_b: b.0,
+        }
+    }
+
     /// Allreduce of `bytes` over every processor, charged to `act`.
     ///
     /// Model: synchronize; recursive-doubling inside each group
     /// (`2·⌈log₂ n_g⌉` intra messages deep); for multi-group systems a
     /// reduce-exchange-broadcast over the inter links (2 messages deep on the
     /// slowest inter link). The whole operation completes simultaneously on
-    /// all participants.
-    pub fn allreduce_all(&mut self, bytes: u64, act: Activity) {
-        let all: Vec<ProcId> = (0..self.sys.nprocs()).map(ProcId).collect();
-        let t0 = self.sync(&all, Activity::Wait);
+    /// all participants. Fails with [`SimError::CollectiveFailed`] if any
+    /// needed inter link is down or blackholed when the exchange reaches it.
+    pub fn allreduce_all(&mut self, bytes: u64, act: Activity) -> SimResult<SimTime> {
+        let groups: Vec<GroupId> = (0..self.sys.ngroups()).map(GroupId).collect();
+        self.allreduce_groups(&groups, bytes, act)
+    }
+
+    /// Allreduce of `bytes` over the processors of the listed groups only —
+    /// the degraded-mode collective used while some groups are quarantined.
+    pub fn allreduce_groups(
+        &mut self,
+        groups: &[GroupId],
+        bytes: u64,
+        act: Activity,
+    ) -> SimResult<SimTime> {
+        let procs: Vec<ProcId> = groups
+            .iter()
+            .flat_map(|&g| self.sys.procs_in(g).iter().copied())
+            .collect();
+        let t0 = self.sync(&procs, Activity::Wait);
         let mut dur = SimTime::ZERO;
-        for g in self.sys.groups() {
+        for &gid in groups {
+            let g = self.sys.group(gid);
             let rounds = (g.nprocs() as f64).log2().ceil() as u32;
             let per = g.intra.transfer_time(t0, bytes);
             let d = SimTime(per.as_nanos() * 2 * rounds as u64);
             dur = dur.max(d);
         }
-        if self.sys.ngroups() > 1 {
+        if groups.len() > 1 {
+            let t_inter = t0 + dur;
+            // every needed pairwise link must be usable when the exchange
+            // reaches it
+            for (i, &a) in groups.iter().enumerate() {
+                for &b in &groups[i + 1..] {
+                    let l = self.sys.inter_link(a, b).clone();
+                    if !l.health_at(t_inter).passes_probes() {
+                        return Err(self.fail_collective(&procs, &l, t_inter, a, b, act));
+                    }
+                }
+            }
             let mut inter_d = SimTime::ZERO;
-            for a in 0..self.sys.ngroups() {
-                for b in (a + 1)..self.sys.ngroups() {
-                    let l = self.sys.inter_link(GroupId(a), GroupId(b));
-                    let per = l.transfer_time(t0 + dur, bytes);
+            for (i, &a) in groups.iter().enumerate() {
+                for &b in &groups[i + 1..] {
+                    let l = self.sys.inter_link(a, b);
+                    let per = l.transfer_time(t_inter, bytes);
                     inter_d = inter_d.max(SimTime(per.as_nanos() * 2));
                 }
             }
             dur += inter_d;
         }
         let t1 = t0 + dur;
-        for &p in &all {
-            self.advance(p, t1, act);
-        }
-    }
-
-    /// Allreduce of `bytes` within one group only.
-    pub fn allreduce_group(&mut self, g: GroupId, bytes: u64, act: Activity) {
-        let procs = self.sys.procs_in(g).to_vec();
-        let t0 = self.sync(&procs, Activity::Wait);
-        let grp = self.sys.group(g);
-        let rounds = (grp.nprocs() as f64).log2().ceil() as u32;
-        let per = grp.intra.transfer_time(t0, bytes);
-        let t1 = t0 + SimTime(per.as_nanos() * 2 * rounds as u64);
         for &p in &procs {
             self.advance(p, t1, act);
         }
+        Ok(t1)
+    }
+
+    /// Allreduce of `bytes` within one group only.
+    pub fn allreduce_group(&mut self, g: GroupId, bytes: u64, act: Activity) -> SimResult<SimTime> {
+        self.allreduce_groups(&[g], bytes, act)
     }
 
     /// One-to-all broadcast of `bytes` from `root`, charged to `act`: a
     /// binomial tree within `root`'s group, one inter-group message to each
     /// other group's leader, then intra-group trees there.
-    pub fn broadcast(&mut self, root: ProcId, bytes: u64, act: Activity) {
+    pub fn broadcast(&mut self, root: ProcId, bytes: u64, act: Activity) -> SimResult<SimTime> {
         let all: Vec<ProcId> = (0..self.sys.nprocs()).map(ProcId).collect();
         let t0 = self.sync(&all, Activity::Wait);
         let rg = self.sys.group_of(root);
+        for g in 0..self.sys.ngroups() {
+            let gid = GroupId(g);
+            if gid == rg {
+                continue;
+            }
+            let l = self.sys.inter_link(rg, gid).clone();
+            if !l.health_at(t0).passes_probes() {
+                return Err(self.fail_collective(&all, &l, t0, rg, gid, act));
+            }
+        }
         let mut finish = t0;
         // intra tree at the root group
         {
@@ -271,26 +465,31 @@ impl NetSim {
         for &p in &all {
             self.advance(p, finish, act);
         }
+        Ok(finish)
     }
 
     /// All-to-one gather of `bytes` per processor to `root`, charged to
     /// `act`: intra-group trees concentrate each group's data at its leader,
     /// leaders forward the group's aggregate over the inter links (which
     /// serialize on the shared medium).
-    pub fn gather(&mut self, root: ProcId, bytes: u64, act: Activity) {
+    pub fn gather(&mut self, root: ProcId, bytes: u64, act: Activity) -> SimResult<SimTime> {
         let all: Vec<ProcId> = (0..self.sys.nprocs()).map(ProcId).collect();
         let t0 = self.sync(&all, Activity::Wait);
         let rg = self.sys.group_of(root);
         let mut finish = t0;
-        for g in self.sys.groups() {
+        for g in self.sys.groups().to_vec() {
             let rounds = (g.nprocs() as f64).log2().ceil() as u64;
             let per = g.intra.transfer_time(t0, bytes);
             let intra_done = t0 + SimTime(per.as_nanos() * rounds);
             if g.id == rg {
                 finish = finish.max(intra_done);
             } else {
+                let l = self.sys.inter_link(g.id, rg).clone();
+                if !l.health_at(intra_done).passes_probes() {
+                    return Err(self.fail_collective(&all, &l, intra_done, g.id, rg, act));
+                }
                 let agg = bytes * g.nprocs() as u64;
-                let inter = self.sys.inter_link(g.id, rg).transfer_time(intra_done, agg);
+                let inter = l.transfer_time(intra_done, agg);
                 finish = finish.max(intra_done + inter);
                 self.stats.msgs.remote_msgs += 1;
                 self.stats.msgs.remote_bytes += agg;
@@ -299,26 +498,63 @@ impl NetSim {
         for &p in &all {
             self.advance(p, finish, act);
         }
+        Ok(finish)
     }
 
     /// Probe the inter-group link between `a` and `b` with the two-message
     /// scheme of §4.2, performed by each group's first processor; the probe's
-    /// simulated duration is charged to both as load-balance overhead.
+    /// simulated duration is charged to both as load-balance overhead. On
+    /// failure the estimator records a strike, the leaders are charged the
+    /// wasted detection time, and the typed error is returned. An optional
+    /// absolute `deadline` bounds the probe's completion.
     pub fn probe_inter(
         &mut self,
         a: GroupId,
         b: GroupId,
         est: &mut topology::LinkEstimator,
-    ) -> topology::ProbeSample {
+        deadline: Option<SimTime>,
+    ) -> SimResult<topology::ProbeSample> {
         let pa = self.sys.procs_in(a)[0];
         let pb = self.sys.procs_in(b)[0];
         let t0 = self.clocks[pa.0].max(self.clocks[pb.0]);
         let link = self.sys.inter_link(a, b).clone();
-        let sample = est.refresh(&link, t0);
-        let t1 = t0 + sample.elapsed;
-        self.advance(pa, t1, Activity::LoadBalance);
-        self.advance(pb, t1, Activity::LoadBalance);
-        sample
+        match topology::probe_link(&link, t0, est.small, est.large) {
+            Ok(sample) => {
+                let t1 = t0 + sample.elapsed;
+                if let Some(dl) = deadline {
+                    if t1 > dl {
+                        est.record_failure(t0);
+                        let at = dl.max(t0);
+                        self.advance(pa, at, Activity::LoadBalance);
+                        self.advance(pb, at, Activity::LoadBalance);
+                        self.stats.msgs.failed_msgs += 1;
+                        return Err(SimError::Timeout { at, deadline: dl });
+                    }
+                }
+                // deterministic: refresh re-probes the same pure function
+                let sample = est
+                    .refresh(&link, t0)
+                    .expect("probe succeeded a moment ago");
+                self.advance(pa, t1, Activity::LoadBalance);
+                self.advance(pb, t1, Activity::LoadBalance);
+                Ok(sample)
+            }
+            Err(e) => {
+                est.record_failure(t0);
+                let at = match e {
+                    // no reply: wait out the timeout
+                    topology::ProbeError::NoReply => {
+                        deadline.unwrap_or(t0 + self.default_timeout).max(t0)
+                    }
+                    // down or degenerate: a round trip of silence
+                    _ => t0 + link.alpha() + link.alpha(),
+                };
+                self.advance(pa, at, Activity::LoadBalance);
+                self.advance(pb, at, Activity::LoadBalance);
+                self.stats.msgs.failed_msgs += 1;
+                Err(SimError::Probe { at, source: e })
+            }
+        }
     }
 
     /// Advance every clock to the current maximum and return it — used at
@@ -331,12 +567,23 @@ impl NetSim {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use topology::faults::{FaultKind, FaultSchedule};
     use topology::link::Link;
     use topology::SystemBuilder;
 
     fn sys2x2() -> DistributedSystem {
         let intra = Link::dedicated("intra", SimTime::from_micros(10), 1e9);
         let wan = Link::dedicated("wan", SimTime::from_millis(10), 1e7);
+        SystemBuilder::new()
+            .group("A", 2, 1.0, intra.clone())
+            .group("B", 2, 1.0, intra)
+            .connect(0, 1, wan)
+            .build()
+    }
+
+    fn sys2x2_faulty(sched: FaultSchedule) -> DistributedSystem {
+        let intra = Link::dedicated("intra", SimTime::from_micros(10), 1e9);
+        let wan = Link::dedicated("wan", SimTime::from_millis(10), 1e7).with_faults(sched);
         SystemBuilder::new()
             .group("A", 2, 1.0, intra.clone())
             .group("B", 2, 1.0, intra)
@@ -357,7 +604,7 @@ mod tests {
     #[test]
     fn send_blocks_both_ends() {
         let mut sim = NetSim::new(sys2x2());
-        sim.send_auto(ProcId(0), ProcId(1), 1_000_000); // local: 10us + 1ms
+        sim.send_auto(ProcId(0), ProcId(1), 1_000_000).unwrap(); // local: 10us + 1ms
         let t = sim.now(ProcId(0));
         assert_eq!(t, sim.now(ProcId(1)));
         assert!((t.as_secs_f64() - 0.00101).abs() < 1e-9);
@@ -368,7 +615,7 @@ mod tests {
     #[test]
     fn remote_send_classified_and_slow() {
         let mut sim = NetSim::new(sys2x2());
-        sim.send_auto(ProcId(0), ProcId(2), 1_000_000); // wan: 10ms + 100ms
+        sim.send_auto(ProcId(0), ProcId(2), 1_000_000).unwrap(); // wan: 10ms + 100ms
         let t = sim.now(ProcId(2)).as_secs_f64();
         assert!((t - 0.11).abs() < 1e-9, "{t}");
         assert_eq!(sim.stats().msgs.remote_msgs, 1);
@@ -379,7 +626,7 @@ mod tests {
     #[test]
     fn self_send_free() {
         let mut sim = NetSim::new(sys2x2());
-        sim.send_auto(ProcId(1), ProcId(1), 1 << 30);
+        sim.send_auto(ProcId(1), ProcId(1), 1 << 30).unwrap();
         assert_eq!(sim.elapsed(), SimTime::ZERO);
         assert_eq!(sim.stats().msgs.local_msgs, 0);
     }
@@ -388,15 +635,15 @@ mod tests {
     fn link_contention_serializes() {
         let mut sim = NetSim::new(sys2x2());
         // two disjoint proc pairs share the single wan link
-        sim.send_auto(ProcId(0), ProcId(2), 1_000_000);
-        sim.send_auto(ProcId(1), ProcId(3), 1_000_000);
+        sim.send_auto(ProcId(0), ProcId(2), 1_000_000).unwrap();
+        sim.send_auto(ProcId(1), ProcId(3), 1_000_000).unwrap();
         // second transfer had to wait for the first: ~0.11 + 0.11
         let t = sim.now(ProcId(3)).as_secs_f64();
         assert!((t - 0.22).abs() < 1e-6, "{t}");
         // but intra transfers in different groups don't contend
         let mut sim2 = NetSim::new(sys2x2());
-        sim2.send_auto(ProcId(0), ProcId(1), 1_000_000);
-        sim2.send_auto(ProcId(2), ProcId(3), 1_000_000);
+        sim2.send_auto(ProcId(0), ProcId(1), 1_000_000).unwrap();
+        sim2.send_auto(ProcId(2), ProcId(3), 1_000_000).unwrap();
         assert_eq!(sim2.now(ProcId(1)), sim2.now(ProcId(3)));
     }
 
@@ -422,10 +669,10 @@ mod tests {
     #[test]
     fn allreduce_all_costs_more_than_group() {
         let mut a = NetSim::new(sys2x2());
-        a.allreduce_all(64, Activity::LoadBalance);
+        a.allreduce_all(64, Activity::LoadBalance).unwrap();
         let ta = a.elapsed();
         let mut b = NetSim::new(sys2x2());
-        b.allreduce_group(GroupId(0), 64, Activity::LoadBalance);
+        b.allreduce_group(GroupId(0), 64, Activity::LoadBalance).unwrap();
         let tb = b.elapsed();
         assert!(ta > tb, "{ta:?} vs {tb:?}");
         // all-proc allreduce pays the WAN: >= 2 * 10ms
@@ -438,7 +685,7 @@ mod tests {
     fn allreduce_synchronizes_everyone() {
         let mut sim = NetSim::new(sys2x2());
         sim.compute(ProcId(2), 1.0);
-        sim.allreduce_all(8, Activity::LoadBalance);
+        sim.allreduce_all(8, Activity::LoadBalance).unwrap();
         let t = sim.now(ProcId(0));
         for p in 0..4 {
             assert_eq!(sim.now(ProcId(p)), t);
@@ -450,7 +697,7 @@ mod tests {
     fn probe_charges_lb_overhead_to_leaders() {
         let mut sim = NetSim::new(sys2x2());
         let mut est = topology::LinkEstimator::paper_default();
-        let s = sim.probe_inter(GroupId(0), GroupId(1), &mut est);
+        let s = sim.probe_inter(GroupId(0), GroupId(1), &mut est, None).unwrap();
         assert!(est.alpha().is_some());
         assert!(s.elapsed > SimTime::ZERO);
         assert!(sim.stats().procs[0].load_balance > SimTime::ZERO);
@@ -465,11 +712,186 @@ mod tests {
         let run = || {
             let mut sim = NetSim::new(sys2x2());
             sim.compute(ProcId(0), 0.5);
-            sim.send_auto(ProcId(0), ProcId(2), 123_456);
-            sim.allreduce_all(64, Activity::LoadBalance);
+            sim.send_auto(ProcId(0), ProcId(2), 123_456).unwrap();
+            sim.allreduce_all(64, Activity::LoadBalance).unwrap();
             sim.compute(ProcId(3), 0.25);
             sim.finish()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn send_on_down_link_fails_fast() {
+        let sched = FaultSchedule::none().with_window(
+            SimTime::ZERO,
+            SimTime::from_secs(100),
+            FaultKind::Outage,
+        );
+        let mut sim = NetSim::new(sys2x2_faulty(sched));
+        let err = sim.send_auto(ProcId(0), ProcId(2), 1_000_000).unwrap_err();
+        assert!(matches!(err, SimError::LinkDown { .. }), "{err:?}");
+        // both ends paid the 2·α detection time (20 ms wan RTT)
+        assert_eq!(sim.now(ProcId(0)), SimTime::from_millis(20));
+        assert_eq!(sim.now(ProcId(2)), SimTime::from_millis(20));
+        assert_eq!(sim.stats().msgs.failed_msgs, 1);
+        assert_eq!(sim.stats().msgs.remote_msgs, 0);
+        // intra traffic is unaffected
+        assert!(sim.send_auto(ProcId(0), ProcId(1), 1_000).is_ok());
+    }
+
+    #[test]
+    fn blackhole_hangs_until_default_timeout() {
+        let sched = FaultSchedule::none().with_window(
+            SimTime::ZERO,
+            SimTime::from_secs(100),
+            FaultKind::Blackhole,
+        );
+        let mut sim = NetSim::new(sys2x2_faulty(sched));
+        sim.set_default_timeout(SimTime::from_secs(2));
+        let err = sim.send_auto(ProcId(0), ProcId(2), 1_000_000).unwrap_err();
+        assert!(matches!(err, SimError::Timeout { .. }), "{err:?}");
+        assert_eq!(sim.now(ProcId(0)), SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn explicit_deadline_beats_slow_transfer() {
+        // healthy link but 110 ms transfer vs a 50 ms deadline
+        let mut sim = NetSim::new(sys2x2());
+        let err = sim
+            .send_with_deadline(
+                ProcId(0),
+                ProcId(2),
+                1_000_000,
+                Activity::LoadBalance,
+                Some(SimTime::from_millis(50)),
+            )
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SimError::Timeout {
+                at: SimTime::from_millis(50),
+                deadline: SimTime::from_millis(50)
+            }
+        );
+        assert_eq!(sim.now(ProcId(0)), SimTime::from_millis(50));
+        // a generous deadline passes
+        let mut sim2 = NetSim::new(sys2x2());
+        assert!(sim2
+            .send_with_deadline(
+                ProcId(0),
+                ProcId(2),
+                1_000_000,
+                Activity::LoadBalance,
+                Some(SimTime::from_secs(1)),
+            )
+            .is_ok());
+    }
+
+    #[test]
+    fn mid_flight_outage_is_partial_transfer() {
+        // transfer runs 10ms..110ms; outage opens at 60 ms
+        let sched = FaultSchedule::none().with_window(
+            SimTime::from_millis(60),
+            SimTime::from_secs(100),
+            FaultKind::Outage,
+        );
+        let mut sim = NetSim::new(sys2x2_faulty(sched));
+        let err = sim.send_auto(ProcId(0), ProcId(2), 1_000_000).unwrap_err();
+        match err {
+            SimError::PartialTransfer { at, sent, total } => {
+                assert_eq!(at, SimTime::from_millis(60));
+                assert_eq!(total, 1_000_000);
+                assert!(sent > 0 && sent < total, "sent {sent}");
+            }
+            other => panic!("expected partial transfer, got {other:?}"),
+        }
+        assert_eq!(sim.now(ProcId(2)), SimTime::from_millis(60));
+    }
+
+    #[test]
+    fn drop_large_spares_small_messages() {
+        let sched = FaultSchedule::none().with_window(
+            SimTime::ZERO,
+            SimTime::from_secs(100),
+            FaultKind::DropLarge {
+                threshold_bytes: 64 * 1024,
+            },
+        );
+        let mut sim = NetSim::new(sys2x2_faulty(sched));
+        // a probe-sized message crosses fine
+        assert!(sim.send_auto(ProcId(0), ProcId(2), 1 << 10).is_ok());
+        // a bulk migration does not
+        let err = sim.send_auto(ProcId(0), ProcId(2), 1 << 20).unwrap_err();
+        assert!(matches!(err, SimError::PartialTransfer { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn failed_collective_reports_pair() {
+        let sched = FaultSchedule::none().with_window(
+            SimTime::ZERO,
+            SimTime::from_secs(100),
+            FaultKind::Outage,
+        );
+        let mut sim = NetSim::new(sys2x2_faulty(sched));
+        let err = sim.allreduce_all(64, Activity::LoadBalance).unwrap_err();
+        assert!(
+            matches!(err, SimError::CollectiveFailed { group_a: 0, group_b: 1, .. }),
+            "{err:?}"
+        );
+        // intra-group collectives still work
+        assert!(sim.allreduce_group(GroupId(0), 64, Activity::LoadBalance).is_ok());
+        // and the degraded-mode collective over one healthy group works
+        assert!(sim
+            .allreduce_groups(&[GroupId(0)], 64, Activity::LoadBalance)
+            .is_ok());
+    }
+
+    #[test]
+    fn probe_inter_fails_and_strikes_estimator() {
+        let sched = FaultSchedule::none().with_window(
+            SimTime::ZERO,
+            SimTime::from_secs(50),
+            FaultKind::Outage,
+        );
+        let mut sim = NetSim::new(sys2x2_faulty(sched));
+        let mut est = topology::LinkEstimator::paper_default();
+        let err = sim
+            .probe_inter(GroupId(0), GroupId(1), &mut est, None)
+            .unwrap_err();
+        assert!(matches!(err, SimError::Probe { .. }), "{err:?}");
+        assert_eq!(est.consecutive_failures(), 1);
+        assert!(est.alpha().is_none(), "no bogus sample folded in");
+        // leaders were charged the wasted detection time
+        assert!(sim.stats().procs[0].load_balance > SimTime::ZERO);
+        // after recovery, probing works and resets the strikes
+        sim.compute(ProcId(0), 60.0);
+        sim.compute(ProcId(2), 60.0);
+        assert!(sim.probe_inter(GroupId(0), GroupId(1), &mut est, None).is_ok());
+        assert_eq!(est.consecutive_failures(), 0);
+    }
+
+    #[test]
+    fn faulted_sends_keep_accounting_complete() {
+        let sched = FaultSchedule::none()
+            .with_window(SimTime::ZERO, SimTime::from_millis(500), FaultKind::Outage)
+            .with_window(
+                SimTime::from_secs(1),
+                SimTime::from_secs(2),
+                FaultKind::Blackhole,
+            );
+        let mut sim = NetSim::new(sys2x2_faulty(sched));
+        sim.set_default_timeout(SimTime::from_millis(200));
+        let _ = sim.send_auto(ProcId(0), ProcId(2), 1_000_000);
+        sim.compute(ProcId(0), 1.0);
+        let _ = sim.send_auto(ProcId(0), ProcId(2), 1_000_000);
+        let _ = sim.allreduce_all(64, Activity::LoadBalance);
+        sim.finish();
+        for p in 0..4 {
+            assert_eq!(
+                sim.stats().procs[p].total(),
+                sim.now(ProcId(p)),
+                "proc {p}: every advance must be attributed"
+            );
+        }
     }
 }

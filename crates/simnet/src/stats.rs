@@ -55,13 +55,16 @@ impl ProcStats {
     }
 }
 
-/// Message counters, split by locality.
+/// Message counters, split by locality, plus failed-transfer counters
+/// (attempted transfers that ended in a [`SimError`](crate::SimError)).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct MsgStats {
     pub local_msgs: u64,
     pub local_bytes: u64,
     pub remote_msgs: u64,
     pub remote_bytes: u64,
+    pub failed_msgs: u64,
+    pub failed_bytes: u64,
 }
 
 /// Whole-simulation statistics.

@@ -18,7 +18,7 @@ fn sys2x2() -> topology::DistributedSystem {
 #[test]
 fn broadcast_synchronizes_everyone_and_pays_wan() {
     let mut sim = NetSim::new(sys2x2());
-    sim.broadcast(ProcId(0), 1_000_000, Activity::LoadBalance);
+    sim.broadcast(ProcId(0), 1_000_000, Activity::LoadBalance).unwrap();
     let t = sim.now(ProcId(0));
     for p in 1..4 {
         assert_eq!(sim.now(ProcId(p)), t);
@@ -33,7 +33,7 @@ fn broadcast_single_group_never_remote() {
     let intra = Link::dedicated("intra", SimTime::from_micros(10), 1e9);
     let sys = SystemBuilder::new().group("A", 4, 1.0, intra).build();
     let mut sim = NetSim::new(sys);
-    sim.broadcast(ProcId(2), 1 << 20, Activity::LoadBalance);
+    sim.broadcast(ProcId(2), 1 << 20, Activity::LoadBalance).unwrap();
     assert_eq!(sim.stats().msgs.remote_msgs, 0);
     assert!(sim.elapsed() > SimTime::ZERO);
 }
@@ -41,7 +41,7 @@ fn broadcast_single_group_never_remote() {
 #[test]
 fn gather_aggregates_group_payloads() {
     let mut sim = NetSim::new(sys2x2());
-    sim.gather(ProcId(0), 500_000, Activity::LoadBalance);
+    sim.gather(ProcId(0), 500_000, Activity::LoadBalance).unwrap();
     // group B ships 2 * 500_000 bytes over the WAN
     assert_eq!(sim.stats().msgs.remote_bytes, 1_000_000);
     // everyone finishes at the same time
@@ -54,9 +54,10 @@ fn gather_aggregates_group_payloads() {
 #[test]
 fn gather_costs_more_with_remote_root_data() {
     let mut a = NetSim::new(sys2x2());
-    a.gather(ProcId(0), 1 << 20, Activity::LoadBalance);
+    a.gather(ProcId(0), 1 << 20, Activity::LoadBalance).unwrap();
     let mut b = NetSim::new(sys2x2());
-    b.allreduce_group(topology::GroupId(0), 1 << 20, Activity::LoadBalance);
+    b.allreduce_group(topology::GroupId(0), 1 << 20, Activity::LoadBalance)
+        .unwrap();
     assert!(a.elapsed() > b.elapsed());
 }
 
@@ -65,7 +66,7 @@ fn link_utilization_tracks_busy_time() {
     let mut sim = NetSim::new(sys2x2());
     assert!(sim.inter_link_utilization().is_empty());
     // saturate the WAN for most of the run: 1MB at 1e7 B/s ≈ 0.1 s
-    sim.send_auto(ProcId(0), ProcId(2), 1_000_000);
+    sim.send_auto(ProcId(0), ProcId(2), 1_000_000).unwrap();
     let rows = sim.inter_link_utilization();
     assert_eq!(rows.len(), 1);
     let (a, b, u) = rows[0];

@@ -49,14 +49,21 @@ fn sys() -> topology::DistributedSystem {
 fn apply(sim: &mut NetSim, op: &Op) {
     match *op {
         Op::Compute(p, ms) => sim.compute(ProcId(p as usize), ms as f64 * 1e-3),
-        Op::Send(a, b, n) => sim.send_auto(ProcId(a as usize), ProcId(b as usize), n as u64),
+        Op::Send(a, b, n) => {
+            // fault-free system: sends cannot fail
+            sim.send_auto(ProcId(a as usize), ProcId(b as usize), n as u64)
+                .unwrap();
+        }
         Op::Barrier => {
             sim.barrier_all();
         }
         Op::GroupReduce(b) => {
             sim.allreduce_group(topology::GroupId(b as usize), 64, Activity::LoadBalance)
+                .unwrap();
         }
-        Op::AllReduce => sim.allreduce_all(64, Activity::LoadBalance),
+        Op::AllReduce => {
+            sim.allreduce_all(64, Activity::LoadBalance).unwrap();
+        }
     }
 }
 
@@ -119,7 +126,7 @@ proptest! {
     ) {
         let mut sim = NetSim::new(sys());
         let (src, dst) = if from_a { (ProcId(0), ProcId(2)) } else { (ProcId(3), ProcId(1)) };
-        sim.send_auto(src, dst, bytes);
+        sim.send_auto(src, dst, bytes).unwrap();
         let t = sim.now(dst);
         // latency 5ms; best-case bandwidth 2e7 B/s
         let floor = 0.005 + bytes as f64 / 2e7;

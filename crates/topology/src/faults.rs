@@ -1,0 +1,313 @@
+//! Deterministic link-fault schedules: outage windows, blackholed probes,
+//! bandwidth collapse, and size-dependent drops.
+//!
+//! The paper's shared-WAN premise already models *slowdown* via
+//! [`TrafficModel`](crate::traffic::TrafficModel); this module adds the
+//! failure half of the story. A [`FaultSchedule`] is a list of half-open
+//! time windows `[start, end)` during which a link misbehaves in one of
+//! four ways ([`FaultKind`]). Like the traffic models, a schedule is a
+//! *pure function of time and seed*: queries at the same time always agree,
+//! so simulations stay reproducible regardless of query order.
+
+use crate::time::SimTime;
+use crate::traffic::{splitmix64, SimTimeSerde};
+use serde::{Deserialize, Serialize};
+
+/// What a link does wrong during a fault window.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// Link is down: sends fail fast (the sender detects the dead peer
+    /// after a round-trip's worth of waiting).
+    Outage,
+    /// Link silently swallows traffic: sends hang until their deadline.
+    Blackhole,
+    /// Bandwidth collapse: transfers succeed but effective bandwidth is
+    /// multiplied by `factor` (e.g. 0.01 for a 100× collapse).
+    Slowdown { factor: f64 },
+    /// Transfers larger than `threshold_bytes` are cut partway through;
+    /// small messages (probes, load reports) still get through.
+    DropLarge { threshold_bytes: u64 },
+}
+
+/// One fault window `[start, end)` on a link's timeline.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FaultWindow {
+    pub start: SimTimeSerde,
+    pub end: SimTimeSerde,
+    pub kind: FaultKind,
+}
+
+impl FaultWindow {
+    /// Does this window cover time `t`?
+    pub fn contains(&self, t: SimTime) -> bool {
+        SimTime::from(self.start) <= t && t < SimTime::from(self.end)
+    }
+
+    /// Does this window overlap the half-open span `[t0, t1)`?
+    pub fn overlaps(&self, t0: SimTime, t1: SimTime) -> bool {
+        SimTime::from(self.start) < t1 && t0 < SimTime::from(self.end)
+    }
+}
+
+/// Instantaneous health of a link, derived from its schedule.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum LinkHealth {
+    /// No active fault.
+    Up,
+    /// Outage in progress.
+    Down,
+    /// Blackhole in progress.
+    Blackhole,
+    /// Messages above the threshold are being dropped mid-flight.
+    Lossy { threshold_bytes: u64 },
+    /// Bandwidth collapsed by `factor`.
+    Slow { factor: f64 },
+}
+
+impl LinkHealth {
+    /// True when small control messages (probes, load reports) get through.
+    pub fn passes_probes(&self) -> bool {
+        !matches!(self, LinkHealth::Down | LinkHealth::Blackhole)
+    }
+}
+
+/// A link's fault timeline. The default schedule is empty (a fault-free
+/// link), so existing configurations deserialize unchanged.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultSchedule {
+    pub windows: Vec<FaultWindow>,
+}
+
+impl FaultSchedule {
+    /// The fault-free schedule.
+    pub fn none() -> FaultSchedule {
+        FaultSchedule::default()
+    }
+
+    /// True when no fault window exists at all.
+    pub fn is_quiet(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// Builder: add one window `[start, end)`.
+    pub fn with_window(mut self, start: SimTime, end: SimTime, kind: FaultKind) -> FaultSchedule {
+        assert!(start < end, "fault window must have positive length");
+        self.windows.push(FaultWindow {
+            start: start.into(),
+            end: end.into(),
+            kind,
+        });
+        self
+    }
+
+    /// Health at time `t`. When windows overlap, the most severe fault
+    /// wins: Outage > Blackhole > DropLarge > Slowdown.
+    pub fn health_at(&self, t: SimTime) -> LinkHealth {
+        let mut health = LinkHealth::Up;
+        let mut rank = 0u8;
+        for w in self.windows.iter().filter(|w| w.contains(t)) {
+            let (r, h) = match w.kind {
+                FaultKind::Outage => (4, LinkHealth::Down),
+                FaultKind::Blackhole => (3, LinkHealth::Blackhole),
+                FaultKind::DropLarge { threshold_bytes } => {
+                    (2, LinkHealth::Lossy { threshold_bytes })
+                }
+                FaultKind::Slowdown { factor } => (1, LinkHealth::Slow { factor }),
+            };
+            if r > rank {
+                rank = r;
+                health = h;
+            }
+        }
+        health
+    }
+
+    /// Combined bandwidth multiplier from all Slowdown windows active at
+    /// `t` (1.0 when none). Factors compose multiplicatively and the
+    /// result is floored at 1% so a slowed link still drains.
+    pub fn slowdown_factor_at(&self, t: SimTime) -> f64 {
+        let factor: f64 = self
+            .windows
+            .iter()
+            .filter(|w| w.contains(t))
+            .filter_map(|w| match w.kind {
+                FaultKind::Slowdown { factor } => Some(factor),
+                _ => None,
+            })
+            .product();
+        factor.clamp(0.01, 1.0)
+    }
+
+    /// Earliest moment in `[t0, t1)` at which a transfer of `bytes` in
+    /// flight over that span would be disrupted, with the responsible
+    /// fault. Outage and Blackhole disrupt every transfer; `DropLarge`
+    /// only those strictly larger than its threshold; `Slowdown` never
+    /// disrupts (it is priced into the bandwidth instead).
+    pub fn first_disruption_in(
+        &self,
+        t0: SimTime,
+        t1: SimTime,
+        bytes: u64,
+    ) -> Option<(SimTime, FaultKind)> {
+        self.windows
+            .iter()
+            .filter(|w| w.overlaps(t0, t1))
+            .filter(|w| match w.kind {
+                FaultKind::Outage | FaultKind::Blackhole => true,
+                FaultKind::DropLarge { threshold_bytes } => bytes > threshold_bytes,
+                FaultKind::Slowdown { .. } => false,
+            })
+            .map(|w| (SimTime::from(w.start).max(t0), w.kind))
+            .min_by_key(|(t, _)| *t)
+    }
+
+    /// Generate a seeded, deterministic schedule over `[0, horizon)`:
+    /// alternating up/down spans with exponentially distributed lengths
+    /// (means `mean_up`/`mean_down`), each down span assigned a fault
+    /// kind from the same RNG stream. Same seed ⇒ same schedule.
+    pub fn generate(
+        seed: u64,
+        horizon: SimTime,
+        mean_up: SimTime,
+        mean_down: SimTime,
+    ) -> FaultSchedule {
+        assert!(mean_up > SimTime::ZERO && mean_down > SimTime::ZERO);
+        let mut sched = FaultSchedule::none();
+        let mut state = splitmix64(seed ^ 0xFA17_FA17_FA17_FA17);
+        fn draw(state: &mut u64) -> u64 {
+            *state = splitmix64(*state);
+            *state
+        }
+        fn unit(state: &mut u64) -> f64 {
+            (draw(state) >> 11) as f64 / (1u64 << 53) as f64
+        }
+        // exponential sample with the given mean, in nanos
+        fn exp(state: &mut u64, mean: SimTime, horizon: SimTime) -> u64 {
+            let ns = -(mean.as_nanos() as f64) * (1.0 - unit(state)).ln();
+            (ns.max(1.0).min(horizon.as_nanos() as f64)) as u64
+        }
+        let mut t = SimTime(exp(&mut state, mean_up, horizon));
+        while t < horizon {
+            let down = SimTime(exp(&mut state, mean_down, horizon));
+            let end = SimTime(t.as_nanos().saturating_add(down.as_nanos())).min(horizon);
+            let kind = match draw(&mut state) % 4 {
+                0 => FaultKind::Outage,
+                1 => FaultKind::Blackhole,
+                2 => FaultKind::Slowdown {
+                    factor: 0.05 + 0.2 * unit(&mut state),
+                },
+                _ => FaultKind::DropLarge {
+                    threshold_bytes: 1 << (10 + draw(&mut state) % 8),
+                },
+            };
+            if t < end {
+                sched = sched.with_window(t, end, kind);
+            }
+            t = SimTime(end.as_nanos().saturating_add(exp(&mut state, mean_up, horizon)));
+        }
+        sched
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secs(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn quiet_schedule_is_always_up() {
+        let s = FaultSchedule::none();
+        assert!(s.is_quiet());
+        assert_eq!(s.health_at(SimTime::ZERO), LinkHealth::Up);
+        assert_eq!(s.slowdown_factor_at(secs(100)), 1.0);
+        assert_eq!(s.first_disruption_in(SimTime::ZERO, secs(100), 1 << 30), None);
+    }
+
+    #[test]
+    fn window_is_half_open() {
+        let s = FaultSchedule::none().with_window(secs(10), secs(20), FaultKind::Outage);
+        assert_eq!(s.health_at(secs(9)), LinkHealth::Up);
+        assert_eq!(s.health_at(secs(10)), LinkHealth::Down);
+        assert_eq!(s.health_at(secs(19)), LinkHealth::Down);
+        assert_eq!(s.health_at(secs(20)), LinkHealth::Up);
+    }
+
+    #[test]
+    fn severity_priority_on_overlap() {
+        let s = FaultSchedule::none()
+            .with_window(secs(0), secs(30), FaultKind::Slowdown { factor: 0.5 })
+            .with_window(secs(10), secs(20), FaultKind::Outage);
+        assert_eq!(s.health_at(secs(5)), LinkHealth::Slow { factor: 0.5 });
+        assert_eq!(s.health_at(secs(15)), LinkHealth::Down);
+    }
+
+    #[test]
+    fn drop_large_spares_small_messages() {
+        let s = FaultSchedule::none().with_window(
+            secs(10),
+            secs(20),
+            FaultKind::DropLarge {
+                threshold_bytes: 4096,
+            },
+        );
+        assert!(s.health_at(secs(15)).passes_probes());
+        // small transfer sails through the window
+        assert_eq!(s.first_disruption_in(secs(12), secs(18), 512), None);
+        // large transfer is cut at the window start (or span start if later)
+        assert_eq!(
+            s.first_disruption_in(secs(5), secs(18), 1 << 20),
+            Some((
+                secs(10),
+                FaultKind::DropLarge {
+                    threshold_bytes: 4096
+                }
+            ))
+        );
+        assert_eq!(
+            s.first_disruption_in(secs(12), secs(18), 1 << 20).map(|d| d.0),
+            Some(secs(12))
+        );
+    }
+
+    #[test]
+    fn earliest_disruption_wins() {
+        let s = FaultSchedule::none()
+            .with_window(secs(40), secs(50), FaultKind::Outage)
+            .with_window(secs(20), secs(25), FaultKind::Blackhole);
+        let (t, kind) = s.first_disruption_in(secs(0), secs(100), 1).unwrap();
+        assert_eq!(t, secs(20));
+        assert_eq!(kind, FaultKind::Blackhole);
+    }
+
+    #[test]
+    fn slowdown_factors_compose() {
+        let s = FaultSchedule::none()
+            .with_window(secs(0), secs(10), FaultKind::Slowdown { factor: 0.5 })
+            .with_window(secs(0), secs(10), FaultKind::Slowdown { factor: 0.4 });
+        assert!((s.slowdown_factor_at(secs(5)) - 0.2).abs() < 1e-12);
+        // floored at 1%
+        let s2 = FaultSchedule::none().with_window(
+            secs(0),
+            secs(10),
+            FaultKind::Slowdown { factor: 1e-6 },
+        );
+        assert_eq!(s2.slowdown_factor_at(secs(5)), 0.01);
+    }
+
+    #[test]
+    fn generate_is_deterministic_and_bounded() {
+        let a = FaultSchedule::generate(7, secs(1000), secs(60), secs(10));
+        let b = FaultSchedule::generate(7, secs(1000), secs(60), secs(10));
+        assert_eq!(a, b);
+        assert!(!a.is_quiet(), "1000 s horizon with 60 s MTBF should fault");
+        for w in &a.windows {
+            assert!(SimTime::from(w.start) < SimTime::from(w.end));
+            assert!(SimTime::from(w.end) <= secs(1000));
+        }
+        let c = FaultSchedule::generate(8, secs(1000), secs(60), secs(10));
+        assert_ne!(a, c, "different seeds should differ");
+    }
+}

@@ -5,6 +5,7 @@
 //! intra-networks, shared inter-group links with the `T = α + β·L` timing
 //! model, deterministic dynamic background traffic, and NWS-lite α/β probes.
 
+pub mod faults;
 pub mod link;
 pub mod presets;
 pub mod probe;
@@ -12,8 +13,9 @@ pub mod system;
 pub mod time;
 pub mod traffic;
 
+pub use faults::{FaultKind, FaultSchedule, FaultWindow, LinkHealth};
 pub use link::Link;
-pub use probe::{probe_link, LinkEstimator, ProbeSample};
+pub use probe::{probe_link, LinkEstimator, ProbeError, ProbeSample};
 pub use system::{DistributedSystem, Group, GroupId, ProcId, Processor, SystemBuilder};
 pub use time::SimTime;
 pub use traffic::TrafficModel;

@@ -1,6 +1,7 @@
 //! Network links with the paper's `T = α + β·L` timing model plus dynamic
 //! background traffic.
 
+use crate::faults::{FaultSchedule, LinkHealth};
 use crate::time::SimTime;
 use crate::traffic::TrafficModel;
 use serde::{Deserialize, Serialize};
@@ -35,6 +36,10 @@ pub struct Link {
     pub bandwidth: f64,
     /// Background traffic on the link (Quiet for dedicated links).
     pub traffic: TrafficModel,
+    /// Fault timeline (empty for a fault-free link; `#[serde(default)]`
+    /// keeps pre-fault configurations loadable).
+    #[serde(default)]
+    pub faults: FaultSchedule,
 }
 
 /// Serde-friendly nanosecond count for latencies.
@@ -48,6 +53,7 @@ impl Link {
             latency: latency.as_nanos(),
             bandwidth,
             traffic: TrafficModel::Quiet,
+            faults: FaultSchedule::none(),
         }
     }
 
@@ -58,7 +64,19 @@ impl Link {
             latency: latency.as_nanos(),
             bandwidth,
             traffic,
+            faults: FaultSchedule::none(),
         }
+    }
+
+    /// Builder: attach a fault schedule.
+    pub fn with_faults(mut self, faults: FaultSchedule) -> Link {
+        self.faults = faults;
+        self
+    }
+
+    /// Instantaneous health of the link at time `t`.
+    pub fn health_at(&self, t: SimTime) -> LinkHealth {
+        self.faults.health_at(t)
     }
 
     /// Latency α as [`SimTime`].
@@ -66,9 +84,10 @@ impl Link {
         SimTime(self.latency)
     }
 
-    /// Effective bandwidth (bytes/s) at time `t` after background traffic.
+    /// Effective bandwidth (bytes/s) at time `t` after background traffic
+    /// and any active bandwidth-collapse fault.
     pub fn effective_bandwidth(&self, t: SimTime) -> f64 {
-        self.bandwidth * (1.0 - self.traffic.utilization(t))
+        self.bandwidth * (1.0 - self.traffic.utilization(t)) * self.faults.slowdown_factor_at(t)
     }
 
     /// Effective per-byte transfer rate β (s/byte) at time `t`.
@@ -133,6 +152,28 @@ mod tests {
         assert!(l.beta(SimTime::from_secs(0)) < l.beta(SimTime::from_secs(10)));
         let ratio = l.beta(SimTime::from_secs(10)) / l.beta(SimTime::from_secs(0));
         assert!((ratio - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slowdown_fault_collapses_bandwidth() {
+        use crate::faults::{FaultKind, FaultSchedule};
+        let l = Link::dedicated("f", SimTime::ZERO, 1e6).with_faults(
+            FaultSchedule::none().with_window(
+                SimTime::from_secs(10),
+                SimTime::from_secs(20),
+                FaultKind::Slowdown { factor: 0.1 },
+            ),
+        );
+        let before = l.transfer_time(SimTime::ZERO, 1_000_000);
+        let during = l.transfer_time(SimTime::from_secs(15), 1_000_000);
+        assert!((before.as_secs_f64() - 1.0).abs() < 1e-9);
+        assert!((during.as_secs_f64() - 10.0).abs() < 1e-9);
+        use crate::faults::LinkHealth;
+        assert_eq!(l.health_at(SimTime::ZERO), LinkHealth::Up);
+        assert_eq!(
+            l.health_at(SimTime::from_secs(15)),
+            LinkHealth::Slow { factor: 0.1 }
+        );
     }
 
     #[test]

@@ -106,6 +106,29 @@ pub fn three_site_wan(na: usize, nb: usize, nc: usize, seed: u64) -> Distributed
         .build()
 }
 
+/// ANL + NCSA WAN whose inter-link carries a seeded fault schedule
+/// (outages, blackholes, slowdowns, large-message drops) on top of the
+/// usual bursty background traffic — the robustness testbed.
+pub fn faulty_anl_ncsa_wan(
+    na: usize,
+    nb: usize,
+    seed: u64,
+    horizon: SimTime,
+) -> DistributedSystem {
+    use crate::faults::FaultSchedule;
+    let wan = mren_oc3_wan(seed).with_faults(FaultSchedule::generate(
+        seed,
+        horizon,
+        SimTime::from_secs(60),
+        SimTime::from_secs(8),
+    ));
+    SystemBuilder::new()
+        .group("ANL", na, 1.0, origin2000_intra())
+        .group("NCSA", nb, 1.0, origin2000_intra())
+        .connect(0, 1, wan)
+        .build()
+}
+
 /// Heterogeneous extension: `nb` processors in group B run at `rel` times the
 /// speed of group A's (exercises the weight-proportional code path the paper
 /// describes but could not test on its homogeneous testbeds).
@@ -151,6 +174,16 @@ mod tests {
         assert_eq!(s.group_power(GroupId(1)), 8.0);
         assert_eq!(s.proc(ProcId(6)).weight, 2.0);
         assert_eq!(s.total_power(), 12.0);
+    }
+
+    #[test]
+    fn faulty_wan_preset_has_schedule() {
+        let s = faulty_anl_ncsa_wan(2, 2, 9, SimTime::from_secs(600));
+        let link = s.inter_link(GroupId(0), GroupId(1));
+        assert!(!link.faults.is_quiet(), "seeded schedule should fault");
+        // deterministic: same seed, same schedule
+        let s2 = faulty_anl_ncsa_wan(2, 2, 9, SimTime::from_secs(600));
+        assert_eq!(link.faults, s2.inter_link(GroupId(0), GroupId(1)).faults);
     }
 
     #[test]

@@ -4,7 +4,13 @@
 //! calculates the network performance parameters α and β"*. We reproduce
 //! exactly that two-message probe, plus exponentially-weighted smoothing in
 //! the spirit of the Network Weather Service the authors cite as future work.
+//!
+//! Probing is fallible: a dead or blackholed link returns a typed
+//! [`ProbeError`] instead of a bogus sample, and [`LinkEstimator`] tracks
+//! probe failures and sample age so stale α/β from a dead link stop
+//! informing the γ-gate (see [`LinkEstimator::with_staleness`]).
 
+use crate::faults::LinkHealth;
 use crate::link::Link;
 use crate::time::SimTime;
 
@@ -19,36 +25,93 @@ pub struct ProbeSample {
     pub elapsed: SimTime,
 }
 
+/// Why a probe could not produce a trustworthy sample.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ProbeError {
+    /// Probe messages must satisfy `small < large` to solve for (α, β).
+    BadProbeSizes { small: u64, large: u64 },
+    /// The link reports zero, negative, or non-finite effective bandwidth —
+    /// a sample taken now would contain garbage α/β.
+    DegenerateBandwidth { bandwidth: f64 },
+    /// The link is down (outage window): the first message fails fast.
+    LinkDown,
+    /// The link blackholes traffic: a probe message was sent but no reply
+    /// ever arrives.
+    NoReply,
+}
+
+impl std::fmt::Display for ProbeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProbeError::BadProbeSizes { small, large } => {
+                write!(f, "probe sizes must satisfy small < large (got {small} >= {large})")
+            }
+            ProbeError::DegenerateBandwidth { bandwidth } => {
+                write!(f, "link reports degenerate bandwidth {bandwidth} B/s")
+            }
+            ProbeError::LinkDown => write!(f, "link is down"),
+            ProbeError::NoReply => write!(f, "probe got no reply (blackholed link)"),
+        }
+    }
+}
+
+impl std::error::Error for ProbeError {}
+
 /// Probe a link at time `t` with two messages of `small` and `large` bytes.
 ///
 /// Solves `t1 = α + β·s1`, `t2 = α + β·s2` for `(α, β)`. The probe itself
 /// consumes simulated time `t1 + t2` (the messages really cross the link),
-/// which callers charge as DLB overhead.
+/// which callers charge as DLB overhead. Returns a [`ProbeError`] instead
+/// of a bogus sample when the sizes are degenerate, the link reports
+/// non-positive bandwidth, or a fault window makes the link unreachable.
 ///
 /// ```
 /// use topology::{probe_link, Link, SimTime};
 /// let link = Link::dedicated("x", SimTime::from_millis(2), 1e7);
-/// let s = probe_link(&link, SimTime::ZERO, 1 << 10, 1 << 16);
+/// let s = probe_link(&link, SimTime::ZERO, 1 << 10, 1 << 16).unwrap();
 /// assert!((s.alpha - 0.002).abs() < 1e-6);
 /// assert!((s.beta - 1e-7).abs() < 1e-12);
 /// ```
-pub fn probe_link(link: &Link, t: SimTime, small: u64, large: u64) -> ProbeSample {
-    assert!(large > small, "probe sizes must differ");
+pub fn probe_link(link: &Link, t: SimTime, small: u64, large: u64) -> Result<ProbeSample, ProbeError> {
+    if small >= large {
+        return Err(ProbeError::BadProbeSizes { small, large });
+    }
+    check_reachable(link, t)?;
     let t1 = link.transfer_time(t, small);
-    // second message departs after the first completes
+    // second message departs after the first completes — the link may have
+    // failed in between
+    check_reachable(link, t + t1)?;
     let t2 = link.transfer_time(t + t1, large);
     let s1 = t1.as_secs_f64();
     let s2 = t2.as_secs_f64();
     let beta = (s2 - s1) / (large - small) as f64;
     let alpha = (s1 - beta * small as f64).max(0.0);
-    ProbeSample {
+    if !beta.is_finite() || !alpha.is_finite() {
+        return Err(ProbeError::DegenerateBandwidth {
+            bandwidth: link.effective_bandwidth(t),
+        });
+    }
+    Ok(ProbeSample {
         alpha,
         beta: beta.max(0.0),
         elapsed: t1 + t2,
-    }
+    })
 }
 
-/// EWMA smoother over probe samples, NWS-style.
+fn check_reachable(link: &Link, t: SimTime) -> Result<(), ProbeError> {
+    match link.health_at(t) {
+        LinkHealth::Down => return Err(ProbeError::LinkDown),
+        LinkHealth::Blackhole => return Err(ProbeError::NoReply),
+        LinkHealth::Up | LinkHealth::Lossy { .. } | LinkHealth::Slow { .. } => {}
+    }
+    let bw = link.effective_bandwidth(t);
+    if !(bw.is_finite() && bw > 0.0) {
+        return Err(ProbeError::DegenerateBandwidth { bandwidth: bw });
+    }
+    Ok(())
+}
+
+/// EWMA smoother over probe samples, NWS-style, with staleness tracking.
 #[derive(Clone, Debug)]
 pub struct LinkEstimator {
     /// Smoothing factor λ ∈ (0, 1]: weight of the newest sample.
@@ -59,6 +122,13 @@ pub struct LinkEstimator {
     pub small: u64,
     pub large: u64,
     samples: usize,
+    /// Time of the last successful probe.
+    last_success: Option<SimTime>,
+    /// Consecutive probe failures since the last success.
+    failures: u32,
+    /// Staleness policy: `(ttl_secs, max_failures)`. `None` disables
+    /// staleness (estimates never expire — the pre-fault behaviour).
+    staleness: Option<(f64, u32)>,
 }
 
 impl LinkEstimator {
@@ -74,6 +144,9 @@ impl LinkEstimator {
             small,
             large,
             samples: 0,
+            last_success: None,
+            failures: 0,
+            staleness: None,
         }
     }
 
@@ -83,19 +156,78 @@ impl LinkEstimator {
         LinkEstimator::new(1.0, 1 << 10, 1 << 16)
     }
 
-    /// Probe `link` at `t`, fold the sample in, and return it.
-    pub fn refresh(&mut self, link: &Link, t: SimTime) -> ProbeSample {
-        let s = probe_link(link, t, self.small, self.large);
-        self.alpha = Some(match self.alpha {
-            None => s.alpha,
-            Some(a) => self.lambda * s.alpha + (1.0 - self.lambda) * a,
-        });
-        self.beta = Some(match self.beta {
-            None => s.beta,
-            Some(b) => self.lambda * s.beta + (1.0 - self.lambda) * b,
-        });
-        self.samples += 1;
-        s
+    /// Enable staleness decay: [`estimate`](Self::estimate) returns `None`
+    /// once the last successful probe is older than `ttl_secs` or after
+    /// `max_failures` consecutive probe failures, so α/β from a dead link
+    /// stop informing redistribution decisions.
+    pub fn with_staleness(mut self, ttl_secs: f64, max_failures: u32) -> Self {
+        assert!(ttl_secs > 0.0 && max_failures > 0);
+        self.staleness = Some((ttl_secs, max_failures));
+        self
+    }
+
+    /// Probe `link` at `t` and fold the sample in. On failure the
+    /// estimator records a strike (for staleness decay) and keeps its
+    /// previous α/β untouched.
+    pub fn refresh(&mut self, link: &Link, t: SimTime) -> Result<ProbeSample, ProbeError> {
+        match probe_link(link, t, self.small, self.large) {
+            Ok(s) => {
+                self.fold(s.alpha, s.beta);
+                self.samples += 1;
+                self.last_success = Some(t + s.elapsed);
+                self.failures = 0;
+                Ok(s)
+            }
+            Err(e) => {
+                self.record_failure(t);
+                Err(e)
+            }
+        }
+    }
+
+    /// EWMA fold, clamped against NaN/negative samples: non-finite
+    /// contributions are discarded (the old estimate survives) and finite
+    /// ones are floored at zero before smoothing.
+    fn fold(&mut self, alpha: f64, beta: f64) {
+        if alpha.is_finite() {
+            let a_new = alpha.max(0.0);
+            self.alpha = Some(match self.alpha {
+                None => a_new,
+                Some(a) => self.lambda * a_new + (1.0 - self.lambda) * a,
+            });
+        }
+        if beta.is_finite() {
+            let b_new = beta.max(0.0);
+            self.beta = Some(match self.beta {
+                None => b_new,
+                Some(b) => self.lambda * b_new + (1.0 - self.lambda) * b,
+            });
+        }
+    }
+
+    /// Record a probe failure observed at `t` without touching α/β.
+    pub fn record_failure(&mut self, _t: SimTime) {
+        self.failures = self.failures.saturating_add(1);
+    }
+
+    /// Consecutive failures since the last successful probe.
+    pub fn consecutive_failures(&self) -> u32 {
+        self.failures
+    }
+
+    /// Is the estimate too old or too failure-ridden to trust at `now`?
+    /// Always `false` while staleness is disabled.
+    pub fn is_stale(&self, now: SimTime) -> bool {
+        let Some((ttl, max_failures)) = self.staleness else {
+            return false;
+        };
+        if self.failures >= max_failures {
+            return true;
+        }
+        match self.last_success {
+            None => self.samples == 0,
+            Some(t) => now.saturating_sub(t).as_secs_f64() > ttl,
+        }
     }
 
     /// Current α estimate (seconds); `None` before the first probe.
@@ -106,6 +238,18 @@ impl LinkEstimator {
     /// Current β estimate (seconds/byte).
     pub fn beta(&self) -> Option<f64> {
         self.beta
+    }
+
+    /// `(α, β)` if a trustworthy estimate exists at `now` — `None` before
+    /// the first probe or once the estimate has gone stale.
+    pub fn estimate(&self, now: SimTime) -> Option<(f64, f64)> {
+        if self.is_stale(now) {
+            return None;
+        }
+        match (self.alpha, self.beta) {
+            (Some(a), Some(b)) => Some((a, b)),
+            _ => None,
+        }
     }
 
     /// Number of probes folded in.
@@ -127,12 +271,13 @@ impl LinkEstimator {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::{FaultKind, FaultSchedule};
     use crate::traffic::TrafficModel;
 
     #[test]
     fn probe_recovers_dedicated_link_params() {
         let link = Link::dedicated("x", SimTime::from_millis(2), 1e7);
-        let s = probe_link(&link, SimTime::ZERO, 1 << 10, 1 << 16);
+        let s = probe_link(&link, SimTime::ZERO, 1 << 10, 1 << 16).unwrap();
         assert!((s.alpha - 0.002).abs() < 1e-6, "alpha {}", s.alpha);
         assert!((s.beta - 1e-7).abs() < 1e-12, "beta {}", s.beta);
     }
@@ -140,7 +285,7 @@ mod tests {
     #[test]
     fn probe_elapsed_accounts_both_messages() {
         let link = Link::dedicated("x", SimTime::from_millis(1), 1e6);
-        let s = probe_link(&link, SimTime::ZERO, 1000, 2000);
+        let s = probe_link(&link, SimTime::ZERO, 1000, 2000).unwrap();
         let expect = 0.001 + 0.001 + 0.001 + 0.002;
         assert!((s.elapsed.as_secs_f64() - expect).abs() < 1e-9);
     }
@@ -153,9 +298,75 @@ mod tests {
             1e7,
             TrafficModel::Constant { load: 0.8 },
         );
-        let s = probe_link(&busy, SimTime::ZERO, 1 << 10, 1 << 16);
+        let s = probe_link(&busy, SimTime::ZERO, 1 << 10, 1 << 16).unwrap();
         // effective bandwidth 2e6 => beta 5e-7
         assert!((s.beta - 5e-7).abs() < 1e-10, "beta {}", s.beta);
+    }
+
+    #[test]
+    fn degenerate_sizes_and_bandwidth_are_errors() {
+        let link = Link::dedicated("x", SimTime::from_millis(1), 1e6);
+        assert_eq!(
+            probe_link(&link, SimTime::ZERO, 2000, 2000),
+            Err(ProbeError::BadProbeSizes {
+                small: 2000,
+                large: 2000
+            })
+        );
+        let dead = Link::dedicated("zero", SimTime::from_millis(1), 0.0);
+        assert!(matches!(
+            probe_link(&dead, SimTime::ZERO, 1 << 10, 1 << 16),
+            Err(ProbeError::DegenerateBandwidth { .. })
+        ));
+        let nan = Link::dedicated("nan", SimTime::from_millis(1), f64::NAN);
+        assert!(matches!(
+            probe_link(&nan, SimTime::ZERO, 1 << 10, 1 << 16),
+            Err(ProbeError::DegenerateBandwidth { .. })
+        ));
+    }
+
+    #[test]
+    fn probe_fails_during_outage_and_blackhole() {
+        let down = Link::dedicated("d", SimTime::from_millis(1), 1e6).with_faults(
+            FaultSchedule::none().with_window(
+                SimTime::ZERO,
+                SimTime::from_secs(10),
+                FaultKind::Outage,
+            ),
+        );
+        assert_eq!(
+            probe_link(&down, SimTime::from_secs(5), 1 << 10, 1 << 16),
+            Err(ProbeError::LinkDown)
+        );
+        // after the window the probe works again
+        assert!(probe_link(&down, SimTime::from_secs(10), 1 << 10, 1 << 16).is_ok());
+        let hole = Link::dedicated("h", SimTime::from_millis(1), 1e6).with_faults(
+            FaultSchedule::none().with_window(
+                SimTime::ZERO,
+                SimTime::from_secs(10),
+                FaultKind::Blackhole,
+            ),
+        );
+        assert_eq!(
+            probe_link(&hole, SimTime::ZERO, 1 << 10, 1 << 16),
+            Err(ProbeError::NoReply)
+        );
+    }
+
+    #[test]
+    fn probe_fails_if_link_dies_between_messages() {
+        // first message completes around 2 ms + transfer; fault opens at 3 ms
+        let link = Link::dedicated("mid", SimTime::from_millis(2), 1e6).with_faults(
+            FaultSchedule::none().with_window(
+                SimTime::from_millis(3),
+                SimTime::from_secs(1),
+                FaultKind::Outage,
+            ),
+        );
+        assert_eq!(
+            probe_link(&link, SimTime::ZERO, 1 << 10, 1 << 16),
+            Err(ProbeError::LinkDown)
+        );
     }
 
     #[test]
@@ -171,9 +382,9 @@ mod tests {
                 points: vec![(SimTime::from_secs(10).into(), 0.9)],
             },
         );
-        est.refresh(&link, SimTime::ZERO);
+        est.refresh(&link, SimTime::ZERO).unwrap();
         let quiet_beta = est.beta().unwrap();
-        est.refresh(&link, SimTime::from_secs(10));
+        est.refresh(&link, SimTime::from_secs(10)).unwrap();
         let busy_beta = est.beta().unwrap();
         assert!(
             (busy_beta / quiet_beta - 10.0).abs() < 1e-6,
@@ -194,9 +405,9 @@ mod tests {
                 points: vec![(SimTime::from_secs(10).into(), 0.9)],
             },
         );
-        est.refresh(&link, SimTime::ZERO);
+        est.refresh(&link, SimTime::ZERO).unwrap();
         let b0 = est.beta().unwrap();
-        est.refresh(&link, SimTime::from_secs(10));
+        est.refresh(&link, SimTime::from_secs(10)).unwrap();
         let b1 = est.beta().unwrap();
         // smoothed estimate lies strictly between quiet and congested betas
         let congested = link.beta(SimTime::from_secs(10));
@@ -207,9 +418,61 @@ mod tests {
     fn prediction_matches_link_for_dedicated() {
         let link = Link::dedicated("x", SimTime::from_millis(5), 2e7);
         let mut est = LinkEstimator::paper_default();
-        est.refresh(&link, SimTime::ZERO);
+        est.refresh(&link, SimTime::ZERO).unwrap();
         let predicted = est.predict(1 << 20).unwrap();
         let actual = link.transfer_time(SimTime::ZERO, 1 << 20).as_secs_f64();
         assert!((predicted - actual).abs() / actual < 1e-6);
+    }
+
+    #[test]
+    fn failed_refresh_keeps_old_estimate_and_counts_strikes() {
+        let link = Link::dedicated("x", SimTime::from_millis(2), 1e7).with_faults(
+            FaultSchedule::none().with_window(
+                SimTime::from_secs(10),
+                SimTime::from_secs(20),
+                FaultKind::Outage,
+            ),
+        );
+        let mut est = LinkEstimator::paper_default();
+        est.refresh(&link, SimTime::ZERO).unwrap();
+        let (a, b) = est.estimate(SimTime::from_secs(1)).unwrap();
+        assert!(est.refresh(&link, SimTime::from_secs(15)).is_err());
+        assert_eq!(est.consecutive_failures(), 1);
+        assert_eq!(est.alpha(), Some(a));
+        assert_eq!(est.beta(), Some(b));
+        // a success resets the strike counter
+        est.refresh(&link, SimTime::from_secs(25)).unwrap();
+        assert_eq!(est.consecutive_failures(), 0);
+    }
+
+    #[test]
+    fn staleness_expires_estimates() {
+        let link = Link::dedicated("x", SimTime::from_millis(2), 1e7);
+        let mut est = LinkEstimator::paper_default().with_staleness(30.0, 2);
+        assert!(est.estimate(SimTime::ZERO).is_none(), "no sample yet");
+        est.refresh(&link, SimTime::ZERO).unwrap();
+        assert!(est.estimate(SimTime::from_secs(10)).is_some());
+        assert!(
+            est.estimate(SimTime::from_secs(60)).is_none(),
+            "TTL exceeded"
+        );
+        // failures also expire the estimate
+        let mut est2 = LinkEstimator::paper_default().with_staleness(1e9, 2);
+        est2.refresh(&link, SimTime::ZERO).unwrap();
+        est2.record_failure(SimTime::from_secs(1));
+        assert!(est2.estimate(SimTime::from_secs(1)).is_some(), "one strike");
+        est2.record_failure(SimTime::from_secs(2));
+        assert!(est2.estimate(SimTime::from_secs(2)).is_none(), "two strikes");
+    }
+
+    #[test]
+    fn staleness_disabled_by_default() {
+        let link = Link::dedicated("x", SimTime::from_millis(2), 1e7);
+        let mut est = LinkEstimator::paper_default();
+        est.refresh(&link, SimTime::ZERO).unwrap();
+        for i in 0..100 {
+            est.record_failure(SimTime::from_secs(i));
+        }
+        assert!(est.estimate(SimTime::from_secs(1_000_000)).is_some());
     }
 }

@@ -62,8 +62,9 @@ impl From<SimTimeSerde> for SimTime {
     }
 }
 
-/// SplitMix64 — tiny, high-quality hash for bucket randomization.
-fn splitmix64(mut x: u64) -> u64 {
+/// SplitMix64 — tiny, high-quality hash for bucket randomization (also
+/// the RNG behind [`crate::faults::FaultSchedule::generate`]).
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);

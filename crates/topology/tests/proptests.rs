@@ -74,7 +74,8 @@ proptest! {
             bw,
             TrafficModel::Constant { load },
         );
-        let s = probe_link(&link, SimTime::ZERO, 1 << 10, 1 << 17);
+        let s = probe_link(&link, SimTime::ZERO, 1 << 10, 1 << 17)
+            .expect("fault-free link probes must succeed");
         let true_alpha = lat_us as f64 * 1e-6;
         let true_beta = 1.0 / (bw * (1.0 - load));
         prop_assert!((s.alpha - true_alpha).abs() <= true_alpha * 0.01 + 1e-9,

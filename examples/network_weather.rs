@@ -26,7 +26,7 @@ fn main() {
     );
     for i in 0..12 {
         let t = SimTime::from_secs(i * 10);
-        est.refresh(&link, t);
+        est.refresh(&link, t).expect("fault-free link probes cleanly");
         let alpha_ms = est.alpha().unwrap() * 1e3;
         let est_bw = 1.0 / est.beta().unwrap() / 1e6;
         let true_bw = link.effective_bandwidth(t) / 1e6;

@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Full verification gate: build, lint clean, full test suite, and the
+# fault-recovery integration test on its own (the robustness headline).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo clippy --all-targets -- -D warnings
+cargo test -q
+cargo test -p samr-engine --test fault_recovery
