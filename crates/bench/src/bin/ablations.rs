@@ -16,4 +16,6 @@ fn main() {
     println!("{}", bench::emit(&t, "ablation_lambda"));
     let t = bench::ablation_faults(quick);
     println!("{}", bench::emit(&t, "ablation_faults"));
+    let t = bench::ablation_forecast(quick);
+    println!("{}", bench::emit(&t, "ablation_forecast"));
 }

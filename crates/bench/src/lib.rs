@@ -377,6 +377,10 @@ pub fn ablation_tolerance(quick: bool) -> Table {
 
 /// **Ablation E** — probe smoothing λ (NWS-style EWMA vs the paper's
 /// latest-sample estimate) under bursty WAN traffic. Runs at quick scale.
+/// Routed through the forecast layer (`PredictorKind::Ewma`) so the
+/// smoothed estimate is what the cost gate actually prices — with the
+/// reactive default the gate reads the freshest probe sample and λ would
+/// only affect the diagnostics.
 pub fn ablation_lambda(quick: bool) -> Table {
     let scale = if quick { Scale::quick() } else { Scale { n0: 16, max_levels: 3, steps: 4 } };
     let n = 2;
@@ -388,6 +392,8 @@ pub fn ablation_lambda(quick: bool) -> Table {
         .map(|&lambda| {
             let cfg = dlb::DistributedDlbConfig {
                 estimator_lambda: lambda,
+                predictor: Some(forecast::PredictorKind::Ewma { gain: lambda }),
+                forecast_seed: TRAFFIC_SEED,
                 ..Default::default()
             };
             let res = run_once(
@@ -489,6 +495,106 @@ pub fn ablation_faults(quick: bool) -> Table {
             row.push("quarantines", res.faults.quarantines as f64);
             row.push("readmissions", res.faults.readmissions as f64);
             row.push("recovery secs", res.faults.recovery_secs);
+            row
+        })
+        .collect();
+    for row in rows {
+        t.push(row);
+    }
+    t
+}
+
+/// **Ablation H** — network-weather prediction: the paper's reactive
+/// probe-direct cost vs each forecast predictor vs the adaptive selector,
+/// under three WAN regimes. Reports total time, redistributions admitted,
+/// redistributions aborted mid-transfer (the regret the confident γ-gate
+/// exists to avoid), and the β forecast error.
+pub fn ablation_forecast(quick: bool) -> Table {
+    use forecast::PredictorKind;
+    use topology::faults::FaultSchedule;
+    use topology::link::Link;
+    use topology::{SimTime, SystemBuilder, TrafficModel};
+
+    // one step beyond the smoke scale so each link series scores more than
+    // a single out-of-sample probe
+    let scale = if quick {
+        Scale { n0: 16, max_levels: 3, steps: 4 }
+    } else {
+        Scale::full()
+    };
+    let n = if quick { 2 } else { 4 };
+    let predictors: Vec<(&str, Option<PredictorKind>)> = vec![
+        ("reactive", None),
+        ("last", Some(PredictorKind::LastValue)),
+        ("mean(8)", Some(PredictorKind::SlidingMean { window: 8 })),
+        ("median(5)", Some(PredictorKind::SlidingMedian { window: 5 })),
+        ("adaptive-ewma", Some(PredictorKind::AdaptiveEwma)),
+        ("adaptive", Some(PredictorKind::Adaptive)),
+    ];
+    let regimes: &[&str] = &["quiet", "congested", "faulty"];
+    let build = |regime: &str| -> DistributedSystem {
+        let wan = match regime {
+            "quiet" => Link::shared(
+                "WAN",
+                SimTime::from_millis(6),
+                19.375e6,
+                TrafficModel::Quiet,
+            ),
+            // congestion that swings within a level-0 step, so consecutive
+            // probes are guaranteed to see different link weather
+            "congested" => Link::shared(
+                "WAN",
+                SimTime::from_millis(6),
+                19.375e6,
+                TrafficModel::Diurnal {
+                    base: 0.6,
+                    amp: 0.35,
+                    period: SimTime::from_secs(8).into(),
+                },
+            ),
+            _ => presets::mren_oc3_wan(TRAFFIC_SEED).with_faults(FaultSchedule::generate(
+                1,
+                SimTime::from_secs(3600),
+                SimTime::from_secs(3),
+                SimTime::from_secs(3),
+            )),
+        };
+        SystemBuilder::new()
+            .group("ANL", n, 1.0, presets::origin2000_intra())
+            .group("NCSA", n, 1.0, presets::origin2000_intra())
+            .connect(0, 1, wan)
+            .build()
+    };
+    let mut t = Table::new(format!(
+        "Ablation — network-weather prediction (ShockPool3D, {n}+{n} WAN)"
+    ));
+    let rows: Vec<ConfigRow> = predictors
+        .par_iter()
+        .map(|&(name, predictor)| {
+            let mut row = ConfigRow::new(name);
+            for regime in regimes {
+                let cfg = dlb::DistributedDlbConfig {
+                    predictor,
+                    forecast_seed: TRAFFIC_SEED,
+                    ..Default::default()
+                };
+                let res = run_once(
+                    build(regime),
+                    AppKind::ShockPool3D,
+                    Scheme::Distributed(cfg),
+                    scale,
+                );
+                row.push(format!("{regime} total"), res.total_secs);
+                row.push(
+                    format!("{regime} admitted"),
+                    res.global_redistributions as f64,
+                );
+                row.push(format!("{regime} aborted"), res.faults.aborts as f64);
+                // β is ~5e-8 s/byte; report its MAE in ns/byte so the
+                // 3-decimal table rendering doesn't flatten it to zero
+                row.push(format!("{regime} β MAE ns/B"), res.forecast.beta_mae * 1e9);
+                row.push(format!("{regime} load MAE"), res.forecast.load_mae);
+            }
             row
         })
         .collect();

@@ -55,6 +55,31 @@ fn emit_writes_json() {
 }
 
 #[test]
+fn forecast_ablation_adaptive_regrets_no_more_than_reactive() {
+    let t = bench::ablation_forecast(true);
+    assert_eq!(t.rows.len(), 6, "six predictor rows");
+    let reactive = &t.rows[0];
+    assert_eq!(reactive.config, "reactive");
+    let adaptive = t.rows.iter().find(|r| r.config == "adaptive").unwrap();
+    for regime in ["congested", "faulty"] {
+        let r = reactive.get(&format!("{regime} aborted")).unwrap();
+        let a = adaptive.get(&format!("{regime} aborted")).unwrap();
+        assert!(
+            a <= r,
+            "{regime}: adaptive aborted {a} redistributions vs reactive {r}"
+        );
+    }
+    for row in &t.rows {
+        assert!(row.get("quiet total").unwrap() > 0.0);
+        for regime in ["quiet", "congested", "faulty"] {
+            let mae = row.get(&format!("{regime} β MAE ns/B")).unwrap();
+            assert!(mae.is_finite() && mae >= 0.0);
+            assert!(row.get(&format!("{regime} load MAE")).unwrap() >= 0.0);
+        }
+    }
+}
+
+#[test]
 fn selection_policy_quick_comparison() {
     let t = bench::ablation_selection(true);
     assert_eq!(t.rows.len(), 2);

@@ -17,6 +17,15 @@
 //! *current* α/β: when the shared WAN is congested, Cost inflates and global
 //! redistribution is deferred.
 //!
+//! With a [`PredictorKind`] configured, the scheme goes from *reactive* to
+//! *predictive* (NWS-style, via the `forecast` crate): the γ-gate prices the
+//! move with forecasted α/β and must clear the cost's **upper bound**
+//! (point forecast widened by the per-series forecast error), and per-group
+//! load series can trigger a **proactive** global check after a fine-level
+//! step when the predicted inter-group imbalance crosses
+//! [`DistributedDlbConfig::proactive_threshold`] — instead of waiting for
+//! the next level-0 step to notice what refinement did to the balance.
+//!
 //! On top of the paper's protocol sits a **degradation policy**
 //! ([`FaultTolerancePolicy`]): probes retry with exponential backoff, a
 //! group whose inter-link keeps failing is *quarantined* out of the global
@@ -26,9 +35,12 @@
 //! quarantined groups are re-admitted once a probation probe succeeds.
 
 use crate::balance::{balance_level_within, place_batch, BalanceParams};
-use crate::cost::{evaluate_cost, should_redistribute, CostEstimate};
+use crate::cost::{
+    evaluate_cost, evaluate_cost_forecast, should_redistribute_confident, CostEstimate,
+};
 use crate::fault::{FaultEvent, FaultStats, FaultTolerancePolicy, GroupHealth, QuarantineRoster};
-use crate::gain::{evaluate_gain_among, GainEstimate};
+use crate::gain::{evaluate_gain_among, evaluate_gain_forecast, GainEstimate};
+use forecast::{derive_seed, ForecastValue, PredictorKind, SeriesForecaster};
 use crate::parallel::LOAD_MSG_BYTES;
 use crate::partition::{
     global_redistribute_guarded, group_level0_cells, RedistributionReport, SelectionPolicy,
@@ -67,6 +79,25 @@ pub struct DistributedDlbConfig {
     pub selection: SelectionPolicy,
     /// Retry / timeout / quarantine behaviour.
     pub fault: FaultTolerancePolicy,
+    /// Predictor for the per-link α/β series and per-group load series.
+    /// `None` keeps the paper's reactive behaviour exactly: the cost is
+    /// priced from the freshest probe sample and carries no error bar.
+    pub predictor: Option<PredictorKind>,
+    /// Seed for the adaptive selector's deterministic tie-breaking and for
+    /// deriving decorrelated per-series seeds.
+    pub forecast_seed: u64,
+    /// Forecast lookahead in global-check periods. The flat one-step models
+    /// forecast the same value at any horizon, so the horizon enters as an
+    /// error-growth factor: the cost's upper bound widens by
+    /// `horizon · confidence_widening · MAE`.
+    pub forecast_horizon: u32,
+    /// Multiplier on the forecast error bars when widening the cost upper
+    /// bound for the confident γ-gate (0 disables widening).
+    pub confidence_widening: f64,
+    /// Predicted power-normalized inter-group imbalance ratio above which a
+    /// fine-level step triggers a proactive global check. `None` restricts
+    /// global checks to level-0 steps (the paper's protocol).
+    pub proactive_threshold: Option<f64>,
 }
 
 impl Default for DistributedDlbConfig {
@@ -82,6 +113,24 @@ impl Default for DistributedDlbConfig {
             probe_large_bytes: 1 << 16,
             selection: SelectionPolicy::default(),
             fault: FaultTolerancePolicy::default(),
+            predictor: None,
+            forecast_seed: 0,
+            forecast_horizon: 1,
+            confidence_widening: 1.0,
+            proactive_threshold: None,
+        }
+    }
+}
+
+impl DistributedDlbConfig {
+    /// Predictive defaults: the adaptive selector on every series, the
+    /// confident γ-gate, and proactive checks at 1.5× predicted imbalance.
+    pub fn predictive(seed: u64) -> Self {
+        DistributedDlbConfig {
+            predictor: Some(PredictorKind::Adaptive),
+            forecast_seed: seed,
+            proactive_threshold: Some(1.5),
+            ..Default::default()
         }
     }
 }
@@ -106,6 +155,27 @@ pub struct GlobalDecision {
     /// Outcome when invoked (for an aborted invocation: the partial motion
     /// that was rolled back).
     pub report: Option<RedistributionReport>,
+    /// Whether this check was triggered proactively by the load forecast
+    /// after a fine-level step (false: the regular after-level-0 check).
+    pub proactive: bool,
+}
+
+/// Aggregate forecast-quality counters of a run (zeroes while no predictor
+/// is configured or before any series has scored a forecast).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ForecastSummary {
+    /// Mean α forecast MAE over the link estimators that scored (seconds).
+    pub alpha_mae: f64,
+    /// Mean β forecast MAE over the link estimators that scored (s/byte).
+    pub beta_mae: f64,
+    /// Mean load forecast MAE over the group series that scored (cells).
+    pub load_mae: f64,
+    /// Total out-of-sample (forecast, probe) pairs scored on link series.
+    pub scored_probes: u64,
+    /// Global checks triggered proactively by the load forecast.
+    pub proactive_checks: u64,
+    /// Proactive checks that went on to invoke a redistribution.
+    pub proactive_invocations: u64,
 }
 
 /// The paper's two-phase distributed DLB.
@@ -113,6 +183,8 @@ pub struct GlobalDecision {
 pub struct DistributedDlb {
     cfg: DistributedDlbConfig,
     estimators: BTreeMap<(usize, usize), LinkEstimator>,
+    /// Per-group total-cell series feeding the proactive trigger.
+    load_forecasts: Vec<SeriesForecaster>,
     /// Quarantine state, fault-event log and counters.
     pub roster: QuarantineRoster,
     /// Full decision log of the global phase.
@@ -124,6 +196,7 @@ impl DistributedDlb {
         DistributedDlb {
             cfg,
             estimators: BTreeMap::new(),
+            load_forecasts: Vec::new(),
             roster: QuarantineRoster::default(),
             decisions: Vec::new(),
         }
@@ -153,12 +226,117 @@ impl DistributedDlb {
         let lambda = self.cfg.estimator_lambda;
         let (small, large) = (self.cfg.probe_small_bytes, self.cfg.probe_large_bytes);
         let fault = self.cfg.fault;
-        self.estimators
-            .entry((a.min(b), a.max(b)))
-            .or_insert_with(|| {
-                LinkEstimator::new(lambda, small, large)
-                    .with_staleness(fault.estimator_ttl_secs, fault.quarantine_after.max(1))
-            })
+        let predictor = self.cfg.predictor;
+        let seed = self.cfg.forecast_seed;
+        let pair = (a.min(b), a.max(b));
+        self.estimators.entry(pair).or_insert_with(|| {
+            let est = LinkEstimator::new(lambda, small, large)
+                .with_staleness(fault.estimator_ttl_secs, fault.quarantine_after.max(1));
+            match predictor {
+                None => est,
+                Some(kind) => {
+                    est.with_predictor(kind, derive_seed(seed, (pair.0 * 1024 + pair.1) as u64))
+                }
+            }
+        })
+    }
+
+    /// Aggregate forecast-quality counters (MAE averaged over the series
+    /// that have scored at least one out-of-sample forecast).
+    pub fn forecast_summary(&self) -> ForecastSummary {
+        let mut s = ForecastSummary::default();
+        let mut links = 0u64;
+        for est in self.estimators.values() {
+            if est.forecast_samples() > 0 {
+                links += 1;
+                s.alpha_mae += est.alpha_mae();
+                s.beta_mae += est.beta_mae();
+                s.scored_probes += est.forecast_samples();
+            }
+        }
+        if links > 0 {
+            s.alpha_mae /= links as f64;
+            s.beta_mae /= links as f64;
+        }
+        let mut groups = 0u64;
+        for lf in &self.load_forecasts {
+            if lf.scored_samples() > 0 {
+                groups += 1;
+                s.load_mae += lf.mae();
+            }
+        }
+        if groups > 0 {
+            s.load_mae /= groups as f64;
+        }
+        for d in &self.decisions {
+            if d.proactive {
+                s.proactive_checks += 1;
+                if d.invoked {
+                    s.proactive_invocations += 1;
+                }
+            }
+        }
+        s
+    }
+
+    /// Current total cells per group, straight from the hierarchy — the
+    /// load measure the proactive trigger forecasts. (The history snapshot
+    /// only refreshes after level-0 steps; the hierarchy shows what
+    /// refinement has done since.)
+    fn group_cells(hier: &GridHierarchy, sys: &DistributedSystem) -> Vec<f64> {
+        let per_proc = proc_total_cells(hier, sys.nprocs());
+        let mut loads = vec![0.0f64; sys.ngroups()];
+        for (p, &cells) in per_proc.iter().enumerate() {
+            loads[sys.group_of(ProcId(p)).0] += cells as f64;
+        }
+        loads
+    }
+
+    /// Feed the per-group load series with the hierarchy's current state.
+    /// Pure bookkeeping: charges no simulated time and, with proactive
+    /// checks disabled, changes no decision.
+    fn observe_group_loads(&mut self, ctx: &LbContext<'_>, sys: &DistributedSystem) {
+        let kind = self.cfg.predictor.unwrap_or(PredictorKind::LastValue);
+        let seed = self.cfg.forecast_seed;
+        while self.load_forecasts.len() < sys.ngroups() {
+            let g = self.load_forecasts.len() as u64;
+            self.load_forecasts
+                .push(SeriesForecaster::new(kind, derive_seed(seed, 0x4C4F_4144 + g)));
+        }
+        let t = ctx.sim.elapsed().as_secs_f64();
+        for (g, w) in Self::group_cells(ctx.hier, sys).into_iter().enumerate() {
+            self.load_forecasts[g].observe(t, w);
+        }
+    }
+
+    /// After a fine-level step: predict the near-term inter-group balance
+    /// and, if the predicted power-normalized imbalance crosses the
+    /// configured threshold, run a full (gain/cost-gated) global check now
+    /// instead of waiting for the next level-0 step.
+    fn maybe_proactive_check(&mut self, ctx: &mut LbContext<'_>) {
+        let Some(threshold) = self.cfg.proactive_threshold else {
+            return;
+        };
+        let sys = ctx.sim.system().clone();
+        if sys.ngroups() < 2 {
+            return;
+        }
+        self.roster.ensure_len(sys.ngroups());
+        let healthy = self.roster.healthy_groups();
+        if healthy.len() < 2 {
+            return;
+        }
+        let observed = Self::group_cells(ctx.hier, &sys);
+        let predicted: Vec<f64> = self
+            .load_forecasts
+            .iter()
+            .zip(&observed)
+            .map(|(lf, &obs)| lf.forecast().unwrap_or(obs))
+            .collect();
+        let gain = evaluate_gain_forecast(predicted, ctx.history.last_step_secs(), &sys, &healthy);
+        if gain.imbalance_ratio > threshold && gain.gain_secs > 0.0 {
+            self.global_phase(ctx, Some(gain));
+        }
     }
 
     /// Predicted level-0 cells each overloaded *eligible* group would
@@ -230,8 +408,12 @@ impl DistributedDlb {
         }
     }
 
-    /// The global load-balancing phase (runs after level-0 steps).
-    fn global_phase(&mut self, ctx: &mut LbContext<'_>) {
+    /// The global load-balancing phase. Runs after level-0 steps
+    /// (`forecast_gain = None`: gain from the history snapshot) and, when
+    /// the proactive trigger fires, after fine-level steps
+    /// (`forecast_gain = Some(..)`: gain from predicted loads).
+    fn global_phase(&mut self, ctx: &mut LbContext<'_>, forecast_gain: Option<GainEstimate>) {
+        let proactive = forecast_gain.is_some();
         let sys = ctx.sim.system().clone();
         if sys.ngroups() < 2 {
             return;
@@ -307,11 +489,15 @@ impl DistributedDlb {
                     aborted: false,
                     abort_delta_secs: 0.0,
                     report: None,
+                    proactive,
                 });
                 return;
             }
         }
-        let gain = evaluate_gain_among(ctx.history, &sys, &healthy);
+        let gain = match forecast_gain {
+            Some(g) => g,
+            None => evaluate_gain_among(ctx.history, &sys, &healthy),
+        };
 
         // NaN-safe: a NaN ratio reads as balanced
         let imbalanced = gain.imbalance_ratio > self.cfg.imbalance_tolerance;
@@ -324,6 +510,7 @@ impl DistributedDlb {
                 aborted: false,
                 abort_delta_secs: 0.0,
                 report: None,
+                proactive,
             });
             return;
         }
@@ -337,6 +524,10 @@ impl DistributedDlb {
         let move_bytes = move_cells.max(0) as u64 * cell_bytes;
         let mut alpha = 0.0f64;
         let mut beta = 0.0f64;
+        // Forecast path: worst (slowest) forecast value and worst error bar
+        // over the healthy pairs — conservative, like the reactive max.
+        let mut alpha_fv = ForecastValue::exact(0.0);
+        let mut beta_fv = ForecastValue::exact(0.0);
         let mut probe_failed = false;
         'pairs: for (i, &a) in healthy.iter().enumerate() {
             for &b in &healthy[i + 1..] {
@@ -375,6 +566,15 @@ impl DistributedDlb {
                         self.roster.record_pair_success(a, b);
                         alpha = alpha.max(s.alpha);
                         beta = beta.max(s.beta);
+                        if let (Some(af), Some(bf)) = {
+                            let est = self.estimator(a, b);
+                            (est.alpha_forecast(), est.beta_forecast())
+                        } {
+                            alpha_fv.value = alpha_fv.value.max(af.value);
+                            alpha_fv.error = alpha_fv.error.max(af.error);
+                            beta_fv.value = beta_fv.value.max(bf.value);
+                            beta_fv.error = beta_fv.error.max(bf.error);
+                        }
                     }
                     Err(e) => {
                         self.roster.stats.probe_failures += 1;
@@ -402,11 +602,21 @@ impl DistributedDlb {
                 aborted: false,
                 abort_delta_secs: 0.0,
                 report: None,
+                proactive,
             });
             return;
         }
-        let cost = evaluate_cost(alpha, beta, move_bytes, ctx.history);
-        let invoked = should_redistribute(gain.gain_secs, &cost, self.cfg.gamma);
+        // Reactive mode prices the move from the freshest probe samples (no
+        // error bar, the paper's behaviour); predictive mode prices it from
+        // the forecasts, widened by `horizon · widening · MAE`, and the gate
+        // must clear the upper bound.
+        let cost = if self.cfg.predictor.is_none() {
+            evaluate_cost(alpha, beta, move_bytes, ctx.history)
+        } else {
+            let widen = self.cfg.confidence_widening * f64::from(self.cfg.forecast_horizon.max(1));
+            evaluate_cost_forecast(alpha_fv, beta_fv, move_bytes, ctx.history, widen)
+        };
+        let invoked = should_redistribute_confident(gain.gain_secs, &cost, self.cfg.gamma);
 
         let mut aborted = false;
         let mut abort_delta_secs = 0.0;
@@ -479,6 +689,7 @@ impl DistributedDlb {
             aborted,
             abort_delta_secs,
             report,
+            proactive,
         });
     }
 
@@ -532,12 +743,20 @@ impl LoadBalancer for DistributedDlb {
     }
 
     fn after_level_step(&mut self, mut ctx: LbContext<'_>, level: usize) -> SimResult<()> {
+        // Keep the per-group load series current at every level: the
+        // history snapshot only refreshes after level-0 steps, but the
+        // proactive trigger wants to see what refinement just did.
+        let sys = ctx.sim.system().clone();
+        if sys.ngroups() >= 2 {
+            self.observe_group_loads(&ctx, &sys);
+        }
         if level == 0 {
-            self.global_phase(&mut ctx);
+            self.global_phase(&mut ctx, None);
             // after any global motion, even out level 0 within each group
             self.local_phase(&mut ctx, 0);
         } else {
             self.local_phase(&mut ctx, level);
+            self.maybe_proactive_check(&mut ctx);
         }
         Ok(())
     }
@@ -772,6 +991,140 @@ mod tests {
         .unwrap();
         assert!(dlb.decisions[0].invoked);
         assert_eq!(dlb.invocations(), 1);
+    }
+
+    #[test]
+    fn predictive_mode_widens_cost_with_forecast_error() {
+        // β flips between quiet and congested each probe: the last-value
+        // predictor keeps being wrong, so its MAE (and with it the cost
+        // upper bound) grows while the point forecast stays reactive.
+        let intra = Link::dedicated("intra", SimTime::from_micros(10), 1e9);
+        let wan = Link::shared(
+            "wan",
+            SimTime::from_millis(5),
+            2e7,
+            TrafficModel::Trace {
+                initial: 0.0,
+                points: vec![
+                    (SimTime::from_secs(50).into(), 0.9),
+                    (SimTime::from_secs(150).into(), 0.0),
+                ],
+            },
+        );
+        let sys = SystemBuilder::new()
+            .group("A", 2, 1.0, intra.clone())
+            .group("B", 2, 1.0, intra)
+            .connect(0, 1, wan)
+            .build();
+        let mut sim = NetSim::new(sys);
+        let cfg = DistributedDlbConfig {
+            predictor: Some(forecast::PredictorKind::LastValue),
+            // huge γ so nothing is ever invoked: we only want priced costs
+            gamma: 1e9,
+            ..Default::default()
+        };
+        let mut dlb = DistributedDlb::new(cfg);
+        let mut history = WorkloadHistory::new(4);
+        for k in 0..3 {
+            let mut hier = hier_split(6);
+            history.record_snapshot(vec![hier.level_load_by_owner(0, 4)], vec![1]);
+            history.record_step_time(60.0);
+            dlb.after_level_step(
+                LbContext {
+                    hier: &mut hier,
+                    sim: &mut sim,
+                    history: &mut history,
+                },
+                0,
+            )
+            .unwrap();
+            // drift into the next traffic regime between checks
+            for p in 0..4 {
+                sim.busy(ProcId(p), 70.0, Activity::Compute);
+            }
+            let d = dlb.decisions.last().unwrap();
+            let cost = d.cost.expect("imbalance priced every step");
+            if k == 0 {
+                assert_eq!(
+                    cost.comm_upper_secs, cost.comm_secs,
+                    "no forecast error before the first scored probe"
+                );
+            }
+        }
+        // regime flipped between probes: forecast error accrued and widened
+        // the upper bound
+        let last = dlb.decisions.last().unwrap().cost.unwrap();
+        assert!(
+            last.comm_upper_secs > last.comm_secs,
+            "expected widened bound, got {last:?}"
+        );
+        let summary = dlb.forecast_summary();
+        assert!(summary.beta_mae > 0.0);
+        assert!(summary.scored_probes >= 2);
+    }
+
+    #[test]
+    fn proactive_check_fires_between_level0_steps() {
+        let sys = wan_sys(true);
+        let mut sim = NetSim::new(sys);
+        let mut hier = hier_split(6); // groups imbalanced 3:1
+        let mut history = history_for(&hier, 4, 60.0);
+        let cfg = DistributedDlbConfig {
+            proactive_threshold: Some(1.5),
+            predictor: Some(forecast::PredictorKind::Adaptive),
+            ..Default::default()
+        };
+        let mut dlb = DistributedDlb::new(cfg);
+        // fine-level step only — the paper's protocol would sit on the
+        // imbalance until the next level-0 step
+        dlb.after_level_step(
+            LbContext {
+                hier: &mut hier,
+                sim: &mut sim,
+                history: &mut history,
+            },
+            1,
+        )
+        .unwrap();
+        assert_eq!(dlb.decisions.len(), 1, "proactive check produced a decision");
+        let d = &dlb.decisions[0];
+        assert!(d.proactive);
+        assert!(d.invoked, "{d:?}");
+        let sys = sim.system().clone();
+        assert_eq!(
+            crate::partition::group_level0_cells(&hier, &sys, 0),
+            2048,
+            "redistribution happened without a level-0 step"
+        );
+        let summary = dlb.forecast_summary();
+        assert_eq!(summary.proactive_checks, 1);
+        assert_eq!(summary.proactive_invocations, 1);
+    }
+
+    #[test]
+    fn proactive_disabled_by_default_keeps_fine_levels_local() {
+        // Explicit twin of local_phase_never_crosses_groups: even with a
+        // predictor configured, no proactive threshold means no global
+        // decision at fine levels.
+        let sys = wan_sys(true);
+        let mut sim = NetSim::new(sys);
+        let mut hier = hier_split(6);
+        let mut history = history_for(&hier, 4, 60.0);
+        let cfg = DistributedDlbConfig {
+            predictor: Some(forecast::PredictorKind::Adaptive),
+            ..Default::default()
+        };
+        let mut dlb = DistributedDlb::new(cfg);
+        dlb.after_level_step(
+            LbContext {
+                hier: &mut hier,
+                sim: &mut sim,
+                history: &mut history,
+            },
+            1,
+        )
+        .unwrap();
+        assert!(dlb.decisions.is_empty());
     }
 
     #[test]

@@ -42,6 +42,28 @@ pub fn evaluate_gain_among(
         let procs: Vec<usize> = sys.procs_in(GroupId(g)).iter().map(|p| p.0).collect();
         group_loads.push(history.group_total_load(&procs));
     }
+    gain_from_loads(group_loads, history.last_step_secs(), sys, among)
+}
+
+/// Evaluate the same Eq.-4 heuristic on *predicted* per-group loads — the
+/// proactive-trigger path, where the loads come from the forecast crate's
+/// per-group series instead of the last recorded snapshot.
+pub fn evaluate_gain_forecast(
+    predicted_loads: Vec<f64>,
+    last_step_secs: f64,
+    sys: &DistributedSystem,
+    among: &[usize],
+) -> GainEstimate {
+    assert_eq!(predicted_loads.len(), sys.ngroups());
+    gain_from_loads(predicted_loads, last_step_secs, sys, among)
+}
+
+fn gain_from_loads(
+    group_loads: Vec<f64>,
+    last_step_secs: f64,
+    sys: &DistributedSystem,
+    among: &[usize],
+) -> GainEstimate {
     let active = among.len();
     let max = among
         .iter()
@@ -52,7 +74,7 @@ pub fn evaluate_gain_among(
         .map(|&g| group_loads[g])
         .fold(f64::MAX, f64::min);
     let gain_secs = if max > 0.0 && active > 1 {
-        history.last_step_secs() * (max - min) / (active as f64 * max)
+        last_step_secs * (max - min) / (active as f64 * max)
     } else {
         0.0
     };
@@ -180,5 +202,22 @@ mod tests {
         assert_eq!(only_a.group_loads.len(), 2);
         // matches unrestricted evaluation when every group is listed
         assert_eq!(evaluate_gain(&h, &sys), full);
+    }
+
+    #[test]
+    fn forecast_gain_matches_history_gain_on_same_loads() {
+        let h = history(1400, 200, 10.0);
+        let sys = sys(2, 2, 1.0);
+        let from_history = evaluate_gain(&h, &sys);
+        let from_forecast = evaluate_gain_forecast(
+            from_history.group_loads.clone(),
+            h.last_step_secs(),
+            &sys,
+            &[0, 1],
+        );
+        assert_eq!(from_forecast, from_history);
+        // and a predicted shift changes the verdict before history catches up
+        let shifted = evaluate_gain_forecast(vec![200.0, 1400.0], 10.0, &sys, &[0, 1]);
+        assert!((shifted.imbalance_ratio - 7.0).abs() < 1e-12);
     }
 }

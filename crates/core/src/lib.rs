@@ -30,10 +30,14 @@ pub mod partition;
 pub mod scheme;
 
 pub use balance::{balance_level_within, place_batch, BalanceOutcome, BalanceParams};
-pub use cost::{evaluate_cost, should_redistribute, CostEstimate};
-pub use distributed::{DistributedDlb, DistributedDlbConfig, GlobalDecision};
+pub use cost::{
+    evaluate_cost, evaluate_cost_forecast, should_redistribute, should_redistribute_confident,
+    CostEstimate,
+};
+pub use distributed::{DistributedDlb, DistributedDlbConfig, ForecastSummary, GlobalDecision};
 pub use fault::{FaultEvent, FaultStats, FaultTolerancePolicy, GroupHealth, QuarantineRoster};
-pub use gain::{evaluate_gain, evaluate_gain_among, GainEstimate};
+pub use forecast::{ForecastValue, PredictorKind};
+pub use gain::{evaluate_gain, evaluate_gain_among, evaluate_gain_forecast, GainEstimate};
 pub use history::WorkloadHistory;
 pub use parallel::ParallelDlb;
 pub use partition::{

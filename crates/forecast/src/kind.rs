@@ -1,0 +1,85 @@
+//! Serializable-by-name predictor configuration.
+
+use crate::predictors::{AdaptiveEwma, Ewma, LastValue, Model, SlidingMean, SlidingMedian};
+use crate::selector::AdaptiveSelector;
+use crate::{derive_seed, Predictor};
+
+/// Default window for the sliding mean in the adaptive panel.
+pub const DEFAULT_MEAN_WINDOW: usize = 8;
+/// Default window for the sliding median in the adaptive panel.
+pub const DEFAULT_MEDIAN_WINDOW: usize = 5;
+/// Default gain for the fixed-gain EWMA in the adaptive panel.
+pub const DEFAULT_EWMA_GAIN: f64 = 0.3;
+
+/// Which predictor a series should run — the config-surface twin of
+/// [`Model`]. `Adaptive` builds the full candidate panel under an
+/// [`AdaptiveSelector`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum PredictorKind {
+    /// Persistence: forecast = latest sample (the paper's reactive mode).
+    LastValue,
+    /// Mean of the last `window` samples.
+    SlidingMean { window: usize },
+    /// Median of the last `window` samples.
+    SlidingMedian { window: usize },
+    /// Fixed-gain EWMA, `forecast = gain·new + (1 − gain)·old`.
+    Ewma { gain: f64 },
+    /// Trigg–Leach adaptive-gain EWMA.
+    AdaptiveEwma,
+    /// MAE-tracked selector over the whole default family.
+    Adaptive,
+}
+
+impl PredictorKind {
+    /// Instantiate the model. `seed` only feeds deterministic tie-breaking
+    /// inside the adaptive selector; fixed models ignore it.
+    pub fn build(self, seed: u64) -> Model {
+        match self {
+            PredictorKind::LastValue => Model::Last(LastValue::new()),
+            PredictorKind::SlidingMean { window } => Model::Mean(SlidingMean::new(window)),
+            PredictorKind::SlidingMedian { window } => Model::Median(SlidingMedian::new(window)),
+            PredictorKind::Ewma { gain } => Model::Ewma(Ewma::new(gain)),
+            PredictorKind::AdaptiveEwma => Model::AdaptiveEwma(AdaptiveEwma::new()),
+            PredictorKind::Adaptive => Model::Selector(Box::new(AdaptiveSelector::new(
+                vec![
+                    Model::Last(LastValue::new()),
+                    Model::Mean(SlidingMean::new(DEFAULT_MEAN_WINDOW)),
+                    Model::Median(SlidingMedian::new(DEFAULT_MEDIAN_WINDOW)),
+                    Model::Ewma(Ewma::new(DEFAULT_EWMA_GAIN)),
+                    Model::AdaptiveEwma(AdaptiveEwma::new()),
+                ],
+                derive_seed(seed, 0x5E1E_C70A),
+            ))),
+        }
+    }
+
+    /// Stable label for bench tables and traces.
+    pub fn label(&self) -> String {
+        // Labels match Model::name() so tables and traces agree.
+        self.build(0).name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(PredictorKind::LastValue.label(), "last");
+        assert_eq!(PredictorKind::SlidingMean { window: 8 }.label(), "mean(8)");
+        assert_eq!(PredictorKind::SlidingMedian { window: 5 }.label(), "median(5)");
+        assert_eq!(PredictorKind::Ewma { gain: 0.3 }.label(), "ewma(0.30)");
+        assert_eq!(PredictorKind::AdaptiveEwma.label(), "adaptive-ewma");
+        assert_eq!(PredictorKind::Adaptive.label(), "adaptive");
+    }
+
+    #[test]
+    fn adaptive_panel_has_the_whole_family() {
+        let m = PredictorKind::Adaptive.build(9);
+        match m {
+            Model::Selector(s) => assert_eq!(s.scoreboard().len(), 5),
+            other => panic!("expected selector, got {other:?}"),
+        }
+    }
+}

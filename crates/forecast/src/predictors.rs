@@ -1,0 +1,370 @@
+//! The base predictor family: last-value, sliding mean, sliding median,
+//! fixed-gain EWMA, and adaptive-gain EWMA.
+
+use std::collections::VecDeque;
+
+use crate::predictor::Predictor;
+use crate::selector::AdaptiveSelector;
+
+/// Trivial persistence model: the next value is the last value. This is the
+/// paper's reactive §4.2 estimator (λ = 1) expressed as a predictor.
+#[derive(Clone, Debug, Default)]
+pub struct LastValue {
+    state: Option<f64>,
+}
+
+impl LastValue {
+    pub fn new() -> Self {
+        LastValue::default()
+    }
+}
+
+impl Predictor for LastValue {
+    fn observe(&mut self, _t: f64, value: f64) {
+        if value.is_finite() {
+            self.state = Some(value);
+        }
+    }
+
+    fn forecast(&self) -> Option<f64> {
+        self.state
+    }
+
+    fn name(&self) -> String {
+        "last".into()
+    }
+}
+
+/// Arithmetic mean over a sliding window of the most recent observations.
+#[derive(Clone, Debug)]
+pub struct SlidingMean {
+    window: usize,
+    buf: VecDeque<f64>,
+}
+
+impl SlidingMean {
+    /// `window` is clamped to at least 1.
+    pub fn new(window: usize) -> Self {
+        SlidingMean { window: window.max(1), buf: VecDeque::new() }
+    }
+
+    pub fn window(&self) -> usize {
+        self.window
+    }
+}
+
+impl Predictor for SlidingMean {
+    fn observe(&mut self, _t: f64, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        self.buf.push_back(value);
+        while self.buf.len() > self.window {
+            self.buf.pop_front();
+        }
+    }
+
+    fn forecast(&self) -> Option<f64> {
+        if self.buf.is_empty() {
+            None
+        } else {
+            // Summed front-to-back each call: windows are small (≤ tens of
+            // entries) and re-summing avoids drift from incremental updates.
+            Some(self.buf.iter().sum::<f64>() / self.buf.len() as f64)
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("mean({})", self.window)
+    }
+}
+
+/// Median over a sliding window — robust to the single-probe outliers a
+/// bursty WAN produces.
+#[derive(Clone, Debug)]
+pub struct SlidingMedian {
+    window: usize,
+    buf: VecDeque<f64>,
+}
+
+impl SlidingMedian {
+    /// `window` is clamped to at least 1.
+    pub fn new(window: usize) -> Self {
+        SlidingMedian { window: window.max(1), buf: VecDeque::new() }
+    }
+
+    pub fn window(&self) -> usize {
+        self.window
+    }
+}
+
+impl Predictor for SlidingMedian {
+    fn observe(&mut self, _t: f64, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        self.buf.push_back(value);
+        while self.buf.len() > self.window {
+            self.buf.pop_front();
+        }
+    }
+
+    fn forecast(&self) -> Option<f64> {
+        if self.buf.is_empty() {
+            return None;
+        }
+        let mut sorted: Vec<f64> = self.buf.iter().copied().collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite by construction"));
+        let mid = sorted.len() / 2;
+        Some(if sorted.len() % 2 == 1 {
+            sorted[mid]
+        } else {
+            0.5 * (sorted[mid - 1] + sorted[mid])
+        })
+    }
+
+    fn name(&self) -> String {
+        format!("median({})", self.window)
+    }
+}
+
+/// Fixed-gain exponentially weighted moving average.
+///
+/// The fold is exactly `gain·new + (1 − gain)·old` — the same expression
+/// (and the same operation order, for bit-identical results) that
+/// `LinkEstimator` used before this crate absorbed it. `gain = 1` degrades
+/// to [`LastValue`] semantics.
+#[derive(Clone, Debug)]
+pub struct Ewma {
+    gain: f64,
+    state: Option<f64>,
+}
+
+impl Ewma {
+    /// `gain` is clamped into (0, 1].
+    pub fn new(gain: f64) -> Self {
+        Ewma { gain: gain.clamp(f64::MIN_POSITIVE, 1.0), state: None }
+    }
+
+    pub fn gain(&self) -> f64 {
+        self.gain
+    }
+}
+
+impl Predictor for Ewma {
+    fn observe(&mut self, _t: f64, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        self.state = Some(match self.state {
+            None => value,
+            Some(prev) => self.gain * value + (1.0 - self.gain) * prev,
+        });
+    }
+
+    fn forecast(&self) -> Option<f64> {
+        self.state
+    }
+
+    fn name(&self) -> String {
+        format!("ewma({:.2})", self.gain)
+    }
+}
+
+/// Trigg–Leach adaptive-gain EWMA: the gain follows the tracking signal
+/// |smoothed error| / smoothed |error|, so the model reacts fast after a
+/// regime change (consistently signed errors) and smooths hard through
+/// symmetric noise.
+#[derive(Clone, Debug)]
+pub struct AdaptiveEwma {
+    state: Option<f64>,
+    gain: f64,
+    err: f64,
+    abs_err: f64,
+}
+
+/// Smoothing constant for the tracking signal itself.
+const TRACKING_GAIN: f64 = 0.3;
+/// The adaptive gain stays inside this band: never frozen, never pure
+/// last-value.
+const MIN_GAIN: f64 = 0.05;
+const MAX_GAIN: f64 = 0.95;
+
+impl AdaptiveEwma {
+    pub fn new() -> Self {
+        AdaptiveEwma { state: None, gain: TRACKING_GAIN, err: 0.0, abs_err: 0.0 }
+    }
+
+    /// Current smoothing gain (moves inside [0.05, 0.95]).
+    pub fn gain(&self) -> f64 {
+        self.gain
+    }
+}
+
+impl Default for AdaptiveEwma {
+    fn default() -> Self {
+        AdaptiveEwma::new()
+    }
+}
+
+impl Predictor for AdaptiveEwma {
+    fn observe(&mut self, _t: f64, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        match self.state {
+            None => self.state = Some(value),
+            Some(prev) => {
+                let e = value - prev;
+                self.err = TRACKING_GAIN * e + (1.0 - TRACKING_GAIN) * self.err;
+                self.abs_err = TRACKING_GAIN * e.abs() + (1.0 - TRACKING_GAIN) * self.abs_err;
+                if self.abs_err > 0.0 {
+                    self.gain = (self.err.abs() / self.abs_err).clamp(MIN_GAIN, MAX_GAIN);
+                }
+                self.state = Some(self.gain * value + (1.0 - self.gain) * prev);
+            }
+        }
+    }
+
+    fn forecast(&self) -> Option<f64> {
+        self.state
+    }
+
+    fn name(&self) -> String {
+        "adaptive-ewma".into()
+    }
+}
+
+/// Closed enum over every model in the crate, so estimators stay `Clone` +
+/// `Debug` without trait objects. The selector variant is boxed: a selector
+/// owns a `Vec<Model>` of its candidates.
+#[derive(Clone, Debug)]
+pub enum Model {
+    Last(LastValue),
+    Mean(SlidingMean),
+    Median(SlidingMedian),
+    Ewma(Ewma),
+    AdaptiveEwma(AdaptiveEwma),
+    Selector(Box<AdaptiveSelector>),
+}
+
+impl Predictor for Model {
+    fn observe(&mut self, t: f64, value: f64) {
+        match self {
+            Model::Last(m) => m.observe(t, value),
+            Model::Mean(m) => m.observe(t, value),
+            Model::Median(m) => m.observe(t, value),
+            Model::Ewma(m) => m.observe(t, value),
+            Model::AdaptiveEwma(m) => m.observe(t, value),
+            Model::Selector(m) => m.observe(t, value),
+        }
+    }
+
+    fn forecast(&self) -> Option<f64> {
+        match self {
+            Model::Last(m) => m.forecast(),
+            Model::Mean(m) => m.forecast(),
+            Model::Median(m) => m.forecast(),
+            Model::Ewma(m) => m.forecast(),
+            Model::AdaptiveEwma(m) => m.forecast(),
+            Model::Selector(m) => m.forecast(),
+        }
+    }
+
+    fn name(&self) -> String {
+        match self {
+            Model::Last(m) => m.name(),
+            Model::Mean(m) => m.name(),
+            Model::Median(m) => m.name(),
+            Model::Ewma(m) => m.name(),
+            Model::AdaptiveEwma(m) => m.name(),
+            Model::Selector(m) => m.name(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn last_value_tracks_latest() {
+        let mut p = LastValue::new();
+        assert_eq!(p.forecast(), None);
+        p.observe(0.0, 3.0);
+        p.observe(1.0, 7.0);
+        assert_eq!(p.forecast(), Some(7.0));
+    }
+
+    #[test]
+    fn sliding_mean_honors_window() {
+        let mut p = SlidingMean::new(3);
+        for (i, v) in [10.0, 2.0, 4.0, 6.0].iter().enumerate() {
+            p.observe(i as f64, *v);
+        }
+        // window holds [2, 4, 6]; the initial 10 has been evicted
+        assert!((p.forecast().unwrap() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sliding_median_is_outlier_robust() {
+        let mut p = SlidingMedian::new(5);
+        for (i, v) in [5.0, 5.0, 5.0, 500.0, 5.0].iter().enumerate() {
+            p.observe(i as f64, *v);
+        }
+        assert_eq!(p.forecast(), Some(5.0));
+    }
+
+    #[test]
+    fn sliding_median_even_window_averages() {
+        let mut p = SlidingMedian::new(4);
+        for (i, v) in [1.0, 2.0, 3.0, 4.0].iter().enumerate() {
+            p.observe(i as f64, *v);
+        }
+        assert!((p.forecast().unwrap() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ewma_matches_the_probe_fold_expression() {
+        // Bit-identical to the pre-forecast LinkEstimator fold:
+        // λ·new + (1 − λ)·old.
+        let lambda = 0.4;
+        let mut p = Ewma::new(lambda);
+        p.observe(0.0, 10.0);
+        p.observe(1.0, 20.0);
+        let expected = lambda * 20.0 + (1.0 - lambda) * 10.0;
+        assert_eq!(p.forecast(), Some(expected));
+    }
+
+    #[test]
+    fn ewma_gain_one_is_last_value() {
+        let mut p = Ewma::new(1.0);
+        p.observe(0.0, 1.0);
+        p.observe(1.0, 9.0);
+        assert_eq!(p.forecast(), Some(9.0));
+    }
+
+    #[test]
+    fn adaptive_ewma_raises_gain_after_regime_change() {
+        let mut p = AdaptiveEwma::new();
+        for i in 0..20 {
+            p.observe(i as f64, 10.0);
+        }
+        let gain_quiet = p.gain();
+        for i in 20..26 {
+            p.observe(i as f64, 100.0); // consistent one-sided error
+        }
+        assert!(p.gain() > gain_quiet);
+        // and the state has moved most of the way to the new level
+        assert!(p.forecast().unwrap() > 80.0);
+    }
+
+    #[test]
+    fn predictors_ignore_non_finite() {
+        let mut p = SlidingMean::new(4);
+        p.observe(0.0, 2.0);
+        p.observe(1.0, f64::NAN);
+        p.observe(2.0, f64::INFINITY);
+        assert_eq!(p.forecast(), Some(2.0));
+    }
+}

@@ -44,6 +44,25 @@ pub struct FaultCounters {
     pub recovery_secs: f64,
 }
 
+/// Forecast-quality counters of one run: how well the network-weather
+/// predictors tracked reality, and how often the load forecast triggered a
+/// proactive global check.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ForecastStats {
+    /// Mean α forecast MAE over the scored link series (seconds).
+    pub alpha_mae: f64,
+    /// Mean β forecast MAE over the scored link series (s/byte).
+    pub beta_mae: f64,
+    /// Mean group-load forecast MAE over the scored series (cells).
+    pub load_mae: f64,
+    /// Out-of-sample (forecast, probe) pairs scored across link series.
+    pub scored_probes: u64,
+    /// Global checks triggered proactively by the load forecast.
+    pub proactive_checks: u64,
+    /// Proactive checks that went on to invoke a redistribution.
+    pub proactive_invocations: u64,
+}
+
 /// One configuration row of a figure (e.g. "4 + 4").
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct ConfigRow {

@@ -2,7 +2,7 @@
 
 use crate::app::AppKind;
 use crate::scheme::Scheme;
-use metrics::{FaultCounters, RunBreakdown};
+use metrics::{FaultCounters, ForecastStats, RunBreakdown};
 use serde::Serialize;
 use simnet::RetryPolicy;
 
@@ -92,6 +92,9 @@ pub struct RunResult {
     /// Fault-protocol counters: scheme-level retries/quarantines/aborts
     /// plus the driver's tolerated bulk-transfer failures.
     pub faults: FaultCounters,
+    /// Forecast-quality counters of the scheme's network-weather series
+    /// (zeroes for schemes without a forecasting layer).
+    pub forecast: ForecastStats,
     /// Per-level-0-step global decision log (distributed scheme only).
     pub decisions: Vec<DecisionSummary>,
 }

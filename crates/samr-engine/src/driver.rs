@@ -10,7 +10,7 @@
 use crate::app::AppState;
 use crate::config::{RunConfig, RunResult};
 use crate::scheme::SchemeInstance;
-use crate::trace::{RunTrace, StepFaults, StepRecord};
+use crate::trace::{RunTrace, StepFaults, StepForecast, StepRecord};
 use dlb::{decompose_domain, LbContext, WorkloadHistory};
 use rayon::prelude::*;
 use samr_mesh::cluster::{berger_rigoutsos, ClusterParams};
@@ -248,6 +248,7 @@ impl Driver {
             recovery_secs: cum.recovery_secs - prev.recovery_secs,
         };
         self.faults_seen = cum;
+        let fsum = self.scheme.forecast_summary();
         self.trace.push(StepRecord {
             step: self.step_count[0].saturating_sub(1),
             step_secs: (t1 - t0).as_secs_f64(),
@@ -256,6 +257,11 @@ impl Driver {
             cells_per_level: (0..nlevels).map(|l| self.hier.level_cells(l)).collect(),
             group_workload,
             redistributed: redists_after > redists_before,
+            forecast: StepForecast {
+                alpha_mae: fsum.alpha_mae,
+                beta_mae: fsum.beta_mae,
+                load_mae: fsum.load_mae,
+            },
             faults,
         });
     }
@@ -313,6 +319,15 @@ impl Driver {
             comm_failures: scheme_stats.comm_failures + self.failed_transfers,
             recovery_secs: scheme_stats.recovery_secs,
         };
+        let fsum = self.scheme.forecast_summary();
+        let forecast = metrics::ForecastStats {
+            alpha_mae: fsum.alpha_mae,
+            beta_mae: fsum.beta_mae,
+            load_mae: fsum.load_mae,
+            scored_probes: fsum.scored_probes,
+            proactive_checks: fsum.proactive_checks,
+            proactive_invocations: fsum.proactive_invocations,
+        };
         let decisions = self.scheme.decisions();
         RunResult {
             scheme: self.scheme.name().to_string(),
@@ -327,6 +342,7 @@ impl Driver {
             global_checks: decisions.len(),
             global_redistributions: decisions.iter().filter(|d| d.invoked).count(),
             faults,
+            forecast,
             decisions: decisions
                 .iter()
                 .map(|d| crate::config::DecisionSummary {

@@ -6,6 +6,7 @@ use topology::DistributedSystem;
 
 /// Which DLB scheme to run (serializable run parameter).
 #[derive(Clone, Debug)]
+#[allow(clippy::large_enum_variant)] // one instance per run
 pub enum Scheme {
     /// No balancing at all: children stay on their parent's processor.
     Static,
@@ -19,6 +20,27 @@ impl Scheme {
     /// Distributed scheme with the paper's defaults (γ = 2).
     pub fn distributed_default() -> Scheme {
         Scheme::Distributed(DistributedDlbConfig::default())
+    }
+
+    /// Distributed scheme with the NWS-style forecasting layer enabled:
+    /// adaptive predictor on every link/load series and proactive global
+    /// checks at fine levels.
+    pub fn distributed_predictive(seed: u64) -> Scheme {
+        Scheme::Distributed(DistributedDlbConfig::predictive(seed))
+    }
+
+    /// Distributed scheme with an explicit predictor and forecast horizon.
+    pub fn distributed_with_predictor(
+        kind: dlb::PredictorKind,
+        seed: u64,
+        horizon: u32,
+    ) -> Scheme {
+        Scheme::Distributed(DistributedDlbConfig {
+            predictor: Some(kind),
+            forecast_seed: seed,
+            forecast_horizon: horizon,
+            ..Default::default()
+        })
     }
 
     pub(crate) fn instantiate(&self) -> SchemeInstance {
@@ -95,6 +117,15 @@ impl SchemeInstance {
         match self {
             SchemeInstance::Distributed(d) => d.fault_stats(),
             _ => dlb::FaultStats::default(),
+        }
+    }
+
+    /// Forecast-quality summary of the scheme's network-weather series
+    /// (zeroes for schemes without a forecasting layer).
+    pub fn forecast_summary(&self) -> dlb::ForecastSummary {
+        match self {
+            SchemeInstance::Distributed(d) => d.forecast_summary(),
+            _ => dlb::ForecastSummary::default(),
         }
     }
 

@@ -31,6 +31,19 @@ impl StepFaults {
     }
 }
 
+/// Forecast quality as of the end of one level-0 step (cumulative MAE of
+/// the scheme's network-weather series — MAE is a running mean, so per-step
+/// deltas would not be meaningful).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize)]
+pub struct StepForecast {
+    /// Mean α forecast MAE across scored link series (seconds).
+    pub alpha_mae: f64,
+    /// Mean β forecast MAE across scored link series (s/byte).
+    pub beta_mae: f64,
+    /// Mean group-load forecast MAE across scored series (cells).
+    pub load_mae: f64,
+}
+
 /// Snapshot taken after each level-0 step.
 #[derive(Clone, Debug, Serialize)]
 pub struct StepRecord {
@@ -48,6 +61,8 @@ pub struct StepRecord {
     pub group_workload: Vec<f64>,
     /// Whether the global phase redistributed this step (distributed DLB).
     pub redistributed: bool,
+    /// Forecast MAE of the scheme's series after the step.
+    pub forecast: StepForecast,
     /// Fault-protocol activity during the step.
     pub faults: StepFaults,
 }
@@ -108,6 +123,9 @@ impl RunTrace {
         for g in 0..max_groups {
             out.push_str(&format!(",workload_g{g}"));
         }
+        // forecast columns slot in before the fault block so the fault
+        // columns keep riding at the end (older consumers index from there)
+        out.push_str(",forecast_alpha_mae,forecast_beta_mae,forecast_load_mae");
         out.push_str(",retries,aborts,quarantines,readmissions,comm_failures,recovery_secs");
         out.push('\n');
         for r in &self.records {
@@ -124,6 +142,10 @@ impl RunTrace {
                 let w = r.group_workload.get(g).copied().unwrap_or(0.0);
                 out.push_str(&format!(",{w:.1}"));
             }
+            out.push_str(&format!(
+                ",{:.6e},{:.6e},{:.3}",
+                r.forecast.alpha_mae, r.forecast.beta_mae, r.forecast.load_mae
+            ));
             let f = &r.faults;
             out.push_str(&format!(
                 ",{},{},{},{},{},{:.3}",
@@ -153,6 +175,7 @@ mod tests {
             cells_per_level: vec![100, 200],
             group_workload: vec![300.0, 200.0],
             redistributed: step == 1,
+            forecast: StepForecast::default(),
             faults: StepFaults::default(),
         }
     }
@@ -215,5 +238,28 @@ mod tests {
         assert_eq!(totals.aborts, 1);
         assert!(totals.any());
         assert!(!rec(0).faults.any());
+    }
+
+    #[test]
+    fn forecast_columns_sit_before_the_fault_block() {
+        let mut t = RunTrace::default();
+        let mut r = rec(0);
+        r.forecast = StepForecast {
+            alpha_mae: 0.002,
+            beta_mae: 3.5e-8,
+            load_mae: 120.0,
+        };
+        t.push(r);
+        let csv = t.to_csv();
+        let header: Vec<&str> = csv.lines().next().unwrap().split(',').collect();
+        let n = header.len();
+        assert_eq!(
+            header[n - 9..n - 6].join(","),
+            "forecast_alpha_mae,forecast_beta_mae,forecast_load_mae"
+        );
+        let row: Vec<&str> = csv.lines().nth(1).unwrap().split(',').collect();
+        assert_eq!(row.len(), n);
+        assert!(row[n - 9].parse::<f64>().unwrap() > 0.0);
+        assert_eq!(row[n - 7], "120.000");
     }
 }

@@ -15,7 +15,7 @@ pub mod traffic;
 
 pub use faults::{FaultKind, FaultSchedule, FaultWindow, LinkHealth};
 pub use link::Link;
-pub use probe::{probe_link, LinkEstimator, ProbeError, ProbeSample};
+pub use probe::{probe_link, LinkEstimator, ProbeError, ProbeSample, MIN_BETA};
 pub use system::{DistributedSystem, Group, GroupId, ProcId, Processor, SystemBuilder};
 pub use time::SimTime;
 pub use traffic::TrafficModel;

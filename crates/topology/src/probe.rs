@@ -2,8 +2,10 @@
 //!
 //! §4.2 of the paper: *"the scheme sends two messages between groups, and
 //! calculates the network performance parameters α and β"*. We reproduce
-//! exactly that two-message probe, plus exponentially-weighted smoothing in
-//! the spirit of the Network Weather Service the authors cite as future work.
+//! exactly that two-message probe; smoothing and forecasting of the sampled
+//! α/β streams live in the `forecast` crate (the Network Weather Service
+//! direction the authors cite as future work), which [`LinkEstimator`]
+//! delegates to — by default with the same latest-sample EWMA as before.
 //!
 //! Probing is fallible: a dead or blackholed link returns a typed
 //! [`ProbeError`] instead of a bogus sample, and [`LinkEstimator`] tracks
@@ -13,6 +15,18 @@
 use crate::faults::LinkHealth;
 use crate::link::Link;
 use crate::time::SimTime;
+use forecast::{ForecastValue, LinkForecast, PredictorKind};
+
+/// Floor for the estimated per-byte rate β (seconds/byte).
+///
+/// Two probe messages whose transfer times quantize to the same value (an
+/// extremely fast link under the simulator's nanosecond clock) solve to
+/// β = 0, and downstream consumers routinely form `1.0 / β` (effective
+/// bandwidth). Rather than returning a typed error for a sample that is
+/// merely "too fast to resolve", β is floored at this epsilon — equivalent
+/// to capping measurable bandwidth at 10¹² byte/s, three orders of
+/// magnitude above any link in the paper's testbed.
+pub const MIN_BETA: f64 = 1e-12;
 
 /// Result of one two-message probe: estimated latency and per-byte rate.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -64,6 +78,8 @@ impl std::error::Error for ProbeError {}
 /// which callers charge as DLB overhead. Returns a [`ProbeError`] instead
 /// of a bogus sample when the sizes are degenerate, the link reports
 /// non-positive bandwidth, or a fault window makes the link unreachable.
+/// β is floored at [`MIN_BETA`] so identical round-trip times (β = 0)
+/// cannot leak a divide-by-zero into `1/β` bandwidth paths.
 ///
 /// ```
 /// use topology::{probe_link, Link, SimTime};
@@ -93,7 +109,7 @@ pub fn probe_link(link: &Link, t: SimTime, small: u64, large: u64) -> Result<Pro
     }
     Ok(ProbeSample {
         alpha,
-        beta: beta.max(0.0),
+        beta: beta.max(MIN_BETA),
         elapsed: t1 + t2,
     })
 }
@@ -111,13 +127,15 @@ fn check_reachable(link: &Link, t: SimTime) -> Result<(), ProbeError> {
     Ok(())
 }
 
-/// EWMA smoother over probe samples, NWS-style, with staleness tracking.
+/// Forecasting smoother over probe samples, NWS-style, with staleness
+/// tracking. The α/β/bandwidth streams are folded through a
+/// [`forecast::LinkForecast`]; the default model is a fixed-gain EWMA with
+/// gain λ, which reproduces the pre-forecast estimator bit for bit
+/// (λ = 1 ⇒ the paper's latest-sample mode).
 #[derive(Clone, Debug)]
 pub struct LinkEstimator {
-    /// Smoothing factor λ ∈ (0, 1]: weight of the newest sample.
-    lambda: f64,
-    alpha: Option<f64>,
-    beta: Option<f64>,
+    /// Per-series predictors for α, β, and effective bandwidth.
+    series: LinkForecast,
     /// Probe message sizes.
     pub small: u64,
     pub large: u64,
@@ -131,6 +149,10 @@ pub struct LinkEstimator {
     staleness: Option<(f64, u32)>,
 }
 
+/// Seed for the default (non-adaptive) estimator models. Fixed models
+/// ignore it, so any constant keeps the default path deterministic.
+const DEFAULT_FORECAST_SEED: u64 = 0;
+
 impl LinkEstimator {
     /// A fresh estimator. `lambda = 1.0` means "trust only the latest probe"
     /// (what the paper's two-message scheme does); smaller values smooth.
@@ -138,9 +160,7 @@ impl LinkEstimator {
         assert!(lambda > 0.0 && lambda <= 1.0);
         assert!(large > small);
         LinkEstimator {
-            lambda,
-            alpha: None,
-            beta: None,
+            series: LinkForecast::new(PredictorKind::Ewma { gain: lambda }, DEFAULT_FORECAST_SEED),
             small,
             large,
             samples: 0,
@@ -154,6 +174,14 @@ impl LinkEstimator {
     /// weighting, 1 KiB / 64 KiB probe messages.
     pub fn paper_default() -> Self {
         LinkEstimator::new(1.0, 1 << 10, 1 << 16)
+    }
+
+    /// Replace the default EWMA(λ) with another predictor family — e.g.
+    /// [`PredictorKind::Adaptive`] for the MAE-tracked selector. Discards
+    /// any samples already folded, so call it at construction time.
+    pub fn with_predictor(mut self, kind: PredictorKind, seed: u64) -> Self {
+        self.series = LinkForecast::new(kind, seed);
+        self
     }
 
     /// Enable staleness decay: [`estimate`](Self::estimate) returns `None`
@@ -172,7 +200,7 @@ impl LinkEstimator {
     pub fn refresh(&mut self, link: &Link, t: SimTime) -> Result<ProbeSample, ProbeError> {
         match probe_link(link, t, self.small, self.large) {
             Ok(s) => {
-                self.fold(s.alpha, s.beta);
+                self.fold(t, s.alpha, s.beta);
                 self.samples += 1;
                 self.last_success = Some(t + s.elapsed);
                 self.failures = 0;
@@ -185,23 +213,18 @@ impl LinkEstimator {
         }
     }
 
-    /// EWMA fold, clamped against NaN/negative samples: non-finite
-    /// contributions are discarded (the old estimate survives) and finite
-    /// ones are floored at zero before smoothing.
-    fn fold(&mut self, alpha: f64, beta: f64) {
-        if alpha.is_finite() {
-            let a_new = alpha.max(0.0);
-            self.alpha = Some(match self.alpha {
-                None => a_new,
-                Some(a) => self.lambda * a_new + (1.0 - self.lambda) * a,
-            });
-        }
-        if beta.is_finite() {
-            let b_new = beta.max(0.0);
-            self.beta = Some(match self.beta {
-                None => b_new,
-                Some(b) => self.lambda * b_new + (1.0 - self.lambda) * b,
-            });
+    /// Fold one sample into the per-series predictors, clamped against
+    /// NaN/negative samples: non-finite contributions are discarded (the
+    /// old estimate survives) and finite ones are floored at zero before
+    /// smoothing — the same semantics the in-place EWMA had.
+    fn fold(&mut self, t: SimTime, alpha: f64, beta: f64) {
+        let secs = t.as_secs_f64();
+        if alpha.is_finite() && beta.is_finite() {
+            self.series.observe_probe(secs, alpha.max(0.0), beta.max(0.0));
+        } else if alpha.is_finite() {
+            self.series.alpha.observe(secs, alpha.max(0.0));
+        } else if beta.is_finite() {
+            self.series.beta.observe(secs, beta.max(0.0));
         }
     }
 
@@ -230,14 +253,55 @@ impl LinkEstimator {
         }
     }
 
-    /// Current α estimate (seconds); `None` before the first probe.
+    /// Current α forecast (seconds); `None` before the first probe.
     pub fn alpha(&self) -> Option<f64> {
-        self.alpha
+        self.series.alpha.forecast()
     }
 
-    /// Current β estimate (seconds/byte).
+    /// Current β forecast (seconds/byte).
     pub fn beta(&self) -> Option<f64> {
-        self.beta
+        self.series.beta.forecast()
+    }
+
+    /// α forecast with its running-MAE error bar.
+    pub fn alpha_forecast(&self) -> Option<ForecastValue> {
+        self.series.alpha.forecast_value()
+    }
+
+    /// β forecast with its running-MAE error bar.
+    pub fn beta_forecast(&self) -> Option<ForecastValue> {
+        self.series.beta.forecast_value()
+    }
+
+    /// Effective-bandwidth (1/β) forecast with its error bar.
+    pub fn bandwidth_forecast(&self) -> Option<ForecastValue> {
+        self.series.bandwidth.forecast_value()
+    }
+
+    /// Mean absolute one-step forecast error of the α series (seconds).
+    pub fn alpha_mae(&self) -> f64 {
+        self.series.alpha.mae()
+    }
+
+    /// Mean absolute one-step forecast error of the β series (s/byte).
+    pub fn beta_mae(&self) -> f64 {
+        self.series.beta.mae()
+    }
+
+    /// Number of out-of-sample (forecast, probe) pairs scored so far.
+    pub fn forecast_samples(&self) -> u64 {
+        self.series.beta.scored_samples()
+    }
+
+    /// Name of the model the α/β series run (`"ewma(1.00)"` by default).
+    pub fn model_name(&self) -> String {
+        self.series.beta.model_name()
+    }
+
+    /// The β series' adaptive selector, when that model family is in use —
+    /// exposes the per-member MAE scoreboard and the current best member.
+    pub fn beta_selector(&self) -> Option<&forecast::AdaptiveSelector> {
+        self.series.beta.selector()
     }
 
     /// `(α, β)` if a trustworthy estimate exists at `now` — `None` before
@@ -246,7 +310,19 @@ impl LinkEstimator {
         if self.is_stale(now) {
             return None;
         }
-        match (self.alpha, self.beta) {
+        match (self.alpha(), self.beta()) {
+            (Some(a), Some(b)) => Some((a, b)),
+            _ => None,
+        }
+    }
+
+    /// `(α, β)` forecasts with error bars, staleness-gated like
+    /// [`estimate`](Self::estimate).
+    pub fn estimate_forecast(&self, now: SimTime) -> Option<(ForecastValue, ForecastValue)> {
+        if self.is_stale(now) {
+            return None;
+        }
+        match (self.alpha_forecast(), self.beta_forecast()) {
             (Some(a), Some(b)) => Some((a, b)),
             _ => None,
         }
@@ -261,7 +337,7 @@ impl LinkEstimator {
     /// `α + β·bytes` (the paper's Eq. 1 communication term). `None` before
     /// the first probe.
     pub fn predict(&self, bytes: u64) -> Option<f64> {
-        match (self.alpha, self.beta) {
+        match (self.alpha(), self.beta()) {
             (Some(a), Some(b)) => Some(a + b * bytes as f64),
             _ => None,
         }
@@ -463,6 +539,68 @@ mod tests {
         assert!(est2.estimate(SimTime::from_secs(1)).is_some(), "one strike");
         est2.record_failure(SimTime::from_secs(2));
         assert!(est2.estimate(SimTime::from_secs(2)).is_none(), "two strikes");
+    }
+
+    #[test]
+    fn identical_round_trips_floor_beta_at_epsilon() {
+        // A link so fast that both probe messages' transfer times quantize
+        // to the same nanosecond count: the solved β would be 0. The floor
+        // keeps 1/β (effective bandwidth) finite.
+        let warp = Link::dedicated("warp", SimTime::from_millis(1), 1e18);
+        let s = probe_link(&warp, SimTime::ZERO, 1 << 10, 1 << 16).unwrap();
+        assert_eq!(s.beta, MIN_BETA);
+        let mut est = LinkEstimator::paper_default();
+        est.refresh(&warp, SimTime::ZERO).unwrap();
+        let bw = 1.0 / est.beta().unwrap();
+        assert!(bw.is_finite() && bw > 0.0);
+    }
+
+    #[test]
+    fn adaptive_predictor_tracks_and_scores() {
+        let link = Link::shared(
+            "t",
+            SimTime::from_millis(1),
+            1e7,
+            TrafficModel::Trace {
+                initial: 0.0,
+                points: vec![(SimTime::from_secs(60).into(), 0.9)],
+            },
+        );
+        let mut est = LinkEstimator::paper_default()
+            .with_predictor(forecast::PredictorKind::Adaptive, 42);
+        for i in 0..12 {
+            est.refresh(&link, SimTime::from_secs(i * 10)).unwrap();
+        }
+        // scored out-of-sample pairs: one per probe after the first
+        assert_eq!(est.forecast_samples(), 11);
+        assert!(est.beta_mae() > 0.0, "regime change produced forecast error");
+        let (a, b) = est.estimate_forecast(SimTime::from_secs(120)).unwrap();
+        assert!(a.value >= 0.0 && a.error >= 0.0);
+        assert!(b.upper() > b.value, "error bar widens the pessimistic bound");
+        assert_eq!(est.model_name(), "adaptive");
+    }
+
+    #[test]
+    fn default_predictor_matches_legacy_ewma_bit_for_bit() {
+        // The λ-EWMA through the forecast crate must reproduce the old
+        // in-place fold exactly: λ·new + (1 − λ)·old.
+        let link = Link::shared(
+            "t",
+            SimTime::ZERO,
+            1e7,
+            TrafficModel::Trace {
+                initial: 0.0,
+                points: vec![(SimTime::from_secs(10).into(), 0.9)],
+            },
+        );
+        let lambda = 0.5;
+        let mut est = LinkEstimator::new(lambda, 1 << 10, 1 << 16);
+        let s0 = est.refresh(&link, SimTime::ZERO).unwrap();
+        let s1 = est.refresh(&link, SimTime::from_secs(10)).unwrap();
+        let expect_beta = lambda * s1.beta + (1.0 - lambda) * s0.beta;
+        assert_eq!(est.beta(), Some(expect_beta));
+        let expect_alpha = lambda * s1.alpha + (1.0 - lambda) * s0.alpha;
+        assert_eq!(est.alpha(), Some(expect_alpha));
     }
 
     #[test]

@@ -2,9 +2,10 @@
 //! WAN's dynamic background traffic, and the gain/cost gate adapting to it.
 //!
 //! First probes the MREN OC-3 preset link over two simulated minutes and
-//! prints estimated vs. true effective bandwidth; then runs ShockPool3D
-//! under two traffic regimes and shows how many global redistributions the
-//! γ-gate admits in each.
+//! prints the reactive (latest-sample) and adaptive forecasts side by side
+//! against the true effective bandwidth, with each one's running forecast
+//! error; then runs ShockPool3D under two traffic regimes and shows how
+//! many global redistributions the γ-gate admits in each.
 //!
 //! ```text
 //! cargo run --release --example network_weather
@@ -16,22 +17,45 @@ use topology::link::Link;
 use topology::{LinkEstimator, SystemBuilder, TrafficModel};
 
 fn main() {
-    // --- probing a fluctuating link ----------------------------------------
+    // --- probing a fluctuating link: reactive vs adaptive forecasts --------
     let link = presets::mren_oc3_wan(7);
-    let mut est = LinkEstimator::paper_default();
+    let mut reactive = LinkEstimator::paper_default();
+    let mut adaptive =
+        LinkEstimator::paper_default().with_predictor(forecast::PredictorKind::Adaptive, 7);
     println!("probing '{}' every 10 simulated seconds:", link.name);
     println!(
-        "{:>6} {:>14} {:>14} {:>16}",
-        "t", "est alpha (ms)", "est MB/s", "true eff. MB/s"
+        "{:>6} {:>14} {:>15} {:>15} {:>16}",
+        "t", "est alpha (ms)", "reactive MB/s", "adaptive MB/s", "true eff. MB/s"
     );
     for i in 0..12 {
         let t = SimTime::from_secs(i * 10);
-        est.refresh(&link, t).expect("fault-free link probes cleanly");
-        let alpha_ms = est.alpha().unwrap() * 1e3;
-        let est_bw = 1.0 / est.beta().unwrap() / 1e6;
+        reactive.refresh(&link, t).expect("fault-free link probes cleanly");
+        adaptive.refresh(&link, t).expect("fault-free link probes cleanly");
+        let alpha_ms = reactive.alpha().unwrap() * 1e3;
+        let reactive_bw = 1.0 / reactive.beta().unwrap() / 1e6;
+        let adaptive_bw = 1.0 / adaptive.beta().unwrap() / 1e6;
         let true_bw = link.effective_bandwidth(t) / 1e6;
-        println!("{:>5}s {:>14.2} {:>14.2} {:>16.2}", i * 10, alpha_ms, est_bw, true_bw);
+        println!(
+            "{:>5}s {:>14.2} {:>15.2} {:>15.2} {:>16.2}",
+            i * 10,
+            alpha_ms,
+            reactive_bw,
+            adaptive_bw,
+            true_bw
+        );
     }
+    println!(
+        "\none-step β forecast error after {} scored probes:\n  \
+         reactive (latest sample)   {:>8.2} ns/B\n  \
+         adaptive selector          {:>8.2} ns/B  (currently answering with `{}`)",
+        reactive.forecast_samples(),
+        reactive.beta_mae() * 1e9,
+        adaptive.beta_mae() * 1e9,
+        adaptive
+            .beta_selector()
+            .map(|s| s.best_name())
+            .unwrap_or_else(|| adaptive.model_name()),
+    );
 
     // --- the γ-gate under quiet vs congested WAN ---------------------------
     println!("\nShockPool3D 2+2, distributed DLB, same workload, two WAN regimes:");

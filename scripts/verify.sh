@@ -6,5 +6,10 @@ cd "$(dirname "$0")/.."
 
 cargo build --release
 cargo clippy --all-targets -- -D warnings
+cargo clippy -p forecast --all-targets -- -D warnings
+cargo build -p forecast && cargo test -q -p forecast
 cargo test -q
 cargo test -p samr-engine --test fault_recovery
+# forecast-gate smoke: the adaptive predictor must not regret more
+# redistributions than the reactive baseline (quick-scale ablation)
+cargo test -q -p bench --test harness forecast_ablation_adaptive_regrets_no_more_than_reactive

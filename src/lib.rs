@@ -26,6 +26,7 @@
 //! ```
 
 pub use dlb;
+pub use forecast;
 pub use metrics;
 pub use samr_engine as engine;
 pub use samr_mesh as mesh;

@@ -43,6 +43,46 @@ fn thread_count_does_not_change_results() {
 }
 
 #[test]
+fn predictive_scheme_is_deterministic() {
+    let mk = || {
+        let sys = presets::anl_ncsa_wan(2, 2, 11);
+        let mut cfg = RunConfig::new(
+            AppKind::ShockPool3D,
+            16,
+            3,
+            Scheme::distributed_predictive(20011110),
+        );
+        cfg.max_levels = 3;
+        Driver::new(sys, cfg).run()
+    };
+    let a = mk();
+    let b = mk();
+    assert_eq!(fingerprint(&a), fingerprint(&b));
+    // the forecast bookkeeping (MAE, scored samples, proactive counters)
+    // must replay bit-for-bit too
+    assert_eq!(a.forecast, b.forecast);
+    assert!(a.forecast.load_mae >= 0.0 && a.forecast.load_mae.is_finite());
+}
+
+#[test]
+fn forecast_seed_changes_tie_breaks_not_physics() {
+    let mk = |forecast_seed| {
+        let sys = presets::anl_ncsa_wan(2, 2, 11);
+        let mut cfg = RunConfig::new(
+            AppKind::ShockPool3D,
+            16,
+            3,
+            Scheme::distributed_predictive(forecast_seed),
+        );
+        cfg.max_levels = 3;
+        Driver::new(sys, cfg).run()
+    };
+    let a = mk(1);
+    let b = mk(2);
+    assert_eq!(a.cell_updates, b.cell_updates, "physics identical");
+}
+
+#[test]
 fn different_seeds_different_amr64_runs() {
     let mk = |seed| {
         let sys = presets::anl_lan_pair(2, 2, 11);
