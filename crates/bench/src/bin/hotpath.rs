@@ -1,0 +1,132 @@
+//! Hot-path throughput baseline: runs the AMR64 (LAN) and ShockPool3D (WAN)
+//! presets through the optimized zero-clone data path and the clone-based
+//! reference path, checks the two are bit-identical, and writes
+//! `results/BENCH_hotpath.json` with cell-updates/sec, host wall-clock
+//! seconds per phase (solve / ghost / regrid / restrict), and the peak patch
+//! count. The JSON is written by hand so the binary has no serializer
+//! dependency in its hot loop.
+//!
+//! Flags: `--quick` shrinks the scale for smoke/CI runs; `--out PATH`
+//! overrides the output file (the verify gate uses this to avoid clobbering
+//! the committed full-scale baseline).
+
+use bench::{lan_system, wan_system, Scale};
+use samr_engine::{AppKind, Driver, RunConfig, RunResult, Scheme};
+use std::fmt::Write as _;
+use std::time::Instant;
+use topology::DistributedSystem;
+
+fn system_for(app: AppKind, n: usize) -> DistributedSystem {
+    match app {
+        AppKind::Amr64 => lan_system(n),
+        _ => wan_system(n),
+    }
+}
+
+fn timed_run(
+    sys: DistributedSystem,
+    app: AppKind,
+    scale: Scale,
+    reference: bool,
+) -> (RunResult, f64) {
+    let mut cfg = RunConfig::new(app, scale.n0, scale.steps, Scheme::distributed_default());
+    cfg.max_levels = scale.max_levels;
+    cfg.reference_datapath = reference;
+    let t0 = Instant::now();
+    let res = Driver::new(sys, cfg).run();
+    (res, t0.elapsed().as_secs_f64())
+}
+
+/// Everything that must agree bitwise between the two data paths.
+fn fingerprint(r: &RunResult) -> (u64, u64, u64, usize, usize, usize) {
+    (
+        r.total_secs.to_bits(),
+        r.cell_updates,
+        r.breakdown.remote_bytes,
+        r.final_patches,
+        r.peak_patches,
+        r.global_redistributions,
+    )
+}
+
+fn num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "0.0".to_string()
+    }
+}
+
+fn phases_json(w: &metrics::PhaseWall) -> String {
+    format!(
+        "{{\"solve\": {}, \"ghost\": {}, \"regrid\": {}, \"restrict\": {}}}",
+        num(w.solve),
+        num(w.ghost),
+        num(w.regrid),
+        num(w.restrict)
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "results/BENCH_hotpath.json".to_string());
+    let scale = Scale::pick(quick);
+    let n = if quick { 1 } else { 2 };
+
+    let mut entries = Vec::new();
+    let mut all_identical = true;
+    for (name, app) in [("amr64", AppKind::Amr64), ("shockpool3d", AppKind::ShockPool3D)] {
+        let (opt, opt_wall) = timed_run(system_for(app, n), app, scale, false);
+        let (refr, ref_wall) = timed_run(system_for(app, n), app, scale, true);
+        let identical = fingerprint(&opt) == fingerprint(&refr);
+        all_identical &= identical;
+        let cups = opt.cell_updates as f64 / opt_wall;
+        println!(
+            "{name:>12}: {:.3e} cell-updates/sec  wall {:.3}s (reference {:.3}s, x{:.2})  \
+             peak patches {}  bit-identical {}",
+            cups,
+            opt_wall,
+            ref_wall,
+            ref_wall / opt_wall,
+            opt.peak_patches,
+            identical,
+        );
+        let mut e = String::new();
+        let _ = writeln!(e, "    {{");
+        let _ = writeln!(e, "      \"name\": \"{name}\",");
+        let _ = writeln!(
+            e,
+            "      \"n0\": {}, \"max_levels\": {}, \"steps\": {}, \"procs_per_site\": {n},",
+            scale.n0, scale.max_levels, scale.steps
+        );
+        let _ = writeln!(e, "      \"cell_updates\": {},", opt.cell_updates);
+        let _ = writeln!(e, "      \"peak_patches\": {},", opt.peak_patches);
+        let _ = writeln!(e, "      \"final_patches\": {},", opt.final_patches);
+        let _ = writeln!(e, "      \"wall_secs\": {},", num(opt_wall));
+        let _ = writeln!(e, "      \"cell_updates_per_sec\": {},", num(cups));
+        let _ = writeln!(e, "      \"phases\": {},", phases_json(&opt.wall));
+        let _ = writeln!(e, "      \"reference_wall_secs\": {},", num(ref_wall));
+        let _ = writeln!(e, "      \"reference_phases\": {},", phases_json(&refr.wall));
+        let _ = writeln!(e, "      \"speedup_vs_reference\": {},", num(ref_wall / opt_wall));
+        let _ = writeln!(e, "      \"bit_identical\": {identical}");
+        let _ = write!(e, "    }}");
+        entries.push(e);
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"hotpath\",\n  \"quick\": {quick},\n  \"presets\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    let _ = std::fs::create_dir_all("results");
+    std::fs::write(&out, json).expect("write benchmark output");
+    println!("wrote {out}");
+    if !all_identical {
+        eprintln!("FAIL: optimized data path diverged from the reference path");
+        std::process::exit(1);
+    }
+}

@@ -9,4 +9,4 @@ pub mod stats;
 
 pub use efficiency::{efficiency, improvement_percent, speedup};
 pub use stats::{geometric_mean, slope, summarize, Summary};
-pub use report::{ConfigRow, FaultCounters, ForecastStats, RunBreakdown, Table};
+pub use report::{ConfigRow, FaultCounters, ForecastStats, PhaseWall, RunBreakdown, Table};

@@ -24,6 +24,30 @@ pub struct RunBreakdown {
     pub remote_bytes: u64,
 }
 
+/// Host wall-clock seconds per driver phase. Unlike [`RunBreakdown`] these
+/// are *real* seconds spent executing the numerics on the machine running
+/// the simulation — the hot-path throughput measure the `hotpath` benchmark
+/// reports — not simulated testbed time.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct PhaseWall {
+    /// Solver kernels (all levels).
+    pub solve: f64,
+    /// Ghost exchange: zero-gradient fill, parent prolongation, sibling
+    /// window copies.
+    pub ghost: f64,
+    /// Regridding: flagging, clustering, placement, data transfer.
+    pub regrid: f64,
+    /// Fine-to-coarse restriction.
+    pub restrict: f64,
+}
+
+impl PhaseWall {
+    /// Sum over the phases.
+    pub fn total(&self) -> f64 {
+        self.solve + self.ghost + self.regrid + self.restrict
+    }
+}
+
 /// Fault-protocol counters of one run: how often the degradation policy
 /// (retry, quarantine, rollback) had to act, and how long recoveries took.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]

@@ -2,7 +2,7 @@
 
 use crate::app::AppKind;
 use crate::scheme::Scheme;
-use metrics::{FaultCounters, ForecastStats, RunBreakdown};
+use metrics::{FaultCounters, ForecastStats, PhaseWall, RunBreakdown};
 use serde::Serialize;
 use simnet::RetryPolicy;
 
@@ -40,6 +40,12 @@ pub struct RunConfig {
     /// receiver advances with stale ghost data) and counted in
     /// [`RunResult::faults`].
     pub comm_retry: RetryPolicy,
+    /// Run ghost exchange and restriction through the clone-based reference
+    /// data path instead of the buffered zero-clone one. Both produce
+    /// bit-identical fields and traces (enforced by the determinism tests);
+    /// the reference path exists to prove that and to measure the overhead
+    /// the optimized path removes.
+    pub reference_datapath: bool,
 }
 
 impl RunConfig {
@@ -59,6 +65,7 @@ impl RunConfig {
             max_box_cells: (n0 * n0 * n0 / 8).max(512),
             cost_per_cell: None,
             comm_retry: RetryPolicy::default(),
+            reference_datapath: false,
         }
     }
 }
@@ -82,6 +89,10 @@ pub struct RunResult {
     pub levels: usize,
     /// Grids present at the end.
     pub final_patches: usize,
+    /// Most grids alive at any point of the run (memory high-water mark).
+    pub peak_patches: usize,
+    /// Host wall-clock seconds per driver phase (real time, excludes setup).
+    pub wall: PhaseWall,
     /// Total cell updates executed (workload size; equal across schemes for
     /// the same app/seed when adaptation follows the same physics).
     pub cell_updates: u64,

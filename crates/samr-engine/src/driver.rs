@@ -19,6 +19,7 @@ use samr_mesh::hierarchy::GridHierarchy;
 use samr_mesh::interp::{prolong_constant, restrict_average};
 use samr_mesh::patch::PatchId;
 use samr_mesh::region::Region;
+use samr_solvers::par::for_each_task_parallel;
 use simnet::{send_with_retry, Activity, NetSim};
 use topology::{DistributedSystem, ProcId, SimTime};
 
@@ -53,6 +54,18 @@ pub struct Driver {
     transfer_retries: u64,
     /// Cumulative fault counters already attributed to step records.
     faults_seen: StepFaults,
+    /// Static per-processor weight table (weights are fixed for a run's
+    /// lifetime), so hot loops price work without cloning the system.
+    proc_weights: Vec<f64>,
+    /// Host wall-clock seconds per phase (reset when `run` starts measuring).
+    wall: metrics::PhaseWall,
+    /// Most grids alive at any point of the run.
+    peak_patches: usize,
+    /// Cells allocated as window-sized ghost-exchange buffers.
+    ghost_buffer_cells: u64,
+    /// Cells the clone-based reference exchange would have copied for the
+    /// same fills — the allocation the buffered path avoids.
+    ghost_clone_cells_avoided: u64,
 }
 
 impl Driver {
@@ -90,6 +103,11 @@ impl Driver {
             failed_transfers: 0,
             transfer_retries: 0,
             faults_seen: StepFaults::default(),
+            proc_weights: shares,
+            wall: metrics::PhaseWall::default(),
+            peak_patches: 0,
+            ghost_buffer_cells: 0,
+            ghost_clone_cells_avoided: 0,
         };
         d.scheme = d.cfg.scheme.instantiate();
         d.step_count = vec![0; d.cfg.max_levels];
@@ -103,6 +121,7 @@ impl Driver {
             d.exchange_ghosts(l);
             d.regrid(l);
         }
+        d.peak_patches = d.hier.num_patches();
         d
     }
 
@@ -151,6 +170,28 @@ impl Driver {
         self.cell_updates
     }
 
+    /// Host wall-clock seconds per phase so far.
+    pub fn phase_wall(&self) -> metrics::PhaseWall {
+        self.wall
+    }
+
+    /// Most grids alive at any point so far.
+    pub fn peak_patch_count(&self) -> usize {
+        self.peak_patches.max(self.hier.num_patches())
+    }
+
+    /// Cells allocated as window-sized ghost-exchange buffers so far
+    /// (zero on the reference data path, which clones instead).
+    pub fn ghost_buffer_cells(&self) -> u64 {
+        self.ghost_buffer_cells
+    }
+
+    /// Cells the clone-based reference exchange would have copied for the
+    /// same fills — what the buffered path avoids allocating.
+    pub fn ghost_clone_cells_avoided(&self) -> u64 {
+        self.ghost_clone_cells_avoided
+    }
+
     /// Assemble a driver from restored parts (checkpoint resume). The
     /// hierarchy is taken as-is — no initial decomposition or regrid cascade
     /// runs, and simulated time starts at zero.
@@ -164,6 +205,7 @@ impl Driver {
         step_count: Vec<u64>,
         cell_updates: u64,
     ) -> Driver {
+        let proc_weights: Vec<f64> = sys.procs().iter().map(|p| p.weight).collect();
         let mut d = Driver {
             scheme: cfg.scheme.instantiate(),
             cfg,
@@ -178,9 +220,15 @@ impl Driver {
             failed_transfers: 0,
             transfer_retries: 0,
             faults_seen: StepFaults::default(),
+            proc_weights,
+            wall: metrics::PhaseWall::default(),
+            peak_patches: 0,
+            ghost_buffer_cells: 0,
+            ghost_clone_cells_avoided: 0,
         };
         d.old_data = vec![Vec::new(); d.cfg.max_levels];
         d.step_count.resize(d.cfg.max_levels, 0);
+        d.peak_patches = d.hier.num_patches();
         d
     }
 
@@ -189,6 +237,8 @@ impl Driver {
     /// measured time — identically for every scheme.
     pub fn run(mut self) -> RunResult {
         self.sim.reset();
+        // wall timers restart with simulated time: both exclude setup
+        self.wall = metrics::PhaseWall::default();
         for _ in 0..self.cfg.steps {
             self.step_once();
         }
@@ -209,6 +259,7 @@ impl Driver {
             .filter(|d| d.invoked)
             .count();
         self.advance_level(0);
+        self.peak_patches = self.peak_patches.max(self.hier.num_patches());
         let t1 = self.sim.barrier_all();
         self.history.record_step_time((t1 - t0).as_secs_f64());
 
@@ -338,6 +389,8 @@ impl Driver {
             steps: self.cfg.steps,
             levels: self.hier.num_levels(),
             final_patches: self.hier.num_patches(),
+            peak_patches: self.peak_patches.max(self.hier.num_patches()),
+            wall: self.wall,
             cell_updates: self.cell_updates,
             global_checks: decisions.len(),
             global_redistributions: decisions.iter().filter(|d| d.invoked).count(),
@@ -446,6 +499,7 @@ impl Driver {
         if ids.is_empty() {
             return;
         }
+        let t0 = std::time::Instant::now();
         let dt_over_dx = self.app.dt_over_dx0(); // constant Courant per level
         // take the field data out, step in parallel, put it back
         let mut work: Vec<(PatchId, Vec<Field3>)> = ids
@@ -459,22 +513,200 @@ impl Driver {
             self.hier.patch_mut(id).fields = fields;
         }
         // charge simulated solver time per owner
-        let sys = self.sim.system().clone();
         let cost = self.cost_per_cell();
         for &id in &ids {
             let p = self.hier.patch(id);
-            let weight = sys.proc(ProcId(p.owner)).weight;
+            let weight = self.proc_weights[p.owner];
             let secs = p.cells() as f64 * cost / weight;
             self.sim.compute(ProcId(p.owner), secs);
             self.cell_updates += p.cells() as u64;
         }
+        self.wall.solve += t0.elapsed().as_secs_f64();
     }
 
     /// Fill ghost zones at `level`: physical boundaries by zero-gradient,
     /// interior boundaries from siblings, the rest from the parent grids.
     /// Data really moves, and each inter-owner window is charged as a
     /// message.
+    ///
+    /// This is the buffered zero-clone path: pass A extracts window-sized
+    /// source slabs (allocation proportional to boundary area, never a full
+    /// patch payload), pass B applies all three fills per destination in
+    /// parallel across patches. It is bit-identical to
+    /// [`Driver::exchange_ghosts_reference`] because every read comes from
+    /// data the exchange never writes: sibling windows lie inside source
+    /// *interiors* (phases only write ghost cells) and parent fields live on
+    /// the untouched coarser level, so extracting sources up front and
+    /// fusing the per-destination fills changes no value and no order that
+    /// matters.
     fn exchange_ghosts(&mut self, level: usize) {
+        if self.cfg.reference_datapath {
+            let t0 = std::time::Instant::now();
+            self.exchange_ghosts_reference(level);
+            self.wall.ghost += t0.elapsed().as_secs_f64();
+            return;
+        }
+        let ids: Vec<PatchId> = self.hier.level_ids(level).to_vec();
+        if ids.is_empty() {
+            return;
+        }
+        let t0 = std::time::Instant::now();
+        let nf = self.hier.nfields();
+        let r = self.hier.refine_factor();
+        let topo = self.hier.exchange_topology(level);
+
+        // group overlaps by destination, preserving the deterministic
+        // destination-major order of `LevelTopology::overlaps`
+        let mut dst_ix: std::collections::BTreeMap<PatchId, usize> = Default::default();
+        for (i, &id) in ids.iter().enumerate() {
+            dst_ix.insert(id, i);
+        }
+        let mut sib_of: Vec<Vec<usize>> = vec![Vec::new(); ids.len()];
+        for (k, o) in topo.overlaps.iter().enumerate() {
+            sib_of[dst_ix[&o.dst]].push(k);
+        }
+
+        // pass A (read-only): extract window-sized source slabs per
+        // destination — parent shell boxes (coarsened) and sibling windows
+        type Fill = (Vec<(Region, Vec<Field3>)>, Vec<(Region, Vec<Field3>)>);
+        let hier = &self.hier;
+        let topo_ref = &topo;
+        let sib_ref = &sib_of;
+        let fills: Vec<Fill> = ids
+            .par_iter()
+            .enumerate()
+            .map(|(i, &id)| {
+                let mut parent_slabs = Vec::new();
+                if level > 0 {
+                    let parent_id = hier.patch(id).parent.expect("fine patch has parent");
+                    let parent = hier.patch(parent_id);
+                    let cs = parent.fields[0].storage_region();
+                    for b in &topo_ref.shells[i].boxes {
+                        let cw = b.coarsen(r).intersect(&cs);
+                        if cw.is_empty() {
+                            continue;
+                        }
+                        let slabs: Vec<Field3> = parent
+                            .fields
+                            .iter()
+                            .map(|pf| {
+                                let mut s = Field3::zeros(cw, 0);
+                                s.copy_from(pf, &cw);
+                                s
+                            })
+                            .collect();
+                        parent_slabs.push((*b, slabs));
+                    }
+                }
+                let sib: Vec<(Region, Vec<Field3>)> = sib_ref[i]
+                    .iter()
+                    .map(|&k| {
+                        let o = &topo_ref.overlaps[k];
+                        let sp = hier.patch(o.src);
+                        let slabs: Vec<Field3> = sp
+                            .fields
+                            .iter()
+                            .map(|sf| {
+                                let mut s = Field3::zeros(o.window, 0);
+                                s.copy_from(sf, &o.window);
+                                s
+                            })
+                            .collect();
+                        (o.window, slabs)
+                    })
+                    .collect();
+                (parent_slabs, sib)
+            })
+            .collect();
+
+        // message accounting, same entries and values as the reference path
+        let mut batch: std::collections::BTreeMap<(usize, usize), u64> = Default::default();
+        if level > 0 {
+            for (i, &id) in ids.iter().enumerate() {
+                let p = self.hier.patch(id);
+                let parent_owner = self
+                    .hier
+                    .patch(p.parent.expect("fine patch has parent"))
+                    .owner;
+                let shell_cells: i64 = topo.shells[i].boxes.iter().map(|b| b.cells()).sum();
+                if parent_owner != p.owner {
+                    *batch.entry((parent_owner, p.owner)).or_default() +=
+                        (shell_cells as u64) * 8 * nf as u64;
+                }
+            }
+        }
+        for o in &topo.overlaps {
+            let src_owner = self.hier.patch(o.src).owner;
+            let dst_owner = self.hier.patch(o.dst).owner;
+            if src_owner != dst_owner {
+                *batch.entry((src_owner, dst_owner)).or_default() +=
+                    (o.cells as u64) * 8 * nf as u64;
+            }
+        }
+
+        // buffer bookkeeping: what pass A allocated vs what the clone-based
+        // path would have copied (the no-full-clone test checks the ratio)
+        for (parent_slabs, sib) in &fills {
+            for (_, slabs) in parent_slabs.iter().chain(sib.iter()) {
+                for s in slabs {
+                    self.ghost_buffer_cells += s.storage_region().cells() as u64;
+                }
+            }
+        }
+        if level > 0 {
+            for &id in &ids {
+                let parent_id = self.hier.patch(id).parent.expect("fine patch has parent");
+                let parent = self.hier.patch(parent_id);
+                self.ghost_clone_cells_avoided +=
+                    (parent.fields[0].storage_region().cells() as u64) * nf as u64;
+            }
+        }
+        let mut seen: std::collections::BTreeSet<PatchId> = Default::default();
+        for o in &topo.overlaps {
+            if seen.insert(o.src) {
+                let sp = self.hier.patch(o.src);
+                self.ghost_clone_cells_avoided +=
+                    (sp.fields[0].storage_region().cells() as u64) * nf as u64;
+            }
+        }
+
+        // pass B: fused per-destination apply — zero-gradient default,
+        // parent prolongation, then sibling windows — parallel across
+        // patches; each destination writes only its own ghost cells
+        let mut work: Vec<(PatchId, Vec<Field3>)> = ids
+            .iter()
+            .map(|&id| (id, std::mem::take(&mut self.hier.patch_mut(id).fields)))
+            .collect();
+        for_each_task_parallel(&mut work, |i, (_, fields)| {
+            for f in fields.iter_mut() {
+                f.fill_ghosts_zero_gradient();
+            }
+            let (parent_slabs, sib) = &fills[i];
+            for (b, slabs) in parent_slabs {
+                for (k, slab) in slabs.iter().enumerate() {
+                    prolong_constant(slab, &mut fields[k], b, r);
+                }
+            }
+            for (w, slabs) in sib {
+                for (k, slab) in slabs.iter().enumerate() {
+                    fields[k].copy_from(slab, w);
+                }
+            }
+        });
+        for (id, fields) in work {
+            self.hier.patch_mut(id).fields = fields;
+        }
+
+        for ((src, dst), bytes) in batch {
+            self.send_batch(src, dst, bytes);
+        }
+        self.wall.ghost += t0.elapsed().as_secs_f64();
+    }
+
+    /// Clone-based reference ghost exchange: the original sequential
+    /// three-phase data path, kept verbatim so the zero-clone path above can
+    /// be proven bit-identical against it (`cfg.reference_datapath`).
+    fn exchange_ghosts_reference(&mut self, level: usize) {
         let ids: Vec<PatchId> = self.hier.level_ids(level).to_vec();
         if ids.is_empty() {
             return;
@@ -559,6 +791,13 @@ impl Driver {
     /// cluster (Berger–Rigoutsos), place via the DLB scheme, prolong from
     /// parents, then copy surviving data from the retired fine grids.
     fn regrid(&mut self, level: usize) {
+        let t0 = std::time::Instant::now();
+        self.regrid_inner(level);
+        self.wall.regrid += t0.elapsed().as_secs_f64();
+        self.peak_patches = self.peak_patches.max(self.hier.num_patches());
+    }
+
+    fn regrid_inner(&mut self, level: usize) {
         let r = self.hier.refine_factor();
         let ids: Vec<PatchId> = self.hier.level_ids(level).to_vec();
 
@@ -586,24 +825,25 @@ impl Driver {
             }
         }
         // charge flag/cluster work to the owners (part of adaptation)
-        let sys = self.sim.system().clone();
         let cost = self.cost_per_cell() * 0.15;
         for &id in &ids {
             let p = self.hier.patch(id);
-            let secs = p.cells() as f64 * cost / sys.proc(ProcId(p.owner)).weight;
+            let secs = p.cells() as f64 * cost / self.proc_weights[p.owner];
             self.sim.compute(ProcId(p.owner), secs);
         }
         let _ = flag_cost_cells;
 
-        // stash the data of every level being cleared
+        // stash the data of every level being cleared; the patches are about
+        // to be dropped, so take their fields instead of cloning
         for l in (level + 1)..self.hier.num_levels() {
+            let lvl_ids: Vec<PatchId> = self.hier.level_ids(l).to_vec();
             let mut stash = Vec::new();
-            for &id in self.hier.level_ids(l) {
-                let p = self.hier.patch(id);
+            for id in lvl_ids {
+                let p = self.hier.patch_mut(id);
                 stash.push(OldPatch {
                     region: p.region,
                     owner: p.owner,
-                    fields: p.fields.clone(),
+                    fields: std::mem::take(&mut p.fields),
                 });
             }
             self.old_data[l] = stash;
@@ -619,7 +859,7 @@ impl Driver {
         let sizes: Vec<i64> = regions.iter().map(|r| r.cells()).collect();
         let owners =
             self.scheme
-                .place_new_patches(&self.hier, &sys, level + 1, &parents, &sizes);
+                .place_new_patches(&self.hier, self.sim.system(), level + 1, &parents, &sizes);
 
         // create patches: prolong from parent, then copy overlapping old data
         let nf = self.hier.nfields();
@@ -630,15 +870,14 @@ impl Driver {
             .zip(owners.iter().zip(parents.iter()))
         {
             let id = self.hier.insert_patch(level + 1, region, Some(parent_id), owner);
-            // prolongation: parent -> child data (full patch volume)
-            let parent_fields = self.hier.patch(parent_id).fields.clone();
-            {
-                let patch = self.hier.patch_mut(id);
-                let window = patch.fields[0].storage_region();
-                for (k, pf) in parent_fields.iter().enumerate() {
-                    prolong_constant(pf, &mut patch.fields[k], &window, r);
+            // prolongation: parent -> child data (full patch volume),
+            // borrowing both patches in place — no parent clone
+            self.hier.with_patch_pair(parent_id, id, |parent, child| {
+                let window = child.fields[0].storage_region();
+                for (k, pf) in parent.fields.iter().enumerate() {
+                    prolong_constant(pf, &mut child.fields[k], &window, r);
                 }
-            }
+            });
             if parent_owner != owner {
                 *batch.entry((parent_owner, owner)).or_default() +=
                     self.hier.patch(id).payload_bytes();
@@ -669,7 +908,71 @@ impl Driver {
 
     /// Project the fine solution onto the parents (conservative average) and
     /// charge child→parent messages where owners differ.
+    ///
+    /// Children are grouped by parent and the groups run in parallel: two
+    /// siblings with non-`r`-aligned regions can both touch a shared coarse
+    /// cell after outer coarsening, so per-child parallelism would race, but
+    /// distinct parents have disjoint storage. Within a group the children
+    /// keep level-id order, so the result is bit-identical to the sequential
+    /// reference.
     fn restrict_level(&mut self, fine_level: usize) {
+        if self.cfg.reference_datapath {
+            let t0 = std::time::Instant::now();
+            self.restrict_level_reference(fine_level);
+            self.wall.restrict += t0.elapsed().as_secs_f64();
+            return;
+        }
+        let t0 = std::time::Instant::now();
+        let ids: Vec<PatchId> = self.hier.level_ids(fine_level).to_vec();
+        let r = self.hier.refine_factor();
+        let nf = self.hier.nfields();
+        let mut batch: std::collections::BTreeMap<(usize, usize), u64> = Default::default();
+        let mut group_of: std::collections::BTreeMap<PatchId, usize> = Default::default();
+        let mut groups: Vec<(PatchId, Vec<(PatchId, Region)>)> = Vec::new();
+        for &id in &ids {
+            let p = self.hier.patch(id);
+            let parent_id = p.parent.expect("fine patch has parent");
+            let owner = p.owner;
+            let coarse_window = p.region.coarsen(r);
+            let gi = *group_of.entry(parent_id).or_insert_with(|| {
+                groups.push((parent_id, Vec::new()));
+                groups.len() - 1
+            });
+            groups[gi].1.push((id, coarse_window));
+            let parent_owner = self.hier.patch(parent_id).owner;
+            if parent_owner != owner {
+                *batch.entry((owner, parent_owner)).or_default() +=
+                    (coarse_window.cells() as u64) * 8 * nf as u64;
+            }
+        }
+        // take each parent's fields out, restrict its children into them in
+        // parallel across parents (children are read in place), put back
+        let mut work: Vec<(PatchId, Vec<Field3>)> = groups
+            .iter()
+            .map(|(pid, _)| (*pid, std::mem::take(&mut self.hier.patch_mut(*pid).fields)))
+            .collect();
+        let hier = &self.hier;
+        let groups_ref = &groups;
+        for_each_task_parallel(&mut work, |gi, (_, pfields)| {
+            for (child, cw) in &groups_ref[gi].1 {
+                let cp = hier.patch(*child);
+                for (k, cf) in cp.fields.iter().enumerate() {
+                    restrict_average(cf, &mut pfields[k], cw, r);
+                }
+            }
+        });
+        for (pid, fields) in work {
+            self.hier.patch_mut(pid).fields = fields;
+        }
+        for ((src, dst), bytes) in batch {
+            self.send_batch(src, dst, bytes);
+        }
+        self.wall.restrict += t0.elapsed().as_secs_f64();
+    }
+
+    /// Clone-based reference restriction (the original sequential data
+    /// path), kept for the bit-identity proof (`cfg.reference_datapath`).
+    fn restrict_level_reference(&mut self, fine_level: usize) {
         let ids: Vec<PatchId> = self.hier.level_ids(fine_level).to_vec();
         let r = self.hier.refine_factor();
         let nf = self.hier.nfields();

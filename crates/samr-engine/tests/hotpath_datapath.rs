@@ -1,0 +1,41 @@
+//! The zero-clone ghost exchange must allocate window-sized buffers only:
+//! its total buffer volume has to stay far below the full patch payloads
+//! the clone-based reference path copies.
+
+use samr_engine::{AppKind, Driver, RunConfig, Scheme};
+use topology::presets;
+
+fn cfg(reference: bool) -> RunConfig {
+    let mut cfg = RunConfig::new(AppKind::ShockPool3D, 16, 3, Scheme::distributed_default());
+    cfg.max_levels = 3;
+    cfg.reference_datapath = reference;
+    cfg
+}
+
+#[test]
+fn ghost_exchange_buffers_stay_boundary_sized() {
+    let mut d = Driver::new(presets::anl_ncsa_wan(2, 2, 11), cfg(false));
+    for _ in 0..3 {
+        d.step_once();
+    }
+    let buffered = d.ghost_buffer_cells();
+    let avoided = d.ghost_clone_cells_avoided();
+    assert!(buffered > 0, "exchange ran and extracted slabs");
+    assert!(avoided > 0, "the reference path would have cloned payloads");
+    // boundary area vs patch volume: the slabs must be a small fraction of
+    // what full-field clones would have copied
+    assert!(
+        (buffered as f64) < 0.5 * avoided as f64,
+        "buffered {buffered} cells vs cloned {avoided} cells"
+    );
+}
+
+#[test]
+fn reference_datapath_allocates_no_exchange_buffers() {
+    let mut d = Driver::new(presets::anl_ncsa_wan(2, 2, 11), cfg(true));
+    for _ in 0..3 {
+        d.step_once();
+    }
+    assert_eq!(d.ghost_buffer_cells(), 0);
+    assert_eq!(d.ghost_clone_cells_avoided(), 0);
+}

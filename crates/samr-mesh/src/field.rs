@@ -91,46 +91,78 @@ impl Field3 {
 
     /// Copy values over `src_window ∩ both fields' storage` from `src`.
     /// The window is in shared (same-level) coordinates.
+    ///
+    /// Row-sliced: the window is walked one z-contiguous row at a time and
+    /// each row moves with a single `copy_from_slice`, so the 3D→1D index
+    /// math is amortized to once per row. Bit-identical to
+    /// [`reference::copy_from`].
     pub fn copy_from(&mut self, src: &Field3, window: &Region) {
-        let w = window
-            .intersect(&self.storage)
-            .intersect(&src.storage);
-        for p in w.iter_cells() {
-            let v = src.get(p);
-            self.set(p, v);
+        let w = window.intersect(&self.storage).intersect(&src.storage);
+        if w.is_empty() {
+            return;
+        }
+        for x in w.lo.x..w.hi.x {
+            for y in w.lo.y..w.hi.y {
+                let dr = self.storage.row_range(x, y, w.lo.z, w.hi.z);
+                let sr = src.storage.row_range(x, y, w.lo.z, w.hi.z);
+                self.data[dr].copy_from_slice(&src.data[sr]);
+            }
         }
     }
 
-    /// Sum of interior values.
+    /// Sum of interior values. Accumulated in the same cell order as the
+    /// per-cell reference, so the result is bit-identical.
     pub fn interior_sum(&self) -> f64 {
-        self.interior.iter_cells().map(|p| self.get(p)).sum()
+        let int = self.interior;
+        let mut acc = 0.0;
+        for x in int.lo.x..int.hi.x {
+            for y in int.lo.y..int.hi.y {
+                for &v in &self.data[self.storage.row_range(x, y, int.lo.z, int.hi.z)] {
+                    acc += v;
+                }
+            }
+        }
+        acc
     }
 
     /// Maximum absolute interior value.
     pub fn interior_max_abs(&self) -> f64 {
-        self.interior
-            .iter_cells()
-            .map(|p| self.get(p).abs())
-            .fold(0.0, f64::max)
+        let int = self.interior;
+        let mut m = 0.0f64;
+        for x in int.lo.x..int.hi.x {
+            for y in int.lo.y..int.hi.y {
+                for &v in &self.data[self.storage.row_range(x, y, int.lo.z, int.hi.z)] {
+                    m = f64::max(m, v.abs());
+                }
+            }
+        }
+        m
     }
 
     /// L2 norm of interior values.
     pub fn interior_l2(&self) -> f64 {
-        self.interior
-            .iter_cells()
-            .map(|p| {
-                let v = self.get(p);
-                v * v
-            })
-            .sum::<f64>()
-            .sqrt()
+        let int = self.interior;
+        let mut acc = 0.0;
+        for x in int.lo.x..int.hi.x {
+            for y in int.lo.y..int.hi.y {
+                for &v in &self.data[self.storage.row_range(x, y, int.lo.z, int.hi.z)] {
+                    acc += v * v;
+                }
+            }
+        }
+        acc.sqrt()
     }
 
     /// Apply `f` to every interior cell.
     pub fn map_interior(&mut self, mut f: impl FnMut(IVec3, f64) -> f64) {
-        for p in self.interior.iter_cells() {
-            let v = self.get(p);
-            self.set(p, f(p, v));
+        let int = self.interior;
+        for x in int.lo.x..int.hi.x {
+            for y in int.lo.y..int.hi.y {
+                let r = self.storage.row_range(x, y, int.lo.z, int.hi.z);
+                for (k, v) in self.data[r].iter_mut().enumerate() {
+                    *v = f(crate::index::ivec3(x, y, int.lo.z + k as i64), *v);
+                }
+            }
         }
     }
 
@@ -149,6 +181,58 @@ impl Field3 {
             let clamped = p.max(int.lo).min(int.hi - IVec3::ONE);
             let v = self.get(clamped);
             self.set(p, v);
+        }
+    }
+}
+
+/// Per-cell reference implementations of the row-sliced kernels above.
+///
+/// These are the naive `Region::linear_index`-per-cell versions the
+/// optimized kernels replaced; they are retained (and exported, so
+/// cross-crate golden tests can reach them) purely as bit-identity oracles.
+/// Production code must call the `Field3` methods instead.
+pub mod reference {
+    use super::*;
+
+    /// Reference for [`Field3::copy_from`].
+    pub fn copy_from(dst: &mut Field3, src: &Field3, window: &Region) {
+        let w = window.intersect(&dst.storage).intersect(&src.storage);
+        for p in w.iter_cells() {
+            let v = src.get(p);
+            dst.set(p, v);
+        }
+    }
+
+    /// Reference for [`Field3::interior_sum`].
+    pub fn interior_sum(f: &Field3) -> f64 {
+        f.interior.iter_cells().map(|p| f.get(p)).sum()
+    }
+
+    /// Reference for [`Field3::interior_max_abs`].
+    pub fn interior_max_abs(f: &Field3) -> f64 {
+        f.interior
+            .iter_cells()
+            .map(|p| f.get(p).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Reference for [`Field3::interior_l2`].
+    pub fn interior_l2(f: &Field3) -> f64 {
+        f.interior
+            .iter_cells()
+            .map(|p| {
+                let v = f.get(p);
+                v * v
+            })
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Reference for [`Field3::map_interior`].
+    pub fn map_interior(f: &mut Field3, mut g: impl FnMut(IVec3, f64) -> f64) {
+        for p in f.interior.iter_cells() {
+            let v = f.get(p);
+            f.set(p, g(p, v));
         }
     }
 }
@@ -220,5 +304,100 @@ mod tests {
     #[should_panic]
     fn empty_interior_panics() {
         let _ = Field3::zeros(Region::EMPTY, 1);
+    }
+
+    /// Deterministic pseudo-random fill (LCG) so golden comparisons cover
+    /// irregular data without a rand dependency.
+    fn scrambled(interior: Region, ghost: i64, seed: u64) -> Field3 {
+        let mut f = Field3::zeros(interior, ghost);
+        let mut s = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+        for v in f.data_mut() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            *v = ((s >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0;
+        }
+        f
+    }
+
+    #[test]
+    fn copy_from_empty_intersection_is_noop() {
+        let mut a = scrambled(Region::cube(4), 1, 1);
+        let b = scrambled(region(ivec3(20, 20, 20), ivec3(24, 24, 24)), 1, 2);
+        let before = a.clone();
+        // window overlaps neither storage pair: src and dst are disjoint
+        a.copy_from(&b, &region(ivec3(8, 8, 8), ivec3(12, 12, 12)));
+        assert_eq!(a, before);
+        // window non-empty but src storage disjoint from dst storage
+        a.copy_from(&b, &region(ivec3(20, 20, 20), ivec3(24, 24, 24)));
+        assert_eq!(a, before);
+        // explicitly empty window
+        a.copy_from(&b, &Region::EMPTY);
+        assert_eq!(a, before);
+    }
+
+    #[test]
+    fn copy_from_window_entirely_in_ghost_shell() {
+        // dst interior [0,4)^3 ghost 2 -> storage [-2,6)^3; window sits in the
+        // low-corner ghost shell only
+        let mut a = Field3::zeros(Region::cube(4), 2);
+        let b = Field3::constant(region(ivec3(-4, -4, -4), ivec3(2, 2, 2)), 0, 9.0);
+        let window = region(ivec3(-2, -2, -2), ivec3(0, 0, 0));
+        a.copy_from(&b, &window);
+        assert_eq!(a.get(ivec3(-1, -1, -1)), 9.0);
+        assert_eq!(a.get(ivec3(-2, -2, -2)), 9.0);
+        // interior untouched
+        assert_eq!(a.get(ivec3(0, 0, 0)), 0.0);
+        assert_eq!(a.interior_sum(), 0.0);
+    }
+
+    #[test]
+    fn copy_from_window_exceeding_both_storages_clips() {
+        let mut a = scrambled(Region::cube(4), 1, 3);
+        let b = scrambled(region(ivec3(2, 0, 0), ivec3(8, 4, 4)), 1, 4);
+        let mut a_ref = a.clone();
+        // window vastly larger than either storage: must clip to the shared box
+        let huge = region(ivec3(-100, -100, -100), ivec3(100, 100, 100));
+        a.copy_from(&b, &huge);
+        reference::copy_from(&mut a_ref, &b, &huge);
+        assert_eq!(a, a_ref);
+        // clipped region is storage(a) ∩ storage(b)
+        let shared = a.storage_region().intersect(&b.storage_region());
+        assert!(!shared.is_empty());
+        for p in shared.iter_cells() {
+            assert_eq!(a.get(p), b.get(p));
+        }
+    }
+
+    #[test]
+    fn row_sliced_kernels_match_reference_bitwise() {
+        for (seed, ghost) in [(1u64, 0i64), (2, 1), (3, 2)] {
+            let r = region(ivec3(-1, 2, 3), ivec3(6, 9, 11));
+            let f = scrambled(r, ghost, seed);
+            assert_eq!(
+                f.interior_sum().to_bits(),
+                reference::interior_sum(&f).to_bits()
+            );
+            assert_eq!(
+                f.interior_max_abs().to_bits(),
+                reference::interior_max_abs(&f).to_bits()
+            );
+            assert_eq!(
+                f.interior_l2().to_bits(),
+                reference::interior_l2(&f).to_bits()
+            );
+            let g = |p: IVec3, v: f64| v * 1.7 + (p.x - p.y + 2 * p.z) as f64;
+            let mut a = f.clone();
+            let mut b = f.clone();
+            a.map_interior(g);
+            reference::map_interior(&mut b, g);
+            assert_eq!(a, b);
+            // copy_from over a partial window
+            let src = scrambled(region(ivec3(2, 4, 5), ivec3(10, 12, 13)), ghost, seed + 9);
+            let window = region(ivec3(3, 5, 6), ivec3(7, 8, 10));
+            let mut c = f.clone();
+            let mut d = f.clone();
+            c.copy_from(&src, &window);
+            reference::copy_from(&mut d, &src, &window);
+            assert_eq!(c, d);
+        }
     }
 }

@@ -9,6 +9,7 @@ use crate::index::IVec3;
 use crate::patch::{GridPatch, OwnerProc, PatchId};
 use crate::region::Region;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// A tree of grid patches organized by refinement level.
 #[derive(Clone, Debug)]
@@ -29,6 +30,14 @@ pub struct GridHierarchy {
     levels: Vec<Vec<PatchId>>,
     /// Next fresh id.
     next_id: u64,
+    /// Structural generation: bumped whenever the patch set or any patch
+    /// region changes, invalidating [`GridHierarchy::exchange_topology`]
+    /// caches. Field *data* writes do not bump it.
+    topo_gen: u64,
+    /// Per-level cached exchange topology tagged with the generation that
+    /// built it. `Arc` so callers can hold the topology while mutating
+    /// patch data, and so cloning the hierarchy stays cheap.
+    topo_cache: Vec<Option<(u64, Arc<LevelTopology>)>>,
 }
 
 impl GridHierarchy {
@@ -46,7 +55,14 @@ impl GridHierarchy {
             patches: BTreeMap::new(),
             levels: vec![Vec::new()],
             next_id: 0,
+            topo_gen: 0,
+            topo_cache: Vec::new(),
         }
+    }
+
+    /// Record a structural mutation: invalidate every cached level topology.
+    fn bump_topology(&mut self) {
+        self.topo_gen = self.topo_gen.wrapping_add(1);
     }
 
     /// Refinement factor between levels.
@@ -170,6 +186,7 @@ impl GridHierarchy {
         }
         self.levels[level].push(id);
         self.patches.insert(id, patch);
+        self.bump_topology();
         id
     }
 
@@ -179,6 +196,7 @@ impl GridHierarchy {
         let lvl = &mut self.levels[p.level];
         lvl.retain(|x| *x != id);
         self.trim_levels();
+        self.bump_topology();
     }
 
     /// Remove every patch at `level` and deeper. Used when regridding a
@@ -193,6 +211,7 @@ impl GridHierarchy {
             }
         }
         self.trim_levels();
+        self.bump_topology();
     }
 
     fn trim_levels(&mut self) {
@@ -233,6 +252,27 @@ impl GridHierarchy {
         self.levels[level].push(id);
         self.patches.insert(id, patch);
         self.next_id = self.next_id.max(id.0 + 1);
+        self.bump_topology();
+    }
+
+    /// Run `f` with two *distinct* patches borrowed at once, `dst` mutably —
+    /// the split-borrow accessor the zero-clone data paths are built on
+    /// (prolong from a parent into a child, copy a sibling window) without
+    /// snapshotting whole `Vec<Field3>`s. `dst` is moved out of the arena for
+    /// the duration of `f` (a pointer-sized struct move, no field data is
+    /// copied) and reinserted afterwards.
+    pub fn with_patch_pair<R>(
+        &mut self,
+        src: PatchId,
+        dst: PatchId,
+        f: impl FnOnce(&GridPatch, &mut GridPatch) -> R,
+    ) -> R {
+        assert_ne!(src, dst, "with_patch_pair needs two distinct patches");
+        let mut d = self.patches.remove(&dst).expect("unknown patch id");
+        let s = self.patches.get(&src).expect("unknown patch id");
+        let r = f(s, &mut d);
+        self.patches.insert(dst, d);
+        r
     }
 
     /// Split patch `id` in two along `axis` so that the first part has
@@ -311,8 +351,6 @@ impl GridHierarchy {
                 }
                 let sp = self.patch(src);
                 let w = shell.intersect(&sp.region);
-                // exclude the (impossible for disjoint siblings) interior part
-                let w = w.intersect(&sp.region);
                 if !w.is_empty() && !dp.region.contains_region(&w) {
                     out.push(SiblingOverlap {
                         dst,
@@ -324,6 +362,46 @@ impl GridHierarchy {
             }
         }
         out
+    }
+
+    /// The cached ghost-exchange topology of `level`: sibling overlap windows
+    /// plus each patch's parent ghost-shell boxes, rebuilt only when the grid
+    /// structure changed since the last call (regrid, split, insert, remove).
+    /// Field-data writes leave the cache valid.
+    ///
+    /// Returned as an [`Arc`] so the driver can hold the topology while
+    /// mutating patch data, and so repeated calls between regrids are
+    /// allocation-free.
+    pub fn exchange_topology(&mut self, level: usize) -> Arc<LevelTopology> {
+        if self.topo_cache.len() <= level {
+            self.topo_cache.resize(level + 1, None);
+        }
+        if let Some((gen, topo)) = &self.topo_cache[level] {
+            if *gen == self.topo_gen {
+                return Arc::clone(topo);
+            }
+        }
+        let topo = Arc::new(self.build_topology(level));
+        self.topo_cache[level] = Some((self.topo_gen, Arc::clone(&topo)));
+        topo
+    }
+
+    /// Uncached topology construction (the reference the cache must agree
+    /// with; also used directly by tests).
+    fn build_topology(&self, level: usize) -> LevelTopology {
+        let overlaps = self.sibling_overlaps(level);
+        let shells = self
+            .level_ids(level)
+            .iter()
+            .map(|&id| {
+                let region = self.patch(id).region;
+                PatchShell {
+                    id,
+                    boxes: region.grow(self.ghost).subtract(&region),
+                }
+            })
+            .collect();
+        LevelTopology { overlaps, shells }
     }
 
     /// Total cells owned by `owner` at `level`.
@@ -411,6 +489,26 @@ pub struct SiblingOverlap {
     pub src: PatchId,
     pub window: Region,
     pub cells: i64,
+}
+
+/// The ghost-shell boxes of one patch: up to six disjoint boxes (its own
+/// level's coordinates) covering `region.grow(ghost) \ region`, i.e. the
+/// cells the parent must prolong into before siblings overwrite their share.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PatchShell {
+    pub id: PatchId,
+    pub boxes: Vec<Region>,
+}
+
+/// Ghost-exchange topology of one level, cached inside [`GridHierarchy`]
+/// between structural mutations (see [`GridHierarchy::exchange_topology`]).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct LevelTopology {
+    /// Sibling overlap windows at this level, destination-major in level id
+    /// order (the deterministic exchange order).
+    pub overlaps: Vec<SiblingOverlap>,
+    /// Parent ghost-shell boxes per patch, in level id order.
+    pub shells: Vec<PatchShell>,
 }
 
 /// Convenience: map a cell position from level-`l` coordinates to the
@@ -554,5 +652,73 @@ mod tests {
         assert_eq!(coarsen_point(ivec3(7, 6, 5), 2, 1), ivec3(3, 3, 2));
         assert_eq!(coarsen_point(ivec3(7, 6, 5), 2, 2), ivec3(1, 1, 1));
         assert_eq!(coarsen_point(ivec3(3, 3, 3), 2, 0), ivec3(3, 3, 3));
+    }
+
+    #[test]
+    fn exchange_topology_matches_fresh_computation() {
+        let mut h = basic();
+        let root = h.insert_patch(0, Region::cube(8), None, 0);
+        h.insert_patch(1, region(ivec3(0, 0, 0), ivec3(8, 8, 8)), Some(root), 0);
+        h.insert_patch(1, region(ivec3(8, 0, 0), ivec3(16, 8, 8)), Some(root), 1);
+        let topo = h.exchange_topology(1);
+        assert_eq!(topo.overlaps, h.sibling_overlaps(1));
+        assert_eq!(topo.shells.len(), 2);
+        for s in &topo.shells {
+            let reg = h.patch(s.id).region;
+            let shell_cells: i64 = s.boxes.iter().map(|b| b.cells()).sum();
+            assert_eq!(shell_cells, reg.grow(1).cells() - reg.cells());
+            for b in &s.boxes {
+                assert!(!b.overlaps(&reg));
+            }
+        }
+    }
+
+    #[test]
+    fn exchange_topology_cache_hits_and_invalidates() {
+        let mut h = basic();
+        let root = h.insert_patch(0, Region::cube(8), None, 0);
+        let a = h.insert_patch(1, region(ivec3(0, 0, 0), ivec3(8, 8, 8)), Some(root), 0);
+        let t1 = h.exchange_topology(1);
+        // unchanged structure: the same Arc comes back (no rebuild)
+        let t2 = h.exchange_topology(1);
+        assert!(Arc::ptr_eq(&t1, &t2));
+        // field-data writes do not invalidate
+        h.patch_mut(a).fields[0].fill(3.0);
+        assert!(Arc::ptr_eq(&t1, &h.exchange_topology(1)));
+        // structural change invalidates and the rebuilt topology is fresh
+        let b = h.insert_patch(1, region(ivec3(8, 0, 0), ivec3(16, 8, 8)), Some(root), 1);
+        let t3 = h.exchange_topology(1);
+        assert!(!Arc::ptr_eq(&t1, &t3));
+        assert_eq!(t3.overlaps.len(), 2);
+        assert_eq!(t3.overlaps, h.sibling_overlaps(1));
+        // removal invalidates too
+        h.remove_patch(b);
+        assert!(h.exchange_topology(1).overlaps.is_empty());
+    }
+
+    #[test]
+    fn with_patch_pair_borrows_both_and_restores() {
+        let mut h = basic();
+        let root = h.insert_patch(0, Region::cube(8), None, 0);
+        let child = h.insert_patch(1, region(ivec3(0, 0, 0), ivec3(8, 8, 8)), Some(root), 0);
+        h.patch_mut(root).fields[0].fill(2.5);
+        let copied = h.with_patch_pair(root, child, |src, dst| {
+            let w = dst.fields[0].storage_region();
+            crate::interp::prolong_constant(&src.fields[0], &mut dst.fields[0], &w, 2);
+            dst.fields[0].get(ivec3(4, 4, 4))
+        });
+        assert_eq!(copied, 2.5);
+        // the patch is back in the arena with the mutation applied
+        assert_eq!(h.patch(child).fields[0].get(ivec3(0, 0, 0)), 2.5);
+        assert_eq!(h.num_patches(), 2);
+        assert!(h.check_invariants().is_ok());
+    }
+
+    #[test]
+    #[should_panic]
+    fn with_patch_pair_rejects_same_id() {
+        let mut h = basic();
+        let root = h.insert_patch(0, Region::cube(8), None, 0);
+        h.with_patch_pair(root, root, |_, _| ());
     }
 }

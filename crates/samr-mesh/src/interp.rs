@@ -10,12 +10,45 @@ use crate::region::Region;
 ///
 /// Conservative for cell-averaged quantities and monotone, which is what a
 /// newly created refined grid needs before its first fine step.
+///
+/// Row-sliced: each fine z-row is filled in runs of `r` equal values read
+/// from the matching coarse row, with all index math hoisted out of the
+/// per-cell loop. Bit-identical to [`reference::prolong_constant`].
 pub fn prolong_constant(coarse: &Field3, fine: &mut Field3, fine_window: &Region, r: i64) {
     let w = fine_window.intersect(&fine.storage_region());
-    for p in w.iter_cells() {
-        let cp = p.div_floor(r);
-        if coarse.storage_region().contains(cp) {
-            fine.set(p, coarse.get(cp));
+    if w.is_empty() {
+        return;
+    }
+    let cs = coarse.storage_region();
+    let fs = fine.storage_region();
+    // fine z cells whose containing coarse cell lies inside coarse storage:
+    // floor(z / r) ∈ [cs.lo.z, cs.hi.z) ⇔ z ∈ [cs.lo.z·r, cs.hi.z·r)
+    let z0 = w.lo.z.max(cs.lo.z * r);
+    let z1 = w.hi.z.min(cs.hi.z * r);
+    if z0 >= z1 {
+        return;
+    }
+    for x in w.lo.x..w.hi.x {
+        let cx = x.div_euclid(r);
+        if cx < cs.lo.x || cx >= cs.hi.x {
+            continue;
+        }
+        for y in w.lo.y..w.hi.y {
+            let cy = y.div_euclid(r);
+            if cy < cs.lo.y || cy >= cs.hi.y {
+                continue;
+            }
+            let crow = &coarse.data()[cs.row_range(cx, cy, cs.lo.z, cs.hi.z)];
+            let frange = fs.row_range(x, y, z0, z1);
+            let frow = &mut fine.data_mut()[frange];
+            let mut z = z0;
+            while z < z1 {
+                let cz = z.div_euclid(r);
+                let seg_end = ((cz + 1) * r).min(z1);
+                let v = crow[(cz - cs.lo.z) as usize];
+                frow[(z - z0) as usize..(seg_end - z0) as usize].fill(v);
+                z = seg_end;
+            }
         }
     }
 }
@@ -64,16 +97,72 @@ pub fn prolong_linear(coarse: &Field3, fine: &mut Field3, fine_window: &Region, 
 
 /// Conservative restriction: replace each coarse cell inside `coarse_window`
 /// (coarse-level coordinates) with the average of its `r^3` fine children.
+///
+/// Row-sliced: the fine block under each coarse cell is summed one
+/// z-contiguous row at a time, in the same cell order as the per-cell
+/// reference, so the floating-point result is bit-identical to
+/// [`reference::restrict_average`].
 pub fn restrict_average(fine: &Field3, coarse: &mut Field3, coarse_window: &Region, r: i64) {
     let w = coarse_window.intersect(&coarse.storage_region());
+    if w.is_empty() {
+        return;
+    }
+    let fs = fine.storage_region();
+    let cs = coarse.storage_region();
     let inv = 1.0 / (r * r * r) as f64;
-    for cp in w.iter_cells() {
-        let fine_block = Region::at(cp * r, IVec3::splat(r));
-        if !fine.storage_region().contains_region(&fine_block) {
-            continue;
+    for cx in w.lo.x..w.hi.x {
+        for cy in w.lo.y..w.hi.y {
+            let crange = cs.row_range(cx, cy, w.lo.z, w.hi.z);
+            for (k, out) in coarse.data_mut()[crange].iter_mut().enumerate() {
+                let cz = w.lo.z + k as i64;
+                let fine_block = Region::at(ivec3(cx, cy, cz) * r, IVec3::splat(r));
+                if !fs.contains_region(&fine_block) {
+                    continue;
+                }
+                let mut sum = 0.0;
+                for fx in fine_block.lo.x..fine_block.hi.x {
+                    for fy in fine_block.lo.y..fine_block.hi.y {
+                        let frange = fs.row_range(fx, fy, fine_block.lo.z, fine_block.hi.z);
+                        for &v in &fine.data()[frange] {
+                            sum += v;
+                        }
+                    }
+                }
+                *out = sum * inv;
+            }
         }
-        let sum: f64 = fine_block.iter_cells().map(|fp| fine.get(fp)).sum();
-        coarse.set(cp, sum * inv);
+    }
+}
+
+/// Per-cell reference implementations of the row-sliced transfer kernels,
+/// retained as bit-identity oracles for golden tests (see
+/// [`crate::field::reference`] for the field-op counterparts).
+pub mod reference {
+    use super::*;
+
+    /// Reference for [`super::prolong_constant`].
+    pub fn prolong_constant(coarse: &Field3, fine: &mut Field3, fine_window: &Region, r: i64) {
+        let w = fine_window.intersect(&fine.storage_region());
+        for p in w.iter_cells() {
+            let cp = p.div_floor(r);
+            if coarse.storage_region().contains(cp) {
+                fine.set(p, coarse.get(cp));
+            }
+        }
+    }
+
+    /// Reference for [`super::restrict_average`].
+    pub fn restrict_average(fine: &Field3, coarse: &mut Field3, coarse_window: &Region, r: i64) {
+        let w = coarse_window.intersect(&coarse.storage_region());
+        let inv = 1.0 / (r * r * r) as f64;
+        for cp in w.iter_cells() {
+            let fine_block = Region::at(cp * r, IVec3::splat(r));
+            if !fine.storage_region().contains_region(&fine_block) {
+                continue;
+            }
+            let sum: f64 = fine_block.iter_cells().map(|fp| fine.get(fp)).sum();
+            coarse.set(cp, sum * inv);
+        }
     }
 }
 
@@ -155,5 +244,60 @@ mod tests {
         restrict_average(&fine, &mut coarse, &window, 2);
         assert_eq!(coarse.get(ivec3(1, 1, 1)), 2.0);
         assert_eq!(coarse.get(ivec3(3, 3, 3)), -1.0);
+    }
+
+    fn scrambled(interior: Region, ghost: i64, seed: u64) -> Field3 {
+        let mut f = Field3::zeros(interior, ghost);
+        let mut s = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+        for v in f.data_mut() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            *v = ((s >> 11) as f64 / (1u64 << 53) as f64) * 4.0 - 2.0;
+        }
+        f
+    }
+
+    #[test]
+    fn prolong_constant_matches_reference_bitwise() {
+        for (r, ghost, seed) in [(2i64, 1i64, 5u64), (2, 2, 6), (3, 1, 7), (4, 0, 8)] {
+            let coarse = scrambled(region(ivec3(-2, 1, 0), ivec3(5, 8, 6)), ghost, seed);
+            // fine patch deliberately poking past the coarse coverage so the
+            // containment clipping is exercised on every axis
+            let fine_region = region(ivec3(-3 * r, 0, -2), ivec3(6 * r, 9 * r, 7 * r));
+            let windows = [
+                fine_region,
+                fine_region.grow(2),
+                region(ivec3(-1, -1, -1), ivec3(3, 5, 9)),
+                Region::EMPTY,
+            ];
+            for w in windows {
+                let mut a = scrambled(fine_region, ghost, seed + 100);
+                let mut b = a.clone();
+                prolong_constant(&coarse, &mut a, &w, r);
+                reference::prolong_constant(&coarse, &mut b, &w, r);
+                assert_eq!(a, b, "r={r} ghost={ghost} window={w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn restrict_average_matches_reference_bitwise() {
+        for (r, ghost, seed) in [(2i64, 1i64, 11u64), (2, 0, 12), (3, 2, 13)] {
+            let fine = scrambled(region(ivec3(-r, 0, r), ivec3(6 * r, 5 * r, 7 * r)), ghost, seed);
+            let coarse_region = region(ivec3(-3, -2, 0), ivec3(8, 7, 9));
+            let windows = [
+                coarse_region,
+                region(ivec3(0, 0, 1), ivec3(4, 4, 6)),
+                coarse_region.grow(3),
+                Region::EMPTY,
+            ];
+            for w in windows {
+                let mut a = scrambled(coarse_region, ghost, seed + 50);
+                let mut b = a.clone();
+                restrict_average(&fine, &mut a, &w, r);
+                reference::restrict_average(&fine, &mut b, &w, r);
+                // bitwise: same cells touched, same summation order
+                assert_eq!(a, b, "r={r} ghost={ghost} window={w:?}");
+            }
+        }
     }
 }

@@ -238,6 +238,17 @@ impl Region {
         let d = p - self.lo;
         ((d.x * s.y + d.y) * s.z + d.z) as usize
     }
+
+    /// Index range of the z-contiguous row `(x, y, z0..z1)` in this region's
+    /// linear (z fastest) layout. The row must lie inside the region; rows
+    /// are the unit the sliced field kernels operate on (index math done
+    /// once per row instead of once per cell).
+    #[inline]
+    pub fn row_range(&self, x: i64, y: i64, z0: i64, z1: i64) -> std::ops::Range<usize> {
+        debug_assert!(z0 <= z1);
+        let start = self.linear_index(ivec3(x, y, z0));
+        start..start + (z1 - z0) as usize
+    }
 }
 
 /// Total cell count of a list of regions (regions assumed disjoint).

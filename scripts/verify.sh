@@ -13,3 +13,38 @@ cargo test -p samr-engine --test fault_recovery
 # forecast-gate smoke: the adaptive predictor must not regret more
 # redistributions than the reactive baseline (quick-scale ablation)
 cargo test -q -p bench --test harness forecast_ablation_adaptive_regrets_no_more_than_reactive
+
+# hotpath smoke: run the throughput benchmark at quick scale (the binary
+# itself exits nonzero if the optimized data path is not bit-identical to
+# the reference path), then check the output is well-formed and that
+# throughput did not regress >30% against the committed quick-scale
+# baseline. Re-baseline with:
+#   cargo run --release -p bench --bin hotpath -- --quick \
+#     --out results/BENCH_hotpath_baseline.json
+cargo run --release -p bench --bin hotpath -- --quick --out results/BENCH_hotpath_quick.json
+python3 - <<'EOF'
+import json, sys
+
+cur = json.load(open("results/BENCH_hotpath_quick.json"))
+base = json.load(open("results/BENCH_hotpath_baseline.json"))
+names = [p["name"] for p in cur["presets"]]
+if sorted(names) != ["amr64", "shockpool3d"]:
+    sys.exit(f"hotpath: unexpected presets {names}")
+for p in cur["presets"]:
+    for key in ("cell_updates", "peak_patches", "cell_updates_per_sec",
+                "wall_secs", "phases", "bit_identical"):
+        if key not in p:
+            sys.exit(f"hotpath: preset {p['name']} missing {key}")
+    if not p["bit_identical"]:
+        sys.exit(f"hotpath: {p['name']} diverged from the reference path")
+    if p["cell_updates_per_sec"] <= 0:
+        sys.exit(f"hotpath: {p['name']} reports no throughput")
+    b = next(q for q in base["presets"] if q["name"] == p["name"])
+    floor = 0.7 * b["cell_updates_per_sec"]
+    if p["cell_updates_per_sec"] < floor:
+        sys.exit(
+            f"hotpath: {p['name']} throughput {p['cell_updates_per_sec']:.3e} "
+            f"is >30% below the committed baseline {b['cell_updates_per_sec']:.3e}"
+        )
+print("hotpath smoke: ok")
+EOF

@@ -27,6 +27,56 @@ fn identical_runs_identical_results() {
     assert_eq!(fingerprint(&run_result()), fingerprint(&run_result()));
 }
 
+/// Drive a run step by step so the trace and the final field data survive
+/// for comparison, on either the optimized or the reference data path.
+fn traced(
+    app: AppKind,
+    reference: bool,
+) -> (String, Vec<Vec<Vec<u64>>>, samr_engine::RunResult) {
+    let sys = match app {
+        AppKind::Amr64 => presets::anl_lan_pair(2, 2, 11),
+        _ => presets::anl_ncsa_wan(2, 2, 11),
+    };
+    let mut cfg = RunConfig::new(app, 16, 3, Scheme::distributed_default());
+    cfg.max_levels = 3;
+    cfg.reference_datapath = reference;
+    let mut d = Driver::new(sys, cfg);
+    for _ in 0..3 {
+        d.step_once();
+    }
+    let csv = d.trace().to_csv();
+    // field contents of every patch, level-major in id order, as raw bits
+    let mut fields = Vec::new();
+    for l in 0..d.hierarchy().num_levels() {
+        for &id in d.hierarchy().level_ids(l) {
+            let p = d.hierarchy().patch(id);
+            fields.push(
+                p.fields
+                    .iter()
+                    .map(|f| f.data().iter().map(|v| v.to_bits()).collect())
+                    .collect(),
+            );
+        }
+    }
+    (csv, fields, d.finish())
+}
+
+#[test]
+fn optimized_datapath_is_bit_identical_to_reference() {
+    for app in [AppKind::ShockPool3D, AppKind::Amr64] {
+        let (csv_o, fields_o, res_o) = traced(app, false);
+        let (csv_r, fields_r, res_r) = traced(app, true);
+        assert_eq!(csv_o, csv_r, "{app:?}: traces must match bitwise");
+        assert_eq!(fields_o, fields_r, "{app:?}: field data must match bitwise");
+        assert_eq!(
+            fingerprint(&res_o),
+            fingerprint(&res_r),
+            "{app:?}: results must match bitwise"
+        );
+        assert_eq!(res_o.peak_patches, res_r.peak_patches);
+    }
+}
+
 #[test]
 fn thread_count_does_not_change_results() {
     let one = rayon::ThreadPoolBuilder::new()
