@@ -8,7 +8,10 @@
 //!
 //! Flags: `--quick` shrinks the scale for smoke/CI runs; `--out PATH`
 //! overrides the output file (the verify gate uses this to avoid clobbering
-//! the committed full-scale baseline).
+//! the committed full-scale baseline); `--trace-out PATH` records telemetry
+//! during the optimized runs and writes the last preset's Chrome trace JSON
+//! (load in chrome://tracing or https://ui.perfetto.dev — recording is
+//! bit-identical, so the data-path check still holds).
 
 use bench::{lan_system, wan_system, Scale};
 use samr_engine::{AppKind, Driver, RunConfig, RunResult, Scheme};
@@ -28,10 +31,12 @@ fn timed_run(
     app: AppKind,
     scale: Scale,
     reference: bool,
+    tel: telemetry::Telemetry,
 ) -> (RunResult, f64) {
     let mut cfg = RunConfig::new(app, scale.n0, scale.steps, Scheme::distributed_default());
     cfg.max_levels = scale.max_levels;
     cfg.reference_datapath = reference;
+    cfg.telemetry = tel;
     let t0 = Instant::now();
     let res = Driver::new(sys, cfg).run();
     (res, t0.elapsed().as_secs_f64())
@@ -70,19 +75,35 @@ fn phases_json(w: &metrics::PhaseWall) -> String {
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let out = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1).cloned())
-        .unwrap_or_else(|| "results/BENCH_hotpath.json".to_string());
+    let arg_after = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let out = arg_after("--out").unwrap_or_else(|| "results/BENCH_hotpath.json".to_string());
+    let trace_out = arg_after("--trace-out");
     let scale = Scale::pick(quick);
     let n = if quick { 1 } else { 2 };
 
     let mut entries = Vec::new();
     let mut all_identical = true;
+    let mut last_sink = None;
     for (name, app) in [("amr64", AppKind::Amr64), ("shockpool3d", AppKind::ShockPool3D)] {
-        let (opt, opt_wall) = timed_run(system_for(app, n), app, scale, false);
-        let (refr, ref_wall) = timed_run(system_for(app, n), app, scale, true);
+        let tel = if trace_out.is_some() {
+            let (tel, sink) = telemetry::Telemetry::recording_shared();
+            last_sink = Some(sink);
+            tel
+        } else {
+            telemetry::Telemetry::null()
+        };
+        let (opt, opt_wall) = timed_run(system_for(app, n), app, scale, false, tel);
+        let (refr, ref_wall) = timed_run(
+            system_for(app, n),
+            app,
+            scale,
+            true,
+            telemetry::Telemetry::null(),
+        );
         let identical = fingerprint(&opt) == fingerprint(&refr);
         all_identical &= identical;
         let cups = opt.cell_updates as f64 / opt_wall;
@@ -125,6 +146,19 @@ fn main() {
     let _ = std::fs::create_dir_all("results");
     std::fs::write(&out, json).expect("write benchmark output");
     println!("wrote {out}");
+    if let (Some(path), Some(sink)) = (&trace_out, &last_sink) {
+        use telemetry::TelemetrySink as _;
+        let trace = sink
+            .lock()
+            .unwrap()
+            .to_chrome_trace()
+            .expect("recording sink exports a trace");
+        if let Some(dir) = std::path::Path::new(path).parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        std::fs::write(path, trace).expect("write Chrome trace");
+        println!("wrote {path}");
+    }
     if !all_identical {
         eprintln!("FAIL: optimized data path diverged from the reference path");
         std::process::exit(1);

@@ -49,6 +49,11 @@ use crate::scheme::{proc_total_cells, LbContext, LoadBalancer};
 use samr_mesh::checkpoint;
 use samr_mesh::hierarchy::GridHierarchy;
 use simnet::{Activity, NetSim, SimError, SimResult};
+use telemetry::{
+    EventKind as TelEventKind, FaultEvent as TelFaultEvent, FaultKind as TelFaultKind,
+    GammaGateEvent, GateVerdict, PredictorSwitchEvent, RedistributeEvent as TelRedistributeEvent,
+    Telemetry,
+};
 use topology::{DistributedSystem, GroupId, LinkEstimator, ProcId, SimTime};
 use std::collections::BTreeMap;
 
@@ -189,6 +194,9 @@ pub struct DistributedDlb {
     pub roster: QuarantineRoster,
     /// Full decision log of the global phase.
     pub decisions: Vec<GlobalDecision>,
+    /// Cursor into `roster.events`: entries before it have already been
+    /// forwarded to the telemetry sink.
+    fault_events_forwarded: usize,
 }
 
 impl DistributedDlb {
@@ -199,6 +207,7 @@ impl DistributedDlb {
             load_forecasts: Vec::new(),
             roster: QuarantineRoster::default(),
             decisions: Vec::new(),
+            fault_events_forwarded: 0,
         }
     }
 
@@ -304,8 +313,23 @@ impl DistributedDlb {
                 .push(SeriesForecaster::new(kind, derive_seed(seed, 0x4C4F_4144 + g)));
         }
         let t = ctx.sim.elapsed().as_secs_f64();
+        let tel = ctx.sim.telemetry().clone();
         for (g, w) in Self::group_cells(ctx.hier, sys).into_iter().enumerate() {
+            let before = tel.is_enabled().then(|| self.load_forecasts[g].model_name());
             self.load_forecasts[g].observe(t, w);
+            if let Some(before) = before {
+                let after = self.load_forecasts[g].model_name();
+                if before != after {
+                    tel.event(
+                        t,
+                        TelEventKind::PredictorSwitch(PredictorSwitchEvent {
+                            series: format!("load:g{g}"),
+                            from: before,
+                            to: after,
+                        }),
+                    );
+                }
+            }
         }
     }
 
@@ -313,7 +337,7 @@ impl DistributedDlb {
     /// and, if the predicted power-normalized imbalance crosses the
     /// configured threshold, run a full (gain/cost-gated) global check now
     /// instead of waiting for the next level-0 step.
-    fn maybe_proactive_check(&mut self, ctx: &mut LbContext<'_>) {
+    fn maybe_proactive_check(&mut self, ctx: &mut LbContext<'_>, level: usize) {
         let Some(threshold) = self.cfg.proactive_threshold else {
             return;
         };
@@ -335,7 +359,7 @@ impl DistributedDlb {
             .collect();
         let gain = evaluate_gain_forecast(predicted, ctx.history.last_step_secs(), &sys, &healthy);
         if gain.imbalance_ratio > threshold && gain.gain_secs > 0.0 {
-            self.global_phase(ctx, Some(gain));
+            self.global_phase(ctx, Some(gain), level);
         }
     }
 
@@ -412,7 +436,12 @@ impl DistributedDlb {
     /// (`forecast_gain = None`: gain from the history snapshot) and, when
     /// the proactive trigger fires, after fine-level steps
     /// (`forecast_gain = Some(..)`: gain from predicted loads).
-    fn global_phase(&mut self, ctx: &mut LbContext<'_>, forecast_gain: Option<GainEstimate>) {
+    fn global_phase(
+        &mut self,
+        ctx: &mut LbContext<'_>,
+        forecast_gain: Option<GainEstimate>,
+        level: usize,
+    ) {
         let proactive = forecast_gain.is_some();
         let sys = ctx.sim.system().clone();
         if sys.ngroups() < 2 {
@@ -421,6 +450,41 @@ impl DistributedDlb {
         self.roster.ensure_len(sys.ngroups());
         let step = ctx.history.steps();
         let fault = self.cfg.fault;
+        let tel = ctx.sim.telemetry().clone();
+        // every pushed GlobalDecision gets exactly one matching gate event,
+        // so the audit log's gamma_gate count equals the run's global_checks
+        let gate_event = |tel: &Telemetry,
+                          sim: &NetSim,
+                          gain: &GainEstimate,
+                          cost: Option<&CostEstimate>,
+                          alpha: f64,
+                          beta: f64,
+                          move_bytes: u64,
+                          gamma: f64,
+                          verdict: GateVerdict,
+                          reason: &'static str| {
+            if tel.is_enabled() {
+                tel.event(
+                    sim.elapsed().as_secs_f64(),
+                    TelEventKind::GammaGate(GammaGateEvent {
+                        step,
+                        level,
+                        proactive,
+                        gain_secs: gain.gain_secs,
+                        cost_alpha_beta_w_secs: cost.map_or(0.0, |c| c.comm_secs),
+                        delta_secs: cost.map_or(0.0, |c| c.delta_secs),
+                        cost_upper_secs: cost.map_or(0.0, |c| c.upper_total_secs()),
+                        alpha_secs: alpha,
+                        beta_secs_per_byte: beta,
+                        move_bytes,
+                        gamma,
+                        mae_widening_secs: cost.map_or(0.0, |c| c.comm_upper_secs - c.comm_secs),
+                        verdict,
+                        reason,
+                    }),
+                );
+            }
+        };
 
         // Quarantined groups get their probation probe first, so a
         // recovered link rejoins in the same step that notices it.
@@ -477,13 +541,26 @@ impl DistributedDlb {
                         .record_pair_failure(group_a, group_b, step, at, fault.quarantine_after);
                 }
                 // no load information this step: defer the decision entirely
+                let gain = GainEstimate {
+                    gain_secs: 0.0,
+                    group_loads: Vec::new(),
+                    imbalance_ratio: 1.0,
+                };
+                gate_event(
+                    &tel,
+                    ctx.sim,
+                    &gain,
+                    None,
+                    0.0,
+                    0.0,
+                    0,
+                    self.cfg.gamma,
+                    GateVerdict::Deferred,
+                    "collective_failed",
+                );
                 self.decisions.push(GlobalDecision {
                     step,
-                    gain: GainEstimate {
-                        gain_secs: 0.0,
-                        group_loads: Vec::new(),
-                        imbalance_ratio: 1.0,
-                    },
+                    gain,
                     cost: None,
                     invoked: false,
                     aborted: false,
@@ -502,6 +579,18 @@ impl DistributedDlb {
         // NaN-safe: a NaN ratio reads as balanced
         let imbalanced = gain.imbalance_ratio > self.cfg.imbalance_tolerance;
         if !imbalanced || gain.gain_secs <= 0.0 {
+            gate_event(
+                &tel,
+                ctx.sim,
+                &gain,
+                None,
+                0.0,
+                0.0,
+                0,
+                self.cfg.gamma,
+                GateVerdict::Reject,
+                "balanced",
+            );
             self.decisions.push(GlobalDecision {
                 step,
                 gain,
@@ -594,6 +683,18 @@ impl DistributedDlb {
         if probe_failed {
             // α/β for some path is unknown (and that link is suspect):
             // defer — the quarantine protocol decides who sits out next step
+            gate_event(
+                &tel,
+                ctx.sim,
+                &gain,
+                None,
+                alpha,
+                beta,
+                move_bytes,
+                self.cfg.gamma,
+                GateVerdict::Deferred,
+                "probe_failed",
+            );
             self.decisions.push(GlobalDecision {
                 step,
                 gain,
@@ -617,6 +718,22 @@ impl DistributedDlb {
             evaluate_cost_forecast(alpha_fv, beta_fv, move_bytes, ctx.history, widen)
         };
         let invoked = should_redistribute_confident(gain.gain_secs, &cost, self.cfg.gamma);
+        gate_event(
+            &tel,
+            ctx.sim,
+            &gain,
+            Some(&cost),
+            alpha,
+            beta,
+            move_bytes,
+            self.cfg.gamma,
+            if invoked {
+                GateVerdict::Accept
+            } else {
+                GateVerdict::Reject
+            },
+            "gate",
+        );
 
         let mut aborted = false;
         let mut abort_delta_secs = 0.0;
@@ -643,12 +760,26 @@ impl DistributedDlb {
                     // (§4.2). Charged to every processor and recorded as the
                     // next δ. A redistribution that found nothing movable
                     // costs (and records) nothing.
+                    let mut delta = 0.0;
                     if rep.moves > 0 {
                         let level0: i64 = ctx.hier.level_cells(0);
-                        let delta = level0 as f64 * self.cfg.repartition_secs_per_cell
+                        delta = level0 as f64 * self.cfg.repartition_secs_per_cell
                             + rep.moved_cells as f64 * self.cfg.rebuild_secs_per_moved_cell;
                         charge_all(ctx.sim, delta);
                         ctx.history.record_redistribution_overhead(delta);
+                    }
+                    if tel.is_enabled() {
+                        tel.event(
+                            ctx.sim.elapsed().as_secs_f64(),
+                            TelEventKind::Redistribute(TelRedistributeEvent {
+                                step,
+                                level,
+                                moved_cells: rep.moved_cells,
+                                moves: rep.moves,
+                                aborted: false,
+                                delta_secs: delta,
+                            }),
+                        );
                     }
                     Some(rep)
                 }
@@ -675,6 +806,31 @@ impl DistributedDlb {
                         ab.error.at(),
                         fault.quarantine_after,
                     );
+                    if tel.is_enabled() {
+                        // the redistribute record first, then its rollback —
+                        // the causality the audit tests check
+                        let t_sim = ctx.sim.elapsed().as_secs_f64();
+                        tel.event(
+                            t_sim,
+                            TelEventKind::Redistribute(TelRedistributeEvent {
+                                step,
+                                level,
+                                moved_cells: ab.partial.moved_cells,
+                                moves: ab.partial.moves,
+                                aborted: true,
+                                delta_secs: abort_delta_secs,
+                            }),
+                        );
+                        tel.event(
+                            t_sim,
+                            TelEventKind::Fault(TelFaultEvent {
+                                step,
+                                kind: TelFaultKind::Rollback {
+                                    wasted_secs: abort_delta_secs,
+                                },
+                            }),
+                        );
+                    }
                     Some(ab.partial)
                 }
             }
@@ -691,6 +847,51 @@ impl DistributedDlb {
             report,
             proactive,
         });
+    }
+
+    /// Mirror newly-appended roster fault events into the telemetry sink.
+    /// `RedistributionAborted` entries are skipped: the abort site already
+    /// emitted an inline `Rollback` right after its redistribute record,
+    /// preserving causal order in the audit log.
+    fn forward_fault_events(&mut self, ctx: &mut LbContext<'_>) {
+        let tel = ctx.sim.telemetry().clone();
+        if !tel.is_enabled() {
+            self.fault_events_forwarded = self.roster.events.len();
+            return;
+        }
+        let t_sim = ctx.sim.elapsed().as_secs_f64();
+        for ev in &self.roster.events[self.fault_events_forwarded..] {
+            let mapped = match *ev {
+                FaultEvent::RetrySucceeded { step, retries } => Some((
+                    step,
+                    TelFaultKind::Retry { retries },
+                )),
+                FaultEvent::ProbeFailure {
+                    step,
+                    group_a,
+                    group_b,
+                } => Some((step, TelFaultKind::ProbeFailure { group_a, group_b })),
+                FaultEvent::Quarantined { step, group } => {
+                    Some((step, TelFaultKind::Quarantine { group }))
+                }
+                FaultEvent::Readmitted {
+                    step,
+                    group,
+                    recovery_secs,
+                } => Some((
+                    step,
+                    TelFaultKind::Readmit {
+                        group,
+                        recovery_secs,
+                    },
+                )),
+                FaultEvent::RedistributionAborted { .. } => None,
+            };
+            if let Some((step, kind)) = mapped {
+                tel.event(t_sim, TelEventKind::Fault(TelFaultEvent { step, kind }));
+            }
+        }
+        self.fault_events_forwarded = self.roster.events.len();
     }
 
     /// The local phase: parallel DLB restricted to each group. Runs for
@@ -751,13 +952,14 @@ impl LoadBalancer for DistributedDlb {
             self.observe_group_loads(&ctx, &sys);
         }
         if level == 0 {
-            self.global_phase(&mut ctx, None);
+            self.global_phase(&mut ctx, None, 0);
             // after any global motion, even out level 0 within each group
             self.local_phase(&mut ctx, 0);
         } else {
             self.local_phase(&mut ctx, level);
-            self.maybe_proactive_check(&mut ctx);
+            self.maybe_proactive_check(&mut ctx, level);
         }
+        self.forward_fault_events(&mut ctx);
         Ok(())
     }
 

@@ -8,5 +8,5 @@ pub mod report;
 pub mod stats;
 
 pub use efficiency::{efficiency, improvement_percent, speedup};
-pub use stats::{geometric_mean, slope, summarize, Summary};
+pub use stats::{geometric_mean, percentile_exact, slope, summarize, Summary};
 pub use report::{ConfigRow, FaultCounters, ForecastStats, PhaseWall, RunBreakdown, Table};

@@ -1,4 +1,10 @@
 //! Small summary-statistics helpers for experiment post-processing.
+//!
+//! Percentile/median logic lives in `telemetry::percentile_exact` (type-7
+//! interpolation) so the workspace has exactly one percentile
+//! implementation; this module re-exports it.
+
+pub use telemetry::percentile_exact;
 
 /// Summary of a sample: count, mean, standard deviation, min, max, median.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -19,11 +25,8 @@ pub fn summarize(xs: &[f64]) -> Summary {
     let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
     let mut sorted = xs.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
-    let median = if n % 2 == 1 {
-        sorted[n / 2]
-    } else {
-        0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
-    };
+    // type-7 interpolation at q=0.5 reduces to the textbook odd/even median
+    let median = percentile_exact(&sorted, 0.5);
     Summary {
         n,
         mean,

@@ -46,6 +46,13 @@ pub struct RunConfig {
     /// the reference path exists to prove that and to measure the overhead
     /// the optimized path removes.
     pub reference_datapath: bool,
+    /// Observability handle threaded through the simulator, the DLB scheme
+    /// and the driver's phase spans. The default null handle records
+    /// nothing and costs nothing; pass [`telemetry::Telemetry::recording`]
+    /// (or `recording_shared` to keep a reader) to capture spans, decision
+    /// events and Chrome-trace/JSONL exports. Recording never perturbs the
+    /// simulation: fingerprints are bit-identical either way.
+    pub telemetry: telemetry::Telemetry,
 }
 
 impl RunConfig {
@@ -66,6 +73,7 @@ impl RunConfig {
             cost_per_cell: None,
             comm_retry: RetryPolicy::default(),
             reference_datapath: false,
+            telemetry: telemetry::Telemetry::null(),
         }
     }
 }
@@ -108,6 +116,9 @@ pub struct RunResult {
     pub forecast: ForecastStats,
     /// Per-level-0-step global decision log (distributed scheme only).
     pub decisions: Vec<DecisionSummary>,
+    /// Text report of the telemetry sink (None when the run used the
+    /// default null handle).
+    pub telemetry_summary: Option<String>,
 }
 
 /// Serializable summary of one global-phase decision.

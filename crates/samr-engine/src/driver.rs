@@ -110,6 +110,9 @@ impl Driver {
             ghost_clone_cells_avoided: 0,
         };
         d.scheme = d.cfg.scheme.instantiate();
+        // the sim owns the run's telemetry handle: the scheme reaches it via
+        // LbContext, and sim.reset() clears setup-time records
+        d.sim.set_telemetry(d.cfg.telemetry.clone());
         d.step_count = vec![0; d.cfg.max_levels];
         d.old_data = vec![Vec::new(); d.cfg.max_levels];
         // build the initial hierarchy: regrid cascade, no timing charged
@@ -226,6 +229,7 @@ impl Driver {
             ghost_buffer_cells: 0,
             ghost_clone_cells_avoided: 0,
         };
+        d.sim.set_telemetry(d.cfg.telemetry.clone());
         d.old_data = vec![Vec::new(); d.cfg.max_levels];
         d.step_count.resize(d.cfg.max_levels, 0);
         d.peak_patches = d.hier.num_patches();
@@ -409,6 +413,7 @@ impl Driver {
                     group_loads: d.gain.group_loads.clone(),
                 })
                 .collect(),
+            telemetry_summary: self.sim.telemetry().summary(),
         }
     }
 
@@ -500,6 +505,7 @@ impl Driver {
             return;
         }
         let t0 = std::time::Instant::now();
+        let _span = telemetry::span!(self.cfg.telemetry, "solve", level);
         let dt_over_dx = self.app.dt_over_dx0(); // constant Courant per level
         // take the field data out, step in parallel, put it back
         let mut work: Vec<(PatchId, Vec<Field3>)> = ids
@@ -542,6 +548,7 @@ impl Driver {
     fn exchange_ghosts(&mut self, level: usize) {
         if self.cfg.reference_datapath {
             let t0 = std::time::Instant::now();
+            let _span = telemetry::span!(self.cfg.telemetry, "ghost_exchange", level);
             self.exchange_ghosts_reference(level);
             self.wall.ghost += t0.elapsed().as_secs_f64();
             return;
@@ -551,6 +558,7 @@ impl Driver {
             return;
         }
         let t0 = std::time::Instant::now();
+        let _span = telemetry::span!(self.cfg.telemetry, "ghost_exchange", level);
         let nf = self.hier.nfields();
         let r = self.hier.refine_factor();
         let topo = self.hier.exchange_topology(level);
@@ -792,6 +800,7 @@ impl Driver {
     /// parents, then copy surviving data from the retired fine grids.
     fn regrid(&mut self, level: usize) {
         let t0 = std::time::Instant::now();
+        let _span = telemetry::span!(self.cfg.telemetry, "regrid", level);
         self.regrid_inner(level);
         self.wall.regrid += t0.elapsed().as_secs_f64();
         self.peak_patches = self.peak_patches.max(self.hier.num_patches());
@@ -918,11 +927,13 @@ impl Driver {
     fn restrict_level(&mut self, fine_level: usize) {
         if self.cfg.reference_datapath {
             let t0 = std::time::Instant::now();
+            let _span = telemetry::span!(self.cfg.telemetry, "restrict", fine_level);
             self.restrict_level_reference(fine_level);
             self.wall.restrict += t0.elapsed().as_secs_f64();
             return;
         }
         let t0 = std::time::Instant::now();
+        let _span = telemetry::span!(self.cfg.telemetry, "restrict", fine_level);
         let ids: Vec<PatchId> = self.hier.level_ids(fine_level).to_vec();
         let r = self.hier.refine_factor();
         let nf = self.hier.nfields();

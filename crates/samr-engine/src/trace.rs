@@ -100,10 +100,13 @@ impl RunTrace {
         t
     }
 
-    /// CSV with one row per step (levels and groups flattened to columns of
-    /// the maximum width seen in the trace; fault columns stay at the end so
-    /// older column indices remain valid).
-    pub fn to_csv(&self) -> String {
+    /// The single source of truth for the CSV layout: one `(header, cell)`
+    /// pair per column, so the header and every row always agree in arity
+    /// and order. Levels and groups are flattened to the maximum width seen
+    /// in the trace; the forecast block slots in before the fault block so
+    /// the fault columns keep riding at the end (older consumers index from
+    /// there).
+    fn columns(&self) -> Vec<Column> {
         let max_levels = self
             .records
             .iter()
@@ -116,49 +119,82 @@ impl RunTrace {
             .map(|r| r.group_workload.len())
             .max()
             .unwrap_or(0);
-        let mut out = String::from("step,step_secs,elapsed_secs,redistributed");
+        let mut cols: Vec<Column> = vec![
+            col("step", |r| format!("{}", r.step)),
+            col("step_secs", |r| format!("{:.6}", r.step_secs)),
+            col("elapsed_secs", |r| format!("{:.6}", r.elapsed_secs)),
+            col("redistributed", |r| format!("{}", r.redistributed as u8)),
+        ];
         for l in 0..max_levels {
-            out.push_str(&format!(",grids_l{l},cells_l{l}"));
+            cols.push(Column {
+                name: format!("grids_l{l}"),
+                cell: Box::new(move |r| {
+                    format!("{}", r.grids_per_level.get(l).copied().unwrap_or(0))
+                }),
+            });
+            cols.push(Column {
+                name: format!("cells_l{l}"),
+                cell: Box::new(move |r| {
+                    format!("{}", r.cells_per_level.get(l).copied().unwrap_or(0))
+                }),
+            });
         }
         for g in 0..max_groups {
-            out.push_str(&format!(",workload_g{g}"));
+            cols.push(Column {
+                name: format!("workload_g{g}"),
+                cell: Box::new(move |r| {
+                    format!("{:.1}", r.group_workload.get(g).copied().unwrap_or(0.0))
+                }),
+            });
         }
-        // forecast columns slot in before the fault block so the fault
-        // columns keep riding at the end (older consumers index from there)
-        out.push_str(",forecast_alpha_mae,forecast_beta_mae,forecast_load_mae");
-        out.push_str(",retries,aborts,quarantines,readmissions,comm_failures,recovery_secs");
+        cols.push(col("forecast_alpha_mae", |r| {
+            format!("{:.6e}", r.forecast.alpha_mae)
+        }));
+        cols.push(col("forecast_beta_mae", |r| {
+            format!("{:.6e}", r.forecast.beta_mae)
+        }));
+        cols.push(col("forecast_load_mae", |r| {
+            format!("{:.3}", r.forecast.load_mae)
+        }));
+        cols.push(col("retries", |r| format!("{}", r.faults.retries)));
+        cols.push(col("aborts", |r| format!("{}", r.faults.aborts)));
+        cols.push(col("quarantines", |r| format!("{}", r.faults.quarantines)));
+        cols.push(col("readmissions", |r| format!("{}", r.faults.readmissions)));
+        cols.push(col("comm_failures", |r| format!("{}", r.faults.comm_failures)));
+        cols.push(col("recovery_secs", |r| {
+            format!("{:.3}", r.faults.recovery_secs)
+        }));
+        cols
+    }
+
+    /// CSV with one row per step, rendered from the [`Self::columns`] spec.
+    pub fn to_csv(&self) -> String {
+        let cols = self.columns();
+        let mut out = cols
+            .iter()
+            .map(|c| c.name.as_str())
+            .collect::<Vec<_>>()
+            .join(",");
         out.push('\n');
         for r in &self.records {
-            out.push_str(&format!(
-                "{},{:.6},{:.6},{}",
-                r.step, r.step_secs, r.elapsed_secs, r.redistributed as u8
-            ));
-            for l in 0..max_levels {
-                let grids = r.grids_per_level.get(l).copied().unwrap_or(0);
-                let cells = r.cells_per_level.get(l).copied().unwrap_or(0);
-                out.push_str(&format!(",{grids},{cells}"));
-            }
-            for g in 0..max_groups {
-                let w = r.group_workload.get(g).copied().unwrap_or(0.0);
-                out.push_str(&format!(",{w:.1}"));
-            }
-            out.push_str(&format!(
-                ",{:.6e},{:.6e},{:.3}",
-                r.forecast.alpha_mae, r.forecast.beta_mae, r.forecast.load_mae
-            ));
-            let f = &r.faults;
-            out.push_str(&format!(
-                ",{},{},{},{},{},{:.3}",
-                f.retries,
-                f.aborts,
-                f.quarantines,
-                f.readmissions,
-                f.comm_failures,
-                f.recovery_secs
-            ));
+            let row: Vec<String> = cols.iter().map(|c| (c.cell)(r)).collect();
+            out.push_str(&row.join(","));
             out.push('\n');
         }
         out
+    }
+}
+
+/// One CSV column: its header name and how to render a record's cell.
+struct Column {
+    name: String,
+    cell: Box<dyn Fn(&StepRecord) -> String>,
+}
+
+fn col(name: &str, cell: impl Fn(&StepRecord) -> String + 'static) -> Column {
+    Column {
+        name: name.to_string(),
+        cell: Box::new(cell),
     }
 }
 
@@ -238,6 +274,29 @@ mod tests {
         assert_eq!(totals.aborts, 1);
         assert!(totals.any());
         assert!(!rec(0).faults.any());
+    }
+
+    #[test]
+    fn header_arity_matches_every_row_and_the_spec() {
+        let mut t = RunTrace::default();
+        let mut a = rec(0);
+        a.grids_per_level = vec![1, 2, 3]; // wider than rec()'s two levels
+        a.cells_per_level = vec![10, 20, 30];
+        t.push(a);
+        t.push(rec(1));
+        t.push(rec(2));
+        let spec_arity = t.columns().len();
+        let csv = t.to_csv();
+        let mut lines = csv.lines();
+        let header = lines.next().unwrap();
+        assert_eq!(header.split(',').count(), spec_arity);
+        for (i, row) in lines.enumerate() {
+            assert_eq!(
+                row.split(',').count(),
+                spec_arity,
+                "row {i} arity != header arity"
+            );
+        }
     }
 
     #[test]

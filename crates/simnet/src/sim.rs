@@ -19,6 +19,7 @@
 
 use crate::error::{SimError, SimResult};
 use crate::stats::{Activity, SimStats};
+use telemetry::{EventKind, PredictorSwitchEvent, ProbeEvent, Telemetry, TransferEvent};
 use topology::faults::FaultKind;
 use topology::link::Link;
 use topology::{DistributedSystem, GroupId, ProcId, SimTime};
@@ -41,6 +42,10 @@ pub struct NetSim {
     /// How long a sender waits on a blackholed link (or a transfer with no
     /// explicit deadline) before declaring a timeout.
     default_timeout: SimTime,
+    /// Observability handle; [`Telemetry::null`] by default, which makes
+    /// every recording call a no-op. Recording never touches clocks, link
+    /// state or statistics — a recorded run is bit-identical to a null one.
+    telemetry: Telemetry,
 }
 
 impl NetSim {
@@ -54,7 +59,18 @@ impl NetSim {
             link_busy: std::collections::BTreeMap::new(),
             stats: SimStats::new(n),
             default_timeout: SimTime::from_secs(5),
+            telemetry: Telemetry::null(),
         }
+    }
+
+    /// Attach a telemetry handle (pass [`Telemetry::null`] to detach).
+    pub fn set_telemetry(&mut self, tel: Telemetry) {
+        self.telemetry = tel;
+    }
+
+    /// The attached telemetry handle (null unless one was set).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// The system being simulated.
@@ -96,6 +112,8 @@ impl NetSim {
         self.link_free.clear();
         self.link_busy.clear();
         self.stats = SimStats::new(self.sys.nprocs());
+        // exclude pre-reset setup work from the recorded trace too
+        self.telemetry.clear();
     }
 
     /// Fraction of elapsed time each inter-group link spent carrying the
@@ -209,6 +227,20 @@ impl NetSim {
             self.stats.msgs.local_msgs += 1;
             self.stats.msgs.local_bytes += bytes;
         }
+        if self.telemetry.is_enabled() {
+            self.telemetry.event(
+                finish.as_secs_f64(),
+                EventKind::Transfer(TransferEvent {
+                    src: src.0,
+                    dst: dst.0,
+                    bytes,
+                    queue_secs: (start - ready).as_secs_f64(),
+                    transfer_secs: (finish - start).as_secs_f64(),
+                    remote,
+                    failed: false,
+                }),
+            );
+        }
         Ok(finish)
     }
 
@@ -227,6 +259,8 @@ impl NetSim {
         act: Activity,
         err: impl FnOnce(SimTime) -> SimError,
     ) -> SimError {
+        // pre-advance clocks still hold the rendezvous-ready time
+        let ready = self.clocks[src.0].max(self.clocks[dst.0]);
         if at > start {
             self.link_free.insert(key, at);
             *self.link_busy.entry(key).or_default() += at - start;
@@ -235,6 +269,20 @@ impl NetSim {
         self.advance(dst, at, act);
         self.stats.msgs.failed_msgs += 1;
         self.stats.msgs.failed_bytes += bytes;
+        if self.telemetry.is_enabled() {
+            self.telemetry.event(
+                at.as_secs_f64(),
+                EventKind::Transfer(TransferEvent {
+                    src: src.0,
+                    dst: dst.0,
+                    bytes,
+                    queue_secs: (start.max(ready) - ready).as_secs_f64(),
+                    transfer_secs: (at.max(start) - start).as_secs_f64(),
+                    remote: matches!(key, LinkKey::Inter(_, _)),
+                    failed: true,
+                }),
+            );
+        }
         err(at)
     }
 
@@ -531,12 +579,48 @@ impl NetSim {
                         return Err(SimError::Timeout { at, deadline: dl });
                     }
                 }
+                // capture the estimator's view *before* folding the sample,
+                // so the trace shows predicted-vs-measured drift
+                let tel_on = self.telemetry.is_enabled();
+                let (pred_alpha, pred_beta, model_before) = if tel_on {
+                    (est.alpha(), est.beta(), Some(est.model_name()))
+                } else {
+                    (None, None, None)
+                };
                 // deterministic: refresh re-probes the same pure function
                 let sample = est
                     .refresh(&link, t0)
                     .expect("probe succeeded a moment ago");
                 self.advance(pa, t1, Activity::LoadBalance);
                 self.advance(pb, t1, Activity::LoadBalance);
+                if tel_on {
+                    let t_sim = t1.as_secs_f64();
+                    let model_after = est.model_name();
+                    if let Some(before) = model_before {
+                        if before != model_after {
+                            self.telemetry.event(
+                                t_sim,
+                                EventKind::PredictorSwitch(PredictorSwitchEvent {
+                                    series: format!("beta:g{}-g{}", a.0, b.0),
+                                    from: before,
+                                    to: model_after,
+                                }),
+                            );
+                        }
+                    }
+                    self.telemetry.event(
+                        t_sim,
+                        EventKind::Probe(ProbeEvent {
+                            group_a: a.0,
+                            group_b: b.0,
+                            alpha_secs: sample.alpha,
+                            beta_secs_per_byte: sample.beta,
+                            predicted_alpha_secs: pred_alpha,
+                            predicted_beta_secs_per_byte: pred_beta,
+                            elapsed_secs: sample.elapsed.as_secs_f64(),
+                        }),
+                    );
+                }
                 Ok(sample)
             }
             Err(e) => {

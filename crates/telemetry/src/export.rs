@@ -1,0 +1,558 @@
+//! Exporters: JSONL, Chrome trace-event JSON, and the text summary. All
+//! JSON is written by hand (this crate is dependency-free); well-formedness
+//! is enforced by round-tripping through [`crate::json`] in tests and in
+//! the verify gate.
+
+use crate::event::{EventKind, EventRecord};
+use crate::hist::LogHistogram;
+use crate::sink::{RecordingSink, SpanRecord};
+use std::fmt::Write as _;
+
+/// Escape a string for embedding in a JSON document.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Format a float as a valid JSON number (JSON has no NaN/inf — both map
+/// to 0.0, like the bench emitters do).
+pub fn json_num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "0.0".to_string()
+    }
+}
+
+fn opt_num(x: Option<f64>) -> String {
+    match x {
+        Some(v) => json_num(v),
+        None => "null".to_string(),
+    }
+}
+
+/// One event as a single-line JSON object (the JSONL row format).
+pub fn event_json(rec: &EventRecord) -> String {
+    let head = format!(
+        "{{\"seq\": {}, \"t_sim\": {}, \"type\": \"{}\"",
+        rec.seq,
+        json_num(rec.t_sim_secs),
+        rec.kind.type_name()
+    );
+    let body = match &rec.kind {
+        EventKind::GammaGate(g) => format!(
+            ", \"step\": {}, \"level\": {}, \"proactive\": {}, \"gain_secs\": {}, \
+             \"cost_alpha_beta_w_secs\": {}, \"delta_secs\": {}, \"cost_upper_secs\": {}, \
+             \"alpha_secs\": {}, \"beta_secs_per_byte\": {}, \"move_bytes\": {}, \
+             \"gamma\": {}, \"mae_widening_secs\": {}, \"verdict\": \"{}\", \"reason\": \"{}\"",
+            g.step,
+            g.level,
+            g.proactive,
+            json_num(g.gain_secs),
+            json_num(g.cost_alpha_beta_w_secs),
+            json_num(g.delta_secs),
+            json_num(g.cost_upper_secs),
+            json_num(g.alpha_secs),
+            json_num(g.beta_secs_per_byte),
+            g.move_bytes,
+            json_num(g.gamma),
+            json_num(g.mae_widening_secs),
+            g.verdict.as_str(),
+            json_escape(g.reason),
+        ),
+        EventKind::Redistribute(r) => format!(
+            ", \"step\": {}, \"level\": {}, \"moved_cells\": {}, \"moves\": {}, \
+             \"aborted\": {}, \"delta_secs\": {}",
+            r.step,
+            r.level,
+            r.moved_cells,
+            r.moves,
+            r.aborted,
+            json_num(r.delta_secs),
+        ),
+        EventKind::Fault(f) => {
+            use crate::event::FaultKind::*;
+            let (kind, detail) = match f.kind {
+                Retry { retries } => ("retry", format!("\"retries\": {retries}")),
+                ProbeFailure { group_a, group_b } => (
+                    "probe_failure",
+                    format!("\"group_a\": {group_a}, \"group_b\": {group_b}"),
+                ),
+                Quarantine { group } => ("quarantine", format!("\"group\": {group}")),
+                Readmit {
+                    group,
+                    recovery_secs,
+                } => (
+                    "readmit",
+                    format!(
+                        "\"group\": {group}, \"recovery_secs\": {}",
+                        json_num(recovery_secs)
+                    ),
+                ),
+                Rollback { wasted_secs } => (
+                    "rollback",
+                    format!("\"wasted_secs\": {}", json_num(wasted_secs)),
+                ),
+            };
+            format!(", \"step\": {}, \"kind\": \"{kind}\", {detail}", f.step)
+        }
+        EventKind::PredictorSwitch(p) => format!(
+            ", \"series\": \"{}\", \"from\": \"{}\", \"to\": \"{}\"",
+            json_escape(&p.series),
+            json_escape(&p.from),
+            json_escape(&p.to),
+        ),
+        EventKind::Probe(p) => format!(
+            ", \"group_a\": {}, \"group_b\": {}, \"alpha_secs\": {}, \
+             \"beta_secs_per_byte\": {}, \"predicted_alpha_secs\": {}, \
+             \"predicted_beta_secs_per_byte\": {}, \"elapsed_secs\": {}",
+            p.group_a,
+            p.group_b,
+            json_num(p.alpha_secs),
+            json_num(p.beta_secs_per_byte),
+            opt_num(p.predicted_alpha_secs),
+            opt_num(p.predicted_beta_secs_per_byte),
+            json_num(p.elapsed_secs),
+        ),
+        EventKind::Transfer(t) => format!(
+            ", \"src\": {}, \"dst\": {}, \"bytes\": {}, \"queue_secs\": {}, \
+             \"transfer_secs\": {}, \"remote\": {}, \"failed\": {}",
+            t.src,
+            t.dst,
+            t.bytes,
+            json_num(t.queue_secs),
+            json_num(t.transfer_secs),
+            t.remote,
+            t.failed,
+        ),
+    };
+    format!("{head}{body}}}")
+}
+
+/// JSONL export: a `"meta"` line first (counters + drop accounting), then
+/// one line per retained event, oldest first.
+pub fn to_jsonl(sink: &RecordingSink) -> String {
+    let c = sink.counts();
+    let (dropped_decisions, dropped_flows) = sink.dropped();
+    let mut out = format!(
+        "{{\"type\": \"meta\", \"gates\": {}, \"gate_accepts\": {}, \"redistributes\": {}, \
+         \"aborted_redistributes\": {}, \"faults\": {}, \"predictor_switches\": {}, \
+         \"probes\": {}, \"transfers\": {}, \"failed_transfers\": {}, \
+         \"dropped_decisions\": {dropped_decisions}, \"dropped_flows\": {dropped_flows}, \
+         \"spans_dropped\": {}}}\n",
+        c.gates,
+        c.gate_accepts,
+        c.redistributes,
+        c.aborted_redistributes,
+        c.faults,
+        c.predictor_switches,
+        c.probes,
+        c.transfers,
+        c.failed_transfers,
+        sink.spans_dropped(),
+    );
+    for ev in sink.events() {
+        out.push_str(&event_json(&ev));
+        out.push('\n');
+    }
+    out
+}
+
+/// Track (`tid`) assignment for instant events on the sim-time process.
+fn sim_tid(kind: &EventKind) -> (u64, &'static str) {
+    match kind {
+        EventKind::GammaGate(_) => (1, "gamma gate"),
+        EventKind::Redistribute(_) => (2, "redistribute"),
+        EventKind::Fault(_) => (3, "faults"),
+        EventKind::PredictorSwitch(_) => (4, "predictor"),
+        EventKind::Probe(_) => (5, "probes"),
+        EventKind::Transfer(_) => (6, "transfers"),
+    }
+}
+
+/// Span `tid`: per-level rows under the host process (level L on row L+1,
+/// un-leveled spans on row 0).
+fn span_tid(s: &SpanRecord) -> u64 {
+    match s.level {
+        Some(l) => l as u64 + 1,
+        None => 0,
+    }
+}
+
+const HOST_PID: u64 = 0;
+const SIM_PID: u64 = 1;
+
+/// Chrome trace-event export. Two processes: pid 0 carries host wall-clock
+/// spans (`ph: "X"`, one row per hierarchy level), pid 1 carries instant
+/// decision events (`ph: "i"`) keyed to *simulated* microseconds. Events
+/// are sorted so `ts` is monotone within every `(pid, tid)` track.
+pub fn to_chrome_trace(sink: &RecordingSink) -> String {
+    // (pid, tid, ts_us, line)
+    let mut rows: Vec<(u64, u64, f64, String)> = Vec::new();
+
+    let meta = |pid: u64, tid: Option<u64>, what: &str, name: &str| -> (u64, u64, f64, String) {
+        let (field, tid_v) = match tid {
+            Some(t) => (format!(", \"tid\": {t}"), t),
+            None => (String::new(), 0),
+        };
+        (
+            pid,
+            tid_v,
+            -1.0, // metadata sorts before real events on its track
+            format!(
+                "{{\"name\": \"{what}\", \"ph\": \"M\", \"pid\": {pid}{field}, \
+                 \"args\": {{\"name\": \"{}\"}}}}",
+                json_escape(name)
+            ),
+        )
+    };
+    rows.push(meta(HOST_PID, None, "process_name", "host (wall-clock spans)"));
+    rows.push(meta(SIM_PID, None, "process_name", "sim (virtual-time events)"));
+
+    let mut span_tids_seen = std::collections::BTreeSet::new();
+    for s in sink.spans() {
+        let tid = span_tid(s);
+        if span_tids_seen.insert(tid) {
+            let label = match s.level {
+                Some(l) => format!("level {l}"),
+                None => "(no level)".to_string(),
+            };
+            rows.push(meta(HOST_PID, Some(tid), "thread_name", &label));
+        }
+        let ts = s.start_host_secs * 1e6;
+        let dur = s.dur_secs * 1e6;
+        rows.push((
+            HOST_PID,
+            tid,
+            ts,
+            format!(
+                "{{\"name\": \"{}\", \"cat\": \"phase\", \"ph\": \"X\", \"ts\": {}, \
+                 \"dur\": {}, \"pid\": {HOST_PID}, \"tid\": {tid}}}",
+                json_escape(s.name),
+                json_num(ts),
+                json_num(dur),
+            ),
+        ));
+    }
+
+    let mut sim_tids_seen = std::collections::BTreeSet::new();
+    for ev in sink.events() {
+        let (tid, label) = sim_tid(&ev.kind);
+        if sim_tids_seen.insert(tid) {
+            rows.push(meta(SIM_PID, Some(tid), "thread_name", label));
+        }
+        let ts = ev.t_sim_secs * 1e6;
+        // the full payload rides in args: strip the JSONL object braces
+        let payload = event_json(&ev);
+        rows.push((
+            SIM_PID,
+            tid,
+            ts,
+            format!(
+                "{{\"name\": \"{}\", \"cat\": \"decision\", \"ph\": \"i\", \"s\": \"t\", \
+                 \"ts\": {}, \"pid\": {SIM_PID}, \"tid\": {tid}, \"args\": {{\"event\": {payload}}}}}",
+                ev.kind.type_name(),
+                json_num(ts),
+            ),
+        ));
+    }
+
+    // monotone ts per (pid, tid) track; stable so equal timestamps keep
+    // their recording order
+    rows.sort_by(|a, b| {
+        (a.0, a.1)
+            .cmp(&(b.0, b.1))
+            .then(a.2.total_cmp(&b.2))
+    });
+    let body: Vec<String> = rows.into_iter().map(|(_, _, _, line)| line).collect();
+    format!(
+        "{{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n{}\n]}}\n",
+        body.join(",\n")
+    )
+}
+
+fn hist_line(name: &str, h: &LogHistogram) -> String {
+    let (p50, p95, p99, max) = h.quartet();
+    format!(
+        "  {name:<24} n {:>7}  total {:>9.3}s  p50 {:>10.3e}s  p95 {:>10.3e}s  p99 {:>10.3e}s  max {:>10.3e}s\n",
+        h.count(),
+        h.sum(),
+        p50,
+        p95,
+        p99,
+        max
+    )
+}
+
+/// The human-readable report: top-N slowest phases, gate verdict table per
+/// level, per-link α/β drift, transfer distributions, drop accounting.
+pub fn summary_text(sink: &RecordingSink) -> String {
+    let mut out = String::from("telemetry summary\n");
+
+    // phases ranked by total host time
+    let mut phases: Vec<(&(&'static str, Option<usize>), &LogHistogram)> =
+        sink.phase_histograms().iter().collect();
+    phases.sort_by(|a, b| b.1.sum().total_cmp(&a.1.sum()));
+    if !phases.is_empty() {
+        out.push_str("phases by total host time (top 8):\n");
+        for ((name, level), h) in phases.into_iter().take(8) {
+            let label = match level {
+                Some(l) => format!("{name}[l{l}]"),
+                None => (*name).to_string(),
+            };
+            out.push_str(&hist_line(&label, h));
+        }
+    }
+
+    let c = sink.counts();
+    if c.gates > 0 {
+        out.push_str("gamma gate verdicts per level:\n");
+        for (level, t) in sink.gate_by_level() {
+            let _ = writeln!(
+                out,
+                "  level {level}: accept {:>4}  reject {:>4}  deferred {:>4}",
+                t.accept, t.reject, t.deferred
+            );
+        }
+        let _ = writeln!(
+            out,
+            "redistributions: {} invoked ({} aborted), fault transitions: {}, predictor switches: {}",
+            c.redistributes, c.aborted_redistributes, c.faults, c.predictor_switches
+        );
+    }
+
+    if !sink.drift().is_empty() {
+        out.push_str("per-link probe drift (measured vs predicted):\n");
+        for ((a, b), d) in sink.drift() {
+            let (ae, be) = if d.scored > 0 {
+                (
+                    d.alpha_abs_err_sum / d.scored as f64,
+                    d.beta_abs_err_sum / d.scored as f64,
+                )
+            } else {
+                (0.0, 0.0)
+            };
+            let _ = writeln!(
+                out,
+                "  g{a}-g{b}: probes {:>4}  mean|alpha err| {:.3e}s  mean|beta err| {:.3e}s/B  last alpha {:.3e}s beta {:.3e}s/B",
+                d.probes, ae, be, d.last_alpha, d.last_beta
+            );
+        }
+    }
+
+    if c.transfers > 0 {
+        out.push_str("transfers (simulated):\n");
+        out.push_str(&hist_line("queue wait", sink.transfer_queue_hist()));
+        out.push_str(&hist_line("latency", sink.transfer_latency_hist()));
+        let _ = writeln!(
+            out,
+            "  {} transfers ({} failed), {} probes",
+            c.transfers, c.failed_transfers, c.probes
+        );
+    }
+
+    let (dd, df) = sink.dropped();
+    if dd + df + sink.spans_dropped() > 0 {
+        let _ = writeln!(
+            out,
+            "dropped: {dd} decision events, {df} flow events, {} spans (ring bounds)",
+            sink.spans_dropped()
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::*;
+    use crate::json::{self, Json};
+    use crate::sink::{Telemetry, TelemetrySink};
+
+    fn populated_sink() -> RecordingSink {
+        let mut s = RecordingSink::default();
+        s.record_event(
+            0.25,
+            EventKind::GammaGate(GammaGateEvent {
+                step: 0,
+                level: 0,
+                proactive: false,
+                gain_secs: 2.0,
+                cost_alpha_beta_w_secs: 0.5,
+                delta_secs: 0.25,
+                cost_upper_secs: 0.75,
+                alpha_secs: 0.02,
+                beta_secs_per_byte: 8e-8,
+                move_bytes: 1 << 20,
+                gamma: 1.0,
+                mae_widening_secs: 0.0,
+                verdict: GateVerdict::Accept,
+                reason: "gate",
+            }),
+        );
+        s.record_event(
+            0.26,
+            EventKind::Redistribute(RedistributeEvent {
+                step: 0,
+                level: 0,
+                moved_cells: 4096,
+                moves: 7,
+                aborted: false,
+                delta_secs: 0.1,
+            }),
+        );
+        s.record_event(
+            0.30,
+            EventKind::Fault(FaultEvent {
+                step: 0,
+                kind: FaultKind::Rollback { wasted_secs: 0.4 },
+            }),
+        );
+        s.record_event(
+            0.31,
+            EventKind::PredictorSwitch(PredictorSwitchEvent {
+                series: "beta:g0-g1".into(),
+                from: "last".into(),
+                to: "mean(4)".into(),
+            }),
+        );
+        s.record_event(
+            0.20,
+            EventKind::Probe(ProbeEvent {
+                group_a: 0,
+                group_b: 1,
+                alpha_secs: 0.011,
+                beta_secs_per_byte: 9e-8,
+                predicted_alpha_secs: Some(0.010),
+                predicted_beta_secs_per_byte: Some(1e-7),
+                elapsed_secs: 0.03,
+            }),
+        );
+        s.record_event(
+            0.40,
+            EventKind::Transfer(TransferEvent {
+                src: 1,
+                dst: 5,
+                bytes: 65536,
+                queue_secs: 0.002,
+                transfer_secs: 0.015,
+                remote: true,
+                failed: false,
+            }),
+        );
+        s.record_span(SpanRecord {
+            name: "solve",
+            level: Some(1),
+            start_host_secs: 0.001,
+            dur_secs: 0.004,
+        });
+        s.record_span(SpanRecord {
+            name: "ghost_exchange",
+            level: Some(1),
+            start_host_secs: 0.006,
+            dur_secs: 0.002,
+        });
+        s
+    }
+
+    #[test]
+    fn every_jsonl_line_parses() {
+        let s = populated_sink();
+        let jsonl = s.to_jsonl().unwrap();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 7); // meta + 6 events
+        let meta = json::parse(lines[0]).unwrap();
+        assert_eq!(meta.get("type").and_then(Json::as_str), Some("meta"));
+        assert_eq!(meta.get("gates").and_then(Json::as_f64), Some(1.0));
+        for line in &lines[1..] {
+            let v = json::parse(line).unwrap();
+            assert!(v.get("type").and_then(Json::as_str).is_some());
+            assert!(v.get("seq").and_then(Json::as_f64).is_some());
+            assert!(v.get("t_sim").and_then(Json::as_f64).is_some());
+        }
+        // the probe line keeps predicted values as numbers, not strings
+        let probe = lines[1..]
+            .iter()
+            .map(|l| json::parse(l).unwrap())
+            .find(|v| v.get("type").and_then(Json::as_str) == Some("probe"))
+            .unwrap();
+        assert_eq!(
+            probe.get("predicted_alpha_secs").and_then(Json::as_f64),
+            Some(0.010)
+        );
+    }
+
+    #[test]
+    fn chrome_trace_is_well_formed_and_monotone_per_track() {
+        let s = populated_sink();
+        let doc = json::parse(&s.to_chrome_trace().unwrap()).expect("trace parses");
+        let events = doc
+            .get("traceEvents")
+            .and_then(Json::as_arr)
+            .expect("traceEvents array");
+        assert!(!events.is_empty());
+        let mut last_ts: std::collections::BTreeMap<(u64, u64), f64> = Default::default();
+        let mut saw_span = false;
+        for ev in events {
+            let ph = ev.get("ph").and_then(Json::as_str).expect("ph field");
+            let pid = ev.get("pid").and_then(Json::as_f64).expect("pid") as u64;
+            match ph {
+                "M" => continue,
+                "X" => {
+                    saw_span = true;
+                    assert!(ev.get("dur").and_then(Json::as_f64).unwrap() >= 0.0);
+                }
+                "i" => {
+                    assert!(ev.get("args").is_some());
+                }
+                other => panic!("unexpected ph {other}"),
+            }
+            let tid = ev.get("tid").and_then(Json::as_f64).expect("tid") as u64;
+            let ts = ev.get("ts").and_then(Json::as_f64).expect("ts");
+            if let Some(prev) = last_ts.insert((pid, tid), ts) {
+                assert!(ts >= prev, "ts not monotone on track ({pid},{tid})");
+            }
+        }
+        assert!(saw_span);
+    }
+
+    #[test]
+    fn summary_mentions_the_load_bearing_sections() {
+        let s = populated_sink();
+        let text = s.summary().unwrap();
+        assert!(text.contains("phases by total host time"));
+        assert!(text.contains("gamma gate verdicts per level"));
+        assert!(text.contains("per-link probe drift"));
+        assert!(text.contains("queue wait"));
+        assert!(text.contains("g0-g1"));
+    }
+
+    #[test]
+    fn exports_go_through_the_handle_too() {
+        let (tel, _sink) = Telemetry::recording_shared();
+        tel.event(
+            0.1,
+            EventKind::Fault(FaultEvent {
+                step: 1,
+                kind: FaultKind::Retry { retries: 2 },
+            }),
+        );
+        assert!(json::parse(&tel.to_chrome_trace().unwrap()).is_ok());
+        let jsonl = tel.to_jsonl().unwrap();
+        assert!(jsonl.lines().count() == 2);
+        assert!(tel.summary().is_some());
+    }
+}

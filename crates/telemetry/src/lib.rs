@@ -1,0 +1,53 @@
+//! # telemetry — structured observability for the DLB pipeline
+//!
+//! Dependency-free (std only, like `metrics`) and deterministic: recording
+//! telemetry never touches simulated state, so a run with a
+//! [`RecordingSink`] is bit-identical to one with the default [`NullSink`]
+//! (the determinism tests enforce this).
+//!
+//! Three layers:
+//!
+//! * **Spans** — RAII guards created with [`span!`] measuring host
+//!   wall-clock time per phase/level, folded into fixed-bucket log-scale
+//!   [`LogHistogram`]s (p50/p95/p99/max).
+//! * **Decision events** — typed records ([`GammaGateEvent`],
+//!   [`RedistributeEvent`], [`FaultEvent`], [`PredictorSwitchEvent`],
+//!   [`ProbeEvent`], [`TransferEvent`]) keyed to *simulated* time, appended
+//!   to bounded in-memory rings.
+//! * **Export** — JSONL (one event per line) and Chrome trace-event JSON
+//!   (loadable in `chrome://tracing` or [Perfetto](https://ui.perfetto.dev)),
+//!   plus a human-readable [`Telemetry::summary`] text report.
+//!
+//! The [`Telemetry`] handle is cheap to clone and a no-op when disabled:
+//! [`Telemetry::null`] performs no allocation, no locking, and no clock
+//! reads. Sinks are pluggable through the [`TelemetrySink`] trait.
+
+pub mod event;
+pub mod hist;
+pub mod json;
+pub mod ring;
+pub mod sink;
+
+mod export;
+
+pub use event::{
+    EventKind, EventRecord, FaultEvent, FaultKind, GammaGateEvent, GateVerdict, PredictorSwitchEvent,
+    ProbeEvent, RedistributeEvent, TransferEvent,
+};
+pub use hist::{percentile_exact, LogHistogram};
+pub use sink::{NullSink, RecordingSink, SpanGuard, SpanRecord, Telemetry, TelemetrySink};
+
+/// Open a host-wall-clock span: `span!(tel, "ghost_exchange", level)` (or
+/// without a level: `span!(tel, "setup")`). The returned RAII guard records
+/// its elapsed time into the sink's per-(phase, level) histogram when
+/// dropped; against a [`NullSink`]/disabled handle it is fully inert (no
+/// clock read).
+#[macro_export]
+macro_rules! span {
+    ($tel:expr, $name:expr) => {
+        $tel.span($name, None)
+    };
+    ($tel:expr, $name:expr, $level:expr) => {
+        $tel.span($name, Some($level))
+    };
+}

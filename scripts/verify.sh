@@ -48,3 +48,51 @@ for p in cur["presets"]:
         )
 print("hotpath smoke: ok")
 EOF
+
+# telemetry gate: the AMR64 run with a RecordingSink must stay bit-identical
+# to the null-handle run, the JSONL export must parse, the exported gate
+# counts must equal the RunResult counters, and recording overhead must stay
+# <= 2% (quick scale is noisy, so the binary reports best-of-3 walls). The
+# trace_anatomy example must produce a well-formed Chrome trace.
+cargo run --release -p bench --bin telemetry -- --quick --out results/BENCH_telemetry_quick.json
+cargo run --release --example trace_anatomy >/dev/null
+python3 - <<'EOF'
+import json, sys
+
+t = json.load(open("results/BENCH_telemetry_quick.json"))
+if not t["bit_identical"]:
+    sys.exit("telemetry: recording perturbed the simulation")
+if not t["counts_match"]:
+    sys.exit("telemetry: gate counts disagree with the RunResult counters")
+if t["jsonl_lines"] < 2:
+    sys.exit("telemetry: JSONL export is empty")
+if t["gates"] <= 0 or t["gates"] != t["global_checks"]:
+    sys.exit(f"telemetry: gate events {t['gates']} != global checks {t['global_checks']}")
+if t["gate_accepts"] != t["global_redistributions"]:
+    sys.exit(
+        f"telemetry: accepts {t['gate_accepts']} != redistributions "
+        f"{t['global_redistributions']}"
+    )
+if t["overhead_pct"] > 2.0:
+    sys.exit(f"telemetry: recording overhead {t['overhead_pct']:.2f}% exceeds 2%")
+
+trace = json.load(open("results/trace_anatomy.trace.json"))
+events = trace["traceEvents"]
+if not events:
+    sys.exit("telemetry: trace_anatomy produced an empty Chrome trace")
+for e in events:
+    for key in ("name", "ph", "pid"):
+        if key not in e:
+            sys.exit(f"telemetry: trace event missing {key}: {e}")
+    if e["ph"] not in ("M", "X", "i"):
+        sys.exit(f"telemetry: unexpected phase {e['ph']}")
+    if e["ph"] == "X" and (e["dur"] < 0 or e["ts"] < 0):
+        sys.exit(f"telemetry: negative span timing: {e}")
+phases = {e["ph"] for e in events}
+if not {"X", "i"} <= phases:
+    sys.exit(f"telemetry: trace lacks spans or instant events (saw {sorted(phases)})")
+jsonl = [json.loads(l) for l in open("results/trace_anatomy.jsonl")]
+if jsonl[0].get("type") != "meta":
+    sys.exit("telemetry: JSONL meta line missing")
+print("telemetry gate: ok")
+EOF

@@ -32,12 +32,14 @@ pub use samr_engine as engine;
 pub use samr_mesh as mesh;
 pub use samr_solvers as solvers;
 pub use simnet;
+pub use telemetry;
 pub use topology;
 
 /// Commonly used items in one import.
 pub mod prelude {
     pub use dlb::{DistributedDlb, DistributedDlbConfig, LoadBalancer, ParallelDlb};
     pub use samr_engine::{AppKind, Driver, RunConfig, RunResult};
+    pub use telemetry::Telemetry;
     pub use topology::presets;
     pub use topology::{DistributedSystem, SimTime};
 }

@@ -78,6 +78,33 @@ fn optimized_datapath_is_bit_identical_to_reference() {
 }
 
 #[test]
+fn recording_telemetry_is_bit_identical_to_null() {
+    let mk = |tel: Telemetry| {
+        let sys = presets::anl_ncsa_wan(2, 2, 11);
+        let mut cfg = RunConfig::new(AppKind::ShockPool3D, 16, 3, Scheme::distributed_default());
+        cfg.max_levels = 3;
+        cfg.telemetry = tel;
+        Driver::new(sys, cfg).run()
+    };
+    let null = mk(Telemetry::null());
+    let (tel, sink) = Telemetry::recording_shared();
+    let rec = mk(tel);
+    assert_eq!(
+        fingerprint(&null),
+        fingerprint(&rec),
+        "recording telemetry must be pure observation"
+    );
+    assert_eq!(null.peak_patches, rec.peak_patches);
+    // and it did actually record: the engine's own counters reappear as
+    // eviction-proof sink counts
+    let counts = sink.lock().unwrap().counts();
+    assert_eq!(counts.gates, rec.global_checks as u64);
+    assert_eq!(counts.gate_accepts, rec.global_redistributions as u64);
+    assert!(rec.telemetry_summary.is_some());
+    assert!(null.telemetry_summary.is_none());
+}
+
+#[test]
 fn thread_count_does_not_change_results() {
     let one = rayon::ThreadPoolBuilder::new()
         .num_threads(1)
