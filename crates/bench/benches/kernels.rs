@@ -33,8 +33,9 @@ fn euler_fieldset(n: i64) -> Vec<Field3> {
 fn bench_kernels(c: &mut Criterion) {
     c.bench_function("euler_step_16cubed", |b| {
         let mut fs = euler_fieldset(16);
+        let pool = samr_mesh::pool::FieldPool::new();
         b.iter(|| {
-            euler::euler_step(black_box(&mut fs), 0.05, 1.4);
+            euler::euler_step(black_box(&mut fs), 0.05, 1.4, &pool);
         })
     });
 

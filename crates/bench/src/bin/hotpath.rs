@@ -117,6 +117,14 @@ fn main() {
             opt.peak_patches,
             identical,
         );
+        println!(
+            "{:>12}  pool: {} hits / {} misses  {:.1} MiB recycled  steady-state field allocs {}",
+            "",
+            opt.pool.hits,
+            opt.pool.misses,
+            opt.pool.bytes_recycled as f64 / (1024.0 * 1024.0),
+            opt.pool.steady_misses,
+        );
         let mut e = String::new();
         let _ = writeln!(e, "    {{");
         let _ = writeln!(e, "      \"name\": \"{name}\",");
@@ -134,6 +142,14 @@ fn main() {
         let _ = writeln!(e, "      \"reference_wall_secs\": {},", num(ref_wall));
         let _ = writeln!(e, "      \"reference_phases\": {},", phases_json(&refr.wall));
         let _ = writeln!(e, "      \"speedup_vs_reference\": {},", num(ref_wall / opt_wall));
+        let _ = writeln!(e, "      \"pool_hits\": {},", opt.pool.hits);
+        let _ = writeln!(e, "      \"pool_misses\": {},", opt.pool.misses);
+        let _ = writeln!(e, "      \"pool_bytes_recycled\": {},", opt.pool.bytes_recycled);
+        let _ = writeln!(
+            e,
+            "      \"steady_state_field_allocs\": {},",
+            opt.pool.steady_misses
+        );
         let _ = writeln!(e, "      \"bit_identical\": {identical}");
         let _ = write!(e, "    }}");
         entries.push(e);

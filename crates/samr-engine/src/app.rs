@@ -16,6 +16,7 @@ use rand_chacha::ChaCha8Rng;
 use samr_mesh::field::Field3;
 use samr_mesh::flag::{flag_cells, FlagField, RefineCriterion};
 use samr_mesh::patch::GridPatch;
+use samr_mesh::pool::FieldPool;
 use samr_mesh::region::Region;
 use samr_solvers::euler::{self, fields as F};
 use samr_solvers::poisson;
@@ -221,14 +222,15 @@ impl AppState {
 
     /// One solver step on a patch at `level` with Courant ratio
     /// `dt_over_dx` (same at every level by construction). Ghosts must have
-    /// been exchanged already.
-    pub fn step_patch(&self, fields: &mut [Field3], dt_over_dx: f64) {
+    /// been exchanged already. Scratch fields (solver double buffers, the
+    /// Poisson right-hand side) are drawn from `pool`.
+    pub fn step_patch(&self, fields: &mut [Field3], dt_over_dx: f64, pool: &FieldPool) {
         match self.kind {
             AppKind::ShockPool3D => {
-                euler::euler_step(fields, dt_over_dx, self.gamma);
+                euler::euler_step(fields, dt_over_dx, self.gamma, pool);
             }
             AppKind::Amr64 => {
-                euler::euler_step(&mut fields[..euler::NFIELDS], dt_over_dx, self.gamma);
+                euler::euler_step(&mut fields[..euler::NFIELDS], dt_over_dx, self.gamma, pool);
                 // a few relaxation sweeps of ∇²φ = (ρ − ρ̄) each step — the
                 // elliptic component (fully converging each step is not
                 // necessary for the workload dynamics, matching how cosmology
@@ -236,15 +238,16 @@ impl AppState {
                 let (head, tail) = fields.split_at_mut(euler::NFIELDS);
                 let rho = &head[F::RHO];
                 let phi = &mut tail[0];
-                let mut rhs = rho.clone();
+                let mut rhs = rho.clone_in(pool);
                 rhs.map_interior(|_, v| v - 1.0);
                 for _ in 0..2 {
                     poisson::rbgs_sweep(phi, &rhs, 1.0);
                 }
+                rhs.recycle(pool);
             }
             AppKind::AdvectBlob => {
                 let c = dt_over_dx;
-                advection::advect_step(&mut fields[0], [c, 0.6 * c, 0.0], true);
+                advection::advect_step(&mut fields[0], [c, 0.6 * c, 0.0], true, pool);
             }
         }
     }
@@ -278,11 +281,13 @@ impl AppState {
     /// (deposited NGP onto a scratch copy — particles dominate structure
     /// formation, so refinement must follow them as they fall in), matching
     /// how cosmology codes flag on total matter density.
-    pub fn flag_patch(&self, patch: &GridPatch) -> FlagField {
+    pub fn flag_patch(&self, patch: &GridPatch, pool: &FieldPool) -> FlagField {
         if self.kind == AppKind::Amr64 && patch.level == 0 && !self.particles.is_empty() {
-            let mut rho = patch.fields[F::RHO].clone();
+            let mut rho = patch.fields[F::RHO].clone_in(pool);
             self.particles.deposit_ngp(&mut rho, 0.05);
-            flag_cells(std::slice::from_ref(&rho), &self.criteria)
+            let flags = flag_cells(std::slice::from_ref(&rho), &self.criteria);
+            rho.recycle(pool);
+            flags
         } else {
             flag_cells(&patch.fields, &self.criteria)
         }
@@ -308,6 +313,7 @@ mod tests {
 
     #[test]
     fn shockpool_ic_has_tilted_jump() {
+        let pool = FieldPool::new();
         let app = AppState::new(AppKind::ShockPool3D, 16, 1);
         let mut p = patch_for(&app);
         app.init_patch(&mut p);
@@ -315,7 +321,7 @@ mod tests {
         assert!(p.fields[F::RHO].get(samr_mesh::ivec3(0, 0, 0)) > 3.0);
         assert!((p.fields[F::RHO].get(samr_mesh::ivec3(12, 12, 12)) - 1.0).abs() < 1e-12);
         // flags appear along the jump plane
-        let flags = app.flag_patch(&p);
+        let flags = app.flag_patch(&p, &pool);
         assert!(flags.count() > 0);
         // the plane is tilted: flagged x position differs with y
         let bb = flags.bounding_box();
@@ -324,12 +330,13 @@ mod tests {
 
     #[test]
     fn amr64_ic_scattered_blobs_and_particles() {
+        let pool = FieldPool::new();
         let app = AppState::new(AppKind::Amr64, 16, 7);
         assert_eq!(app.wells.len(), 6);
         assert_eq!(app.particles.len(), 1200);
         let mut p = patch_for(&app);
         app.init_patch(&mut p);
-        let flags = app.flag_patch(&p);
+        let flags = app.flag_patch(&p, &pool);
         assert!(flags.count() > 0, "overdense blobs must be flagged");
         // determinism: same seed, same wells
         let app2 = AppState::new(AppKind::Amr64, 16, 7);
@@ -340,23 +347,25 @@ mod tests {
 
     #[test]
     fn advect_blob_moves_flags() {
+        let pool = FieldPool::new();
         let app = AppState::new(AppKind::AdvectBlob, 16, 0);
         let mut p = patch_for(&app);
         app.init_patch(&mut p);
-        let bb0 = app.flag_patch(&p).bounding_box();
+        let bb0 = app.flag_patch(&p, &pool).bounding_box();
         for _ in 0..6 {
             for f in p.fields.iter_mut() {
                 f.fill_ghosts_zero_gradient();
             }
-            app.step_patch(&mut p.fields, app.dt_over_dx0());
+            app.step_patch(&mut p.fields, app.dt_over_dx0(), &pool);
         }
-        let bb1 = app.flag_patch(&p).bounding_box();
+        let bb1 = app.flag_patch(&p, &pool).bounding_box();
         assert!(!bb0.is_empty() && !bb1.is_empty());
         assert!(bb1.lo.x > bb0.lo.x, "blob flags moved downstream: {bb0:?} -> {bb1:?}");
     }
 
     #[test]
     fn shockpool_step_advances_shock() {
+        let pool = FieldPool::new();
         let app = AppState::new(AppKind::ShockPool3D, 16, 1);
         let mut p = patch_for(&app);
         app.init_patch(&mut p);
@@ -366,7 +375,7 @@ mod tests {
             for f in p.fields.iter_mut() {
                 f.fill_ghosts_zero_gradient();
             }
-            app.step_patch(&mut p.fields, app.dt_over_dx0());
+            app.step_patch(&mut p.fields, app.dt_over_dx0(), &pool);
         }
         let after = p.fields[F::RHO].get(probe);
         assert!(after > before * 1.02, "shock reached probe: {before} -> {after}");
@@ -394,6 +403,7 @@ mod tests {
 
     #[test]
     fn amr64_flags_follow_particles() {
+        let pool = FieldPool::new();
         // concentrate particles in an otherwise-unflagged corner: the level-0
         // flags must light up there
         let mut app = AppState::new(AppKind::Amr64, 16, 3);
@@ -409,11 +419,11 @@ mod tests {
                 part.pos = [100.0, 100.0, 100.0]; // outside, ignored
             }
         }
-        let flags = app.flag_patch(&p);
+        let flags = app.flag_patch(&p, &pool);
         assert!(flags.get(corner), "particle clump must be flagged");
         // without particles the same gas field is quiet
         app.particles = samr_solvers::ParticleSet::default();
-        let flags = app.flag_patch(&p);
+        let flags = app.flag_patch(&p, &pool);
         assert_eq!(flags.count(), 0);
     }
 

@@ -46,6 +46,14 @@ pub struct RunConfig {
     /// the reference path exists to prove that and to measure the overhead
     /// the optimized path removes.
     pub reference_datapath: bool,
+    /// Level-0 steps before the hierarchy's field pool is marked steady.
+    /// The first steps populate the pool's free lists (every acquisition is
+    /// a miss on a cold pool) and let the refinement hierarchy grow to its
+    /// working set — the default of 2 covers the initial mesh build-out;
+    /// after the warm-up, misses are counted as `steady_misses` in
+    /// [`RunResult::pool`] — the hotpath gate asserts that count stays
+    /// zero, i.e. the steady state allocates no field buffers at all.
+    pub pool_warmup_steps: usize,
     /// Observability handle threaded through the simulator, the DLB scheme
     /// and the driver's phase spans. The default null handle records
     /// nothing and costs nothing; pass [`telemetry::Telemetry::recording`]
@@ -73,6 +81,7 @@ impl RunConfig {
             cost_per_cell: None,
             comm_retry: RetryPolicy::default(),
             reference_datapath: false,
+            pool_warmup_steps: 2,
             telemetry: telemetry::Telemetry::null(),
         }
     }
@@ -114,6 +123,11 @@ pub struct RunResult {
     /// Forecast-quality counters of the scheme's network-weather series
     /// (zeroes for schemes without a forecasting layer).
     pub forecast: ForecastStats,
+    /// Field-buffer pool statistics of the run's hierarchy: hits, misses,
+    /// bytes recycled, and misses after the warm-up window
+    /// ([`RunConfig::pool_warmup_steps`]) — the steady-state allocation
+    /// count the zero-allocation gate asserts on.
+    pub pool: samr_mesh::pool::PoolStats,
     /// Per-level-0-step global decision log (distributed scheme only).
     pub decisions: Vec<DecisionSummary>,
     /// Text report of the telemetry sink (None when the run used the

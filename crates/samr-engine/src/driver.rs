@@ -243,7 +243,12 @@ impl Driver {
         self.sim.reset();
         // wall timers restart with simulated time: both exclude setup
         self.wall = metrics::PhaseWall::default();
-        for _ in 0..self.cfg.steps {
+        for i in 0..self.cfg.steps {
+            if i == self.cfg.pool_warmup_steps {
+                // free lists are populated; from here on, every field
+                // acquisition that allocates counts as a steady-state miss
+                self.hier.pool().mark_steady();
+            }
             self.step_once();
         }
         self.finish()
@@ -383,6 +388,16 @@ impl Driver {
             proactive_checks: fsum.proactive_checks,
             proactive_invocations: fsum.proactive_invocations,
         };
+        let pool = self.hier.pool().stats();
+        self.sim.telemetry().stat_block(
+            "field_pool",
+            &[
+                ("hits", pool.hits),
+                ("misses", pool.misses),
+                ("bytes_recycled", pool.bytes_recycled),
+                ("steady_misses", pool.steady_misses),
+            ],
+        );
         let decisions = self.scheme.decisions();
         RunResult {
             scheme: self.scheme.name().to_string(),
@@ -400,6 +415,7 @@ impl Driver {
             global_redistributions: decisions.iter().filter(|d| d.invoked).count(),
             faults,
             forecast,
+            pool,
             decisions: decisions
                 .iter()
                 .map(|d| crate::config::DecisionSummary {
@@ -513,8 +529,9 @@ impl Driver {
             .map(|&id| (id, std::mem::take(&mut self.hier.patch_mut(id).fields)))
             .collect();
         let app = &self.app;
+        let pool = self.hier.pool().clone();
         work.par_iter_mut()
-            .for_each(|(_, fields)| app.step_patch(fields, dt_over_dx));
+            .for_each(|(_, fields)| app.step_patch(fields, dt_over_dx, &pool));
         for (id, fields) in work {
             self.hier.patch_mut(id).fields = fields;
         }
@@ -575,9 +592,13 @@ impl Driver {
         }
 
         // pass A (read-only): extract window-sized source slabs per
-        // destination — parent shell boxes (coarsened) and sibling windows
+        // destination — parent shell boxes (coarsened) and sibling windows.
+        // Slabs come from the hierarchy's pool (acquire zero-fills, so they
+        // are bit-identical to fresh `Field3::zeros`) and go back after
+        // pass B: the exchange allocates nothing once the pool is warm.
         type Fill = (Vec<(Region, Vec<Field3>)>, Vec<(Region, Vec<Field3>)>);
         let hier = &self.hier;
+        let pool = hier.pool();
         let topo_ref = &topo;
         let sib_ref = &sib_of;
         let fills: Vec<Fill> = ids
@@ -598,7 +619,7 @@ impl Driver {
                             .fields
                             .iter()
                             .map(|pf| {
-                                let mut s = Field3::zeros(cw, 0);
+                                let mut s = Field3::new_in(pool, cw, 0);
                                 s.copy_from(pf, &cw);
                                 s
                             })
@@ -615,7 +636,7 @@ impl Driver {
                             .fields
                             .iter()
                             .map(|sf| {
-                                let mut s = Field3::zeros(o.window, 0);
+                                let mut s = Field3::new_in(pool, o.window, 0);
                                 s.copy_from(sf, &o.window);
                                 s
                             })
@@ -704,6 +725,14 @@ impl Driver {
         for (id, fields) in work {
             self.hier.patch_mut(id).fields = fields;
         }
+        let pool = self.hier.pool();
+        for (parent_slabs, sib) in fills {
+            for (_, slabs) in parent_slabs.into_iter().chain(sib) {
+                for s in slabs {
+                    s.recycle(pool);
+                }
+            }
+        }
 
         for ((src, dst), bytes) in batch {
             self.send_batch(src, dst, bytes);
@@ -740,9 +769,11 @@ impl Driver {
                     let p = self.hier.patch(id);
                     (p.parent.expect("fine patch has parent"), p.region, p.owner)
                 };
+                let pool = self.hier.pool().clone();
                 let parent = self.hier.patch(parent_id);
                 let parent_owner = parent.owner;
-                let parent_fields = parent.fields.clone();
+                let parent_fields: Vec<Field3> =
+                    parent.fields.iter().map(|f| f.clone_in(&pool)).collect();
                 let shell_boxes = region.grow(ghost).subtract(&region);
                 let mut shell_cells = 0i64;
                 {
@@ -752,6 +783,9 @@ impl Driver {
                             prolong_constant(pf, &mut patch.fields[k], b, r);
                         }
                     }
+                }
+                for f in parent_fields {
+                    f.recycle(&pool);
                 }
                 for b in &shell_boxes {
                     shell_cells += b.cells();
@@ -766,11 +800,19 @@ impl Driver {
         // 3) sibling windows (authoritative where available)
         let overlaps = self.hier.sibling_overlaps(level);
         if !overlaps.is_empty() {
-            // snapshot source fields once per source patch
+            // snapshot source fields once per source patch (pooled copies,
+            // returned to the pool once every window is applied)
+            let pool = self.hier.pool().clone();
             let mut srcs: std::collections::BTreeMap<PatchId, Vec<Field3>> = Default::default();
             for o in &overlaps {
-                srcs.entry(o.src)
-                    .or_insert_with(|| self.hier.patch(o.src).fields.clone());
+                srcs.entry(o.src).or_insert_with(|| {
+                    self.hier
+                        .patch(o.src)
+                        .fields
+                        .iter()
+                        .map(|f| f.clone_in(&pool))
+                        .collect()
+                });
             }
             for o in &overlaps {
                 let src_owner = self.hier.patch(o.src).owner;
@@ -783,6 +825,11 @@ impl Driver {
                 if src_owner != dst_owner {
                     *batch.entry((src_owner, dst_owner)).or_default() +=
                         (o.cells as u64) * 8 * nf as u64;
+                }
+            }
+            for (_, fields) in srcs {
+                for f in fields {
+                    f.recycle(&pool);
                 }
             }
         }
@@ -825,7 +872,7 @@ impl Driver {
             let p = self.hier.patch(id);
             let owner = p.owner;
             flag_cost_cells += p.cells();
-            let mut flags = self.app.flag_patch(p);
+            let mut flags = self.app.flag_patch(p, self.hier.pool());
             flags.buffer(self.cfg.flag_buffer);
             for coarse_box in berger_rigoutsos(&flags, &cluster) {
                 parents.push(owner);
@@ -843,7 +890,10 @@ impl Driver {
         let _ = flag_cost_cells;
 
         // stash the data of every level being cleared; the patches are about
-        // to be dropped, so take their fields instead of cloning
+        // to be dropped, so take their fields instead of cloning. The stash
+        // this one replaces has outlived its use (it seeded the previous
+        // regrid's grids), so its buffers go back to the pool.
+        let pool = self.hier.pool().clone();
         for l in (level + 1)..self.hier.num_levels() {
             let lvl_ids: Vec<PatchId> = self.hier.level_ids(l).to_vec();
             let mut stash = Vec::new();
@@ -855,7 +905,11 @@ impl Driver {
                     fields: std::mem::take(&mut p.fields),
                 });
             }
-            self.old_data[l] = stash;
+            for op in std::mem::replace(&mut self.old_data[l], stash) {
+                for f in op.fields {
+                    f.recycle(&pool);
+                }
+            }
         }
         if self.hier.num_levels() > level + 1 {
             self.hier.clear_levels_from(level + 1);
@@ -988,17 +1042,27 @@ impl Driver {
         let r = self.hier.refine_factor();
         let nf = self.hier.nfields();
         let mut batch: std::collections::BTreeMap<(usize, usize), u64> = Default::default();
+        let pool = self.hier.pool().clone();
         for &id in &ids {
             let (parent_id, region, owner) = {
                 let p = self.hier.patch(id);
                 (p.parent.expect("fine patch has parent"), p.region, p.owner)
             };
-            let child_fields = self.hier.patch(id).fields.clone();
+            let child_fields: Vec<Field3> = self
+                .hier
+                .patch(id)
+                .fields
+                .iter()
+                .map(|f| f.clone_in(&pool))
+                .collect();
             let coarse_window = region.coarsen(r);
             let parent = self.hier.patch_mut(parent_id);
             let parent_owner = parent.owner;
             for (k, cf) in child_fields.iter().enumerate() {
                 restrict_average(cf, &mut parent.fields[k], &coarse_window, r);
+            }
+            for f in child_fields {
+                f.recycle(&pool);
             }
             if parent_owner != owner {
                 *batch.entry((owner, parent_owner)).or_default() +=

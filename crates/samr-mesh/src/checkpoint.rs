@@ -46,7 +46,13 @@ pub fn restore(snap: &HierarchySnapshot) -> GridHierarchy {
     by_level.sort_by_key(|p| (p.level, p.id));
     for p in by_level {
         hier.insert_patch_with_id(p.id, p.level, p.region, p.parent, p.owner);
-        hier.patch_mut(p.id).fields = p.fields.clone();
+        // copy the snapshot data into the pooled zero fields the insert
+        // created rather than cloning fresh allocations into their place
+        let dst = hier.patch_mut(p.id);
+        for (d, s) in dst.fields.iter_mut().zip(&p.fields) {
+            debug_assert_eq!(d.storage_region(), s.storage_region());
+            d.copy_from(s, &s.storage_region());
+        }
     }
     hier
 }

@@ -39,6 +39,40 @@ impl Field3 {
         f
     }
 
+    /// Like [`Field3::zeros`], but the backing store comes from (and is
+    /// zeroed by) `pool` — no heap allocation when the pool has a buffer of
+    /// sufficient capacity. Bit-identical to a fresh `zeros` field.
+    pub fn new_in(pool: &crate::pool::FieldPool, interior: Region, ghost: i64) -> Self {
+        assert!(ghost >= 0);
+        assert!(!interior.is_empty(), "field over empty region");
+        let storage = interior.grow(ghost);
+        let data = pool.acquire(storage.cells() as usize);
+        Field3 {
+            interior,
+            ghost,
+            storage,
+            data,
+        }
+    }
+
+    /// Pooled deep copy: same shape and bitwise-identical contents, with the
+    /// backing store drawn from `pool` instead of a fresh allocation.
+    pub fn clone_in(&self, pool: &crate::pool::FieldPool) -> Self {
+        let mut data = pool.acquire(self.data.len());
+        data.copy_from_slice(&self.data);
+        Field3 {
+            interior: self.interior,
+            ghost: self.ghost,
+            storage: self.storage,
+            data,
+        }
+    }
+
+    /// Consume the field and shelve its backing store in `pool` for reuse.
+    pub fn recycle(self, pool: &crate::pool::FieldPool) {
+        pool.release(self.data);
+    }
+
     /// The interior region this field is defined on.
     pub fn interior(&self) -> Region {
         self.interior

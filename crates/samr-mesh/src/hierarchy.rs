@@ -38,6 +38,10 @@ pub struct GridHierarchy {
     /// built it. `Arc` so callers can hold the topology while mutating
     /// patch data, and so cloning the hierarchy stays cheap.
     topo_cache: Vec<Option<(u64, Arc<LevelTopology>)>>,
+    /// Recycling pool for field backing stores: inserts draw from it,
+    /// removals shelve into it, so steady-state regrids stop allocating.
+    /// Cloning the hierarchy shares the pool (it is an `Arc` handle).
+    pool: crate::pool::FieldPool,
 }
 
 impl GridHierarchy {
@@ -57,7 +61,15 @@ impl GridHierarchy {
             next_id: 0,
             topo_gen: 0,
             topo_cache: Vec::new(),
+            pool: crate::pool::FieldPool::new(),
         }
+    }
+
+    /// The hierarchy's field-buffer pool. Callers that allocate scratch
+    /// fields on the hot path (solvers, ghost exchange, stashes) should draw
+    /// from it so the steady-state zero-allocation property holds end to end.
+    pub fn pool(&self) -> &crate::pool::FieldPool {
+        &self.pool
     }
 
     /// Record a structural mutation: invalidate every cached level topology.
@@ -180,7 +192,8 @@ impl GridHierarchy {
         );
         assert_eq!(level == 0, parent.is_none(), "non-root patches need a parent");
         let id = self.fresh_id();
-        let patch = GridPatch::new(id, level, region, parent, owner, self.nfields, self.ghost);
+        let patch =
+            GridPatch::new_in(&self.pool, id, level, region, parent, owner, self.nfields, self.ghost);
         while self.levels.len() <= level {
             self.levels.push(Vec::new());
         }
@@ -191,10 +204,12 @@ impl GridHierarchy {
     }
 
     /// Remove a patch (and no others — callers remove descendants first).
+    /// Its field backing stores are shelved in the pool for reuse.
     pub fn remove_patch(&mut self, id: PatchId) {
         let p = self.patches.remove(&id).expect("removing unknown patch");
         let lvl = &mut self.levels[p.level];
         lvl.retain(|x| *x != id);
+        p.recycle(&self.pool);
         self.trim_levels();
         self.bump_topology();
     }
@@ -207,7 +222,9 @@ impl GridHierarchy {
         }
         for l in level..self.levels.len() {
             for id in std::mem::take(&mut self.levels[l]) {
-                self.patches.remove(&id);
+                if let Some(p) = self.patches.remove(&id) {
+                    p.recycle(&self.pool);
+                }
             }
         }
         self.trim_levels();
@@ -245,7 +262,8 @@ impl GridHierarchy {
             "patch region {region:?} outside level-{level} domain"
         );
         assert_eq!(level == 0, parent.is_none(), "non-root patches need a parent");
-        let patch = GridPatch::new(id, level, region, parent, owner, self.nfields, self.ghost);
+        let patch =
+            GridPatch::new_in(&self.pool, id, level, region, parent, owner, self.nfields, self.ghost);
         while self.levels.len() <= level {
             self.levels.push(Vec::new());
         }
@@ -306,15 +324,18 @@ impl GridHierarchy {
             !ra.is_empty() && !rb.is_empty(),
             "cut {cut} does not bisect {region:?} on axis {axis}"
         );
-        let old_fields = self.patch(id).fields.clone();
         let children = self.children_of(id);
 
         let a = self.insert_patch(level, ra, parent, owner);
         let b = self.insert_patch(level, rb, parent, owner);
-        // copy solution data
-        for (k, of) in old_fields.iter().enumerate() {
-            self.patch_mut(a).fields[k].copy_from(of, &ra);
-            self.patch_mut(b).fields[k].copy_from(of, &rb);
+        // copy solution data straight out of the doomed patch — the
+        // split-borrow accessor avoids snapshotting its whole field set
+        for (dst, half) in [(a, ra), (b, rb)] {
+            self.with_patch_pair(id, dst, |src, d| {
+                for (k, of) in src.fields.iter().enumerate() {
+                    d.fields[k].copy_from(of, &half);
+                }
+            });
         }
         // reattach (splitting straddlers at the refined cut plane)
         let r = self.refine_factor;

@@ -31,6 +31,7 @@ pub mod hierarchy;
 pub mod index;
 pub mod interp;
 pub mod patch;
+pub mod pool;
 pub mod region;
 
 pub use checkpoint::{restore, snapshot, HierarchySnapshot};
@@ -43,4 +44,5 @@ pub use flux::FluxRegister;
 pub use hierarchy::{GridHierarchy, LevelTopology, PatchShell, SiblingOverlap};
 pub use index::{ivec3, IVec3};
 pub use patch::{GridPatch, OwnerProc, PatchId};
+pub use pool::{FieldPool, PoolStats};
 pub use region::{region, total_cells, Region};

@@ -63,6 +63,39 @@ impl GridPatch {
         }
     }
 
+    /// Like [`GridPatch::new`], but every field's backing store is drawn
+    /// from `pool` — bit-identical to fresh zeroed fields.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new_in(
+        pool: &crate::pool::FieldPool,
+        id: PatchId,
+        level: usize,
+        region: Region,
+        parent: Option<PatchId>,
+        owner: OwnerProc,
+        nfields: usize,
+        ghost: i64,
+    ) -> Self {
+        let fields = (0..nfields)
+            .map(|_| Field3::new_in(pool, region, ghost))
+            .collect();
+        GridPatch {
+            id,
+            level,
+            region,
+            parent,
+            owner,
+            fields,
+        }
+    }
+
+    /// Consume the patch, shelving every field's backing store in `pool`.
+    pub fn recycle(self, pool: &crate::pool::FieldPool) {
+        for f in self.fields {
+            f.recycle(pool);
+        }
+    }
+
     /// Cell count — the unit of workload throughout the DLB schemes.
     pub fn cells(&self) -> i64 {
         self.region.cells()

@@ -1,8 +1,10 @@
 //! Linear advection: first-order upwind with optional minmod-limited slopes.
 //! A cheap scalar solver used by tests and the quickstart example.
 
+use crate::checked_capacity;
 use samr_mesh::field::Field3;
-use samr_mesh::index::ivec3;
+use samr_mesh::index::{ivec3, IVec3};
+use samr_mesh::pool::FieldPool;
 
 /// Minmod limiter.
 #[inline]
@@ -16,52 +18,90 @@ pub fn minmod(a: f64, b: f64) -> f64 {
     }
 }
 
+/// The per-cell upwind update: the new value of `f` at `p`. Shared by the
+/// in-place and reference steps so they stay bit-identical by construction.
+#[inline]
+fn updated_value(f: &Field3, p: IVec3, courant: [f64; 3], limited: bool) -> f64 {
+    let mut du = 0.0;
+    for (axis, &c) in courant.iter().enumerate() {
+        if c == 0.0 {
+            continue;
+        }
+        assert!(c.abs() <= 1.0, "CFL violation: {c}");
+        let dir = match axis {
+            0 => ivec3(1, 0, 0),
+            1 => ivec3(0, 1, 0),
+            _ => ivec3(0, 0, 1),
+        };
+        let u0 = f.get(p);
+        let um = f.get(p - dir);
+        let up = f.get(p + dir);
+        // upwind face values with optional limited correction
+        let (f_lo, f_hi) = if c > 0.0 {
+            let umm = f.get(p - dir - dir);
+            let slope_m = if limited { minmod(u0 - um, um - umm) } else { 0.0 };
+            let slope_0 = if limited { minmod(up - u0, u0 - um) } else { 0.0 };
+            (
+                um + 0.5 * (1.0 - c) * slope_m,
+                u0 + 0.5 * (1.0 - c) * slope_0,
+            )
+        } else {
+            let upp = f.get(p + dir + dir);
+            let slope_p = if limited { minmod(upp - up, up - u0) } else { 0.0 };
+            let slope_0 = if limited { minmod(up - u0, u0 - um) } else { 0.0 };
+            (
+                u0 - 0.5 * (1.0 + c) * slope_0,
+                up - 0.5 * (1.0 + c) * slope_p,
+            )
+        };
+        du -= c * (f_hi - f_lo);
+    }
+    f.get(p) + du
+}
+
 /// One advection step of field `f` with constant velocity `v` (cells/step
 /// fractions as `v · dt/dx` per axis, each must satisfy |c| ≤ 1). Second
 /// order in smooth regions via minmod-limited fluxes. Ghosts (width ≥ 2 for
 /// the limited scheme, ≥ 1 for pure upwind) must be filled beforehand.
-pub fn advect_step(f: &mut Field3, courant: [f64; 3], limited: bool) {
+///
+/// Double-buffered through `pool`: new values stream row-wise into one
+/// pooled ghost-0 scratch field, then its interior is copied back — no
+/// per-call update-list allocation. Bit-identical to
+/// [`reference::advect_step`].
+pub fn advect_step(f: &mut Field3, courant: [f64; 3], limited: bool, pool: &FieldPool) {
     let interior = f.interior();
-    let mut updates = Vec::with_capacity(interior.cells() as usize);
-    for p in interior.iter_cells() {
-        let mut du = 0.0;
-        for (axis, &c) in courant.iter().enumerate() {
-            if c == 0.0 {
-                continue;
+    let mut scratch = Field3::new_in(pool, interior, 0);
+    {
+        let out = scratch.data_mut();
+        for x in interior.lo.x..interior.hi.x {
+            for y in interior.lo.y..interior.hi.y {
+                let row = interior.row_range(x, y, interior.lo.z, interior.hi.z);
+                for (k, i) in row.enumerate() {
+                    let p = ivec3(x, y, interior.lo.z + k as i64);
+                    out[i] = updated_value(f, p, courant, limited);
+                }
             }
-            assert!(c.abs() <= 1.0, "CFL violation: {c}");
-            let dir = match axis {
-                0 => ivec3(1, 0, 0),
-                1 => ivec3(0, 1, 0),
-                _ => ivec3(0, 0, 1),
-            };
-            let u0 = f.get(p);
-            let um = f.get(p - dir);
-            let up = f.get(p + dir);
-            // upwind face values with optional limited correction
-            let (f_lo, f_hi) = if c > 0.0 {
-                let umm = f.get(p - dir - dir);
-                let slope_m = if limited { minmod(u0 - um, um - umm) } else { 0.0 };
-                let slope_0 = if limited { minmod(up - u0, u0 - um) } else { 0.0 };
-                (
-                    um + 0.5 * (1.0 - c) * slope_m,
-                    u0 + 0.5 * (1.0 - c) * slope_0,
-                )
-            } else {
-                let upp = f.get(p + dir + dir);
-                let slope_p = if limited { minmod(upp - up, up - u0) } else { 0.0 };
-                let slope_0 = if limited { minmod(up - u0, u0 - um) } else { 0.0 };
-                (
-                    u0 - 0.5 * (1.0 + c) * slope_0,
-                    up - 0.5 * (1.0 + c) * slope_p,
-                )
-            };
-            du -= c * (f_hi - f_lo);
         }
-        updates.push((p, f.get(p) + du));
     }
-    for (p, v) in updates {
-        f.set(p, v);
+    f.copy_from(&scratch, &interior);
+    scratch.recycle(pool);
+}
+
+/// Update-list form retained as a bit-identity oracle (see
+/// [`crate::euler::reference`]).
+pub mod reference {
+    use super::*;
+
+    /// Reference for [`super::advect_step`].
+    pub fn advect_step(f: &mut Field3, courant: [f64; 3], limited: bool) {
+        let interior = f.interior();
+        let mut updates = Vec::with_capacity(checked_capacity(interior.cells()));
+        for p in interior.iter_cells() {
+            updates.push((p, updated_value(f, p, courant, limited)));
+        }
+        for (p, v) in updates {
+            f.set(p, v);
+        }
     }
 }
 
@@ -79,9 +119,33 @@ mod tests {
     }
 
     #[test]
+    fn in_place_step_matches_reference_bitwise() {
+        let pool = FieldPool::new();
+        for limited in [false, true] {
+            let mut a = Field3::zeros(Region::cube(10), 2);
+            // deterministic irregular data
+            let mut s = 42u64;
+            for v in a.data_mut() {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                *v = ((s >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0;
+            }
+            let mut b = a.clone();
+            for _ in 0..3 {
+                a.fill_ghosts_zero_gradient();
+                advect_step(&mut a, [0.4, -0.3, 0.2], limited, &pool);
+                b.fill_ghosts_zero_gradient();
+                reference::advect_step(&mut b, [0.4, -0.3, 0.2], limited);
+            }
+            let bits = |f: &Field3| -> Vec<u64> { f.data().iter().map(|v| v.to_bits()).collect() };
+            assert_eq!(bits(&a), bits(&b), "limited={limited}");
+        }
+        assert!(pool.stats().hits > 0, "scratch reused across steps");
+    }
+
+    #[test]
     fn constant_field_unchanged() {
         let mut f = Field3::constant(Region::cube(6), 2, 3.0);
-        advect_step(&mut f, [0.5, 0.25, 0.1], true);
+        advect_step(&mut f, [0.5, 0.25, 0.1], true, &FieldPool::new());
         for p in Region::cube(6).iter_cells() {
             assert!((f.get(p) - 3.0).abs() < 1e-14);
         }
@@ -93,7 +157,7 @@ mod tests {
         let mut f = Field3::zeros(Region::cube(8), 2);
         f.set(ivec3(3, 4, 4), 1.0);
         f.fill_ghosts_zero_gradient();
-        advect_step(&mut f, [1.0, 0.0, 0.0], false);
+        advect_step(&mut f, [1.0, 0.0, 0.0], false, &FieldPool::new());
         assert!((f.get(ivec3(4, 4, 4)) - 1.0).abs() < 1e-14);
         assert!(f.get(ivec3(3, 4, 4)).abs() < 1e-14);
     }
@@ -104,10 +168,11 @@ mod tests {
         for p in samr_mesh::region(ivec3(4, 4, 4), ivec3(7, 7, 7)).iter_cells() {
             f.set(p, 2.0);
         }
+        let pool = FieldPool::new();
         let before = f.interior_sum();
         for _ in 0..3 {
             f.fill_ghosts_zero_gradient();
-            advect_step(&mut f, [0.4, 0.0, 0.0], true);
+            advect_step(&mut f, [0.4, 0.0, 0.0], true, &pool);
         }
         let after = f.interior_sum();
         assert!((before - after).abs() < 1e-10, "{before} vs {after}");
@@ -126,10 +191,11 @@ mod tests {
             }
             mx / m
         };
+        let pool = FieldPool::new();
         let x0 = center_of_mass_x(&f);
         for _ in 0..5 {
             f.fill_ghosts_zero_gradient();
-            advect_step(&mut f, [0.5, 0.0, 0.0], true);
+            advect_step(&mut f, [0.5, 0.0, 0.0], true, &pool);
         }
         let x1 = center_of_mass_x(&f);
         assert!((x1 - x0 - 2.5).abs() < 0.1, "moved {}", x1 - x0);
@@ -139,6 +205,6 @@ mod tests {
     #[should_panic]
     fn cfl_violation_panics() {
         let mut f = Field3::zeros(Region::cube(4), 2);
-        advect_step(&mut f, [1.5, 0.0, 0.0], false);
+        advect_step(&mut f, [1.5, 0.0, 0.0], false, &FieldPool::new());
     }
 }

@@ -6,8 +6,10 @@
 //! sweeping the domain) and `AMR64` uses the fluid equations alongside
 //! Poisson's equation and particle ODEs.
 
+use crate::checked_capacity;
 use samr_mesh::field::Field3;
 use samr_mesh::index::{ivec3, IVec3};
+use samr_mesh::pool::FieldPool;
 
 /// Number of conserved fields: ρ, mx, my, mz, E.
 pub const NFIELDS: usize = 5;
@@ -82,9 +84,10 @@ pub fn load(fieldset: &[Field3], p: IVec3) -> Cons {
     }
 }
 
-/// Write a conserved state to cell `p`, applying floors.
+/// Clamp a conserved state to the density and pressure floors — the exact
+/// per-cell post-update fix both the in-place and reference paths share.
 #[inline]
-pub fn store(fieldset: &mut [Field3], p: IVec3, mut u: Cons, gamma: f64) {
+pub fn apply_floors(mut u: Cons, gamma: f64) -> Cons {
     if u.rho < RHO_FLOOR {
         u.rho = RHO_FLOOR;
     }
@@ -94,6 +97,13 @@ pub fn store(fieldset: &mut [Field3], p: IVec3, mut u: Cons, gamma: f64) {
     if p_now < P_FLOOR {
         u.e = ke + P_FLOOR / (gamma - 1.0);
     }
+    u
+}
+
+/// Write a conserved state to cell `p`, applying floors.
+#[inline]
+pub fn store(fieldset: &mut [Field3], p: IVec3, u: Cons, gamma: f64) {
+    let u = apply_floors(u, gamma);
     fieldset[fields::RHO].set(p, u.rho);
     fieldset[fields::MX].set(p, u.m[0]);
     fieldset[fields::MY].set(p, u.m[1]);
@@ -127,40 +137,89 @@ pub fn hll_flux(l: &Cons, r: &Cons, axis: usize, gamma: f64) -> [f64; NFIELDS] {
     f
 }
 
-/// One dimensionally-split first-order Godunov sweep along `axis` over the
-/// interior of the patch. Ghost zones must have been filled beforehand.
-pub fn sweep(fieldset: &mut [Field3], axis: usize, dt_over_dx: f64, gamma: f64) {
-    assert!(fieldset.len() >= NFIELDS);
-    let interior = fieldset[0].interior();
-    let dir = match axis {
+/// Axis unit vector for a dimensionally-split sweep.
+#[inline]
+pub(crate) fn axis_dir(axis: usize) -> IVec3 {
+    match axis {
         0 => ivec3(1, 0, 0),
         1 => ivec3(0, 1, 0),
         _ => ivec3(0, 0, 1),
-    };
-    // Collect updates first, then apply (the stencil reads neighbours).
-    let mut updates: Vec<(IVec3, Cons)> = Vec::with_capacity(interior.cells() as usize);
-    for p in interior.iter_cells() {
-        let um = load(fieldset, p - dir);
-        let u0 = load(fieldset, p);
-        let up = load(fieldset, p + dir);
-        let f_lo = hll_flux(&um, &u0, axis, gamma);
-        let f_hi = hll_flux(&u0, &up, axis, gamma);
-        let mut v = [u0.rho, u0.m[0], u0.m[1], u0.m[2], u0.e];
-        for k in 0..NFIELDS {
-            v[k] -= dt_over_dx * (f_hi[k] - f_lo[k]);
+    }
+}
+
+/// Acquire `NFIELDS` pooled ghost-0 scratch fields over `interior` — the
+/// write side of the solver double buffer.
+pub(crate) fn acquire_scratch(
+    pool: &FieldPool,
+    interior: samr_mesh::region::Region,
+    nfields: usize,
+) -> Vec<Field3> {
+    (0..nfields)
+        .map(|_| Field3::new_in(pool, interior, 0))
+        .collect()
+}
+
+/// Copy the scratch interiors back over `fieldset` and shelve the scratch
+/// buffers. Row-sliced copies preserve bits exactly, so this is equivalent
+/// to the reference path's deferred tuple application.
+pub(crate) fn commit_scratch(fieldset: &mut [Field3], scratch: Vec<Field3>, pool: &FieldPool) {
+    for (dst, src) in fieldset.iter_mut().zip(scratch.iter()) {
+        let interior = src.interior();
+        dst.copy_from(src, &interior);
+    }
+    for s in scratch {
+        s.recycle(pool);
+    }
+}
+
+/// One dimensionally-split first-order Godunov sweep along `axis` over the
+/// interior of the patch. Ghost zones must have been filled beforehand.
+///
+/// Double-buffered through `pool`: updated states stream row-wise into
+/// pooled scratch fields (the stencil reads neighbours, so writes cannot go
+/// in place directly) and the interiors are copied back at the end — no
+/// per-call update-list allocation. Bit-identical to [`reference::sweep`].
+pub fn sweep(fieldset: &mut [Field3], axis: usize, dt_over_dx: f64, gamma: f64, pool: &FieldPool) {
+    assert!(fieldset.len() >= NFIELDS);
+    let interior = fieldset[0].interior();
+    let dir = axis_dir(axis);
+    let mut scratch = acquire_scratch(pool, interior, NFIELDS);
+    {
+        // ghost-0 scratch ⇒ its storage region is exactly `interior`, so one
+        // row range addresses the same cells in all five output slices
+        let mut out: Vec<&mut [f64]> = scratch.iter_mut().map(|f| f.data_mut()).collect();
+        for x in interior.lo.x..interior.hi.x {
+            for y in interior.lo.y..interior.hi.y {
+                let row = interior.row_range(x, y, interior.lo.z, interior.hi.z);
+                for (k, i) in row.enumerate() {
+                    let p = ivec3(x, y, interior.lo.z + k as i64);
+                    let um = load(fieldset, p - dir);
+                    let u0 = load(fieldset, p);
+                    let up = load(fieldset, p + dir);
+                    let f_lo = hll_flux(&um, &u0, axis, gamma);
+                    let f_hi = hll_flux(&u0, &up, axis, gamma);
+                    let mut v = [u0.rho, u0.m[0], u0.m[1], u0.m[2], u0.e];
+                    for kk in 0..NFIELDS {
+                        v[kk] -= dt_over_dx * (f_hi[kk] - f_lo[kk]);
+                    }
+                    let u = apply_floors(
+                        Cons {
+                            rho: v[0],
+                            m: [v[1], v[2], v[3]],
+                            e: v[4],
+                        },
+                        gamma,
+                    );
+                    out[fields::RHO][i] = u.rho;
+                    out[fields::MX][i] = u.m[0];
+                    out[fields::MY][i] = u.m[1];
+                    out[fields::MZ][i] = u.m[2];
+                    out[fields::E][i] = u.e;
+                }
+            }
         }
-        updates.push((
-            p,
-            Cons {
-                rho: v[0],
-                m: [v[1], v[2], v[3]],
-                e: v[4],
-            },
-        ));
     }
-    for (p, u) in updates {
-        store(fieldset, p, u, gamma);
-    }
+    commit_scratch(fieldset, scratch, pool);
 }
 
 /// Full XYZ dimensionally-split step.
@@ -170,14 +229,14 @@ pub fn sweep(fieldset: &mut [Field3], axis: usize, dt_over_dx: f64, gamma: f64) 
 /// (which would break conservation). Callers that have sibling/parent ghost
 /// data should fill ghosts once before calling (the first sweep then uses
 /// it) or drive [`sweep`] directly with their own exchange between sweeps.
-pub fn euler_step(fieldset: &mut [Field3], dt_over_dx: f64, gamma: f64) {
+pub fn euler_step(fieldset: &mut [Field3], dt_over_dx: f64, gamma: f64, pool: &FieldPool) {
     for axis in 0..3 {
         if axis > 0 {
             for f in fieldset.iter_mut().take(NFIELDS) {
                 f.fill_ghosts_zero_gradient();
             }
         }
-        sweep(fieldset, axis, dt_over_dx, gamma);
+        sweep(fieldset, axis, dt_over_dx, gamma, pool);
     }
 }
 
@@ -213,6 +272,57 @@ pub fn totals(fieldset: &[Field3]) -> (f64, [f64; 3], f64) {
     (mass, mom, e)
 }
 
+/// The update-list forms of the sweep the in-place double-buffered versions
+/// replaced, retained purely as bit-identity oracles for the golden tests.
+/// Production code must call [`sweep`] / [`euler_step`].
+pub mod reference {
+    use super::*;
+
+    /// Reference for [`super::sweep`]: accumulate `(cell, state)` tuples,
+    /// then apply them through [`store`].
+    pub fn sweep(fieldset: &mut [Field3], axis: usize, dt_over_dx: f64, gamma: f64) {
+        assert!(fieldset.len() >= NFIELDS);
+        let interior = fieldset[0].interior();
+        let dir = axis_dir(axis);
+        // Collect updates first, then apply (the stencil reads neighbours).
+        let mut updates: Vec<(IVec3, Cons)> = Vec::with_capacity(checked_capacity(interior.cells()));
+        for p in interior.iter_cells() {
+            let um = load(fieldset, p - dir);
+            let u0 = load(fieldset, p);
+            let up = load(fieldset, p + dir);
+            let f_lo = hll_flux(&um, &u0, axis, gamma);
+            let f_hi = hll_flux(&u0, &up, axis, gamma);
+            let mut v = [u0.rho, u0.m[0], u0.m[1], u0.m[2], u0.e];
+            for k in 0..NFIELDS {
+                v[k] -= dt_over_dx * (f_hi[k] - f_lo[k]);
+            }
+            updates.push((
+                p,
+                Cons {
+                    rho: v[0],
+                    m: [v[1], v[2], v[3]],
+                    e: v[4],
+                },
+            ));
+        }
+        for (p, u) in updates {
+            store(fieldset, p, u, gamma);
+        }
+    }
+
+    /// Reference for [`super::euler_step`].
+    pub fn euler_step(fieldset: &mut [Field3], dt_over_dx: f64, gamma: f64) {
+        for axis in 0..3 {
+            if axis > 0 {
+                for f in fieldset.iter_mut().take(NFIELDS) {
+                    f.fill_ghosts_zero_gradient();
+                }
+            }
+            sweep(fieldset, axis, dt_over_dx, gamma);
+        }
+    }
+}
+
 /// Set a uniform ambient state over the full storage (ghosts included).
 pub fn set_ambient(fieldset: &mut [Field3], rho: f64, v: [f64; 3], p: f64, gamma: f64) {
     let e = p / (gamma - 1.0) + 0.5 * rho * (v[0] * v[0] + v[1] * v[1] + v[2] * v[2]);
@@ -234,12 +344,58 @@ mod tests {
             .collect()
     }
 
+    /// Deterministic pseudo-random, physically plausible state (LCG fill)
+    /// for golden comparisons without a rand dependency.
+    fn scrambled_state(n: i64, ghost: i64, seed: u64) -> Vec<Field3> {
+        let mut fs = uniform_set(n, ghost);
+        let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15);
+        for (k, f) in fs.iter_mut().enumerate() {
+            for v in f.data_mut() {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let u = (s >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
+                *v = match k {
+                    fields::RHO => 0.5 + u,
+                    fields::E => 1.5 + u,
+                    _ => u - 0.5,
+                };
+            }
+        }
+        fs
+    }
+
+    fn bits(fs: &[Field3]) -> Vec<Vec<u64>> {
+        fs.iter()
+            .map(|f| f.data().iter().map(|v| v.to_bits()).collect())
+            .collect()
+    }
+
+    #[test]
+    fn in_place_sweep_matches_reference_bitwise() {
+        let pool = FieldPool::new();
+        for seed in [1u64, 2, 3] {
+            let mut a = scrambled_state(9, 1, seed);
+            let mut b = a.clone();
+            for axis in 0..3 {
+                sweep(&mut a, axis, 0.21, 1.4, &pool);
+                reference::sweep(&mut b, axis, 0.21, 1.4);
+                assert_eq!(bits(&a), bits(&b), "seed {seed} axis {axis}");
+            }
+            euler_step(&mut a, 0.17, 1.4, &pool);
+            reference::euler_step(&mut b, 0.17, 1.4);
+            assert_eq!(bits(&a), bits(&b), "seed {seed} full step");
+        }
+        // the double buffer actually recycled: after warm-up, zero misses
+        let s = pool.stats();
+        assert!(s.hits > 0, "scratch reused across sweeps: {s:?}");
+    }
+
     #[test]
     fn uniform_state_is_steady() {
+        let pool = FieldPool::new();
         let mut fs = uniform_set(6, 1);
         set_ambient(&mut fs, 1.0, [0.0; 3], 1.0, 1.4);
         let before = totals(&fs);
-        euler_step(&mut fs, 0.1, 1.4);
+        euler_step(&mut fs, 0.1, 1.4, &pool);
         let after = totals(&fs);
         assert!((before.0 - after.0).abs() < 1e-12);
         assert!((before.2 - after.2).abs() < 1e-12);
@@ -287,6 +443,7 @@ mod tests {
     fn mass_conserved_in_interior_shock_tube() {
         // Sod-like jump in the middle of a periodic-free box; before the wave
         // reaches the boundary total interior mass is conserved.
+        let pool = FieldPool::new();
         let n = 16;
         let mut fs = uniform_set(n, 1);
         let gamma = 1.4;
@@ -312,7 +469,7 @@ mod tests {
             for f in fs.iter_mut() {
                 f.fill_ghosts_zero_gradient();
             }
-            euler_step(&mut fs, dt_over_dx, gamma);
+            euler_step(&mut fs, dt_over_dx, gamma, &pool);
         }
         let (m1, mom1, e1) = totals(&fs);
         assert!((m0 - m1).abs() / m0 < 1e-10, "mass {m0} -> {m1}");
@@ -323,6 +480,7 @@ mod tests {
 
     #[test]
     fn shock_moves_in_expected_direction() {
+        let pool = FieldPool::new();
         let n = 16;
         let gamma = 1.4;
         let mut fs = uniform_set(n, 1);
@@ -338,7 +496,7 @@ mod tests {
             for f in fs.iter_mut() {
                 f.fill_ghosts_zero_gradient();
             }
-            euler_step(&mut fs, dt_over_dx, gamma);
+            euler_step(&mut fs, dt_over_dx, gamma, &pool);
             steps += 1;
         }
         assert!(steps == 6);

@@ -32,3 +32,13 @@ pub mod poisson;
 pub mod riemann;
 
 pub use particles::{Particle, ParticleSet};
+
+/// Convert a region cell count (`i64`, non-negative by construction) into a
+/// `usize` buffer capacity, panicking instead of silently truncating when
+/// the count does not fit the address space (e.g. a pathological region on a
+/// 32-bit target). Shared by the solvers' update-list reference paths.
+#[inline]
+pub fn checked_capacity(cells: i64) -> usize {
+    usize::try_from(cells)
+        .unwrap_or_else(|_| panic!("cell count {cells} does not fit in usize"))
+}

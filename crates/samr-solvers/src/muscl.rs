@@ -7,9 +7,11 @@
 //! behaviour depends on workload dynamics, not numerics order).
 
 use crate::advection::minmod;
-use crate::euler::{hll_flux, load, store, Cons, NFIELDS};
+use crate::checked_capacity;
+use crate::euler::{apply_floors, hll_flux, load, store, Cons, NFIELDS};
 use samr_mesh::field::Field3;
-use samr_mesh::index::{ivec3, IVec3};
+use samr_mesh::index::IVec3;
+use samr_mesh::pool::FieldPool;
 
 fn as_array(u: &Cons) -> [f64; NFIELDS] {
     [u.rho, u.m[0], u.m[1], u.m[2], u.e]
@@ -35,21 +37,17 @@ fn slopes(fieldset: &[Field3], p: IVec3, dir: IVec3) -> [f64; NFIELDS] {
     s
 }
 
-/// One MUSCL–Hancock sweep along `axis`. Ghosts (width ≥ 2) must be filled.
-pub fn sweep_muscl(fieldset: &mut [Field3], axis: usize, dt_over_dx: f64, gamma: f64) {
-    assert!(fieldset.len() >= NFIELDS);
-    assert!(
-        fieldset[0].ghost() >= 2,
-        "MUSCL needs ghost width >= 2 (have {})",
-        fieldset[0].ghost()
-    );
-    let interior = fieldset[0].interior();
-    let dir = match axis {
-        0 => ivec3(1, 0, 0),
-        1 => ivec3(0, 1, 0),
-        _ => ivec3(0, 0, 1),
-    };
-
+/// The per-cell MUSCL–Hancock flux-difference update: the evolved conserved
+/// state at `p`, before floors. Shared verbatim by the in-place and
+/// reference sweeps so they stay bit-identical by construction.
+fn updated_state(
+    fieldset: &[Field3],
+    p: IVec3,
+    dir: IVec3,
+    axis: usize,
+    dt_over_dx: f64,
+    gamma: f64,
+) -> Cons {
     // face states: for face between p and p+dir we need the evolved
     // right-edge state of p and left-edge state of p+dir
     let edge_states = |p: IVec3| -> (Cons, Cons) {
@@ -72,39 +70,111 @@ pub fn sweep_muscl(fieldset: &mut [Field3], axis: usize, dt_over_dx: f64, gamma:
         (from_array(ul), from_array(uh))
     };
 
-    let mut updates: Vec<(IVec3, Cons)> = Vec::with_capacity(interior.cells() as usize);
-    for p in interior.iter_cells() {
-        // flux at low face: between p-dir (its high edge) and p (its low edge)
-        let (p_lo_edge, _) = edge_states(p);
-        let (_, pm_hi_edge) = edge_states(p - dir);
-        let f_lo = hll_flux(&pm_hi_edge, &p_lo_edge, axis, gamma);
-        // flux at high face
-        let (_, p_hi_edge) = edge_states(p);
-        let (pp_lo_edge, _) = edge_states(p + dir);
-        let f_hi = hll_flux(&p_hi_edge, &pp_lo_edge, axis, gamma);
+    // flux at low face: between p-dir (its high edge) and p (its low edge)
+    let (p_lo_edge, _) = edge_states(p);
+    let (_, pm_hi_edge) = edge_states(p - dir);
+    let f_lo = hll_flux(&pm_hi_edge, &p_lo_edge, axis, gamma);
+    // flux at high face
+    let (_, p_hi_edge) = edge_states(p);
+    let (pp_lo_edge, _) = edge_states(p + dir);
+    let f_hi = hll_flux(&p_hi_edge, &pp_lo_edge, axis, gamma);
 
-        let u0 = as_array(&load(fieldset, p));
-        let mut v = u0;
-        for k in 0..NFIELDS {
-            v[k] -= dt_over_dx * (f_hi[k] - f_lo[k]);
+    let u0 = as_array(&load(fieldset, p));
+    let mut v = u0;
+    for k in 0..NFIELDS {
+        v[k] -= dt_over_dx * (f_hi[k] - f_lo[k]);
+    }
+    from_array(v)
+}
+
+fn assert_muscl_ghosts(fieldset: &[Field3]) {
+    assert!(fieldset.len() >= NFIELDS);
+    assert!(
+        fieldset[0].ghost() >= 2,
+        "MUSCL needs ghost width >= 2 (have {})",
+        fieldset[0].ghost()
+    );
+}
+
+/// One MUSCL–Hancock sweep along `axis`. Ghosts (width ≥ 2) must be filled.
+///
+/// Double-buffered through `pool` like [`crate::euler::sweep`]; bit-identical
+/// to [`reference::sweep_muscl`].
+pub fn sweep_muscl(
+    fieldset: &mut [Field3],
+    axis: usize,
+    dt_over_dx: f64,
+    gamma: f64,
+    pool: &FieldPool,
+) {
+    assert_muscl_ghosts(fieldset);
+    let interior = fieldset[0].interior();
+    let dir = crate::euler::axis_dir(axis);
+    let mut scratch = crate::euler::acquire_scratch(pool, interior, NFIELDS);
+    {
+        let mut out: Vec<&mut [f64]> = scratch.iter_mut().map(|f| f.data_mut()).collect();
+        for x in interior.lo.x..interior.hi.x {
+            for y in interior.lo.y..interior.hi.y {
+                let row = interior.row_range(x, y, interior.lo.z, interior.hi.z);
+                for (k, i) in row.enumerate() {
+                    let p = samr_mesh::ivec3(x, y, interior.lo.z + k as i64);
+                    let u = apply_floors(
+                        updated_state(fieldset, p, dir, axis, dt_over_dx, gamma),
+                        gamma,
+                    );
+                    let v = as_array(&u);
+                    for (kk, o) in out.iter_mut().enumerate() {
+                        o[i] = v[kk];
+                    }
+                }
+            }
         }
-        updates.push((p, from_array(v)));
     }
-    for (p, u) in updates {
-        store(fieldset, p, u, gamma);
-    }
+    crate::euler::commit_scratch(fieldset, scratch, pool);
 }
 
 /// Full dimensionally-split MUSCL–Hancock step (zero-gradient ghost refill
 /// between sweeps, as in [`crate::euler::euler_step`]).
-pub fn muscl_step(fieldset: &mut [Field3], dt_over_dx: f64, gamma: f64) {
+pub fn muscl_step(fieldset: &mut [Field3], dt_over_dx: f64, gamma: f64, pool: &FieldPool) {
     for axis in 0..3 {
         if axis > 0 {
             for f in fieldset.iter_mut().take(NFIELDS) {
                 f.fill_ghosts_zero_gradient();
             }
         }
-        sweep_muscl(fieldset, axis, dt_over_dx, gamma);
+        sweep_muscl(fieldset, axis, dt_over_dx, gamma, pool);
+    }
+}
+
+/// Update-list forms retained as bit-identity oracles (see
+/// [`crate::euler::reference`]).
+pub mod reference {
+    use super::*;
+
+    /// Reference for [`super::sweep_muscl`].
+    pub fn sweep_muscl(fieldset: &mut [Field3], axis: usize, dt_over_dx: f64, gamma: f64) {
+        assert_muscl_ghosts(fieldset);
+        let interior = fieldset[0].interior();
+        let dir = crate::euler::axis_dir(axis);
+        let mut updates: Vec<(IVec3, Cons)> = Vec::with_capacity(checked_capacity(interior.cells()));
+        for p in interior.iter_cells() {
+            updates.push((p, updated_state(fieldset, p, dir, axis, dt_over_dx, gamma)));
+        }
+        for (p, u) in updates {
+            store(fieldset, p, u, gamma);
+        }
+    }
+
+    /// Reference for [`super::muscl_step`].
+    pub fn muscl_step(fieldset: &mut [Field3], dt_over_dx: f64, gamma: f64) {
+        for axis in 0..3 {
+            if axis > 0 {
+                for f in fieldset.iter_mut().take(NFIELDS) {
+                    f.fill_ghosts_zero_gradient();
+                }
+            }
+            sweep_muscl(fieldset, axis, dt_over_dx, gamma);
+        }
     }
 }
 
@@ -133,14 +203,43 @@ mod tests {
     }
 
     #[test]
+    fn in_place_sweep_matches_reference_bitwise() {
+        let pool = FieldPool::new();
+        let gamma = 1.4;
+        for steps in [1, 3] {
+            let mut a = smooth_wave(10, 2);
+            let mut b = a.clone();
+            let s = max_wave_speed(&a, gamma);
+            for _ in 0..steps {
+                for f in a.iter_mut() {
+                    f.fill_ghosts_zero_gradient();
+                }
+                muscl_step(&mut a, 0.3 / s, gamma, &pool);
+                for f in b.iter_mut() {
+                    f.fill_ghosts_zero_gradient();
+                }
+                reference::muscl_step(&mut b, 0.3 / s, gamma);
+            }
+            let bits = |fs: &[Field3]| -> Vec<Vec<u64>> {
+                fs.iter()
+                    .map(|f| f.data().iter().map(|v| v.to_bits()).collect())
+                    .collect()
+            };
+            assert_eq!(bits(&a), bits(&b), "{steps} steps");
+        }
+        assert!(pool.stats().hits > 0);
+    }
+
+    #[test]
     fn uniform_state_is_steady() {
+        let pool = FieldPool::new();
         let gamma = 1.4;
         let mut fs: Vec<Field3> = (0..NFIELDS)
             .map(|_| Field3::zeros(Region::cube(6), 2))
             .collect();
         set_ambient(&mut fs, 1.0, [0.3, -0.2, 0.1], 1.0, gamma);
         let before = totals(&fs);
-        muscl_step(&mut fs, 0.1, gamma);
+        muscl_step(&mut fs, 0.1, gamma, &pool);
         let after = totals(&fs);
         assert!((before.0 - after.0).abs() < 1e-12);
         assert!((before.2 - after.2).abs() < 1e-11);
@@ -148,6 +247,7 @@ mod tests {
 
     #[test]
     fn mass_conserved_in_interior() {
+        let pool = FieldPool::new();
         let gamma = 1.4;
         let mut fs = smooth_wave(12, 2);
         let (m0, _, _) = totals(&fs);
@@ -156,7 +256,7 @@ mod tests {
             for f in fs.iter_mut() {
                 f.fill_ghosts_zero_gradient();
             }
-            muscl_step(&mut fs, 0.3 / s, gamma);
+            muscl_step(&mut fs, 0.3 / s, gamma, &pool);
         }
         let (m1, _, _) = totals(&fs);
         // zero-gradient boundaries admit small in/outflow of the moving
@@ -180,6 +280,7 @@ mod tests {
             }
             hi - lo
         };
+        let pool = FieldPool::new();
         let steps = 8;
         let mut first = smooth_wave(16, 2);
         let mut second = smooth_wave(16, 2);
@@ -189,11 +290,11 @@ mod tests {
             for f in first.iter_mut() {
                 f.fill_ghosts_zero_gradient();
             }
-            crate::euler::euler_step(&mut first, dt_over_dx, gamma);
+            crate::euler::euler_step(&mut first, dt_over_dx, gamma, &pool);
             for f in second.iter_mut() {
                 f.fill_ghosts_zero_gradient();
             }
-            muscl_step(&mut second, dt_over_dx, gamma);
+            muscl_step(&mut second, dt_over_dx, gamma, &pool);
         }
         let c1 = contrast(&first);
         let c2 = contrast(&second);
@@ -209,6 +310,6 @@ mod tests {
         let mut fs: Vec<Field3> = (0..NFIELDS)
             .map(|_| Field3::zeros(Region::cube(4), 1))
             .collect();
-        sweep_muscl(&mut fs, 0, 0.1, 1.4);
+        sweep_muscl(&mut fs, 0, 0.1, 1.4, &FieldPool::new());
     }
 }

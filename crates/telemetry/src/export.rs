@@ -164,6 +164,13 @@ pub fn to_jsonl(sink: &RecordingSink) -> String {
         c.failed_transfers,
         sink.spans_dropped(),
     );
+    for (name, entries) in sink.stat_blocks() {
+        let _ = write!(out, "{{\"type\": \"stat_block\", \"name\": \"{}\"", json_escape(name));
+        for (k, v) in entries {
+            let _ = write!(out, ", \"{}\": {v}", json_escape(k));
+        }
+        out.push_str("}\n");
+    }
     for ev in sink.events() {
         out.push_str(&event_json(&ev));
         out.push('\n');
@@ -364,6 +371,17 @@ pub fn summary_text(sink: &RecordingSink) -> String {
         );
     }
 
+    if !sink.stat_blocks().is_empty() {
+        out.push_str("counter blocks:\n");
+        for (name, entries) in sink.stat_blocks() {
+            let _ = write!(out, "  {name}:");
+            for (k, v) in entries {
+                let _ = write!(out, " {k} {v}");
+            }
+            out.push('\n');
+        }
+    }
+
     let (dd, df) = sink.dropped();
     if dd + df + sink.spans_dropped() > 0 {
         let _ = writeln!(
@@ -493,6 +511,23 @@ mod tests {
             probe.get("predicted_alpha_secs").and_then(Json::as_f64),
             Some(0.010)
         );
+    }
+
+    #[test]
+    fn stat_block_jsonl_lines_parse_and_follow_meta() {
+        let mut s = populated_sink();
+        s.record_stat_block("field_pool", &[("hits", 42), ("steady_misses", 0)]);
+        let jsonl = s.to_jsonl().unwrap();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 8); // meta + stat block + 6 events
+        let block = json::parse(lines[1]).unwrap();
+        assert_eq!(block.get("type").and_then(Json::as_str), Some("stat_block"));
+        assert_eq!(block.get("name").and_then(Json::as_str), Some("field_pool"));
+        assert_eq!(block.get("hits").and_then(Json::as_f64), Some(42.0));
+        assert_eq!(block.get("steady_misses").and_then(Json::as_f64), Some(0.0));
+        let text = s.summary().unwrap();
+        assert!(text.contains("counter blocks"), "{text}");
+        assert!(text.contains("field_pool"), "{text}");
     }
 
     #[test]

@@ -44,6 +44,10 @@ pub trait TelemetrySink: Send {
     /// resets simulated clocks, so setup work is excluded).
     fn clear(&mut self);
 
+    /// Record (or replace) a named block of whole-run counters — e.g. the
+    /// driver's field-pool statistics. Ignored by non-recording sinks.
+    fn record_stat_block(&mut self, _name: &'static str, _entries: &[(&'static str, u64)]) {}
+
     /// Human-readable report; `None` for non-recording sinks.
     fn summary(&self) -> Option<String> {
         None
@@ -157,6 +161,7 @@ pub struct RecordingSink {
     gate_by_level: BTreeMap<usize, GateTally>,
     drift: BTreeMap<(usize, usize), LinkDrift>,
     counts: EventCounts,
+    stat_blocks: BTreeMap<&'static str, Vec<(&'static str, u64)>>,
 }
 
 impl Default for RecordingSink {
@@ -181,6 +186,7 @@ impl RecordingSink {
             gate_by_level: BTreeMap::new(),
             drift: BTreeMap::new(),
             counts: EventCounts::default(),
+            stat_blocks: BTreeMap::new(),
         }
     }
 
@@ -230,6 +236,11 @@ impl RecordingSink {
     /// Per-(phase, level) host-time histograms.
     pub fn phase_histograms(&self) -> &BTreeMap<(&'static str, Option<usize>), LogHistogram> {
         &self.phase_hist
+    }
+
+    /// Named counter blocks, keyed by block name (latest value per block).
+    pub fn stat_blocks(&self) -> &BTreeMap<&'static str, Vec<(&'static str, u64)>> {
+        &self.stat_blocks
     }
 
     /// Transfer queueing-delay histogram (simulated seconds).
@@ -340,6 +351,10 @@ impl TelemetrySink for RecordingSink {
         *self = RecordingSink::new(dc, fc, sc);
     }
 
+    fn record_stat_block(&mut self, name: &'static str, entries: &[(&'static str, u64)]) {
+        self.stat_blocks.insert(name, entries.to_vec());
+    }
+
     fn summary(&self) -> Option<String> {
         Some(export::summary_text(self))
     }
@@ -440,6 +455,14 @@ impl Telemetry {
                 level,
                 start: Instant::now(),
             }),
+        }
+    }
+
+    /// Record (or replace) a named block of whole-run counters (e.g. the
+    /// driver's field-pool statistics). A no-op when disabled.
+    pub fn stat_block(&self, name: &'static str, entries: &[(&'static str, u64)]) {
+        if let Some(s) = &self.shared {
+            lock(&s.sink).record_stat_block(name, entries);
         }
     }
 
@@ -589,6 +612,23 @@ mod tests {
             RecordingSink::routing_of(&gate(0, GateVerdict::Accept)),
             "decisions"
         );
+    }
+
+    #[test]
+    fn stat_blocks_replace_by_name_and_survive_in_summary() {
+        let (tel, sink) = Telemetry::recording_shared();
+        tel.stat_block("field_pool", &[("hits", 1), ("misses", 2)]);
+        tel.stat_block("field_pool", &[("hits", 10), ("misses", 2)]);
+        {
+            let s = sink.lock().unwrap();
+            assert_eq!(s.stat_blocks().len(), 1);
+            assert_eq!(s.stat_blocks()["field_pool"], vec![("hits", 10), ("misses", 2)]);
+        }
+        let text = tel.summary().unwrap();
+        assert!(text.contains("field_pool"), "{text}");
+        assert!(text.contains("hits"), "{text}");
+        // null handles stay inert
+        Telemetry::null().stat_block("field_pool", &[("hits", 1)]);
     }
 
     #[test]

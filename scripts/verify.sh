@@ -7,6 +7,8 @@ cd "$(dirname "$0")/.."
 cargo build --release
 cargo clippy --all-targets -- -D warnings
 cargo clippy -p forecast --all-targets -- -D warnings
+# the pooled data path must not reintroduce hidden full-field copies
+cargo clippy -p samr-mesh -p samr-solvers --all-targets -- -D warnings -D clippy::redundant_clone
 cargo build -p forecast && cargo test -q -p forecast
 cargo test -q
 cargo test -p samr-engine --test fault_recovery
@@ -32,13 +34,22 @@ if sorted(names) != ["amr64", "shockpool3d"]:
     sys.exit(f"hotpath: unexpected presets {names}")
 for p in cur["presets"]:
     for key in ("cell_updates", "peak_patches", "cell_updates_per_sec",
-                "wall_secs", "phases", "bit_identical"):
+                "wall_secs", "phases", "bit_identical",
+                "pool_hits", "pool_misses", "pool_bytes_recycled",
+                "steady_state_field_allocs"):
         if key not in p:
             sys.exit(f"hotpath: preset {p['name']} missing {key}")
     if not p["bit_identical"]:
         sys.exit(f"hotpath: {p['name']} diverged from the reference path")
     if p["cell_updates_per_sec"] <= 0:
         sys.exit(f"hotpath: {p['name']} reports no throughput")
+    if p["pool_hits"] <= 0:
+        sys.exit(f"hotpath: {p['name']} never reused a pooled field buffer")
+    if p["steady_state_field_allocs"] != 0:
+        sys.exit(
+            f"hotpath: {p['name']} allocated {p['steady_state_field_allocs']} "
+            "field buffers after warm-up (steady state must allocate zero)"
+        )
     b = next(q for q in base["presets"] if q["name"] == p["name"])
     floor = 0.7 * b["cell_updates_per_sec"]
     if p["cell_updates_per_sec"] < floor:
