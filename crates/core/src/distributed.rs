@@ -39,11 +39,13 @@ use crate::cost::{
     evaluate_cost, evaluate_cost_forecast, should_redistribute_confident, CostEstimate,
 };
 use crate::fault::{FaultEvent, FaultStats, FaultTolerancePolicy, GroupHealth, QuarantineRoster};
-use crate::gain::{evaluate_gain_among, evaluate_gain_forecast, GainEstimate};
+use crate::gain::{
+    evaluate_gain_among_with_powers, evaluate_gain_forecast_with_powers, GainEstimate,
+};
 use forecast::{derive_seed, ForecastValue, PredictorKind, SeriesForecaster};
 use crate::parallel::LOAD_MSG_BYTES;
 use crate::partition::{
-    global_redistribute_guarded, group_level0_cells, RedistributionReport, SelectionPolicy,
+    global_redistribute_elastic, group_level0_cells, RedistributionReport, SelectionPolicy,
 };
 use crate::scheme::{proc_total_cells, LbContext, LoadBalancer};
 use samr_mesh::checkpoint;
@@ -197,6 +199,10 @@ pub struct DistributedDlb {
     /// Cursor into `roster.events`: entries before it have already been
     /// forwarded to the telemetry sink.
     fault_events_forwarded: usize,
+    /// Per-proc alive mask, refreshed from the simulator at the start of
+    /// every `after_level_step` (all-alive when no proc faults are
+    /// scheduled). Empty until the first step.
+    alive: Vec<bool>,
 }
 
 impl DistributedDlb {
@@ -208,6 +214,16 @@ impl DistributedDlb {
             roster: QuarantineRoster::default(),
             decisions: Vec::new(),
             fault_events_forwarded: 0,
+            alive: Vec::new(),
+        }
+    }
+
+    /// The alive mask as of the last step (all-alive before the first).
+    fn alive_mask(&self, nprocs: usize) -> Vec<bool> {
+        if self.alive.len() == nprocs {
+            self.alive.clone()
+        } else {
+            vec![true; nprocs]
         }
     }
 
@@ -346,7 +362,15 @@ impl DistributedDlb {
             return;
         }
         self.roster.ensure_len(sys.ngroups());
-        let healthy = self.roster.healthy_groups();
+        let powers: Vec<f64> = (0..sys.ngroups())
+            .map(|g| ctx.sim.alive_group_power(GroupId(g)))
+            .collect();
+        let healthy: Vec<usize> = self
+            .roster
+            .healthy_groups()
+            .into_iter()
+            .filter(|&g| powers[g] > 0.0)
+            .collect();
         if healthy.len() < 2 {
             return;
         }
@@ -357,7 +381,13 @@ impl DistributedDlb {
             .zip(&observed)
             .map(|(lf, &obs)| lf.forecast().unwrap_or(obs))
             .collect();
-        let gain = evaluate_gain_forecast(predicted, ctx.history.last_step_secs(), &sys, &healthy);
+        let gain = evaluate_gain_forecast_with_powers(
+            predicted,
+            ctx.history.last_step_secs(),
+            &sys,
+            &healthy,
+            &powers,
+        );
         if gain.imbalance_ratio > threshold && gain.gain_secs > 0.0 {
             self.global_phase(ctx, Some(gain), level);
         }
@@ -370,6 +400,7 @@ impl DistributedDlb {
         sys: &DistributedSystem,
         group_loads: &[f64],
         eligible: &[bool],
+        powers: &[f64],
     ) -> i64 {
         let total: f64 = group_loads
             .iter()
@@ -379,7 +410,7 @@ impl DistributedDlb {
             .sum();
         let power: f64 = (0..sys.ngroups())
             .filter(|&g| eligible[g])
-            .map(|g| sys.group_power(GroupId(g)))
+            .map(|g| powers[g])
             .sum();
         if total <= 0.0 || power <= 0.0 {
             return 0;
@@ -389,7 +420,7 @@ impl DistributedDlb {
             if !eligible[g] {
                 continue;
             }
-            let target = total * sys.group_power(GroupId(g)) / power;
+            let target = total * powers[g] / power;
             if w > target && w > 0.0 {
                 let frac = (w - target) / w;
                 cells += (frac * group_level0_cells(hier, sys, g) as f64).round() as i64;
@@ -490,7 +521,19 @@ impl DistributedDlb {
         // recovered link rejoins in the same step that notices it.
         self.probation(ctx, &sys, step);
 
-        let healthy = self.roster.healthy_groups();
+        // Capacity as the crash-stop schedule leaves it right now: a group
+        // that lost procs participates at reduced power; a group with *no*
+        // alive proc drops out of the phase entirely (its work was already
+        // evacuated, so it carries no load to misprice).
+        let powers: Vec<f64> = (0..sys.ngroups())
+            .map(|g| ctx.sim.alive_group_power(GroupId(g)))
+            .collect();
+        let healthy: Vec<usize> = self
+            .roster
+            .healthy_groups()
+            .into_iter()
+            .filter(|&g| powers[g] > 0.0)
+            .collect();
         if healthy.len() < 2 {
             return; // nobody to exchange work with; local phases continue
         }
@@ -573,7 +616,7 @@ impl DistributedDlb {
         }
         let gain = match forecast_gain {
             Some(g) => g,
-            None => evaluate_gain_among(ctx.history, &sys, &healthy),
+            None => evaluate_gain_among_with_powers(ctx.history, &sys, &healthy, &powers),
         };
 
         // NaN-safe: a NaN ratio reads as balanced
@@ -608,7 +651,8 @@ impl DistributedDlb {
         // inter-group links (two messages each — §4.2, retried with backoff
         // on failure) and take the slowest path.
         let eligible: Vec<bool> = (0..sys.ngroups()).map(|g| healthy.contains(&g)).collect();
-        let move_cells = Self::planned_move_cells(ctx.hier, &sys, &gain.group_loads, &eligible);
+        let move_cells =
+            Self::planned_move_cells(ctx.hier, &sys, &gain.group_loads, &eligible, &powers);
         let cell_bytes = (ctx.hier.nfields() as u64) * 8;
         let move_bytes = move_cells.max(0) as u64 * cell_bytes;
         let mut alpha = 0.0f64;
@@ -744,7 +788,8 @@ impl DistributedDlb {
             let deadline = fault
                 .transfer_deadline_slack
                 .map(|slack| ctx.sim.elapsed() + SimTime::from_secs_f64(slack));
-            match global_redistribute_guarded(
+            let alive = self.alive_mask(sys.nprocs());
+            match global_redistribute_elastic(
                 ctx.hier,
                 ctx.sim,
                 &gain.group_loads,
@@ -752,6 +797,8 @@ impl DistributedDlb {
                 &self.cfg.balance,
                 self.cfg.selection,
                 deadline,
+                &powers,
+                &alive,
             ) {
                 Ok(rep) => {
                     // Computational overhead of the redistribution:
@@ -899,8 +946,12 @@ impl DistributedDlb {
     /// unaffected by an inter-link failure, and children stay with parents.
     fn local_phase(&mut self, ctx: &mut LbContext<'_>, level: usize) {
         let sys = ctx.sim.system().clone();
+        let alive = self.alive_mask(sys.nprocs());
         for g in sys.groups() {
-            if g.nprocs() < 2 {
+            // balance only among the group's alive procs: a crashed proc
+            // neither donates (it was evacuated) nor receives
+            let procs: Vec<ProcId> = g.procs.iter().copied().filter(|p| alive[p.0]).collect();
+            if procs.len() < 2 {
                 continue;
             }
             // single-group collectives cross no inter-link and cannot fail,
@@ -912,7 +963,6 @@ impl DistributedDlb {
             {
                 continue;
             }
-            let procs: Vec<ProcId> = g.procs.clone();
             let weights: Vec<f64> = procs.iter().map(|p| sys.proc(*p).weight).collect();
             balance_level_within(
                 ctx.hier,
@@ -948,6 +998,11 @@ impl LoadBalancer for DistributedDlb {
         // history snapshot only refreshes after level-0 steps, but the
         // proactive trigger wants to see what refinement just did.
         let sys = ctx.sim.system().clone();
+        // refresh the crash-stop view before any balancing decision
+        let t = ctx.sim.elapsed();
+        self.alive = (0..sys.nprocs())
+            .map(|p| ctx.sim.alive_at(ProcId(p), t))
+            .collect();
         if sys.ngroups() >= 2 {
             self.observe_group_loads(&ctx, &sys);
         }
@@ -974,6 +1029,7 @@ impl LoadBalancer for DistributedDlb {
         // Children are placed inside their parent's group only — the
         // mechanism that removes parent↔child remote communication.
         let all_loads = proc_total_cells(hier, sys.nprocs());
+        let alive = self.alive_mask(sys.nprocs());
         let mut owners = vec![0usize; parents.len()];
         for g in sys.groups() {
             let idxs: Vec<usize> = (0..parents.len())
@@ -982,12 +1038,20 @@ impl LoadBalancer for DistributedDlb {
             if idxs.is_empty() {
                 continue;
             }
-            let gloads: Vec<i64> = g.procs.iter().map(|p| all_loads[p.0]).collect();
-            let gweights: Vec<f64> = g.procs.iter().map(|p| sys.proc(*p).weight).collect();
+            // never place a child on a crashed proc; a fully-dead group
+            // falls back to its nameplate roster (nothing better exists —
+            // the next evacuation pass will move the work out)
+            let mut gprocs: Vec<ProcId> =
+                g.procs.iter().copied().filter(|p| alive[p.0]).collect();
+            if gprocs.is_empty() {
+                gprocs = g.procs.clone();
+            }
+            let gloads: Vec<i64> = gprocs.iter().map(|p| all_loads[p.0]).collect();
+            let gweights: Vec<f64> = gprocs.iter().map(|p| sys.proc(*p).weight).collect();
             let gsizes: Vec<i64> = idxs.iter().map(|&i| sizes[i]).collect();
             let placed = place_batch(&gloads, &gweights, &gsizes);
             for (k, &i) in idxs.iter().enumerate() {
-                owners[i] = g.procs[placed[k]].0;
+                owners[i] = gprocs[placed[k]].0;
             }
         }
         owners

@@ -228,6 +228,70 @@ impl QuarantineRoster {
     }
 }
 
+/// Liveness transitions observed between two snapshots of the alive mask.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ProcTransitions {
+    /// Procs that were alive last observation and are dead now.
+    pub crashed: Vec<usize>,
+    /// Procs that were dead last observation and are alive now.
+    pub rejoined: Vec<usize>,
+}
+
+impl ProcTransitions {
+    pub fn is_empty(&self) -> bool {
+        self.crashed.is_empty() && self.rejoined.is_empty()
+    }
+}
+
+/// Edge detector over the per-proc alive mask: the simulator answers
+/// "who is alive *now*" as a pure function of time, and this turns
+/// consecutive answers into crash/rejoin *events* the driver can act on
+/// (evacuate patches, refill a returning proc).
+#[derive(Clone, Debug)]
+pub struct ProcHealth {
+    alive: Vec<bool>,
+}
+
+impl ProcHealth {
+    /// All procs presumed alive initially.
+    pub fn new(nprocs: usize) -> Self {
+        ProcHealth {
+            alive: vec![true; nprocs],
+        }
+    }
+
+    /// Is `p` alive as of the last observation?
+    pub fn is_alive(&self, p: usize) -> bool {
+        self.alive.get(p).copied().unwrap_or(true)
+    }
+
+    /// The full alive mask as of the last observation.
+    pub fn alive_mask(&self) -> &[bool] {
+        &self.alive
+    }
+
+    /// Number of alive procs as of the last observation.
+    pub fn alive_count(&self) -> usize {
+        self.alive.iter().filter(|&&a| a).count()
+    }
+
+    /// Fold in a fresh observation of the alive mask and return the
+    /// transitions since the previous one.
+    pub fn observe(&mut self, now_alive: &[bool]) -> ProcTransitions {
+        assert_eq!(now_alive.len(), self.alive.len(), "proc count is fixed");
+        let mut tr = ProcTransitions::default();
+        for (p, (&was, &is)) in self.alive.iter().zip(now_alive).enumerate() {
+            match (was, is) {
+                (true, false) => tr.crashed.push(p),
+                (false, true) => tr.rejoined.push(p),
+                _ => {}
+            }
+        }
+        self.alive.copy_from_slice(now_alive);
+        tr
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -298,6 +362,24 @@ mod tests {
         assert_eq!(r.stats.quarantines, 1);
         assert!(r.record_pair_failure(0, 1, 2, SimTime::ZERO, 1).is_none());
         assert_eq!(r.stats.quarantines, 1, "no double quarantine");
+    }
+
+    #[test]
+    fn proc_health_detects_edges_once() {
+        let mut h = ProcHealth::new(4);
+        assert_eq!(h.alive_count(), 4);
+        let tr = h.observe(&[true, false, true, false]);
+        assert_eq!(tr.crashed, vec![1, 3]);
+        assert!(tr.rejoined.is_empty());
+        // same mask again: no new events
+        assert!(h.observe(&[true, false, true, false]).is_empty());
+        assert_eq!(h.alive_count(), 2);
+        assert!(!h.is_alive(1));
+        let tr = h.observe(&[true, true, true, false]);
+        assert_eq!(tr.rejoined, vec![1]);
+        assert!(tr.crashed.is_empty());
+        // out-of-range queries default to alive
+        assert!(h.is_alive(99));
     }
 
     #[test]

@@ -36,13 +36,35 @@ pub fn evaluate_gain_among(
     sys: &DistributedSystem,
     among: &[usize],
 ) -> GainEstimate {
+    let powers = static_powers(sys);
+    evaluate_gain_among_with_powers(history, sys, among, &powers)
+}
+
+/// [`evaluate_gain_among`] with explicit per-group compute powers —
+/// the crash-stop path, where a group that lost procs has less capacity
+/// than its nameplate `group_power` and imbalance must be judged against
+/// what is *actually* alive. `powers` is indexed by group id (full
+/// length, entries outside `among` ignored).
+pub fn evaluate_gain_among_with_powers(
+    history: &WorkloadHistory,
+    sys: &DistributedSystem,
+    among: &[usize],
+    powers: &[f64],
+) -> GainEstimate {
     let ngroups = sys.ngroups();
     let mut group_loads = Vec::with_capacity(ngroups);
     for g in 0..ngroups {
         let procs: Vec<usize> = sys.procs_in(GroupId(g)).iter().map(|p| p.0).collect();
         group_loads.push(history.group_total_load(&procs));
     }
-    gain_from_loads(group_loads, history.last_step_secs(), sys, among)
+    gain_from_loads(group_loads, history.last_step_secs(), among, powers)
+}
+
+/// Nameplate per-group powers (every proc assumed alive).
+pub fn static_powers(sys: &DistributedSystem) -> Vec<f64> {
+    (0..sys.ngroups())
+        .map(|g| sys.group_power(GroupId(g)))
+        .collect()
 }
 
 /// Evaluate the same Eq.-4 heuristic on *predicted* per-group loads — the
@@ -54,15 +76,28 @@ pub fn evaluate_gain_forecast(
     sys: &DistributedSystem,
     among: &[usize],
 ) -> GainEstimate {
+    let powers = static_powers(sys);
+    evaluate_gain_forecast_with_powers(predicted_loads, last_step_secs, sys, among, &powers)
+}
+
+/// [`evaluate_gain_forecast`] with explicit per-group powers (see
+/// [`evaluate_gain_among_with_powers`]).
+pub fn evaluate_gain_forecast_with_powers(
+    predicted_loads: Vec<f64>,
+    last_step_secs: f64,
+    sys: &DistributedSystem,
+    among: &[usize],
+    powers: &[f64],
+) -> GainEstimate {
     assert_eq!(predicted_loads.len(), sys.ngroups());
-    gain_from_loads(predicted_loads, last_step_secs, sys, among)
+    gain_from_loads(predicted_loads, last_step_secs, among, powers)
 }
 
 fn gain_from_loads(
     group_loads: Vec<f64>,
     last_step_secs: f64,
-    sys: &DistributedSystem,
     among: &[usize],
+    powers: &[f64],
 ) -> GainEstimate {
     let active = among.len();
     let max = among
@@ -85,8 +120,16 @@ fn gain_from_loads(
     let mut norm_min = f64::MAX;
     for &g in among {
         let w = group_loads[g];
-        let p = sys.group_power(GroupId(g));
-        let norm = w / p;
+        let p = powers[g];
+        // a group with no surviving capacity but load still assigned is
+        // infinitely imbalanced — its work must leave
+        let norm = if p > 0.0 {
+            w / p
+        } else if w > 0.0 {
+            f64::INFINITY
+        } else {
+            0.0
+        };
         norm_max = norm_max.max(norm);
         norm_min = norm_min.min(norm);
     }
@@ -202,6 +245,27 @@ mod tests {
         assert_eq!(only_a.group_loads.len(), 2);
         // matches unrestricted evaluation when every group is listed
         assert_eq!(evaluate_gain(&h, &sys), full);
+    }
+
+    #[test]
+    fn shrunken_powers_turn_balance_into_imbalance() {
+        // equal loads on equal nameplate groups: balanced...
+        let h = history(1000, 1000, 10.0);
+        let sys = sys(2, 2, 1.0);
+        let nameplate = evaluate_gain(&h, &sys);
+        assert!((nameplate.imbalance_ratio - 1.0).abs() < 1e-12);
+        // ...but with one of B's two procs dead, B is carrying double its
+        // surviving capacity's fair share
+        let shrunk = evaluate_gain_among_with_powers(&h, &sys, &[0, 1], &[2.0, 1.0]);
+        assert!((shrunk.imbalance_ratio - 2.0).abs() < 1e-12);
+        // a zero-capacity group with load pending is infinitely imbalanced
+        let dead = evaluate_gain_among_with_powers(&h, &sys, &[0, 1], &[2.0, 0.0]);
+        assert!(dead.imbalance_ratio.is_infinite());
+        // static_powers reproduces the nameplate evaluation
+        assert_eq!(
+            evaluate_gain_among_with_powers(&h, &sys, &[0, 1], &static_powers(&sys)),
+            nameplate
+        );
     }
 
     #[test]

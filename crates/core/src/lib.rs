@@ -35,13 +35,20 @@ pub use cost::{
     CostEstimate,
 };
 pub use distributed::{DistributedDlb, DistributedDlbConfig, ForecastSummary, GlobalDecision};
-pub use fault::{FaultEvent, FaultStats, FaultTolerancePolicy, GroupHealth, QuarantineRoster};
+pub use fault::{
+    FaultEvent, FaultStats, FaultTolerancePolicy, GroupHealth, ProcHealth, ProcTransitions,
+    QuarantineRoster,
+};
 pub use forecast::{ForecastValue, PredictorKind};
-pub use gain::{evaluate_gain, evaluate_gain_among, evaluate_gain_forecast, GainEstimate};
+pub use gain::{
+    evaluate_gain, evaluate_gain_among, evaluate_gain_among_with_powers, evaluate_gain_forecast,
+    evaluate_gain_forecast_with_powers, static_powers, GainEstimate,
+};
 pub use history::WorkloadHistory;
 pub use parallel::ParallelDlb;
 pub use partition::{
-    decompose_domain, global_redistribute, global_redistribute_guarded, global_redistribute_with,
+    decompose_domain, evacuate_proc, global_redistribute, global_redistribute_elastic,
+    global_redistribute_guarded, global_redistribute_with, EvacuationMove, EvacuationReport,
     RedistributionAbort, RedistributionReport, SelectionPolicy,
 };
 pub use scheme::{proc_total_cells, LbContext, LoadBalancer};

@@ -115,10 +115,37 @@ pub fn global_redistribute_guarded(
     policy: SelectionPolicy,
     deadline: Option<SimTime>,
 ) -> Result<RedistributionReport, RedistributionAbort> {
+    let powers = crate::gain::static_powers(sim.system());
+    let alive = vec![true; sim.system().nprocs()];
+    global_redistribute_elastic(
+        hier, sim, group_loads, eligible, params, policy, deadline, &powers, &alive,
+    )
+}
+
+/// Capacity-aware [`global_redistribute_guarded`]: group targets are
+/// proportional to the supplied `powers` (per group id — pass the *alive*
+/// capacity of a group that lost procs to crash-stop failures), and
+/// migration destinations are restricted to procs with `alive[p] == true`.
+/// A group whose power is zero but which still holds load becomes a pure
+/// donor; a group with no alive procs can never receive.
+#[allow(clippy::too_many_arguments)]
+pub fn global_redistribute_elastic(
+    hier: &mut GridHierarchy,
+    sim: &mut NetSim,
+    group_loads: &[f64],
+    eligible: &[bool],
+    params: &BalanceParams,
+    policy: SelectionPolicy,
+    deadline: Option<SimTime>,
+    powers: &[f64],
+    alive: &[bool],
+) -> Result<RedistributionReport, RedistributionAbort> {
     let sys = sim.system().clone();
     let ngroups = sys.ngroups();
     assert_eq!(group_loads.len(), ngroups);
     assert_eq!(eligible.len(), ngroups);
+    assert_eq!(powers.len(), ngroups);
+    assert_eq!(alive.len(), sys.nprocs());
     let mut report = RedistributionReport {
         group_flow: vec![0; ngroups],
         ..Default::default()
@@ -135,7 +162,7 @@ pub fn global_redistribute_guarded(
         .sum();
     let total_power: f64 = (0..ngroups)
         .filter(|&g| eligible[g])
-        .map(|g| sys.group_power(GroupId(g)))
+        .map(|g| powers[g])
         .sum();
     if total_load <= 0.0 || total_power <= 0.0 {
         return Ok(report);
@@ -163,7 +190,7 @@ pub fn global_redistribute_guarded(
     let mut donors: Vec<(usize, f64)> = Vec::new();
     let mut receivers: Vec<(usize, f64)> = Vec::new();
     for g in (0..ngroups).filter(|&g| eligible[g]) {
-        let target = total_load * sys.group_power(GroupId(g)) / total_power;
+        let target = total_load * powers[g] / total_power;
         let w = group_loads[g];
         if w > target && w > 0.0 {
             donors.push((g, w - target));
@@ -271,9 +298,9 @@ pub fn global_redistribute_guarded(
                 break;
             }
 
-            // Destination: least-loaded (level-0 cells per weight) processor
-            // of the receiving group.
-            let Some(dst) = least_loaded_proc(hier, &sys, rg) else {
+            // Destination: least-loaded (level-0 cells per weight) *alive*
+            // processor of the receiving group.
+            let Some(dst) = least_loaded_proc_among(hier, &sys, rg, alive) else {
                 break;
             };
             let src = ProcId(hier.patch(move_id).owner);
@@ -305,6 +332,138 @@ pub fn global_redistribute_guarded(
         }
     }
     Ok(report)
+}
+
+/// One patch reassigned away from a crashed processor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EvacuationMove {
+    pub patch: PatchId,
+    pub level: usize,
+    /// New owner processor.
+    pub to: usize,
+    pub cells: i64,
+    pub bytes: u64,
+}
+
+/// What evacuating a crashed processor did.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct EvacuationReport {
+    pub moves: Vec<EvacuationMove>,
+    /// Cells (all levels) whose ownership was reassigned.
+    pub evacuated_cells: i64,
+    /// Bytes shipped from the checkpoint holder to the new owners.
+    pub moved_bytes: u64,
+    /// Moves that stayed inside the dead proc's group.
+    pub intra: usize,
+    /// Moves that had to leave the group (no alive proc at home).
+    pub inter: usize,
+}
+
+impl EvacuationReport {
+    pub fn is_empty(&self) -> bool {
+        self.moves.is_empty()
+    }
+}
+
+/// Reassign every patch (all levels) owned by crashed processor `dead` to
+/// surviving processors: the least-loaded *alive* proc of the dead proc's
+/// own group when one exists, otherwise the least-loaded alive proc
+/// anywhere (the inter-group escape hatch for a fully-dead group). The
+/// patch payload is charged as a migration transfer from the checkpoint
+/// holder (the group's first alive proc, else the first alive proc of the
+/// system) to each new owner — the dead proc cannot send, so the state is
+/// served from the last checkpoint and the *content* is reconstructed by
+/// the caller (restore + recompute, charged separately).
+///
+/// Transfer failures are tolerated: evacuation is forced, so ownership is
+/// committed even when the link is degraded (the wasted detection time is
+/// still charged by the simulator). Returns an empty report if no proc is
+/// alive at all.
+pub fn evacuate_proc(
+    hier: &mut GridHierarchy,
+    sim: &mut NetSim,
+    dead: ProcId,
+    alive: &[bool],
+) -> EvacuationReport {
+    let sys = sim.system().clone();
+    let nprocs = sys.nprocs();
+    assert_eq!(alive.len(), nprocs);
+    assert!(!alive[dead.0], "evacuating a live proc");
+    let mut report = EvacuationReport::default();
+    if !alive.iter().any(|&a| a) {
+        return report; // total failure: nothing left to evacuate onto
+    }
+    let home = sys.group_of(dead);
+
+    // placement pressure: cells owned per proc across every level, updated
+    // as patches are reassigned so one survivor doesn't absorb everything
+    let mut load = vec![0i64; nprocs];
+    for l in 0..hier.num_levels() {
+        for (p, c) in hier.level_load_by_owner(l, nprocs).iter().enumerate() {
+            load[p] += c;
+        }
+    }
+
+    // the checkpoint holder serving the evacuated state
+    let all_procs: Vec<ProcId> = (0..nprocs).map(ProcId).collect();
+    let holder = sys
+        .procs_in(home)
+        .iter()
+        .chain(all_procs.iter())
+        .copied()
+        .find(|p| alive[p.0])
+        .expect("some proc is alive");
+
+    let doomed: Vec<(usize, PatchId)> = (0..hier.num_levels())
+        .flat_map(|l| {
+            hier.level_ids(l)
+                .iter()
+                .filter(|&&id| hier.patch(id).owner == dead.0)
+                .map(move |&id| (l, id))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+
+    for (level, id) in doomed {
+        let best_in = |procs: &[ProcId], load: &[i64]| -> Option<ProcId> {
+            procs
+                .iter()
+                .filter(|p| alive[p.0])
+                .min_by(|a, b| {
+                    let la = load[a.0] as f64 / sys.proc(**a).weight;
+                    let lb = load[b.0] as f64 / sys.proc(**b).weight;
+                    la.total_cmp(&lb)
+                })
+                .copied()
+        };
+        let (dst, intra) = match best_in(sys.procs_in(home), &load) {
+            Some(p) => (p, true),
+            None => (
+                best_in(&all_procs, &load).expect("some proc is alive"),
+                false,
+            ),
+        };
+        let cells = hier.patch(id).cells();
+        let bytes = hier.patch(id).payload_bytes();
+        let _ = sim.send(holder, dst, bytes, Activity::LoadBalance);
+        hier.set_owner(id, dst.0);
+        load[dst.0] += cells;
+        report.moves.push(EvacuationMove {
+            patch: id,
+            level,
+            to: dst.0,
+            cells,
+            bytes,
+        });
+        report.evacuated_cells += cells;
+        report.moved_bytes += bytes;
+        if intra {
+            report.intra += 1;
+        } else {
+            report.inter += 1;
+        }
+    }
+    report
 }
 
 /// Level-0 cells owned by processors of group `g`.
@@ -464,10 +623,16 @@ fn donor_level0_patches(
         .collect()
 }
 
-fn least_loaded_proc(hier: &GridHierarchy, sys: &DistributedSystem, g: usize) -> Option<ProcId> {
+fn least_loaded_proc_among(
+    hier: &GridHierarchy,
+    sys: &DistributedSystem,
+    g: usize,
+    alive: &[bool],
+) -> Option<ProcId> {
     let loads = hier.level_load_by_owner(0, sys.nprocs());
     sys.procs_in(GroupId(g))
         .iter()
+        .filter(|p| alive[p.0])
         .min_by(|a, b| {
             let la = loads[a.0] as f64 / sys.proc(**a).weight;
             let lb = loads[b.0] as f64 / sys.proc(**b).weight;
@@ -696,6 +861,92 @@ mod tests {
         // A and B converge toward equal shares of *their* load
         assert_eq!(group_level0_cells(&hier, &sys, 0), 2048);
         assert_eq!(group_level0_cells(&hier, &sys, 1), 2048);
+    }
+
+    #[test]
+    fn evacuation_prefers_survivors_at_home() {
+        let sys = wan_sys(2, 2, 1.0);
+        let mut sim = NetSim::new(sys);
+        let mut hier = hier_split(0, 2, 4); // procs 0 and 2 hold 4 grids each
+        let alive = [false, true, true, true];
+        let rep = evacuate_proc(&mut hier, &mut sim, ProcId(0), &alive);
+        assert_eq!(rep.moves.len(), 4);
+        assert_eq!(rep.evacuated_cells, 4 * 512);
+        assert_eq!(rep.inter, 0, "home group had a survivor: {rep:?}");
+        let sys = sim.system().clone();
+        // everything landed on proc 1 (the only alive proc of group A)
+        for m in &rep.moves {
+            assert_eq!(m.to, 1);
+        }
+        assert_eq!(group_level0_cells(&hier, &sys, 0), 2048);
+        assert!(hier.check_invariants().is_ok());
+        // no patch lost or duplicated: total cells conserved
+        let total: i64 = hier.level_ids(0).iter().map(|&id| hier.patch(id).cells()).sum();
+        assert_eq!(total, 8 * 512);
+    }
+
+    #[test]
+    fn evacuation_escapes_a_fully_dead_group() {
+        let sys = wan_sys(2, 2, 1.0);
+        let mut sim = NetSim::new(sys);
+        let mut hier = hier_split(0, 2, 4);
+        // all of group A dead: proc 0's grids must cross to group B, spread
+        // over B's two procs by load
+        let alive = [false, false, true, true];
+        let rep = evacuate_proc(&mut hier, &mut sim, ProcId(0), &alive);
+        assert_eq!(rep.moves.len(), 4);
+        assert_eq!(rep.intra, 0);
+        assert_eq!(rep.inter, 4);
+        let sys = sim.system().clone();
+        assert_eq!(group_level0_cells(&hier, &sys, 0), 0);
+        assert_eq!(group_level0_cells(&hier, &sys, 1), 4096);
+        // proc 3 started empty, so placement alternated 3,3,2/3...: no
+        // single proc absorbed all four grids
+        let owners: Vec<usize> = rep.moves.iter().map(|m| m.to).collect();
+        assert!(owners.contains(&3));
+        assert!(hier.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn elastic_redistribute_prices_shrunken_capacity() {
+        // Equal loads, equal nameplate groups — but half of B is dead, so
+        // the elastic pass moves work *out* of B toward A.
+        let sys = wan_sys(2, 2, 1.0);
+        let mut sim = NetSim::new(sys);
+        let mut hier = hier_split(0, 2, 4);
+        let alive = [true, true, true, false];
+        let rep = global_redistribute_elastic(
+            &mut hier,
+            &mut sim,
+            &[2048.0, 2048.0],
+            &[true, true],
+            &BalanceParams::default(),
+            SelectionPolicy::SubtreeWorkload,
+            None,
+            &[2.0, 1.0],
+            &alive,
+        )
+        .unwrap();
+        assert!(rep.moved_cells > 0, "{rep:?}");
+        assert!(rep.group_flow[1] > 0 && rep.group_flow[0] < 0);
+        // nothing may land on the dead proc
+        for &id in hier.level_ids(0) {
+            assert_ne!(hier.patch(id).owner, 3);
+        }
+        // guarded (all alive, nameplate powers) still sees this as balanced
+        let mut sim2 = NetSim::new(wan_sys(2, 2, 1.0));
+        let mut hier2 = hier_split(0, 2, 4);
+        let rep2 = global_redistribute_guarded(
+            &mut hier2,
+            &mut sim2,
+            &[2048.0, 2048.0],
+            &[true, true],
+            &BalanceParams::default(),
+            SelectionPolicy::SubtreeWorkload,
+            None,
+        )
+        .unwrap();
+        assert_eq!(rep2.moved_cells, 0);
     }
 
     #[test]

@@ -68,6 +68,27 @@ pub struct FaultCounters {
     pub recovery_secs: f64,
 }
 
+/// Crash-stop recovery counters of one run: crashes detected, patches
+/// evacuated, and how quickly the system absorbed each failure.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryStats {
+    /// Crash-stop process failures detected.
+    pub crashes: u64,
+    /// Crashed procs that recovered and re-entered with zero load.
+    pub rejoins: u64,
+    /// Evacuations performed (one per crash with owned patches).
+    pub evacuations: u64,
+    /// Level-0-equivalent cells reassigned away from dead procs.
+    pub evacuated_cells: i64,
+    /// Mean simulated seconds from crash onset to evacuation complete.
+    pub mttr_mean_secs: f64,
+    /// Worst-case simulated seconds from crash onset to evacuation complete.
+    pub mttr_max_secs: f64,
+    /// Simulated seconds of recomputation charged for restoring evacuated
+    /// patches from the last checkpoint (the recovery δ).
+    pub recompute_secs: f64,
+}
+
 /// Forecast-quality counters of one run: how well the network-weather
 /// predictors tracked reality, and how often the load forecast triggered a
 /// proactive global check.

@@ -2,9 +2,10 @@
 
 use crate::app::AppKind;
 use crate::scheme::Scheme;
-use metrics::{FaultCounters, ForecastStats, PhaseWall, RunBreakdown};
+use metrics::{FaultCounters, ForecastStats, PhaseWall, RecoveryStats, RunBreakdown};
 use serde::Serialize;
 use simnet::RetryPolicy;
+use topology::ProcFaultSchedule;
 
 /// Parameters of one simulated SAMR run.
 #[derive(Clone, Debug)]
@@ -46,6 +47,13 @@ pub struct RunConfig {
     /// the reference path exists to prove that and to measure the overhead
     /// the optimized path removes.
     pub reference_datapath: bool,
+    /// Seeded crash/rejoin windows per processor. A proc inside a crash
+    /// window is dead: its sends fail fast, its group runs the global phase
+    /// at reduced capacity, and the driver evacuates its patches at the
+    /// next step boundary — reconstructing their data from the per-step
+    /// recovery checkpoint and charging the recomputation to the survivors
+    /// ([`RunResult::recovery`]). The default schedule is quiet.
+    pub proc_faults: ProcFaultSchedule,
     /// Level-0 steps before the hierarchy's field pool is marked steady.
     /// The first steps populate the pool's free lists (every acquisition is
     /// a miss on a cold pool) and let the refinement hierarchy grow to its
@@ -81,6 +89,7 @@ impl RunConfig {
             cost_per_cell: None,
             comm_retry: RetryPolicy::default(),
             reference_datapath: false,
+            proc_faults: ProcFaultSchedule::default(),
             pool_warmup_steps: 2,
             telemetry: telemetry::Telemetry::null(),
         }
@@ -123,6 +132,10 @@ pub struct RunResult {
     /// Forecast-quality counters of the scheme's network-weather series
     /// (zeroes for schemes without a forecasting layer).
     pub forecast: ForecastStats,
+    /// Crash-stop recovery counters: crashes detected, patches evacuated,
+    /// MTTR, and the recompute overhead charged for checkpoint restores
+    /// (all zero when [`RunConfig::proc_faults`] is quiet).
+    pub recovery: RecoveryStats,
     /// Field-buffer pool statistics of the run's hierarchy: hits, misses,
     /// bytes recycled, and misses after the warm-up window
     /// ([`RunConfig::pool_warmup_steps`]) — the steady-state allocation

@@ -10,9 +10,10 @@
 use crate::app::AppState;
 use crate::config::{RunConfig, RunResult};
 use crate::scheme::SchemeInstance;
-use crate::trace::{RunTrace, StepFaults, StepForecast, StepRecord};
-use dlb::{decompose_domain, LbContext, WorkloadHistory};
+use crate::trace::{RunTrace, StepFaults, StepForecast, StepRecord, StepRecovery};
+use dlb::{decompose_domain, LbContext, ProcHealth, WorkloadHistory};
 use rayon::prelude::*;
+use samr_mesh::checkpoint::HierarchySnapshot;
 use samr_mesh::cluster::{berger_rigoutsos, ClusterParams};
 use samr_mesh::field::Field3;
 use samr_mesh::hierarchy::GridHierarchy;
@@ -66,6 +67,19 @@ pub struct Driver {
     /// Cells the clone-based reference exchange would have copied for the
     /// same fills — the allocation the buffered path avoids.
     ghost_clone_cells_avoided: u64,
+    /// Liveness edge detector for crash-stop proc faults.
+    proc_health: ProcHealth,
+    /// Simulated time each currently-dead proc's crash was detected at.
+    crashed_at: std::collections::BTreeMap<usize, SimTime>,
+    /// Per-step pooled checkpoint crash recovery restores patch data from
+    /// (only maintained while the run has proc faults).
+    recovery_snapshot: Option<HierarchySnapshot>,
+    /// Crash-stop activity of the step in flight, drained into its record.
+    recovery_pending: StepRecovery,
+    /// Per-crash MTTR samples (crash onset to evacuation complete).
+    mttrs: Vec<f64>,
+    /// Evacuations that actually moved patches.
+    evacuations: u64,
 }
 
 impl Driver {
@@ -108,11 +122,18 @@ impl Driver {
             peak_patches: 0,
             ghost_buffer_cells: 0,
             ghost_clone_cells_avoided: 0,
+            proc_health: ProcHealth::new(nprocs),
+            crashed_at: Default::default(),
+            recovery_snapshot: None,
+            recovery_pending: StepRecovery::default(),
+            mttrs: Vec::new(),
+            evacuations: 0,
         };
         d.scheme = d.cfg.scheme.instantiate();
         // the sim owns the run's telemetry handle: the scheme reaches it via
         // LbContext, and sim.reset() clears setup-time records
         d.sim.set_telemetry(d.cfg.telemetry.clone());
+        d.sim.set_proc_faults(d.cfg.proc_faults.clone());
         d.step_count = vec![0; d.cfg.max_levels];
         d.old_data = vec![Vec::new(); d.cfg.max_levels];
         // build the initial hierarchy: regrid cascade, no timing charged
@@ -209,6 +230,7 @@ impl Driver {
         cell_updates: u64,
     ) -> Driver {
         let proc_weights: Vec<f64> = sys.procs().iter().map(|p| p.weight).collect();
+        let nprocs = sys.nprocs();
         let mut d = Driver {
             scheme: cfg.scheme.instantiate(),
             cfg,
@@ -228,8 +250,15 @@ impl Driver {
             peak_patches: 0,
             ghost_buffer_cells: 0,
             ghost_clone_cells_avoided: 0,
+            proc_health: ProcHealth::new(nprocs),
+            crashed_at: Default::default(),
+            recovery_snapshot: None,
+            recovery_pending: StepRecovery::default(),
+            mttrs: Vec::new(),
+            evacuations: 0,
         };
         d.sim.set_telemetry(d.cfg.telemetry.clone());
+        d.sim.set_proc_faults(d.cfg.proc_faults.clone());
         d.old_data = vec![Vec::new(); d.cfg.max_levels];
         d.step_count.resize(d.cfg.max_levels, 0);
         d.peak_patches = d.hier.num_patches();
@@ -260,6 +289,10 @@ impl Driver {
     /// end with [`Driver::finish`].
     pub fn step_once(&mut self) {
         let t0 = self.sim.barrier_all();
+        if self.sim.has_proc_faults() {
+            self.handle_proc_transitions(t0);
+            self.refresh_recovery_snapshot();
+        }
         let decisions_before = self.scheme.decisions().len();
         let redists_before = self
             .scheme
@@ -323,7 +356,132 @@ impl Driver {
                 load_mae: fsum.load_mae,
             },
             faults,
+            recovery: std::mem::take(&mut self.recovery_pending),
         });
+    }
+
+    /// Crash-stop bookkeeping at a step boundary: observe liveness at `t0`,
+    /// evacuate the patches of newly dead procs (reconstructing their data
+    /// from the recovery checkpoint and charging the survivors for the lost
+    /// sub-steps), and log rejoins — a recovered proc re-enters with zero
+    /// load and is refilled by the normal DLB phases.
+    fn handle_proc_transitions(&mut self, t0: SimTime) {
+        let nprocs = self.sim.system().nprocs();
+        let alive: Vec<bool> = (0..nprocs)
+            .map(|p| self.sim.alive_at(ProcId(p), t0))
+            .collect();
+        let trans = self.proc_health.observe(&alive);
+        if trans.is_empty() {
+            return;
+        }
+        let step = self.step_count[0];
+        let cost = self.cost_per_cell();
+        for &p in &trans.crashed {
+            let group = self.sim.system().group_of(ProcId(p)).0;
+            self.sim.telemetry().event(
+                t0.as_secs_f64(),
+                telemetry::EventKind::Crash(telemetry::CrashEvent {
+                    step,
+                    proc: p,
+                    group,
+                }),
+            );
+            self.crashed_at.insert(p, t0);
+            let report = dlb::evacuate_proc(&mut self.hier, &mut self.sim, ProcId(p), &alive);
+            // The dead proc's memory is gone: rebuild each moved patch from
+            // the checkpoint and charge its new owner for recomputing the
+            // level-0 step the checkpoint is behind by.
+            let mut recompute_cells = 0i64;
+            let mut recompute_secs = 0.0f64;
+            for m in &report.moves {
+                self.restore_from_recovery_snapshot(m.patch);
+                let iters = (self.cfg.refine_factor as f64).powi(m.level as i32);
+                let secs = m.cells as f64 * iters * cost / self.proc_weights[m.to];
+                self.sim.compute(ProcId(m.to), secs);
+                recompute_cells += m.cells;
+                recompute_secs += secs;
+            }
+            let onset = self.sim.proc_faults().crash_start(p, t0).unwrap_or(t0);
+            let done = self.sim.elapsed();
+            let mttr = (done - onset).as_secs_f64();
+            self.mttrs.push(mttr);
+            if !report.is_empty() {
+                self.evacuations += 1;
+                self.sim.telemetry().event(
+                    done.as_secs_f64(),
+                    telemetry::EventKind::Evacuate(telemetry::EvacuateEvent {
+                        step,
+                        proc: p,
+                        patches: report.moves.len(),
+                        cells: report.evacuated_cells,
+                        bytes: report.moved_bytes,
+                        intra: report.intra,
+                        inter: report.inter,
+                        recompute_cells,
+                    }),
+                );
+            }
+            self.recovery_pending.crashes += 1;
+            self.recovery_pending.evacuated_cells += report.evacuated_cells;
+            self.recovery_pending.mttr_secs += mttr;
+            self.recovery_pending.recompute_secs += recompute_secs;
+        }
+        for &p in &trans.rejoined {
+            let group = self.sim.system().group_of(ProcId(p)).0;
+            let downtime = self
+                .crashed_at
+                .remove(&p)
+                .map(|c| (t0 - c).as_secs_f64())
+                .unwrap_or(0.0);
+            self.sim.telemetry().event(
+                t0.as_secs_f64(),
+                telemetry::EventKind::Rejoin(telemetry::RejoinEvent {
+                    step,
+                    proc: p,
+                    group,
+                    downtime_secs: downtime,
+                }),
+            );
+            self.recovery_pending.rejoins += 1;
+        }
+        debug_assert!(self.hier.check_invariants().is_ok());
+    }
+
+    /// Overwrite `id`'s fields with checkpointed data wherever the
+    /// checkpoint covers it. Patch ids churn with every regrid, so snapshot
+    /// patches are matched by level and region overlap; uncovered cells
+    /// keep their current values.
+    fn restore_from_recovery_snapshot(&mut self, id: PatchId) {
+        let Some(snap) = &self.recovery_snapshot else {
+            return;
+        };
+        let (level, region) = {
+            let p = self.hier.patch(id);
+            (p.level, p.region)
+        };
+        for sp in snap.patches.iter().filter(|sp| sp.level == level) {
+            let w = sp.region.intersect(&region);
+            if w.is_empty() {
+                continue;
+            }
+            let patch = self.hier.patch_mut(id);
+            for (k, sf) in sp.fields.iter().enumerate() {
+                patch.fields[k].copy_from(sf, &w);
+            }
+        }
+    }
+
+    /// Re-take the crash-recovery checkpoint at a step boundary, returning
+    /// the replaced snapshot's buffers to the field pool — in steady state
+    /// the recurring snapshot allocates nothing.
+    fn refresh_recovery_snapshot(&mut self) {
+        let pool = self.hier.pool().clone();
+        // recycle first, so the new snapshot's acquisitions can hit the
+        // buffers the old one just gave back
+        if let Some(old) = self.recovery_snapshot.take() {
+            old.recycle(&pool);
+        }
+        self.recovery_snapshot = Some(samr_mesh::checkpoint::snapshot_in(&self.hier, &pool));
     }
 
     /// Fault counters since the start of the run: the scheme's protocol
@@ -388,6 +546,24 @@ impl Driver {
             proactive_checks: fsum.proactive_checks,
             proactive_invocations: fsum.proactive_invocations,
         };
+        let rt = self.trace.recovery_totals();
+        let (mttr_mean, mttr_max) = if self.mttrs.is_empty() {
+            (0.0, 0.0)
+        } else {
+            (
+                self.mttrs.iter().sum::<f64>() / self.mttrs.len() as f64,
+                self.mttrs.iter().copied().fold(0.0, f64::max),
+            )
+        };
+        let recovery = metrics::RecoveryStats {
+            crashes: rt.crashes,
+            rejoins: rt.rejoins,
+            evacuations: self.evacuations,
+            evacuated_cells: rt.evacuated_cells,
+            mttr_mean_secs: mttr_mean,
+            mttr_max_secs: mttr_max,
+            recompute_secs: rt.recompute_secs,
+        };
         let pool = self.hier.pool().stats();
         self.sim.telemetry().stat_block(
             "field_pool",
@@ -415,6 +591,7 @@ impl Driver {
             global_redistributions: decisions.iter().filter(|d| d.invoked).count(),
             faults,
             forecast,
+            recovery,
             pool,
             decisions: decisions
                 .iter()

@@ -20,5 +20,5 @@ pub use config::{RunConfig, RunResult};
 pub use checkpoint::Checkpoint;
 pub use driver::Driver;
 pub use stats::{hierarchy_stats, ownership_spread, HierarchyStats};
-pub use trace::{RunTrace, StepFaults, StepForecast, StepRecord};
+pub use trace::{RunTrace, StepFaults, StepForecast, StepRecord, StepRecovery};
 pub use scheme::Scheme;

@@ -31,6 +31,31 @@ impl StepFaults {
     }
 }
 
+/// Crash-stop recovery activity during one level-0 step (deltas, not
+/// totals).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize)]
+pub struct StepRecovery {
+    /// Crash-stop process failures detected this step.
+    pub crashes: u64,
+    /// Crashed procs that recovered and re-entered this step.
+    pub rejoins: u64,
+    /// Cells evacuated away from dead procs this step (all levels).
+    pub evacuated_cells: i64,
+    /// Simulated seconds from crash onset to evacuation complete, summed
+    /// over this step's crashes.
+    pub mttr_secs: f64,
+    /// Simulated seconds of recomputation charged for restoring evacuated
+    /// patches from checkpointed state.
+    pub recompute_secs: f64,
+}
+
+impl StepRecovery {
+    /// Whether any crash-stop activity happened this step.
+    pub fn any(&self) -> bool {
+        self.crashes != 0 || self.rejoins != 0 || self.evacuated_cells != 0
+    }
+}
+
 /// Forecast quality as of the end of one level-0 step (cumulative MAE of
 /// the scheme's network-weather series — MAE is a running mean, so per-step
 /// deltas would not be meaningful).
@@ -65,6 +90,8 @@ pub struct StepRecord {
     pub forecast: StepForecast,
     /// Fault-protocol activity during the step.
     pub faults: StepFaults,
+    /// Crash-stop recovery activity during the step.
+    pub recovery: StepRecovery,
 }
 
 /// A whole run's trace plus CSV export.
@@ -100,12 +127,25 @@ impl RunTrace {
         t
     }
 
+    /// Sum of the per-step crash-stop activity over the whole trace.
+    pub fn recovery_totals(&self) -> StepRecovery {
+        let mut t = StepRecovery::default();
+        for r in &self.records {
+            t.crashes += r.recovery.crashes;
+            t.rejoins += r.recovery.rejoins;
+            t.evacuated_cells += r.recovery.evacuated_cells;
+            t.mttr_secs += r.recovery.mttr_secs;
+            t.recompute_secs += r.recovery.recompute_secs;
+        }
+        t
+    }
+
     /// The single source of truth for the CSV layout: one `(header, cell)`
     /// pair per column, so the header and every row always agree in arity
     /// and order. Levels and groups are flattened to the maximum width seen
-    /// in the trace; the forecast block slots in before the fault block so
-    /// the fault columns keep riding at the end (older consumers index from
-    /// there).
+    /// in the trace; the forecast block slots in before the fault block,
+    /// and the crash-stop recovery block rides after it at the very end
+    /// (consumers index blocks from the tail).
     fn columns(&self) -> Vec<Column> {
         let max_levels = self
             .records
@@ -164,6 +204,15 @@ impl RunTrace {
         cols.push(col("recovery_secs", |r| {
             format!("{:.3}", r.faults.recovery_secs)
         }));
+        cols.push(col("crashes", |r| format!("{}", r.recovery.crashes)));
+        cols.push(col("rejoins", |r| format!("{}", r.recovery.rejoins)));
+        cols.push(col("evacuated_cells", |r| {
+            format!("{}", r.recovery.evacuated_cells)
+        }));
+        cols.push(col("mttr_secs", |r| format!("{:.3}", r.recovery.mttr_secs)));
+        cols.push(col("recompute_secs", |r| {
+            format!("{:.3}", r.recovery.recompute_secs)
+        }));
         cols
     }
 
@@ -213,6 +262,7 @@ mod tests {
             redistributed: step == 1,
             forecast: StepForecast::default(),
             faults: StepFaults::default(),
+            recovery: StepRecovery::default(),
         }
     }
 
@@ -265,10 +315,11 @@ mod tests {
         t.push(r);
         let csv = t.to_csv();
         let header: Vec<&str> = csv.lines().next().unwrap().split(',').collect();
-        assert_eq!(header[header.len() - 6..].join(","),
+        let n = header.len();
+        assert_eq!(header[n - 11..n - 5].join(","),
             "retries,aborts,quarantines,readmissions,comm_failures,recovery_secs");
         let row1: Vec<&str> = csv.lines().nth(2).unwrap().split(',').collect();
-        assert_eq!(&row1[row1.len() - 6..row1.len() - 1], &["2", "1", "1", "0", "3"]);
+        assert_eq!(&row1[row1.len() - 11..row1.len() - 6], &["2", "1", "1", "0", "3"]);
         let totals = t.fault_totals();
         assert_eq!(totals.retries, 2);
         assert_eq!(totals.aborts, 1);
@@ -313,12 +364,43 @@ mod tests {
         let header: Vec<&str> = csv.lines().next().unwrap().split(',').collect();
         let n = header.len();
         assert_eq!(
-            header[n - 9..n - 6].join(","),
+            header[n - 14..n - 11].join(","),
             "forecast_alpha_mae,forecast_beta_mae,forecast_load_mae"
         );
         let row: Vec<&str> = csv.lines().nth(1).unwrap().split(',').collect();
         assert_eq!(row.len(), n);
-        assert!(row[n - 9].parse::<f64>().unwrap() > 0.0);
-        assert_eq!(row[n - 7], "120.000");
+        assert!(row[n - 14].parse::<f64>().unwrap() > 0.0);
+        assert_eq!(row[n - 12], "120.000");
+    }
+
+    #[test]
+    fn recovery_columns_close_out_the_row() {
+        let mut t = RunTrace::default();
+        t.push(rec(0));
+        let mut r = rec(1);
+        r.recovery = StepRecovery {
+            crashes: 1,
+            rejoins: 0,
+            evacuated_cells: 4096,
+            mttr_secs: 2.5,
+            recompute_secs: 0.75,
+        };
+        t.push(r);
+        let csv = t.to_csv();
+        let header: Vec<&str> = csv.lines().next().unwrap().split(',').collect();
+        let n = header.len();
+        assert_eq!(
+            header[n - 5..].join(","),
+            "crashes,rejoins,evacuated_cells,mttr_secs,recompute_secs"
+        );
+        let row1: Vec<&str> = csv.lines().nth(2).unwrap().split(',').collect();
+        assert_eq!(&row1[n - 5..n - 2], &["1", "0", "4096"]);
+        assert_eq!(row1[n - 2], "2.500");
+        assert_eq!(row1[n - 1], "0.750");
+        let totals = t.recovery_totals();
+        assert_eq!(totals.crashes, 1);
+        assert_eq!(totals.evacuated_cells, 4096);
+        assert!(totals.any());
+        assert!(!rec(0).recovery.any());
     }
 }

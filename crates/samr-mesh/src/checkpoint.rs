@@ -30,6 +30,43 @@ pub fn snapshot(hier: &GridHierarchy) -> HierarchySnapshot {
     }
 }
 
+/// Like [`snapshot`], but every cloned field's backing store is drawn from
+/// `pool` (data is bit-identical). Pair with [`HierarchySnapshot::recycle`]
+/// when replacing the snapshot, so a recurring one (e.g. a per-step
+/// crash-recovery checkpoint) stops allocating once the pool is warm.
+pub fn snapshot_in(hier: &GridHierarchy, pool: &crate::pool::FieldPool) -> HierarchySnapshot {
+    HierarchySnapshot {
+        refine_factor: hier.refine_factor(),
+        max_levels: hier.max_levels(),
+        ghost: hier.ghost(),
+        nfields: hier.nfields(),
+        domain: hier.domain(),
+        patches: hier
+            .iter()
+            .map(|p| GridPatch {
+                id: p.id,
+                level: p.level,
+                region: p.region,
+                parent: p.parent,
+                owner: p.owner,
+                fields: p.fields.iter().map(|f| f.clone_in(pool)).collect(),
+            })
+            .collect(),
+    }
+}
+
+impl HierarchySnapshot {
+    /// Return every field buffer to `pool` (for snapshots built with
+    /// [`snapshot_in`]; harmless for plain clones).
+    pub fn recycle(self, pool: &crate::pool::FieldPool) {
+        for p in self.patches {
+            for f in p.fields {
+                f.recycle(pool);
+            }
+        }
+    }
+}
+
 /// Rebuild a hierarchy from a snapshot. Structure, ids, owners, parents and
 /// field data are restored exactly; the result satisfies
 /// [`GridHierarchy::check_invariants`] iff the snapshot did.
@@ -101,6 +138,31 @@ mod tests {
             restored.patch(h.iter().next().unwrap().id).fields,
             h.iter().next().unwrap().fields
         );
+    }
+
+    #[test]
+    fn pooled_snapshot_matches_and_recycling_feeds_the_pool() {
+        let h = sample();
+        let pool = h.pool().clone();
+        let plain = snapshot(&h);
+        let pooled = snapshot_in(&h, &pool);
+        assert_eq!(plain.patches.len(), pooled.patches.len());
+        for (a, b) in plain.patches.iter().zip(&pooled.patches) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.fields, b.fields);
+        }
+        // replace-and-recycle: the second snapshot reuses the first's buffers
+        pooled.recycle(&pool);
+        let hits_before = pool.stats().hits;
+        let again = snapshot_in(&h, &pool);
+        assert!(
+            pool.stats().hits > hits_before,
+            "re-snapshot should hit the recycled free lists: {:?}",
+            pool.stats()
+        );
+        for (a, b) in plain.patches.iter().zip(&again.patches) {
+            assert_eq!(a.fields, b.fields);
+        }
     }
 
     #[test]

@@ -30,6 +30,10 @@ pub enum SimError {
         group_a: usize,
         group_b: usize,
     },
+    /// One endpoint of the transfer was crashed (crash-stop proc failure)
+    /// when the transfer started; the live side detected the dead peer at
+    /// `at` (after a round-trip's worth of waiting).
+    PeerDead { at: SimTime },
 }
 
 impl SimError {
@@ -40,7 +44,8 @@ impl SimError {
             | SimError::Timeout { at, .. }
             | SimError::PartialTransfer { at, .. }
             | SimError::Probe { at, .. }
-            | SimError::CollectiveFailed { at, .. } => *at,
+            | SimError::CollectiveFailed { at, .. }
+            | SimError::PeerDead { at } => *at,
         }
     }
 
@@ -66,6 +71,9 @@ impl std::fmt::Display for SimError {
                 f,
                 "collective failed at {at:?}: link between groups {group_a} and {group_b} unusable"
             ),
+            SimError::PeerDead { at } => {
+                write!(f, "peer crashed (detected at {at:?})")
+            }
         }
     }
 }

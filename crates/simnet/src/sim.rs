@@ -22,7 +22,7 @@ use crate::stats::{Activity, SimStats};
 use telemetry::{EventKind, PredictorSwitchEvent, ProbeEvent, Telemetry, TransferEvent};
 use topology::faults::FaultKind;
 use topology::link::Link;
-use topology::{DistributedSystem, GroupId, ProcId, SimTime};
+use topology::{DistributedSystem, GroupId, ProcFaultSchedule, ProcId, SimTime};
 
 /// Physical link identity for contention tracking.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
@@ -46,6 +46,12 @@ pub struct NetSim {
     /// every recording call a no-op. Recording never touches clocks, link
     /// state or statistics — a recorded run is bit-identical to a null one.
     telemetry: Telemetry,
+    /// Crash-stop process failure schedule; quiet by default. Liveness is
+    /// a pure function of simulated time, so detection needs no extra
+    /// state: a send touching a dead endpoint fails fast, while
+    /// collectives proceed over whoever is scheduled in (crashed procs'
+    /// clocks keep advancing — they model the *slot*, not the host).
+    proc_faults: ProcFaultSchedule,
 }
 
 impl NetSim {
@@ -60,7 +66,57 @@ impl NetSim {
             stats: SimStats::new(n),
             default_timeout: SimTime::from_secs(5),
             telemetry: Telemetry::null(),
+            proc_faults: ProcFaultSchedule::default(),
         }
+    }
+
+    /// Attach a crash-stop process failure schedule (pass
+    /// [`ProcFaultSchedule::none`] or the default to clear it).
+    pub fn set_proc_faults(&mut self, sched: ProcFaultSchedule) {
+        self.proc_faults = sched;
+    }
+
+    /// Is any proc-crash window scheduled at all?
+    pub fn has_proc_faults(&self) -> bool {
+        !self.proc_faults.is_quiet()
+    }
+
+    /// The attached proc-fault schedule (quiet by default).
+    pub fn proc_faults(&self) -> &ProcFaultSchedule {
+        &self.proc_faults
+    }
+
+    /// Is `p` alive at simulated time `t` under the proc-fault schedule?
+    pub fn alive_at(&self, p: ProcId, t: SimTime) -> bool {
+        self.proc_faults.alive_at(p.0, t)
+    }
+
+    /// Is `p` alive right now (at the wall-clock [`elapsed`](Self::elapsed))?
+    pub fn alive_now(&self, p: ProcId) -> bool {
+        self.alive_at(p, self.elapsed())
+    }
+
+    /// The procs of group `g` that are alive at the current wall-clock.
+    pub fn alive_procs_in(&self, g: GroupId) -> Vec<ProcId> {
+        let t = self.elapsed();
+        self.sys
+            .procs_in(g)
+            .iter()
+            .copied()
+            .filter(|&p| self.alive_at(p, t))
+            .collect()
+    }
+
+    /// Sum of performance weights of group `g`'s *alive* procs — the
+    /// capacity the balancer should price for a shrunken group.
+    pub fn alive_group_power(&self, g: GroupId) -> f64 {
+        let t = self.elapsed();
+        self.sys
+            .procs_in(g)
+            .iter()
+            .filter(|&&p| self.alive_at(p, t))
+            .map(|&p| self.sys.proc(p).weight)
+            .sum()
     }
 
     /// Attach a telemetry handle (pass [`Telemetry::null`] to detach).
@@ -199,6 +255,14 @@ impl NetSim {
         let ready = self.clocks[src.0].max(self.clocks[dst.0]);
         let free = self.link_free.get(&key).copied().unwrap_or(SimTime::ZERO);
         let start = ready.max(free);
+        // crash-stop endpoint: the live side gets a round trip of silence,
+        // then learns the peer is dead — fail fast, don't tie up the link
+        if !self.alive_at(src, start) || !self.alive_at(dst, start) {
+            let at = start + link.alpha() + link.alpha();
+            return Err(self.fail_transfer_at(src, dst, key, bytes, start, at, act, |at| {
+                SimError::PeerDead { at }
+            }));
+        }
         let finish = start + link.transfer_time(start, bytes);
         let disruption = link.faults.first_disruption_in(start, finish, bytes);
         // a deadline that expires before the fault bites fires first
@@ -562,8 +626,20 @@ impl NetSim {
         est: &mut topology::LinkEstimator,
         deadline: Option<SimTime>,
     ) -> SimResult<topology::ProbeSample> {
-        let pa = self.sys.procs_in(a)[0];
-        let pb = self.sys.procs_in(b)[0];
+        // each side's leader is its first *alive* proc; if a whole group
+        // is down the nominal leader stands in (probe outcome is then
+        // decided by the link model alone)
+        let lead = |sim: &Self, g: GroupId| {
+            let t = sim.elapsed();
+            sim.sys
+                .procs_in(g)
+                .iter()
+                .copied()
+                .find(|&p| sim.alive_at(p, t))
+                .unwrap_or(sim.sys.procs_in(g)[0])
+        };
+        let pa = lead(self, a);
+        let pb = lead(self, b);
         let t0 = self.clocks[pa.0].max(self.clocks[pb.0]);
         let link = self.sys.inter_link(a, b).clone();
         match topology::probe_link(&link, t0, est.small, est.large) {
@@ -651,7 +727,7 @@ impl NetSim {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use topology::faults::{FaultKind, FaultSchedule};
+    use topology::faults::{FaultKind, FaultSchedule, ProcFaultSchedule};
     use topology::link::Link;
     use topology::SystemBuilder;
 
@@ -977,5 +1053,57 @@ mod tests {
                 "proc {p}: every advance must be attributed"
             );
         }
+    }
+
+    #[test]
+    fn dead_peer_send_fails_fast_and_stays_accounted() {
+        let mut sim = NetSim::new(sys2x2());
+        // proc 1 is crashed from t=0 to t=10s
+        let sched = ProcFaultSchedule::none(4).with_crash(
+            1,
+            SimTime::ZERO,
+            SimTime::from_secs(10),
+        );
+        sim.set_proc_faults(sched);
+        assert!(sim.has_proc_faults());
+        assert!(sim.alive_now(ProcId(0)));
+        assert!(!sim.alive_now(ProcId(1)));
+
+        let err = sim.send_auto(ProcId(0), ProcId(1), 1_000_000).unwrap_err();
+        assert!(matches!(err, SimError::PeerDead { .. }));
+        // detection costs a round trip of intra latency (2 × 10µs), far
+        // less than the ~1ms the payload would have taken
+        assert_eq!(err.at(), SimTime::from_micros(20));
+        assert_eq!(sim.now(ProcId(0)), err.at());
+        assert_eq!(sim.stats().msgs.failed_msgs, 1);
+        for p in 0..4 {
+            assert_eq!(
+                sim.stats().procs[p].total(),
+                sim.now(ProcId(p)),
+                "proc {p}: every advance must be attributed"
+            );
+        }
+
+        // after the rejoin window the same send succeeds
+        sim.compute(ProcId(0), 11.0);
+        sim.send_auto(ProcId(0), ProcId(1), 1_000_000).unwrap();
+    }
+
+    #[test]
+    fn alive_group_power_prices_the_shrunken_group() {
+        let mut sim = NetSim::new(sys2x2());
+        assert_eq!(sim.alive_group_power(GroupId(0)), 2.0);
+        let sched = ProcFaultSchedule::none(4).with_crash(
+            0,
+            SimTime::ZERO,
+            SimTime::from_secs(5),
+        );
+        sim.set_proc_faults(sched);
+        assert_eq!(sim.alive_group_power(GroupId(0)), 1.0);
+        assert_eq!(sim.alive_group_power(GroupId(1)), 2.0);
+        assert_eq!(sim.alive_procs_in(GroupId(0)), vec![ProcId(1)]);
+        // past the window, capacity is restored
+        sim.compute(ProcId(3), 6.0);
+        assert_eq!(sim.alive_group_power(GroupId(0)), 2.0);
     }
 }

@@ -128,6 +128,52 @@ pub struct FaultEvent {
     pub kind: FaultKind,
 }
 
+/// A crash-stop process failure was detected by the driver.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CrashEvent {
+    /// Level-0 step index at which the crash was detected.
+    pub step: u64,
+    /// The crashed processor.
+    pub proc: usize,
+    /// Its group.
+    pub group: usize,
+}
+
+/// Patches owned by a crashed processor were reassigned to survivors.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EvacuateEvent {
+    /// Level-0 step index.
+    pub step: u64,
+    /// The crashed processor whose work was evacuated.
+    pub proc: usize,
+    /// Patches reassigned (all levels).
+    pub patches: usize,
+    /// Cells reassigned (all levels).
+    pub cells: i64,
+    /// Bytes shipped from the checkpoint holder to the new owners.
+    pub bytes: u64,
+    /// Reassignments that stayed inside the dead proc's group.
+    pub intra: usize,
+    /// Reassignments that had to leave the group.
+    pub inter: usize,
+    /// Cells recomputed from checkpointed state, charged as recovery.
+    pub recompute_cells: i64,
+}
+
+/// A crashed processor came back: it re-enters with zero load and is
+/// refilled by the normal DLB phases.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RejoinEvent {
+    /// Level-0 step index at which the rejoin was detected.
+    pub step: u64,
+    /// The recovered processor.
+    pub proc: usize,
+    /// Its group.
+    pub group: usize,
+    /// Simulated seconds between crash detection and rejoin detection.
+    pub downtime_secs: f64,
+}
+
 /// The adaptive selector behind a forecast series changed its best member.
 #[derive(Clone, Debug, PartialEq)]
 pub struct PredictorSwitchEvent {
@@ -195,6 +241,12 @@ pub enum EventKind {
     Probe(ProbeEvent),
     /// Network transfer.
     Transfer(TransferEvent),
+    /// Crash-stop process failure detected.
+    Crash(CrashEvent),
+    /// Crashed processor's patches reassigned to survivors.
+    Evacuate(EvacuateEvent),
+    /// Crashed processor recovered and re-entered.
+    Rejoin(RejoinEvent),
 }
 
 impl EventKind {
@@ -207,6 +259,9 @@ impl EventKind {
             EventKind::PredictorSwitch(_) => "predictor_switch",
             EventKind::Probe(_) => "probe",
             EventKind::Transfer(_) => "transfer",
+            EventKind::Crash(_) => "crash",
+            EventKind::Evacuate(_) => "evacuate",
+            EventKind::Rejoin(_) => "rejoin",
         }
     }
 

@@ -138,6 +138,22 @@ pub fn event_json(rec: &EventRecord) -> String {
             t.remote,
             t.failed,
         ),
+        EventKind::Crash(c) => format!(
+            ", \"step\": {}, \"proc\": {}, \"group\": {}",
+            c.step, c.proc, c.group,
+        ),
+        EventKind::Evacuate(e) => format!(
+            ", \"step\": {}, \"proc\": {}, \"patches\": {}, \"cells\": {}, \"bytes\": {}, \
+             \"intra\": {}, \"inter\": {}, \"recompute_cells\": {}",
+            e.step, e.proc, e.patches, e.cells, e.bytes, e.intra, e.inter, e.recompute_cells,
+        ),
+        EventKind::Rejoin(r) => format!(
+            ", \"step\": {}, \"proc\": {}, \"group\": {}, \"downtime_secs\": {}",
+            r.step,
+            r.proc,
+            r.group,
+            json_num(r.downtime_secs),
+        ),
     };
     format!("{head}{body}}}")
 }
@@ -151,6 +167,7 @@ pub fn to_jsonl(sink: &RecordingSink) -> String {
         "{{\"type\": \"meta\", \"gates\": {}, \"gate_accepts\": {}, \"redistributes\": {}, \
          \"aborted_redistributes\": {}, \"faults\": {}, \"predictor_switches\": {}, \
          \"probes\": {}, \"transfers\": {}, \"failed_transfers\": {}, \
+         \"crashes\": {}, \"evacuations\": {}, \"rejoins\": {}, \
          \"dropped_decisions\": {dropped_decisions}, \"dropped_flows\": {dropped_flows}, \
          \"spans_dropped\": {}}}\n",
         c.gates,
@@ -162,6 +179,9 @@ pub fn to_jsonl(sink: &RecordingSink) -> String {
         c.probes,
         c.transfers,
         c.failed_transfers,
+        c.crashes,
+        c.evacuations,
+        c.rejoins,
         sink.spans_dropped(),
     );
     for (name, entries) in sink.stat_blocks() {
@@ -187,6 +207,7 @@ fn sim_tid(kind: &EventKind) -> (u64, &'static str) {
         EventKind::PredictorSwitch(_) => (4, "predictor"),
         EventKind::Probe(_) => (5, "probes"),
         EventKind::Transfer(_) => (6, "transfers"),
+        EventKind::Crash(_) | EventKind::Evacuate(_) | EventKind::Rejoin(_) => (7, "recovery"),
     }
 }
 
@@ -338,6 +359,14 @@ pub fn summary_text(sink: &RecordingSink) -> String {
             out,
             "redistributions: {} invoked ({} aborted), fault transitions: {}, predictor switches: {}",
             c.redistributes, c.aborted_redistributes, c.faults, c.predictor_switches
+        );
+    }
+
+    if c.crashes + c.evacuations + c.rejoins > 0 {
+        let _ = writeln!(
+            out,
+            "crash-stop recovery: {} crashes, {} evacuations, {} rejoins",
+            c.crashes, c.evacuations, c.rejoins
         );
     }
 
@@ -573,6 +602,63 @@ mod tests {
         assert!(text.contains("per-link probe drift"));
         assert!(text.contains("queue wait"));
         assert!(text.contains("g0-g1"));
+    }
+
+    #[test]
+    fn recovery_events_export_count_and_summarize() {
+        let mut s = RecordingSink::default();
+        s.record_event(
+            0.1,
+            EventKind::Crash(CrashEvent {
+                step: 3,
+                proc: 2,
+                group: 1,
+            }),
+        );
+        s.record_event(
+            0.2,
+            EventKind::Evacuate(EvacuateEvent {
+                step: 3,
+                proc: 2,
+                patches: 4,
+                cells: 4096,
+                bytes: 1 << 16,
+                intra: 3,
+                inter: 1,
+                recompute_cells: 4096,
+            }),
+        );
+        s.record_event(
+            0.9,
+            EventKind::Rejoin(RejoinEvent {
+                step: 9,
+                proc: 2,
+                group: 1,
+                downtime_secs: 0.8,
+            }),
+        );
+        let c = s.counts();
+        assert_eq!((c.crashes, c.evacuations, c.rejoins), (1, 1, 1));
+        // all three are decision events: the flow ring must stay empty
+        assert!(s.events().iter().all(|e| e.kind.is_decision()));
+
+        let jsonl = s.to_jsonl().unwrap();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 4); // meta + 3 events
+        let meta = json::parse(lines[0]).unwrap();
+        assert_eq!(meta.get("crashes").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(meta.get("rejoins").and_then(Json::as_f64), Some(1.0));
+        let evac = lines[1..]
+            .iter()
+            .map(|l| json::parse(l).unwrap())
+            .find(|v| v.get("type").and_then(Json::as_str) == Some("evacuate"))
+            .unwrap();
+        assert_eq!(evac.get("cells").and_then(Json::as_f64), Some(4096.0));
+        assert_eq!(evac.get("intra").and_then(Json::as_f64), Some(3.0));
+
+        assert!(json::parse(&s.to_chrome_trace().unwrap()).is_ok());
+        let text = s.summary().unwrap();
+        assert!(text.contains("crash-stop recovery"), "{text}");
     }
 
     #[test]

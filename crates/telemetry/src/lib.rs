@@ -31,8 +31,8 @@ pub mod sink;
 mod export;
 
 pub use event::{
-    EventKind, EventRecord, FaultEvent, FaultKind, GammaGateEvent, GateVerdict, PredictorSwitchEvent,
-    ProbeEvent, RedistributeEvent, TransferEvent,
+    CrashEvent, EvacuateEvent, EventKind, EventRecord, FaultEvent, FaultKind, GammaGateEvent,
+    GateVerdict, PredictorSwitchEvent, ProbeEvent, RedistributeEvent, RejoinEvent, TransferEvent,
 };
 pub use hist::{percentile_exact, LogHistogram};
 pub use sink::{NullSink, RecordingSink, SpanGuard, SpanRecord, Telemetry, TelemetrySink};

@@ -135,6 +135,12 @@ pub struct EventCounts {
     pub transfers: u64,
     /// Transfers that failed.
     pub failed_transfers: u64,
+    /// Crash-stop process failures detected.
+    pub crashes: u64,
+    /// Evacuations of crashed procs' patches.
+    pub evacuations: u64,
+    /// Crashed procs that recovered and re-entered.
+    pub rejoins: u64,
 }
 
 /// Default capacity of the decision ring (gate/redistribute/fault/switch).
@@ -287,6 +293,9 @@ impl RecordingSink {
                 self.transfer_queue.record(t.queue_secs);
                 self.transfer_latency.record(t.transfer_secs);
             }
+            EventKind::Crash(_) => self.counts.crashes += 1,
+            EventKind::Evacuate(_) => self.counts.evacuations += 1,
+            EventKind::Rejoin(_) => self.counts.rejoins += 1,
         }
     }
 

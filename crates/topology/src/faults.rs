@@ -101,7 +101,10 @@ impl FaultSchedule {
     }
 
     /// Health at time `t`. When windows overlap, the most severe fault
-    /// wins: Outage > Blackhole > DropLarge > Slowdown.
+    /// wins: Outage > Blackhole > DropLarge > Slowdown. Ties between two
+    /// windows of the same kind go to the harsher payload (lower drop
+    /// threshold, lower bandwidth factor), so the answer is independent
+    /// of window insertion order.
     pub fn health_at(&self, t: SimTime) -> LinkHealth {
         let mut health = LinkHealth::Up;
         let mut rank = 0u8;
@@ -114,7 +117,16 @@ impl FaultSchedule {
                 }
                 FaultKind::Slowdown { factor } => (1, LinkHealth::Slow { factor }),
             };
-            if r > rank {
+            let harsher_tie = r == rank
+                && match (h, health) {
+                    (
+                        LinkHealth::Lossy { threshold_bytes: a },
+                        LinkHealth::Lossy { threshold_bytes: b },
+                    ) => a < b,
+                    (LinkHealth::Slow { factor: a }, LinkHealth::Slow { factor: b }) => a < b,
+                    _ => false,
+                };
+            if r > rank || harsher_tie {
                 rank = r;
                 health = h;
             }
@@ -206,6 +218,156 @@ impl FaultSchedule {
             t = SimTime(end.as_nanos().saturating_add(exp(&mut state, mean_up, horizon)));
         }
         sched
+    }
+}
+
+/// One crash window `[start, end)` on a processor's timeline: the proc is
+/// dead (crash-stop) for the whole window and rejoins, empty-handed, at
+/// `end`.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ProcFaultWindow {
+    pub start: SimTimeSerde,
+    pub end: SimTimeSerde,
+}
+
+impl ProcFaultWindow {
+    /// Is the proc dead at time `t`? Half-open like [`FaultWindow`]:
+    /// dead at `start`, alive again at `end`.
+    pub fn contains(&self, t: SimTime) -> bool {
+        SimTime::from(self.start) <= t && t < SimTime::from(self.end)
+    }
+}
+
+/// Crash/rejoin timelines for every processor of a system, indexed by the
+/// dense `ProcId`. Like [`FaultSchedule`] this is a *pure function of time
+/// and seed*: liveness queries at the same time always agree, so crash
+/// detection is reproducible regardless of query order. Windows of one
+/// proc never overlap (alternating up/down spans by construction;
+/// [`ProcFaultSchedule::with_crash`] asserts it for hand-built schedules).
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ProcFaultSchedule {
+    pub windows: Vec<Vec<ProcFaultWindow>>,
+}
+
+impl ProcFaultSchedule {
+    /// The crash-free schedule for `nprocs` processors.
+    pub fn none(nprocs: usize) -> ProcFaultSchedule {
+        ProcFaultSchedule {
+            windows: vec![Vec::new(); nprocs],
+        }
+    }
+
+    /// Number of processors the schedule covers.
+    pub fn nprocs(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// True when no proc ever crashes.
+    pub fn is_quiet(&self) -> bool {
+        self.windows.iter().all(|w| w.is_empty())
+    }
+
+    /// Builder: proc `p` is dead during `[start, end)`. Panics on an empty
+    /// window or one that overlaps an existing window of the same proc.
+    pub fn with_crash(mut self, p: usize, start: SimTime, end: SimTime) -> ProcFaultSchedule {
+        assert!(start < end, "crash window must have positive length");
+        if p >= self.windows.len() {
+            self.windows.resize(p + 1, Vec::new());
+        }
+        for w in &self.windows[p] {
+            assert!(
+                end <= SimTime::from(w.start) || SimTime::from(w.end) <= start,
+                "crash windows of one proc must not overlap"
+            );
+        }
+        self.windows[p].push(ProcFaultWindow {
+            start: start.into(),
+            end: end.into(),
+        });
+        self
+    }
+
+    /// Is proc `p` alive at time `t`? Procs beyond the schedule's length
+    /// are always alive (the default for systems without proc faults).
+    pub fn alive_at(&self, p: usize, t: SimTime) -> bool {
+        match self.windows.get(p) {
+            Some(ws) => !ws.iter().any(|w| w.contains(t)),
+            None => true,
+        }
+    }
+
+    /// When proc `p` is dead at `t`, the start of the covering crash
+    /// window (the moment the failure began — the MTTR clock's zero).
+    pub fn crash_start(&self, p: usize, t: SimTime) -> Option<SimTime> {
+        self.windows
+            .get(p)?
+            .iter()
+            .find(|w| w.contains(t))
+            .map(|w| SimTime::from(w.start))
+    }
+
+    /// Generate a seeded, deterministic schedule over `[0, horizon)` for
+    /// `nprocs` processors: per proc, alternating up/down spans with
+    /// exponentially distributed lengths (means `mean_up`/`mean_down`),
+    /// exactly like [`FaultSchedule::generate`] but on proc liveness.
+    /// Procs listed in `protected` never crash — pass each group's head
+    /// so a group always keeps at least one live member (see
+    /// [`ProcFaultSchedule::generate_for`]). Each proc draws from its own
+    /// derived stream, so schedules are stable under `nprocs` changes.
+    pub fn generate(
+        seed: u64,
+        nprocs: usize,
+        protected: &[usize],
+        horizon: SimTime,
+        mean_up: SimTime,
+        mean_down: SimTime,
+    ) -> ProcFaultSchedule {
+        assert!(mean_up > SimTime::ZERO && mean_down > SimTime::ZERO);
+        fn draw(state: &mut u64) -> u64 {
+            *state = splitmix64(*state);
+            *state
+        }
+        fn unit(state: &mut u64) -> f64 {
+            (draw(state) >> 11) as f64 / (1u64 << 53) as f64
+        }
+        // exponential sample with the given mean, in nanos
+        fn exp(state: &mut u64, mean: SimTime, horizon: SimTime) -> u64 {
+            let ns = -(mean.as_nanos() as f64) * (1.0 - unit(state)).ln();
+            (ns.max(1.0).min(horizon.as_nanos() as f64)) as u64
+        }
+        let mut sched = ProcFaultSchedule::none(nprocs);
+        for p in 0..nprocs {
+            if protected.contains(&p) {
+                continue;
+            }
+            let mut state = splitmix64(
+                seed ^ 0xDEAD_DEAD_DEAD_DEAD ^ (p as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            );
+            let mut t = SimTime(exp(&mut state, mean_up, horizon));
+            while t < horizon {
+                let down = SimTime(exp(&mut state, mean_down, horizon));
+                let end = SimTime(t.as_nanos().saturating_add(down.as_nanos())).min(horizon);
+                if t < end {
+                    sched = sched.with_crash(p, t, end);
+                }
+                t = SimTime(end.as_nanos().saturating_add(exp(&mut state, mean_up, horizon)));
+            }
+        }
+        sched
+    }
+
+    /// [`ProcFaultSchedule::generate`] with every group head of `sys`
+    /// protected, so no group is ever fully dead (group heads hold the
+    /// recovery checkpoints and lead inter-group probes).
+    pub fn generate_for(
+        sys: &crate::system::DistributedSystem,
+        seed: u64,
+        horizon: SimTime,
+        mean_up: SimTime,
+        mean_down: SimTime,
+    ) -> ProcFaultSchedule {
+        let heads: Vec<usize> = sys.groups().iter().map(|g| g.procs[0].0).collect();
+        ProcFaultSchedule::generate(seed, sys.nprocs(), &heads, horizon, mean_up, mean_down)
     }
 }
 
@@ -309,5 +471,79 @@ mod tests {
         }
         let c = FaultSchedule::generate(8, secs(1000), secs(60), secs(10));
         assert_ne!(a, c, "different seeds should differ");
+    }
+
+    #[test]
+    fn proc_schedule_quiet_is_always_alive() {
+        let s = ProcFaultSchedule::none(4);
+        assert!(s.is_quiet());
+        assert_eq!(s.nprocs(), 4);
+        for p in 0..4 {
+            assert!(s.alive_at(p, SimTime::ZERO));
+            assert!(s.alive_at(p, secs(1_000_000)));
+            assert_eq!(s.crash_start(p, secs(5)), None);
+        }
+        // procs beyond the schedule are immortal
+        assert!(s.alive_at(99, secs(1)));
+    }
+
+    #[test]
+    fn proc_crash_window_is_half_open() {
+        let s = ProcFaultSchedule::none(2).with_crash(1, secs(10), secs(20));
+        assert!(s.alive_at(1, secs(9)));
+        assert!(!s.alive_at(1, secs(10)));
+        assert!(!s.alive_at(1, secs(19)));
+        assert!(s.alive_at(1, secs(20)));
+        // the other proc is untouched
+        assert!(s.alive_at(0, secs(15)));
+        assert_eq!(s.crash_start(1, secs(15)), Some(secs(10)));
+        assert_eq!(s.crash_start(1, secs(25)), None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn overlapping_crash_windows_panic() {
+        let _ = ProcFaultSchedule::none(1)
+            .with_crash(0, secs(10), secs(20))
+            .with_crash(0, secs(15), secs(25));
+    }
+
+    #[test]
+    fn touching_crash_windows_allowed_and_disjoint() {
+        let s = ProcFaultSchedule::none(1)
+            .with_crash(0, secs(10), secs(20))
+            .with_crash(0, secs(20), secs(30));
+        assert!(!s.alive_at(0, secs(19)));
+        assert!(!s.alive_at(0, secs(20)), "second window starts exactly at 20");
+        assert!(s.alive_at(0, secs(30)));
+        // crash_start answers per covering window
+        assert_eq!(s.crash_start(0, secs(12)), Some(secs(10)));
+        assert_eq!(s.crash_start(0, secs(22)), Some(secs(20)));
+    }
+
+    #[test]
+    fn proc_generate_deterministic_protected_and_bounded() {
+        let prot = [0usize, 4];
+        let a = ProcFaultSchedule::generate(42, 8, &prot, secs(1000), secs(60), secs(10));
+        let b = ProcFaultSchedule::generate(42, 8, &prot, secs(1000), secs(60), secs(10));
+        assert_eq!(a, b);
+        assert!(!a.is_quiet(), "1000 s horizon with 60 s MTBF should crash");
+        assert!(a.windows[0].is_empty() && a.windows[4].is_empty(), "protected");
+        for ws in &a.windows {
+            for w in ws {
+                assert!(SimTime::from(w.start) < SimTime::from(w.end));
+                assert!(SimTime::from(w.end) <= secs(1000));
+            }
+        }
+        let c = ProcFaultSchedule::generate(43, 8, &prot, secs(1000), secs(60), secs(10));
+        assert_ne!(a, c, "different seeds should differ");
+    }
+
+    #[test]
+    fn proc_generate_streams_are_per_proc() {
+        // growing the system must not reshuffle earlier procs' schedules
+        let small = ProcFaultSchedule::generate(7, 4, &[], secs(500), secs(40), secs(8));
+        let large = ProcFaultSchedule::generate(7, 8, &[], secs(500), secs(40), secs(8));
+        assert_eq!(small.windows[..4], large.windows[..4]);
     }
 }

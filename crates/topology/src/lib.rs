@@ -13,7 +13,9 @@ pub mod system;
 pub mod time;
 pub mod traffic;
 
-pub use faults::{FaultKind, FaultSchedule, FaultWindow, LinkHealth};
+pub use faults::{
+    FaultKind, FaultSchedule, FaultWindow, LinkHealth, ProcFaultSchedule, ProcFaultWindow,
+};
 pub use link::Link;
 pub use probe::{probe_link, LinkEstimator, ProbeError, ProbeSample, MIN_BETA};
 pub use system::{DistributedSystem, Group, GroupId, ProcId, Processor, SystemBuilder};

@@ -7,11 +7,13 @@ cd "$(dirname "$0")/.."
 cargo build --release
 cargo clippy --all-targets -- -D warnings
 cargo clippy -p forecast --all-targets -- -D warnings
-# the pooled data path must not reintroduce hidden full-field copies
-cargo clippy -p samr-mesh -p samr-solvers --all-targets -- -D warnings -D clippy::redundant_clone
+# the pooled data path must not reintroduce hidden full-field copies, and
+# the balancer/topology hot paths must stay clone-free too
+cargo clippy -p samr-mesh -p samr-solvers -p dlb -p topology --all-targets -- -D warnings -D clippy::redundant_clone
 cargo build -p forecast && cargo test -q -p forecast
 cargo test -q
 cargo test -p samr-engine --test fault_recovery
+cargo test -p samr-engine --test crash_recovery
 # forecast-gate smoke: the adaptive predictor must not regret more
 # redistributions than the reactive baseline (quick-scale ablation)
 cargo test -q -p bench --test harness forecast_ablation_adaptive_regrets_no_more_than_reactive
@@ -106,4 +108,37 @@ jsonl = [json.loads(l) for l in open("results/trace_anatomy.jsonl")]
 if jsonl[0].get("type") != "meta":
     sys.exit("telemetry: JSONL meta line missing")
 print("telemetry gate: ok")
+EOF
+
+# chaos gate: sweep seeded link+proc fault schedules through the invariant
+# oracle at quick scale (the binary itself exits nonzero on any violation
+# or a vacuous sweep), then re-check the emitted report: every seed's
+# violation list must be empty, at least one crash and one evacuation must
+# have happened, and the worst MTTR must respect the bound the binary
+# derived from the fault-free baseline.
+cargo run --release -p bench --bin chaos -- --quick --seeds 16 --out results/BENCH_chaos.json
+python3 - <<'EOF'
+import json, sys
+
+c = json.load(open("results/BENCH_chaos.json"))
+if c["seeds"] < 16:
+    sys.exit(f"chaos: only {c['seeds']} seeds swept, need >= 16")
+if c["violations"] != 0:
+    sys.exit(f"chaos: {c['violations']} oracle violations")
+if c["vacuous"] or c["total_crashes"] < 1:
+    sys.exit("chaos: sweep was vacuous (no crash happened)")
+if c["total_evacuations"] < 1:
+    sys.exit("chaos: no evacuation happened")
+bound = c["mttr_bound_secs"]
+for s in c["seeds_detail"]:
+    if s["violations"]:
+        sys.exit(f"chaos: seed {s['seed']} violations: {s['violations']}")
+    if s["mttr_max_secs"] > bound:
+        sys.exit(
+            f"chaos: seed {s['seed']} MTTR {s['mttr_max_secs']:.3f}s "
+            f"exceeds the {bound:.3f}s bound"
+        )
+print(f"chaos gate: ok ({c['total_crashes']} crashes, "
+      f"{c['total_evacuations']} evacuations, {c['total_rejoins']} rejoins "
+      f"across {c['seeds']} seeds)")
 EOF
