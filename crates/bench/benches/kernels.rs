@@ -11,7 +11,7 @@ use samr_mesh::hierarchy::GridHierarchy;
 use samr_mesh::region::Region;
 use samr_mesh::{ivec3, region};
 use samr_solvers::euler;
-use simnet::NetSim;
+use simnet::SimView;
 use std::hint::black_box;
 use topology::{presets, LinkEstimator, ProcId, SimTime};
 
@@ -51,33 +51,31 @@ fn bench_kernels(c: &mut Criterion) {
     });
 
     c.bench_function("balance_level_within_64_grids", |b| {
-        b.iter_with_setup(
-            || {
-                let mut h =
-                    GridHierarchy::new(region(ivec3(0, 0, 0), ivec3(8 * 64, 8, 8)), 2, 2, 1, 1);
-                for i in 0..64 {
-                    h.insert_patch(
-                        0,
-                        region(ivec3(8 * i, 0, 0), ivec3(8 * (i + 1), 8, 8)),
-                        None,
-                        0,
-                    );
-                }
-                let sim = NetSim::new(presets::single_origin2000(8));
-                (h, sim)
-            },
-            |(mut h, mut sim)| {
-                let procs: Vec<ProcId> = (0..8).map(ProcId).collect();
-                black_box(balance_level_within(
-                    &mut h,
-                    &mut sim,
+        // setup (hierarchy build + fresh view) is inside the timed closure:
+        // balancing mutates both, and the build is cheap next to the
+        // balance pass itself
+        let procs: Vec<ProcId> = (0..8).map(ProcId).collect();
+        b.iter(|| {
+            let mut h =
+                GridHierarchy::new(region(ivec3(0, 0, 0), ivec3(8 * 64, 8, 8)), 2, 2, 1, 1);
+            for i in 0..64 {
+                h.insert_patch(
                     0,
-                    &procs,
-                    &[1.0; 8],
-                    &BalanceParams::default(),
-                ))
-            },
-        )
+                    region(ivec3(8 * i, 0, 0), ivec3(8 * (i + 1), 8, 8)),
+                    None,
+                    0,
+                );
+            }
+            let mut sim = SimView::new(presets::single_origin2000(8));
+            black_box(balance_level_within(
+                &mut h,
+                &mut sim,
+                0,
+                &procs,
+                &[1.0; 8],
+                &BalanceParams::default(),
+            ))
+        })
     });
 
     c.bench_function("wan_transfer_time_1MB", |b| {

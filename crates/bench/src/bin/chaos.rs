@@ -177,13 +177,11 @@ fn sweep_seed(
     for e in &events {
         match &e.kind {
             EventKind::Crash(c) => crashed.push(c.proc),
-            EventKind::Evacuate(ev) => {
-                if !crashed.contains(&ev.proc) {
-                    violations.push(format!(
-                        "audit: evacuation of proc {} with no preceding crash event",
-                        ev.proc
-                    ));
-                }
+            EventKind::Evacuate(ev) if !crashed.contains(&ev.proc) => {
+                violations.push(format!(
+                    "audit: evacuation of proc {} with no preceding crash event",
+                    ev.proc
+                ));
             }
             _ => {}
         }

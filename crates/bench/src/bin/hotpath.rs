@@ -6,11 +6,13 @@
 //! count. The JSON is written by hand so the binary has no serializer
 //! dependency in its hot loop.
 //!
-//! Flags: `--quick` shrinks the scale for smoke/CI runs; `--out PATH`
-//! overrides the output file (the verify gate uses this to avoid clobbering
-//! the committed full-scale baseline); `--trace-out PATH` records telemetry
-//! during the optimized runs and writes the last preset's Chrome trace JSON
-//! (load in chrome://tracing or https://ui.perfetto.dev — recording is
+//! Flags: `--quick` shrinks the scale for smoke/CI runs; `--full` raises it
+//! to the large-domain scale (n0 = 32, 10 steps — the committed
+//! `results/BENCH_hotpath_full.json` baseline); `--out PATH` overrides the
+//! output file (the verify gate uses this to avoid clobbering the committed
+//! baselines); `--trace-out PATH` records telemetry during the optimized
+//! runs and writes the last preset's Chrome trace JSON (load in
+//! chrome://tracing or https://ui.perfetto.dev — recording is
 //! bit-identical, so the data-path check still holds).
 
 use bench::{lan_system, wan_system, Scale};
@@ -80,9 +82,24 @@ fn main() {
             .position(|a| a == flag)
             .and_then(|i| args.get(i + 1).cloned())
     };
+    let full = args.iter().any(|a| a == "--full");
+    assert!(
+        !(quick && full),
+        "--quick and --full are mutually exclusive"
+    );
     let out = arg_after("--out").unwrap_or_else(|| "results/BENCH_hotpath.json".to_string());
     let trace_out = arg_after("--trace-out");
-    let scale = Scale::pick(quick);
+    let scale = if full {
+        // large-domain scale: deep hierarchies and long steady-state runs,
+        // where the pooled data path earns its keep
+        Scale {
+            n0: 32,
+            max_levels: 4,
+            steps: 10,
+        }
+    } else {
+        Scale::pick(quick)
+    };
     let n = if quick { 1 } else { 2 };
 
     let mut entries = Vec::new();
@@ -156,7 +173,8 @@ fn main() {
     }
 
     let json = format!(
-        "{{\n  \"bench\": \"hotpath\",\n  \"quick\": {quick},\n  \"presets\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"hotpath\",\n  \"quick\": {quick},\n  \"full\": {full},\n  \
+         \"presets\": [\n{}\n  ]\n}}\n",
         entries.join(",\n")
     );
     let _ = std::fs::create_dir_all("results");

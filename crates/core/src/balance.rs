@@ -5,7 +5,7 @@
 
 use samr_mesh::hierarchy::GridHierarchy;
 use samr_mesh::patch::PatchId;
-use simnet::{Activity, NetSim};
+use simnet::{Activity, SimView};
 use topology::ProcId;
 
 /// Tuning for [`balance_level_within`].
@@ -58,7 +58,7 @@ pub struct BalanceOutcome {
 /// traffic is charged to the simulator as [`Activity::LoadBalance`].
 pub fn balance_level_within(
     hier: &mut GridHierarchy,
-    sim: &mut NetSim,
+    sim: &mut SimView,
     level: usize,
     procs: &[ProcId],
     weights: &[f64],
@@ -218,10 +218,10 @@ mod tests {
     use topology::link::Link;
     use topology::{SimTime, SystemBuilder};
 
-    fn sim4() -> NetSim {
+    fn sim4() -> SimView {
         let intra = Link::dedicated("intra", SimTime::from_micros(10), 1e9);
         let sys = SystemBuilder::new().group("A", 4, 1.0, intra).build();
-        NetSim::new(sys)
+        SimView::new(sys)
     }
 
     /// A hierarchy with `n` equal 8^3 level-0 grids all owned by proc 0.
@@ -387,7 +387,7 @@ mod tests {
             ),
         );
         let sys = SystemBuilder::new().group("A", 4, 1.0, intra).build();
-        let mut sim = NetSim::new(sys);
+        let mut sim = SimView::new(sys);
         let mut h = lopsided(8);
         let out = balance_level_within(
             &mut h,

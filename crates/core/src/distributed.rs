@@ -50,7 +50,7 @@ use crate::partition::{
 use crate::scheme::{proc_total_cells, LbContext, LoadBalancer};
 use samr_mesh::checkpoint;
 use samr_mesh::hierarchy::GridHierarchy;
-use simnet::{Activity, NetSim, SimError, SimResult};
+use simnet::{Activity, SimError, SimResult, SimView};
 use telemetry::{
     EventKind as TelEventKind, FaultEvent as TelFaultEvent, FaultKind as TelFaultKind,
     GammaGateEvent, GateVerdict, PredictorSwitchEvent, RedistributeEvent as TelRedistributeEvent,
@@ -485,7 +485,7 @@ impl DistributedDlb {
         // every pushed GlobalDecision gets exactly one matching gate event,
         // so the audit log's gamma_gate count equals the run's global_checks
         let gate_event = |tel: &Telemetry,
-                          sim: &NetSim,
+                          sim: &SimView,
                           gain: &GainEstimate,
                           cost: Option<&CostEstimate>,
                           alpha: f64,
@@ -976,7 +976,7 @@ impl DistributedDlb {
     }
 }
 
-fn charge_all(sim: &mut NetSim, secs: f64) {
+fn charge_all(sim: &mut SimView, secs: f64) {
     for p in 0..sim.system().nprocs() {
         sim.busy(ProcId(p), secs, Activity::LoadBalance);
     }
@@ -1111,7 +1111,7 @@ mod tests {
     #[test]
     fn invokes_global_redistribution_when_gain_justifies() {
         let sys = wan_sys(true);
-        let mut sim = NetSim::new(sys);
+        let mut sim = SimView::new(sys);
         let mut hier = hier_split(6); // A: 3072, B: 1024
         let mut history = history_for(&hier, 4, 60.0); // one step = 60 s
         let mut dlb = DistributedDlb::default();
@@ -1147,7 +1147,7 @@ mod tests {
         // appropriate action based on the current traffic" behaviour.
         let run = |quiet: bool| {
             let sys = wan_sys(quiet);
-            let mut sim = NetSim::new(sys);
+            let mut sim = SimView::new(sys);
             let mut hier = hier_split(6);
             let mut history = history_for(&hier, 4, 0.05);
             let mut dlb = DistributedDlb::default();
@@ -1176,7 +1176,7 @@ mod tests {
     #[test]
     fn balanced_load_skips_probe() {
         let sys = wan_sys(true);
-        let mut sim = NetSim::new(sys);
+        let mut sim = SimView::new(sys);
         let mut hier = hier_split(4);
         let mut history = history_for(&hier, 4, 10.0);
         let mut dlb = DistributedDlb::default();
@@ -1197,7 +1197,7 @@ mod tests {
     #[test]
     fn local_phase_never_crosses_groups() {
         let sys = wan_sys(true);
-        let mut sim = NetSim::new(sys);
+        let mut sim = SimView::new(sys);
         let mut hier = hier_split(6);
         let mut history = history_for(&hier, 4, 10.0);
         let mut dlb = DistributedDlb::default();
@@ -1238,7 +1238,7 @@ mod tests {
     #[test]
     fn gamma_zero_always_redistributes_on_imbalance() {
         let sys = wan_sys(false); // even congested
-        let mut sim = NetSim::new(sys);
+        let mut sim = SimView::new(sys);
         let mut hier = hier_split(6);
         let mut history = history_for(&hier, 4, 0.5);
         let cfg = DistributedDlbConfig {
@@ -1282,7 +1282,7 @@ mod tests {
             .group("B", 2, 1.0, intra)
             .connect(0, 1, wan)
             .build();
-        let mut sim = NetSim::new(sys);
+        let mut sim = SimView::new(sys);
         let cfg = DistributedDlbConfig {
             predictor: Some(forecast::PredictorKind::LastValue),
             // huge γ so nothing is ever invoked: we only want priced costs
@@ -1332,7 +1332,7 @@ mod tests {
     #[test]
     fn proactive_check_fires_between_level0_steps() {
         let sys = wan_sys(true);
-        let mut sim = NetSim::new(sys);
+        let mut sim = SimView::new(sys);
         let mut hier = hier_split(6); // groups imbalanced 3:1
         let mut history = history_for(&hier, 4, 60.0);
         let cfg = DistributedDlbConfig {
@@ -1373,7 +1373,7 @@ mod tests {
         // predictor configured, no proactive threshold means no global
         // decision at fine levels.
         let sys = wan_sys(true);
-        let mut sim = NetSim::new(sys);
+        let mut sim = SimView::new(sys);
         let mut hier = hier_split(6);
         let mut history = history_for(&hier, 4, 60.0);
         let cfg = DistributedDlbConfig {
@@ -1397,7 +1397,7 @@ mod tests {
     fn single_group_global_phase_noop() {
         let intra = Link::dedicated("intra", SimTime::from_micros(10), 1e9);
         let sys = SystemBuilder::new().group("A", 4, 1.0, intra).build();
-        let mut sim = NetSim::new(sys);
+        let mut sim = SimView::new(sys);
         let mut hier = hier_split(8);
         let mut history = history_for(&hier, 4, 10.0);
         let mut dlb = DistributedDlb::default();
@@ -1460,7 +1460,7 @@ mod congestion_tests {
 
     #[test]
     fn congestion_arriving_mid_run_flips_the_decision() {
-        let mut sim = NetSim::new(sys_with_congestion_onset());
+        let mut sim = SimView::new(sys_with_congestion_onset());
         let mut dlb = DistributedDlb::default();
 
         // phase 1: quiet network, strong imbalance -> redistribute
@@ -1548,7 +1548,7 @@ mod fault_tests {
     /// is what drives probation scheduling.
     fn step(
         dlb: &mut DistributedDlb,
-        sim: &mut NetSim,
+        sim: &mut SimView,
         hier: &mut GridHierarchy,
         history: &mut WorkloadHistory,
         t: f64,
@@ -1575,7 +1575,7 @@ mod fault_tests {
             SimTime::from_millis(40),
             FaultKind::Outage,
         );
-        let mut sim = NetSim::new(faulty_wan_sys(sched));
+        let mut sim = SimView::new(faulty_wan_sys(sched));
         let mut hier = hier_split(6);
         let mut history = WorkloadHistory::new(4);
         let mut dlb = DistributedDlb::default();
@@ -1600,7 +1600,7 @@ mod fault_tests {
             SimTime::from_secs(1000),
             FaultKind::Outage,
         );
-        let mut sim = NetSim::new(faulty_wan_sys(sched));
+        let mut sim = SimView::new(faulty_wan_sys(sched));
         let mut hier = hier_split(6);
         let cfg = DistributedDlbConfig {
             fault: FaultTolerancePolicy {
@@ -1659,7 +1659,7 @@ mod fault_tests {
                 threshold_bytes: (1 << 16) + 1,
             },
         );
-        let mut sim = NetSim::new(faulty_wan_sys(sched));
+        let mut sim = SimView::new(faulty_wan_sys(sched));
         let mut hier = {
             let mut h =
                 GridHierarchy::new(region(ivec3(0, 0, 0), ivec3(256, 32, 32)), 2, 4, 1, 1);

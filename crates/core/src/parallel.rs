@@ -92,7 +92,7 @@ mod tests {
     use super::*;
     use crate::history::WorkloadHistory;
     use samr_mesh::{ivec3, region};
-    use simnet::NetSim;
+    use simnet::SimView;
     use topology::link::Link;
     use topology::{SimTime, SystemBuilder};
 
@@ -122,7 +122,7 @@ mod tests {
     #[test]
     fn balances_across_groups_blindly() {
         let sys = wan_sys(2, 2);
-        let mut sim = NetSim::new(sys);
+        let mut sim = SimView::new(sys);
         let mut hier = hier_with_grids(8, 0);
         let mut history = WorkloadHistory::new(4);
         let mut dlb = ParallelDlb::default();
@@ -159,7 +159,7 @@ mod tests {
     fn single_proc_is_noop() {
         let intra = Link::dedicated("intra", SimTime::ZERO, 1e9);
         let sys = SystemBuilder::new().group("A", 1, 1.0, intra).build();
-        let mut sim = NetSim::new(sys);
+        let mut sim = SimView::new(sys);
         let mut hier = hier_with_grids(2, 0);
         let mut history = WorkloadHistory::new(1);
         let mut dlb = ParallelDlb::default();
@@ -186,7 +186,7 @@ mod tests {
             .group("B", 1, 3.0, intra)
             .connect(0, 1, Link::dedicated("wan", SimTime::from_millis(1), 1e8))
             .build();
-        let mut sim = NetSim::new(sys);
+        let mut sim = SimView::new(sys);
         let mut hier = hier_with_grids(8, 0);
         let mut history = WorkloadHistory::new(2);
         let mut dlb = ParallelDlb::default();

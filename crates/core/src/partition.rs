@@ -5,7 +5,7 @@ use crate::balance::BalanceParams;
 use samr_mesh::hierarchy::GridHierarchy;
 use samr_mesh::patch::PatchId;
 use samr_mesh::region::Region;
-use simnet::{Activity, NetSim, SimError};
+use simnet::{Activity, SimError, SimView};
 use topology::{DistributedSystem, GroupId, ProcId, SimTime};
 
 /// How donor level-0 grids are selected for global redistribution.
@@ -63,7 +63,7 @@ pub struct RedistributionAbort {
 /// Fig. 6's `(W_A − W_B)/(2·W_A) · W⁰_A`.
 pub fn global_redistribute(
     hier: &mut GridHierarchy,
-    sim: &mut NetSim,
+    sim: &mut SimView,
     group_loads: &[f64],
     params: &BalanceParams,
 ) -> RedistributionReport {
@@ -85,7 +85,7 @@ pub fn global_redistribute(
 /// [`global_redistribute_guarded`]).
 pub fn global_redistribute_with(
     hier: &mut GridHierarchy,
-    sim: &mut NetSim,
+    sim: &mut SimView,
     group_loads: &[f64],
     params: &BalanceParams,
     policy: SelectionPolicy,
@@ -108,7 +108,7 @@ pub fn global_redistribute_with(
 /// [`samr_mesh::checkpoint`] snapshot taken before the call.
 pub fn global_redistribute_guarded(
     hier: &mut GridHierarchy,
-    sim: &mut NetSim,
+    sim: &mut SimView,
     group_loads: &[f64],
     eligible: &[bool],
     params: &BalanceParams,
@@ -131,7 +131,7 @@ pub fn global_redistribute_guarded(
 #[allow(clippy::too_many_arguments)]
 pub fn global_redistribute_elastic(
     hier: &mut GridHierarchy,
-    sim: &mut NetSim,
+    sim: &mut SimView,
     group_loads: &[f64],
     eligible: &[bool],
     params: &BalanceParams,
@@ -381,7 +381,7 @@ impl EvacuationReport {
 /// alive at all.
 pub fn evacuate_proc(
     hier: &mut GridHierarchy,
-    sim: &mut NetSim,
+    sim: &mut SimView,
     dead: ProcId,
     alive: &[bool],
 ) -> EvacuationReport {
@@ -711,7 +711,7 @@ mod tests {
         // Fig. 6: move (W_A−W_B)/(2·W_A) · W⁰_A
         //       = 2048/6144 · 3072 = 1024 cells (two 512-cell grids).
         let sys = wan_sys(2, 2, 1.0);
-        let mut sim = NetSim::new(sys);
+        let mut sim = SimView::new(sys);
         let mut hier = hier_split(0, 2, 6);
         let loads = [3072.0, 1024.0];
         let rep = global_redistribute(
@@ -735,7 +735,7 @@ mod tests {
     #[test]
     fn balanced_loads_no_motion() {
         let sys = wan_sys(2, 2, 1.0);
-        let mut sim = NetSim::new(sys);
+        let mut sim = SimView::new(sys);
         let mut hier = hier_split(0, 2, 4);
         let rep = global_redistribute(
             &mut hier,
@@ -752,7 +752,7 @@ mod tests {
         // Group B is 3x faster per proc: with equal loads, A (power 2) vs B
         // (power 6) ⇒ A's target = total/4 ⇒ A must export half its cells.
         let sys = wan_sys(2, 2, 3.0);
-        let mut sim = NetSim::new(sys);
+        let mut sim = SimView::new(sys);
         let mut hier = hier_split(0, 2, 4);
         let rep = global_redistribute(
             &mut hier,
@@ -773,7 +773,7 @@ mod tests {
         // One giant grid holds all of A's cells; moving 1/4 of the workload
         // requires splitting it.
         let sys = wan_sys(2, 2, 1.0);
-        let mut sim = NetSim::new(sys);
+        let mut sim = SimView::new(sys);
         let mut hier = GridHierarchy::new(region(ivec3(0, 0, 0), ivec3(64, 8, 8)), 2, 3, 1, 1);
         hier.insert_patch(0, region(ivec3(0, 0, 0), ivec3(32, 8, 8)), None, 0);
         hier.insert_patch(0, region(ivec3(32, 0, 0), ivec3(64, 8, 8)), None, 2);
@@ -793,7 +793,7 @@ mod tests {
     fn single_group_noop() {
         let intra = Link::dedicated("intra", SimTime::ZERO, 1e9);
         let sys = SystemBuilder::new().group("A", 4, 1.0, intra).build();
-        let mut sim = NetSim::new(sys);
+        let mut sim = SimView::new(sys);
         let mut hier = hier_split(0, 1, 4);
         let rep =
             global_redistribute(&mut hier, &mut sim, &[4096.0], &BalanceParams::default());
@@ -842,7 +842,7 @@ mod tests {
             .connect(0, 2, wan.clone())
             .connect(1, 2, wan)
             .build();
-        let mut sim = NetSim::new(sys);
+        let mut sim = SimView::new(sys);
         let mut hier = hier_split(0, 2, 6); // A: 6 grids, B: 2, C: 0
         let rep = global_redistribute_guarded(
             &mut hier,
@@ -866,7 +866,7 @@ mod tests {
     #[test]
     fn evacuation_prefers_survivors_at_home() {
         let sys = wan_sys(2, 2, 1.0);
-        let mut sim = NetSim::new(sys);
+        let mut sim = SimView::new(sys);
         let mut hier = hier_split(0, 2, 4); // procs 0 and 2 hold 4 grids each
         let alive = [false, true, true, true];
         let rep = evacuate_proc(&mut hier, &mut sim, ProcId(0), &alive);
@@ -888,7 +888,7 @@ mod tests {
     #[test]
     fn evacuation_escapes_a_fully_dead_group() {
         let sys = wan_sys(2, 2, 1.0);
-        let mut sim = NetSim::new(sys);
+        let mut sim = SimView::new(sys);
         let mut hier = hier_split(0, 2, 4);
         // all of group A dead: proc 0's grids must cross to group B, spread
         // over B's two procs by load
@@ -912,7 +912,7 @@ mod tests {
         // Equal loads, equal nameplate groups — but half of B is dead, so
         // the elastic pass moves work *out* of B toward A.
         let sys = wan_sys(2, 2, 1.0);
-        let mut sim = NetSim::new(sys);
+        let mut sim = SimView::new(sys);
         let mut hier = hier_split(0, 2, 4);
         let alive = [true, true, true, false];
         let rep = global_redistribute_elastic(
@@ -934,7 +934,7 @@ mod tests {
             assert_ne!(hier.patch(id).owner, 3);
         }
         // guarded (all alive, nameplate powers) still sees this as balanced
-        let mut sim2 = NetSim::new(wan_sys(2, 2, 1.0));
+        let mut sim2 = SimView::new(wan_sys(2, 2, 1.0));
         let mut hier2 = hier_split(0, 2, 4);
         let rep2 = global_redistribute_guarded(
             &mut hier2,
@@ -965,7 +965,7 @@ mod tests {
             .group("B", 2, 1.0, intra)
             .connect(0, 1, wan)
             .build();
-        let mut sim = NetSim::new(sys);
+        let mut sim = SimView::new(sys);
         let mut hier = hier_split(0, 2, 6);
         let abort = global_redistribute_guarded(
             &mut hier,

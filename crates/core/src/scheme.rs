@@ -4,13 +4,15 @@
 
 use crate::history::WorkloadHistory;
 use samr_mesh::hierarchy::GridHierarchy;
-use simnet::{NetSim, SimResult};
+use simnet::{SimResult, SimView};
 use topology::DistributedSystem;
 
-/// Mutable state handed to a balancer after a level step.
+/// Mutable state handed to a balancer after a level step. The simulator is
+/// a [`SimView`] so the same scheme code runs both exclusively (one run,
+/// one simulator) and as a tenant of a shared substrate.
 pub struct LbContext<'a> {
     pub hier: &'a mut GridHierarchy,
-    pub sim: &'a mut NetSim,
+    pub sim: &'a mut SimView,
     pub history: &'a mut WorkloadHistory,
 }
 

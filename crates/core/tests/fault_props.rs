@@ -7,7 +7,7 @@ use dlb::fault::FaultTolerancePolicy;
 use dlb::{DistributedDlb, DistributedDlbConfig, LbContext, LoadBalancer, WorkloadHistory};
 use samr_mesh::hierarchy::GridHierarchy;
 use samr_mesh::{ivec3, region};
-use simnet::{Activity, NetSim};
+use simnet::{Activity, SimView};
 use topology::faults::{FaultKind, FaultSchedule};
 use topology::link::Link;
 use topology::{DistributedSystem, ProcId, SimTime, SystemBuilder};
@@ -45,7 +45,7 @@ fn imbalanced_hier() -> GridHierarchy {
 /// step. Each step is followed by 30 s of compute so the simulated clock
 /// actually traverses the schedule's windows.
 fn run(sched: FaultSchedule, steps: usize) -> (GridHierarchy, DistributedDlb) {
-    let mut sim = NetSim::new(wan_sys(sched));
+    let mut sim = SimView::new(wan_sys(sched));
     let mut hier = imbalanced_hier();
     let mut history = WorkloadHistory::new(NPROCS);
     let cfg = DistributedDlbConfig {

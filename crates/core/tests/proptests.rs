@@ -9,7 +9,7 @@ use dlb::{
 use proptest::prelude::*;
 use samr_mesh::hierarchy::GridHierarchy;
 use samr_mesh::{ivec3, region};
-use simnet::NetSim;
+use simnet::SimView;
 use topology::link::Link;
 use topology::{ProcId, SimTime, SystemBuilder};
 
@@ -46,7 +46,7 @@ proptest! {
     fn balance_conserves_total_work(owners in prop::collection::vec(0usize..4, 1..24)) {
         let mut h = hier_with(&owners);
         let before: i64 = h.level_cells(0);
-        let mut sim = NetSim::new(sys(2, 2));
+        let mut sim = SimView::new(sys(2, 2));
         let procs: Vec<ProcId> = (0..4).map(ProcId).collect();
         balance_level_within(&mut h, &mut sim, 0, &procs, &[1.0; 4], &BalanceParams::default());
         prop_assert_eq!(h.level_cells(0), before);
@@ -58,7 +58,7 @@ proptest! {
         owners in prop::collection::vec(0usize..4, 4..24),
     ) {
         let mut h = hier_with(&owners);
-        let mut sim = NetSim::new(sys(2, 2));
+        let mut sim = SimView::new(sys(2, 2));
         let procs: Vec<ProcId> = (0..4).map(ProcId).collect();
         balance_level_within(&mut h, &mut sim, 0, &procs, &[1.0; 4], &BalanceParams::default());
         let loads = h.level_load_by_owner(0, 4);
@@ -79,7 +79,7 @@ proptest! {
     ) {
         let mut h = hier_with(&owners);
         let outside_before = h.level_load_by_owner(0, 4)[3];
-        let mut sim = NetSim::new(sys(2, 2));
+        let mut sim = SimView::new(sys(2, 2));
         // balance only procs 0..3 (proc 3 excluded)
         let procs: Vec<ProcId> = (0..3).map(ProcId).collect();
         balance_level_within(&mut h, &mut sim, 0, &procs, &[1.0; 3], &BalanceParams::default());
@@ -143,7 +143,7 @@ proptest! {
         // 16 grids, `split` of them owned by group A's proc 0, rest by B's
         let owners: Vec<usize> = (0..16).map(|i| if i < split { 0 } else { 2 }).collect();
         let mut h = hier_with(&owners);
-        let mut sim = NetSim::new(sys(2, 2));
+        let mut sim = SimView::new(sys(2, 2));
         let sysd = sim.system().clone();
         let wa = dlb::partition::group_level0_cells(&h, &sysd, 0) as f64;
         let wb = dlb::partition::group_level0_cells(&h, &sysd, 1) as f64;

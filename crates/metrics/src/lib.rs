@@ -11,4 +11,5 @@ pub use efficiency::{efficiency, improvement_percent, speedup};
 pub use stats::{geometric_mean, percentile_exact, slope, summarize, Summary};
 pub use report::{
     ConfigRow, FaultCounters, ForecastStats, PhaseWall, RecoveryStats, RunBreakdown, Table,
+    TenantStats,
 };

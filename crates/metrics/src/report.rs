@@ -108,6 +108,41 @@ pub struct ForecastStats {
     pub proactive_invocations: u64,
 }
 
+/// Per-tenant outcome of one multi-tenant service run on a shared
+/// substrate clock.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct TenantStats {
+    /// Tenant index within the service.
+    pub tenant: usize,
+    /// Admission priority weight.
+    pub priority: f64,
+    /// Global group ids the tenant finished on.
+    pub groups: Vec<usize>,
+    /// Level-0 steps completed.
+    pub steps: u64,
+    /// Cell updates executed by this tenant.
+    pub cell_updates: u64,
+    /// Total simulated seconds from the tenant's view.
+    pub total_secs: f64,
+    /// Median per-step simulated latency, seconds.
+    pub p50_step_secs: f64,
+    /// 99th-percentile per-step simulated latency, seconds.
+    pub p99_step_secs: f64,
+    /// Whole-tenant migrations performed on this tenant.
+    pub migrations: u64,
+}
+
+impl TenantStats {
+    /// Aggregate cell-update throughput over simulated time (updates/sec).
+    pub fn cell_updates_per_sec(&self) -> f64 {
+        if self.total_secs > 0.0 {
+            self.cell_updates as f64 / self.total_secs
+        } else {
+            0.0
+        }
+    }
+}
+
 /// One configuration row of a figure (e.g. "4 + 4").
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct ConfigRow {

@@ -3,9 +3,11 @@
 //! the DLB hook points of Fig. 4/5 — all on simulated time.
 //!
 //! Real numerics run on the patch data (so refinement follows the physics);
-//! *timing* is charged to the [`NetSim`] according to grid ownership: solver
+//! *timing* is charged to the simulator according to grid ownership: solver
 //! work to the owning processor, boundary windows and migrations as messages
-//! over the links between owners.
+//! over the links between owners. The driver holds a [`SimView`] rather than
+//! owning a simulator, so it runs identically standalone (exclusive view)
+//! and as one tenant of a shared substrate clock.
 
 use crate::app::AppState;
 use crate::config::{RunConfig, RunResult};
@@ -21,7 +23,7 @@ use samr_mesh::interp::{prolong_constant, restrict_average};
 use samr_mesh::patch::PatchId;
 use samr_mesh::region::Region;
 use samr_solvers::par::for_each_task_parallel;
-use simnet::{send_with_retry, Activity, NetSim};
+use simnet::{send_with_retry, Activity, SimView};
 use topology::{DistributedSystem, ProcId, SimTime};
 
 /// Snapshot of a retired patch's data, used to seed re-created fine grids.
@@ -36,7 +38,7 @@ struct OldPatch {
 pub struct Driver {
     cfg: RunConfig,
     app: AppState,
-    sim: NetSim,
+    sim: SimView,
     hier: GridHierarchy,
     history: WorkloadHistory,
     scheme: SchemeInstance,
@@ -87,6 +89,15 @@ impl Driver {
     /// (proportional to their weights), initialize the application fields,
     /// and construct the initial refinement hierarchy.
     pub fn new(sys: DistributedSystem, cfg: RunConfig) -> Driver {
+        Driver::new_on(SimView::new(sys), cfg)
+    }
+
+    /// Build a driver over an existing simulator view: exclusive
+    /// ([`SimView::new`]) for a standalone run, or a tenant view carved from
+    /// a shared [`simnet::SimHandle`] so several drivers advance one clock.
+    /// Proc-fault schedules require an exclusive view — a shared substrate
+    /// has one global fault timeline, not per-tenant ones.
+    pub fn new_on(sim: SimView, cfg: RunConfig) -> Driver {
         let app = AppState::new(cfg.app, cfg.n0, cfg.seed);
         let domain = Region::cube(cfg.n0);
         let mut hier = GridHierarchy::new(
@@ -97,16 +108,16 @@ impl Driver {
             app.ghost(),
         );
         // initial decomposition: one slab per processor, weighted
-        let shares: Vec<f64> = sys.procs().iter().map(|p| p.weight).collect();
+        let shares: Vec<f64> = sim.system().procs().iter().map(|p| p.weight).collect();
         for (region, proc_ix) in decompose_domain(domain, &shares) {
             let id = hier.insert_patch(0, region, None, proc_ix);
             app.init_patch(hier.patch_mut(id));
         }
-        let nprocs = sys.nprocs();
+        let nprocs = sim.system().nprocs();
         let mut d = Driver {
             cfg,
             app,
-            sim: NetSim::new(sys),
+            sim,
             hier,
             history: WorkloadHistory::new(nprocs),
             scheme: SchemeInstance::Static, // replaced in run()
@@ -133,7 +144,9 @@ impl Driver {
         // the sim owns the run's telemetry handle: the scheme reaches it via
         // LbContext, and sim.reset() clears setup-time records
         d.sim.set_telemetry(d.cfg.telemetry.clone());
-        d.sim.set_proc_faults(d.cfg.proc_faults.clone());
+        if !d.cfg.proc_faults.is_quiet() {
+            d.sim.set_proc_faults(d.cfg.proc_faults.clone());
+        }
         d.step_count = vec![0; d.cfg.max_levels];
         d.old_data = vec![Vec::new(); d.cfg.max_levels];
         // build the initial hierarchy: regrid cascade, no timing charged
@@ -159,9 +172,15 @@ impl Driver {
         &self.hier
     }
 
-    /// The simulator (for inspection/tests).
-    pub fn sim(&self) -> &NetSim {
+    /// The simulator view (for inspection/tests).
+    pub fn sim(&self) -> &SimView {
         &self.sim
+    }
+
+    /// Mutable simulator view — the tenant service charges inter-tenant
+    /// migration traffic and remaps group views through this.
+    pub fn sim_mut(&mut self) -> &mut SimView {
+        &mut self.sim
     }
 
     /// Decision log of the distributed scheme (empty otherwise).
@@ -235,7 +254,7 @@ impl Driver {
             scheme: cfg.scheme.instantiate(),
             cfg,
             app,
-            sim: NetSim::new(sys),
+            sim: SimView::new(sys),
             hier,
             history,
             step_count,
@@ -258,7 +277,9 @@ impl Driver {
             evacuations: 0,
         };
         d.sim.set_telemetry(d.cfg.telemetry.clone());
-        d.sim.set_proc_faults(d.cfg.proc_faults.clone());
+        if !d.cfg.proc_faults.is_quiet() {
+            d.sim.set_proc_faults(d.cfg.proc_faults.clone());
+        }
         d.old_data = vec![Vec::new(); d.cfg.max_levels];
         d.step_count.resize(d.cfg.max_levels, 0);
         d.peak_patches = d.hier.num_patches();

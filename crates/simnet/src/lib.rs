@@ -15,10 +15,12 @@
 
 pub mod error;
 pub mod retry;
+pub mod shared;
 pub mod sim;
 pub mod stats;
 
 pub use error::{SimError, SimResult};
 pub use retry::{send_with_retry, RetryPolicy};
+pub use shared::{SimHandle, SimView};
 pub use sim::NetSim;
 pub use stats::{Activity, MsgStats, ProcStats, SimStats};

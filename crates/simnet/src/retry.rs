@@ -7,7 +7,7 @@
 //! the accounting invariant (every clock advance is attributed) holds.
 
 use crate::error::{SimError, SimResult};
-use crate::sim::NetSim;
+use crate::shared::SimView;
 use crate::stats::Activity;
 use topology::{ProcId, SimTime};
 
@@ -53,7 +53,7 @@ impl RetryPolicy {
 /// applies to each attempt. Returns how many retries were consumed along
 /// with the outcome (the error of the last attempt, if all failed).
 pub fn send_with_retry(
-    sim: &mut NetSim,
+    sim: &mut SimView,
     src: ProcId,
     dst: ProcId,
     bytes: u64,
@@ -84,10 +84,10 @@ mod tests {
     use topology::link::Link;
     use topology::SystemBuilder;
 
-    fn faulty_pair(windows: FaultSchedule) -> NetSim {
+    fn faulty_pair(windows: FaultSchedule) -> SimView {
         let intra = Link::dedicated("intra", SimTime::from_micros(10), 1e9);
         let wan = Link::dedicated("wan", SimTime::from_millis(10), 1e7).with_faults(windows);
-        NetSim::new(
+        SimView::new(
             SystemBuilder::new()
                 .group("A", 1, 1.0, intra.clone())
                 .group("B", 1, 1.0, intra)

@@ -226,6 +226,47 @@ pub struct TransferEvent {
     pub failed: bool,
 }
 
+/// A tenant job was admitted onto the shared substrate and placed on its
+/// group span by the priority-weighted cumulative-distribution pick.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TenantAdmitEvent {
+    /// Tenant index within the service.
+    pub tenant: usize,
+    /// The tenant's admission priority weight.
+    pub priority: f64,
+    /// Global group ids the tenant was placed on.
+    pub groups: Vec<usize>,
+}
+
+/// A whole tenant migrated to a different group span, priced through the
+/// same γ-gated cost model the intra-tenant DLB uses.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TenantMigrateEvent {
+    /// Tenant index within the service.
+    pub tenant: usize,
+    /// Group the tenant's leading view slot moved off.
+    pub from_group: usize,
+    /// Group it moved onto.
+    pub to_group: usize,
+    /// Payload shipped between the group leaders.
+    pub bytes: u64,
+    /// Priced migration cost (Eq. 1 comm term + δ), seconds.
+    pub cost_secs: f64,
+    /// Estimated gain that passed the γ-gate, seconds.
+    pub gain_secs: f64,
+}
+
+/// One tenant level-0 step completed on the shared clock.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TenantStepEvent {
+    /// Tenant index within the service.
+    pub tenant: usize,
+    /// The tenant's level-0 step index.
+    pub step: u64,
+    /// Simulated step latency, seconds.
+    pub secs: f64,
+}
+
 /// The closed set of event payloads.
 #[derive(Clone, Debug, PartialEq)]
 pub enum EventKind {
@@ -247,6 +288,12 @@ pub enum EventKind {
     Evacuate(EvacuateEvent),
     /// Crashed processor recovered and re-entered.
     Rejoin(RejoinEvent),
+    /// Tenant admitted onto the shared substrate.
+    TenantAdmit(TenantAdmitEvent),
+    /// Whole tenant migrated between group spans.
+    TenantMigrate(TenantMigrateEvent),
+    /// Tenant level-0 step completed on the shared clock.
+    TenantStep(TenantStepEvent),
 }
 
 impl EventKind {
@@ -262,14 +309,21 @@ impl EventKind {
             EventKind::Crash(_) => "crash",
             EventKind::Evacuate(_) => "evacuate",
             EventKind::Rejoin(_) => "rejoin",
+            EventKind::TenantAdmit(_) => "tenant_admit",
+            EventKind::TenantMigrate(_) => "tenant_migrate",
+            EventKind::TenantStep(_) => "tenant_step",
         }
     }
 
     /// Decision events (gate/redistribute/fault/predictor) live in a
-    /// separate ring from the high-volume flow events (probe/transfer), so
-    /// per-transfer noise can never evict the audit log.
+    /// separate ring from the high-volume flow events (probe/transfer and
+    /// per-step tenant latencies), so per-transfer noise can never evict
+    /// the audit log.
     pub fn is_decision(&self) -> bool {
-        !matches!(self, EventKind::Probe(_) | EventKind::Transfer(_))
+        !matches!(
+            self,
+            EventKind::Probe(_) | EventKind::Transfer(_) | EventKind::TenantStep(_)
+        )
     }
 }
 

@@ -154,6 +154,31 @@ pub fn event_json(rec: &EventRecord) -> String {
             r.group,
             json_num(r.downtime_secs),
         ),
+        EventKind::TenantAdmit(t) => {
+            let groups: Vec<String> = t.groups.iter().map(|g| g.to_string()).collect();
+            format!(
+                ", \"tenant\": {}, \"priority\": {}, \"groups\": [{}]",
+                t.tenant,
+                json_num(t.priority),
+                groups.join(", "),
+            )
+        }
+        EventKind::TenantMigrate(t) => format!(
+            ", \"tenant\": {}, \"from_group\": {}, \"to_group\": {}, \"bytes\": {}, \
+             \"cost_secs\": {}, \"gain_secs\": {}",
+            t.tenant,
+            t.from_group,
+            t.to_group,
+            t.bytes,
+            json_num(t.cost_secs),
+            json_num(t.gain_secs),
+        ),
+        EventKind::TenantStep(t) => format!(
+            ", \"tenant\": {}, \"step\": {}, \"secs\": {}",
+            t.tenant,
+            t.step,
+            json_num(t.secs),
+        ),
     };
     format!("{head}{body}}}")
 }
@@ -168,6 +193,7 @@ pub fn to_jsonl(sink: &RecordingSink) -> String {
          \"aborted_redistributes\": {}, \"faults\": {}, \"predictor_switches\": {}, \
          \"probes\": {}, \"transfers\": {}, \"failed_transfers\": {}, \
          \"crashes\": {}, \"evacuations\": {}, \"rejoins\": {}, \
+         \"tenant_admits\": {}, \"tenant_migrations\": {}, \"tenant_steps\": {}, \
          \"dropped_decisions\": {dropped_decisions}, \"dropped_flows\": {dropped_flows}, \
          \"spans_dropped\": {}}}\n",
         c.gates,
@@ -182,6 +208,9 @@ pub fn to_jsonl(sink: &RecordingSink) -> String {
         c.crashes,
         c.evacuations,
         c.rejoins,
+        c.tenant_admits,
+        c.tenant_migrations,
+        c.tenant_steps,
         sink.spans_dropped(),
     );
     for (name, entries) in sink.stat_blocks() {
@@ -208,6 +237,9 @@ fn sim_tid(kind: &EventKind) -> (u64, &'static str) {
         EventKind::Probe(_) => (5, "probes"),
         EventKind::Transfer(_) => (6, "transfers"),
         EventKind::Crash(_) | EventKind::Evacuate(_) | EventKind::Rejoin(_) => (7, "recovery"),
+        EventKind::TenantAdmit(_) | EventKind::TenantMigrate(_) | EventKind::TenantStep(_) => {
+            (8, "tenants")
+        }
     }
 }
 
@@ -367,6 +399,14 @@ pub fn summary_text(sink: &RecordingSink) -> String {
             out,
             "crash-stop recovery: {} crashes, {} evacuations, {} rejoins",
             c.crashes, c.evacuations, c.rejoins
+        );
+    }
+
+    if c.tenant_admits + c.tenant_migrations + c.tenant_steps > 0 {
+        let _ = writeln!(
+            out,
+            "tenants: {} admitted, {} migrations, {} shared-clock steps",
+            c.tenant_admits, c.tenant_migrations, c.tenant_steps
         );
     }
 

@@ -32,7 +32,8 @@ mod export;
 
 pub use event::{
     CrashEvent, EvacuateEvent, EventKind, EventRecord, FaultEvent, FaultKind, GammaGateEvent,
-    GateVerdict, PredictorSwitchEvent, ProbeEvent, RedistributeEvent, RejoinEvent, TransferEvent,
+    GateVerdict, PredictorSwitchEvent, ProbeEvent, RedistributeEvent, RejoinEvent,
+    TenantAdmitEvent, TenantMigrateEvent, TenantStepEvent, TransferEvent,
 };
 pub use hist::{percentile_exact, LogHistogram};
 pub use sink::{NullSink, RecordingSink, SpanGuard, SpanRecord, Telemetry, TelemetrySink};

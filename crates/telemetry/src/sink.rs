@@ -141,6 +141,12 @@ pub struct EventCounts {
     pub evacuations: u64,
     /// Crashed procs that recovered and re-entered.
     pub rejoins: u64,
+    /// Tenant admissions onto a shared substrate.
+    pub tenant_admits: u64,
+    /// Whole-tenant migrations between group spans.
+    pub tenant_migrations: u64,
+    /// Tenant level-0 steps completed on a shared clock.
+    pub tenant_steps: u64,
 }
 
 /// Default capacity of the decision ring (gate/redistribute/fault/switch).
@@ -296,6 +302,9 @@ impl RecordingSink {
             EventKind::Crash(_) => self.counts.crashes += 1,
             EventKind::Evacuate(_) => self.counts.evacuations += 1,
             EventKind::Rejoin(_) => self.counts.rejoins += 1,
+            EventKind::TenantAdmit(_) => self.counts.tenant_admits += 1,
+            EventKind::TenantMigrate(_) => self.counts.tenant_migrations += 1,
+            EventKind::TenantStep(_) => self.counts.tenant_steps += 1,
         }
     }
 

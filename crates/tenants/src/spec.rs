@@ -1,0 +1,51 @@
+//! What one tenant job looks like to the service.
+
+use samr_engine::AppKind;
+
+/// One SAMR job submitted to the multi-tenant service.
+#[derive(Clone, Debug)]
+pub struct TenantSpec {
+    /// Which application preset the tenant runs.
+    pub app: AppKind,
+    /// Level-0 domain edge (the job's size knob).
+    pub n0: usize,
+    /// Refinement levels.
+    pub max_levels: usize,
+    /// Level-0 steps the tenant wants to run.
+    pub steps: usize,
+    /// Admission priority weight (> 0): relative odds of being drawn early
+    /// from the cumulative priority distribution, hence of getting the
+    /// least-loaded groups.
+    pub priority: f64,
+    /// Groups the tenant's view spans (its private "site count").
+    pub span: usize,
+}
+
+impl TenantSpec {
+    /// A tenant with the workspace's default shape knobs.
+    pub fn new(app: AppKind, n0: usize, steps: usize, priority: f64, span: usize) -> Self {
+        assert!(priority > 0.0, "priority must be positive");
+        assert!(span >= 1, "a tenant spans at least one group");
+        TenantSpec {
+            app,
+            n0,
+            max_levels: 3,
+            steps,
+            priority,
+            span,
+        }
+    }
+
+    /// Rough total workload (level-0 cell-steps): the load weight admission
+    /// balances across groups. Deliberately coarse — it only has to rank
+    /// jobs, not price them.
+    pub fn work_estimate(&self) -> f64 {
+        (self.n0 as f64).powi(3) * self.steps as f64
+    }
+
+    /// The share of [`TenantSpec::work_estimate`] carried by each group of
+    /// the tenant's span.
+    pub fn work_per_group(&self) -> f64 {
+        self.work_estimate() / self.span as f64
+    }
+}

@@ -8,8 +8,10 @@ cargo build --release
 cargo clippy --all-targets -- -D warnings
 cargo clippy -p forecast --all-targets -- -D warnings
 # the pooled data path must not reintroduce hidden full-field copies, and
-# the balancer/topology hot paths must stay clone-free too
-cargo clippy -p samr-mesh -p samr-solvers -p dlb -p topology --all-targets -- -D warnings -D clippy::redundant_clone
+# no workspace crate may clone what a borrow would do
+cargo clippy -p samr-mesh -p samr-solvers -p dlb -p topology -p simnet -p samr-engine \
+  -p forecast -p metrics -p telemetry -p bench -p tenants --all-targets -- \
+  -D warnings -D clippy::redundant_clone
 cargo build -p forecast && cargo test -q -p forecast
 cargo test -q
 cargo test -p samr-engine --test fault_recovery
@@ -141,4 +143,50 @@ for s in c["seeds_detail"]:
 print(f"chaos gate: ok ({c['total_crashes']} crashes, "
       f"{c['total_evacuations']} evacuations, {c['total_rejoins']} rejoins "
       f"across {c['seeds']} seeds)")
+EOF
+
+# tenants gate: run the multi-tenant service benchmark at quick scale (the
+# binary itself exits nonzero if two runs of the shared clock — one
+# recording telemetry — diverge), then check the report is well-formed and
+# that tenant-aware admission beats naive static placement on worst-tenant
+# p99 step latency under the congested shared-WAN scenario.
+cargo run --release -p bench --bin tenants -- --quick --out results/BENCH_tenants_quick.json
+python3 - <<'EOF'
+import json, sys
+
+t = json.load(open("results/BENCH_tenants_quick.json"))
+if not t["bit_identical"]:
+    sys.exit("tenants: shared-clock run is not reproducible")
+if t["tenants"] < 8:
+    sys.exit(f"tenants: only {t['tenants']} concurrent tenants, need >= 8")
+scenarios = {s["scenario"]: s for s in t["scenarios"]}
+if sorted(scenarios) != ["congested", "quiet"]:
+    sys.exit(f"tenants: unexpected scenarios {sorted(scenarios)}")
+for name, s in scenarios.items():
+    modes = {m["mode"]: m for m in s["modes"]}
+    if sorted(modes) != ["aware", "static"]:
+        sys.exit(f"tenants: scenario {name} has modes {sorted(modes)}")
+    for mode, m in modes.items():
+        if len(m["tenants"]) != t["tenants"]:
+            sys.exit(f"tenants: {name}/{mode} reports {len(m['tenants'])} tenants")
+        for row in m["tenants"]:
+            for key in ("priority", "groups", "steps", "cell_updates",
+                        "total_secs", "p50_step_secs", "p99_step_secs",
+                        "migrations"):
+                if key not in row:
+                    sys.exit(f"tenants: {name}/{mode} tenant row missing {key}")
+            if row["steps"] <= 0 or row["p99_step_secs"] < row["p50_step_secs"]:
+                sys.exit(f"tenants: {name}/{mode} tenant {row['tenant']} malformed")
+        if m["aggregate_cell_updates_per_sec"] <= 0:
+            sys.exit(f"tenants: {name}/{mode} reports no throughput")
+cong = {m["mode"]: m for m in scenarios["congested"]["modes"]}
+aware, static = cong["aware"], cong["static"]
+if aware["worst_p99_step_secs"] > static["worst_p99_step_secs"]:
+    sys.exit(
+        f"tenants: aware p99 {aware['worst_p99_step_secs']:.4f}s is worse than "
+        f"static placement {static['worst_p99_step_secs']:.4f}s under congestion"
+    )
+print(f"tenants gate: ok (congested p99: aware {aware['worst_p99_step_secs']:.4f}s "
+      f"<= static {static['worst_p99_step_secs']:.4f}s, "
+      f"{aware['migrations']} migrations)")
 EOF
