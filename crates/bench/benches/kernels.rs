@@ -10,7 +10,7 @@ use samr_mesh::flag::FlagField;
 use samr_mesh::hierarchy::GridHierarchy;
 use samr_mesh::region::Region;
 use samr_mesh::{ivec3, region};
-use samr_solvers::euler;
+use samr_solvers::{advection, euler, muscl, poisson};
 use simnet::SimView;
 use std::hint::black_box;
 use topology::{presets, LinkEstimator, ProcId, SimTime};
@@ -33,9 +33,60 @@ fn euler_fieldset(n: i64) -> Vec<Field3> {
 fn bench_kernels(c: &mut Criterion) {
     c.bench_function("euler_step_16cubed", |b| {
         let mut fs = euler_fieldset(16);
+        b.iter(|| {
+            euler::euler_step(black_box(&mut fs), 0.05, 1.4);
+        })
+    });
+
+    c.bench_function("euler_step_16cubed_reference", |b| {
+        let mut fs = euler_fieldset(16);
+        b.iter(|| {
+            euler::reference::euler_step(black_box(&mut fs), 0.05, 1.4);
+        })
+    });
+
+    c.bench_function("muscl_step_16cubed", |b| {
+        let mut fs: Vec<Field3> = (0..euler::NFIELDS)
+            .map(|_| Field3::zeros(Region::cube(16), 2))
+            .collect();
+        euler::set_ambient(&mut fs, 1.0, [0.1, 0.0, 0.0], 1.0, 1.4);
+        for p in fs[0].storage_region().iter_cells() {
+            if p.x < 5 {
+                fs[euler::fields::RHO].set(p, 4.0);
+                fs[euler::fields::E].set(p, 10.0);
+            }
+        }
         let pool = samr_mesh::pool::FieldPool::new();
         b.iter(|| {
-            euler::euler_step(black_box(&mut fs), 0.05, 1.4, &pool);
+            muscl::muscl_step(black_box(&mut fs), 0.05, 1.4, &pool);
+        })
+    });
+
+    c.bench_function("advect_step_16cubed_limited", |b| {
+        let mut f = Field3::zeros(Region::cube(16), 2);
+        f.map_interior(|p, _| ((p.x * 7 + p.y * 3 + p.z) % 11) as f64 * 0.1);
+        f.fill_ghosts_zero_gradient();
+        let pool = samr_mesh::pool::FieldPool::new();
+        b.iter(|| {
+            advection::advect_step(black_box(&mut f), [0.4, -0.3, 0.2], true, &pool);
+        })
+    });
+
+    c.bench_function("rbgs_sweep_16cubed", |b| {
+        let mut phi = Field3::zeros(Region::cube(16), 1);
+        let mut rhs = Field3::zeros(Region::cube(16), 0);
+        phi.map_interior(|p, _| (p.x + p.y + p.z) as f64 * 0.05);
+        rhs.map_interior(|p, _| if p.x == 8 { -1.0 } else { 0.0 });
+        b.iter(|| {
+            poisson::rbgs_sweep(black_box(&mut phi), &rhs, 1.0);
+        })
+    });
+
+    c.bench_function("fill_ghosts_zero_gradient_16cubed_g2", |b| {
+        let mut f = Field3::zeros(Region::cube(16), 2);
+        f.map_interior(|p, _| (p.x * p.y + p.z) as f64);
+        b.iter(|| {
+            black_box(&mut f).fill_ghosts_zero_gradient();
         })
     });
 

@@ -16,7 +16,7 @@ use rand_chacha::ChaCha8Rng;
 use samr_mesh::field::Field3;
 use samr_mesh::flag::{flag_cells, FlagField, RefineCriterion};
 use samr_mesh::patch::GridPatch;
-use samr_mesh::pool::FieldPool;
+use samr_mesh::pool::{FieldAlloc, FieldPool};
 use samr_mesh::region::Region;
 use samr_solvers::euler::{self, fields as F};
 use samr_solvers::poisson;
@@ -223,14 +223,16 @@ impl AppState {
     /// One solver step on a patch at `level` with Courant ratio
     /// `dt_over_dx` (same at every level by construction). Ghosts must have
     /// been exchanged already. Scratch fields (solver double buffers, the
-    /// Poisson right-hand side) are drawn from `pool`.
-    pub fn step_patch(&self, fields: &mut [Field3], dt_over_dx: f64, pool: &FieldPool) {
+    /// Poisson right-hand side) are drawn from `pool` — generic over the
+    /// allocator so the driver can pass each rayon worker its own
+    /// shard-bound [`samr_mesh::pool::PoolHandle`].
+    pub fn step_patch<P: FieldAlloc>(&self, fields: &mut [Field3], dt_over_dx: f64, pool: &P) {
         match self.kind {
             AppKind::ShockPool3D => {
-                euler::euler_step(fields, dt_over_dx, self.gamma, pool);
+                euler::euler_step(fields, dt_over_dx, self.gamma);
             }
             AppKind::Amr64 => {
-                euler::euler_step(&mut fields[..euler::NFIELDS], dt_over_dx, self.gamma, pool);
+                euler::euler_step(&mut fields[..euler::NFIELDS], dt_over_dx, self.gamma);
                 // a few relaxation sweeps of ∇²φ = (ρ − ρ̄) each step — the
                 // elliptic component (fully converging each step is not
                 // necessary for the workload dynamics, matching how cosmology
@@ -248,6 +250,42 @@ impl AppState {
             AppKind::AdvectBlob => {
                 let c = dt_over_dx;
                 advection::advect_step(&mut fields[0], [c, 0.6 * c, 0.0], true, pool);
+            }
+        }
+    }
+
+    /// The reference-datapath counterpart of [`AppState::step_patch`]: the
+    /// same physics through the retained per-cell `reference` solver modules
+    /// (update-list sweeps, two Riemann solves per cell, per-cell index
+    /// math). The golden tests and kernel proptests pin these bit-identical
+    /// to the optimized kernels, so a `reference_datapath` run measures
+    /// exactly what the optimized solve/ghost/restrict paths buy while
+    /// producing the same trace.
+    pub fn step_patch_reference<P: FieldAlloc>(
+        &self,
+        fields: &mut [Field3],
+        dt_over_dx: f64,
+        pool: &P,
+    ) {
+        match self.kind {
+            AppKind::ShockPool3D => {
+                euler::reference::euler_step(fields, dt_over_dx, self.gamma);
+            }
+            AppKind::Amr64 => {
+                euler::reference::euler_step(&mut fields[..euler::NFIELDS], dt_over_dx, self.gamma);
+                let (head, tail) = fields.split_at_mut(euler::NFIELDS);
+                let rho = &head[F::RHO];
+                let phi = &mut tail[0];
+                let mut rhs = rho.clone_in(pool);
+                samr_mesh::field::reference::map_interior(&mut rhs, |_, v| v - 1.0);
+                for _ in 0..2 {
+                    poisson::reference::rbgs_sweep(phi, &rhs, 1.0);
+                }
+                rhs.recycle(pool);
+            }
+            AppKind::AdvectBlob => {
+                let c = dt_over_dx;
+                advection::reference::advect_step(&mut fields[0], [c, 0.6 * c, 0.0], true);
             }
         }
     }

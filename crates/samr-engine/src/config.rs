@@ -41,11 +41,12 @@ pub struct RunConfig {
     /// receiver advances with stale ghost data) and counted in
     /// [`RunResult::faults`].
     pub comm_retry: RetryPolicy,
-    /// Run ghost exchange and restriction through the clone-based reference
-    /// data path instead of the buffered zero-clone one. Both produce
-    /// bit-identical fields and traces (enforced by the determinism tests);
-    /// the reference path exists to prove that and to measure the overhead
-    /// the optimized path removes.
+    /// Run solve, ghost exchange and restriction through the retained
+    /// per-cell reference implementations (clone-based exchange, update-list
+    /// sweeps) instead of the optimized kernels. Both produce bit-identical
+    /// fields and traces (enforced by the determinism tests and golden
+    /// kernel pins); the reference path exists to prove that and to measure
+    /// the speedup the optimized path buys.
     pub reference_datapath: bool,
     /// Seeded crash/rejoin windows per processor. A proc inside a crash
     /// window is dead: its sends fail fast, its group runs the global phase

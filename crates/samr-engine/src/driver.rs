@@ -82,6 +82,13 @@ pub struct Driver {
     mttrs: Vec<f64>,
     /// Evacuations that actually moved patches.
     evacuations: u64,
+    /// Per-capacity-class count of live patch-field buffers at the last
+    /// pool provisioning point (keys are `next_power_of_two` storage
+    /// lengths). After each steady-state regrid the driver compares the
+    /// hierarchy against this baseline and provisions the pool for any
+    /// growth, keeping the zero-alloc steady state through mesh growth no
+    /// warm-up projection could foresee.
+    pool_class_baseline: std::collections::BTreeMap<usize, u64>,
 }
 
 impl Driver {
@@ -139,6 +146,7 @@ impl Driver {
             recovery_pending: StepRecovery::default(),
             mttrs: Vec::new(),
             evacuations: 0,
+            pool_class_baseline: Default::default(),
         };
         d.scheme = d.cfg.scheme.instantiate();
         // the sim owns the run's telemetry handle: the scheme reaches it via
@@ -275,6 +283,7 @@ impl Driver {
             recovery_pending: StepRecovery::default(),
             mttrs: Vec::new(),
             evacuations: 0,
+            pool_class_baseline: Default::default(),
         };
         d.sim.set_telemetry(d.cfg.telemetry.clone());
         if !d.cfg.proc_faults.is_quiet() {
@@ -293,11 +302,27 @@ impl Driver {
         self.sim.reset();
         // wall timers restart with simulated time: both exclude setup
         self.wall = metrics::PhaseWall::default();
+        let total_cells =
+            |h: &GridHierarchy| (0..h.num_levels()).map(|l| h.level_cells(l)).sum::<i64>();
+        let cells_at_start = total_cells(&self.hier);
         for i in 0..self.cfg.steps {
             if i == self.cfg.pool_warmup_steps {
-                // free lists are populated; from here on, every field
-                // acquisition that allocates counts as a steady-state miss
-                self.hier.pool().mark_steady();
+                // Free lists are populated; from here on, every field
+                // acquisition that allocates counts as a steady-state miss.
+                // The mesh keeps growing after warmup (regrid tracks the
+                // advancing features), and pool demand scales with cells —
+                // so extrapolate the growth rate observed during warmup over
+                // the remaining steps and provision that much spare
+                // inventory up front (capacity-only until actually used).
+                let cells_now = total_cells(&self.hier).max(1);
+                let grown = (cells_now as f64 / cells_at_start.max(1) as f64).max(1.0);
+                let per_step = (grown - 1.0) / i.max(1) as f64;
+                let projected = per_step * (self.cfg.steps - i) as f64;
+                // 2× safety margin on the projection: regrid growth is
+                // lumpy, and idle spares cost address space, not RSS
+                let factor = (2.0 * projected).max(0.5);
+                self.hier.pool().mark_steady_with_headroom(factor);
+                self.pool_class_baseline = self.live_field_classes();
             }
             self.step_once();
         }
@@ -727,9 +752,18 @@ impl Driver {
             .map(|&id| (id, std::mem::take(&mut self.hier.patch_mut(id).fields)))
             .collect();
         let app = &self.app;
+        let reference = self.cfg.reference_datapath;
+        // each rayon worker acquires/recycles solver scratch through a
+        // handle bound to its own pool shard — no shared lock on the hot path
         let pool = self.hier.pool().clone();
-        work.par_iter_mut()
-            .for_each(|(_, fields)| app.step_patch(fields, dt_over_dx, &pool));
+        work.par_iter_mut().for_each(|(_, fields)| {
+            let handle = pool.worker_handle();
+            if reference {
+                app.step_patch_reference(fields, dt_over_dx, &handle);
+            } else {
+                app.step_patch(fields, dt_over_dx, &handle);
+            }
+        });
         for (id, fields) in work {
             self.hier.patch_mut(id).fields = fields;
         }
@@ -750,16 +784,17 @@ impl Driver {
     /// Data really moves, and each inter-owner window is charged as a
     /// message.
     ///
-    /// This is the buffered zero-clone path: pass A extracts window-sized
-    /// source slabs (allocation proportional to boundary area, never a full
-    /// patch payload), pass B applies all three fills per destination in
-    /// parallel across patches. It is bit-identical to
-    /// [`Driver::exchange_ghosts_reference`] because every read comes from
-    /// data the exchange never writes: sibling windows lie inside source
-    /// *interiors* (phases only write ghost cells) and parent fields live on
-    /// the untouched coarser level, so extracting sources up front and
-    /// fusing the per-destination fills changes no value and no order that
-    /// matters.
+    /// This is the direct zero-copy path: no staging buffer is allocated at
+    /// all. Parent prolongation reads the coarser level's fields in place
+    /// (that level is untouched by a fine-level exchange) and sibling
+    /// windows are copied source→destination through a pair borrow. It is
+    /// bit-identical to [`Driver::exchange_ghosts_reference`] because every
+    /// read comes from data the exchange never writes: sibling windows lie
+    /// inside source *interiors* (all three phases write only ghost cells)
+    /// and parent fields live on the untouched coarser level, so dropping
+    /// the reference path's staging clones changes no value, and applying
+    /// the overlaps in topology order preserves the per-destination write
+    /// order wherever two windows overlap.
     fn exchange_ghosts(&mut self, level: usize) {
         if self.cfg.reference_datapath {
             let t0 = std::time::Instant::now();
@@ -778,73 +813,12 @@ impl Driver {
         let r = self.hier.refine_factor();
         let topo = self.hier.exchange_topology(level);
 
-        // group overlaps by destination, preserving the deterministic
-        // destination-major order of `LevelTopology::overlaps`
         let mut dst_ix: std::collections::BTreeMap<PatchId, usize> = Default::default();
         for (i, &id) in ids.iter().enumerate() {
             dst_ix.insert(id, i);
         }
-        let mut sib_of: Vec<Vec<usize>> = vec![Vec::new(); ids.len()];
-        for (k, o) in topo.overlaps.iter().enumerate() {
-            sib_of[dst_ix[&o.dst]].push(k);
-        }
-
-        // pass A (read-only): extract window-sized source slabs per
-        // destination — parent shell boxes (coarsened) and sibling windows.
-        // Slabs come from the hierarchy's pool (acquire zero-fills, so they
-        // are bit-identical to fresh `Field3::zeros`) and go back after
-        // pass B: the exchange allocates nothing once the pool is warm.
-        type Fill = (Vec<(Region, Vec<Field3>)>, Vec<(Region, Vec<Field3>)>);
-        let hier = &self.hier;
-        let pool = hier.pool();
-        let topo_ref = &topo;
-        let sib_ref = &sib_of;
-        let fills: Vec<Fill> = ids
-            .par_iter()
-            .enumerate()
-            .map(|(i, &id)| {
-                let mut parent_slabs = Vec::new();
-                if level > 0 {
-                    let parent_id = hier.patch(id).parent.expect("fine patch has parent");
-                    let parent = hier.patch(parent_id);
-                    let cs = parent.fields[0].storage_region();
-                    for b in &topo_ref.shells[i].boxes {
-                        let cw = b.coarsen(r).intersect(&cs);
-                        if cw.is_empty() {
-                            continue;
-                        }
-                        let slabs: Vec<Field3> = parent
-                            .fields
-                            .iter()
-                            .map(|pf| {
-                                let mut s = Field3::new_in(pool, cw, 0);
-                                s.copy_from(pf, &cw);
-                                s
-                            })
-                            .collect();
-                        parent_slabs.push((*b, slabs));
-                    }
-                }
-                let sib: Vec<(Region, Vec<Field3>)> = sib_ref[i]
-                    .iter()
-                    .map(|&k| {
-                        let o = &topo_ref.overlaps[k];
-                        let sp = hier.patch(o.src);
-                        let slabs: Vec<Field3> = sp
-                            .fields
-                            .iter()
-                            .map(|sf| {
-                                let mut s = Field3::new_in(pool, o.window, 0);
-                                s.copy_from(sf, &o.window);
-                                s
-                            })
-                            .collect();
-                        (o.window, slabs)
-                    })
-                    .collect();
-                (parent_slabs, sib)
-            })
-            .collect();
+        let parent_of: Vec<Option<PatchId>> =
+            ids.iter().map(|&id| self.hier.patch(id).parent).collect();
 
         // message accounting, same entries and values as the reference path
         let mut batch: std::collections::BTreeMap<(usize, usize), u64> = Default::default();
@@ -871,15 +845,8 @@ impl Driver {
             }
         }
 
-        // buffer bookkeeping: what pass A allocated vs what the clone-based
-        // path would have copied (the no-full-clone test checks the ratio)
-        for (parent_slabs, sib) in &fills {
-            for (_, slabs) in parent_slabs.iter().chain(sib.iter()) {
-                for s in slabs {
-                    self.ghost_buffer_cells += s.storage_region().cells() as u64;
-                }
-            }
-        }
+        // bookkeeping: what the clone-based reference path would have
+        // copied and the direct path reads in place instead
         if level > 0 {
             for &id in &ids {
                 let parent_id = self.hier.patch(id).parent.expect("fine patch has parent");
@@ -897,39 +864,53 @@ impl Driver {
             }
         }
 
-        // pass B: fused per-destination apply — zero-gradient default,
-        // parent prolongation, then sibling windows — parallel across
-        // patches; each destination writes only its own ghost cells
+        // phase 1: per destination — zero-gradient default, then parent
+        // prolongation straight from the parent's fields. Parallel across
+        // destinations: each writes only its own ghost cells, and the
+        // parents live on the coarser level, which stays in the hierarchy
+        // (only `level`'s fields are taken out) and is never written here.
         let mut work: Vec<(PatchId, Vec<Field3>)> = ids
             .iter()
             .map(|&id| (id, std::mem::take(&mut self.hier.patch_mut(id).fields)))
             .collect();
+        let hier = &self.hier;
+        let topo_ref = &topo;
+        let parent_ref = &parent_of;
         for_each_task_parallel(&mut work, |i, (_, fields)| {
             for f in fields.iter_mut() {
                 f.fill_ghosts_zero_gradient();
             }
-            let (parent_slabs, sib) = &fills[i];
-            for (b, slabs) in parent_slabs {
-                for (k, slab) in slabs.iter().enumerate() {
-                    prolong_constant(slab, &mut fields[k], b, r);
-                }
-            }
-            for (w, slabs) in sib {
-                for (k, slab) in slabs.iter().enumerate() {
-                    fields[k].copy_from(slab, w);
+            if level > 0 {
+                let parent = hier.patch(parent_ref[i].expect("fine patch has parent"));
+                for b in &topo_ref.shells[i].boxes {
+                    for (k, pf) in parent.fields.iter().enumerate() {
+                        prolong_constant(pf, &mut fields[k], b, r);
+                    }
                 }
             }
         });
+
+        // phase 2: sibling windows, source→destination directly via a pair
+        // borrow. Sources are authoritative interiors, which no phase
+        // writes, so the values match the reference path's staged clones;
+        // topology order preserves its per-destination overwrite order.
+        for o in &topo.overlaps {
+            let si = dst_ix[&o.src];
+            let di = dst_ix[&o.dst];
+            debug_assert_ne!(si, di, "self-overlap in sibling topology");
+            let (src, dst) = if si < di {
+                let (a, b) = work.split_at_mut(di);
+                (&a[si].1, &mut b[0].1)
+            } else {
+                let (a, b) = work.split_at_mut(si);
+                (&b[0].1, &mut a[di].1)
+            };
+            for (k, sf) in src.iter().enumerate() {
+                dst[k].copy_from(sf, &o.window);
+            }
+        }
         for (id, fields) in work {
             self.hier.patch_mut(id).fields = fields;
-        }
-        let pool = self.hier.pool();
-        for (parent_slabs, sib) in fills {
-            for (_, slabs) in parent_slabs.into_iter().chain(sib) {
-                for s in slabs {
-                    s.recycle(pool);
-                }
-            }
         }
 
         for ((src, dst), bytes) in batch {
@@ -1047,8 +1028,43 @@ impl Driver {
         let t0 = std::time::Instant::now();
         let _span = telemetry::span!(self.cfg.telemetry, "regrid", level);
         self.regrid_inner(level);
+        if self.hier.pool().is_steady() {
+            self.provision_pool_for_growth();
+        }
         self.wall.regrid += t0.elapsed().as_secs_f64();
         self.peak_patches = self.peak_patches.max(self.hier.num_patches());
+    }
+
+    /// Per-capacity-class counts of the hierarchy's live patch-field
+    /// buffers (keyed by `next_power_of_two` storage length).
+    fn live_field_classes(&self) -> std::collections::BTreeMap<usize, u64> {
+        let ghost = self.hier.ghost();
+        let nf = self.hier.nfields() as u64;
+        let mut classes: std::collections::BTreeMap<usize, u64> = Default::default();
+        for p in self.hier.iter() {
+            let len = (p.region.grow(ghost).cells() as usize).max(1).next_power_of_two();
+            *classes.entry(len).or_default() += nf;
+        }
+        classes
+    }
+
+    /// Measurement-driven steady-state headroom: wherever a regrid grew a
+    /// capacity class beyond its provisioning baseline, shelve twice the
+    /// growth as pool spares — the new live buffers' worth plus the same
+    /// again for the regrid stash, which holds the previous generation of
+    /// the level alive until the next regrid retires it. Doubling the
+    /// *delta* (never the whole inventory) keeps the reservation
+    /// proportional to actual growth; spares are capacity-only until used.
+    fn provision_pool_for_growth(&mut self) {
+        let now = self.live_field_classes();
+        let pool = self.hier.pool().clone();
+        for (len, n) in now {
+            let base = self.pool_class_baseline.entry(len).or_insert(0);
+            if n > *base {
+                pool.provision(len, 2 * (n - *base));
+                *base = n;
+            }
+        }
     }
 
     fn regrid_inner(&mut self, level: usize) {
@@ -1130,15 +1146,10 @@ impl Driver {
             .zip(parent_ids)
             .zip(owners.iter().zip(parents.iter()))
         {
-            let id = self.hier.insert_patch(level + 1, region, Some(parent_id), owner);
-            // prolongation: parent -> child data (full patch volume),
-            // borrowing both patches in place — no parent clone
-            self.hier.with_patch_pair(parent_id, id, |parent, child| {
-                let window = child.fields[0].storage_region();
-                for (k, pf) in parent.fields.iter().enumerate() {
-                    prolong_constant(pf, &mut child.fields[k], &window, r);
-                }
-            });
+            // creation and prolongation fused: the child's pooled buffers
+            // are filled directly by parent -> child prolongation over the
+            // full storage volume, with no intermediate zero fill
+            let id = self.hier.insert_refined_patch(level + 1, region, parent_id, owner);
             if parent_owner != owner {
                 *batch.entry((parent_owner, owner)).or_default() +=
                     self.hier.patch(id).payload_bytes();

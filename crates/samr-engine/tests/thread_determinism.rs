@@ -1,0 +1,56 @@
+//! Sharded field pools and row kernels must not make results depend on the
+//! number of rayon workers or their scheduling: which shard a scratch
+//! buffer comes from never changes its (zero-filled) contents, and every
+//! parallel loop writes disjoint per-patch state. A run's observable
+//! fingerprint therefore has to be identical under 1, 2, and 8 threads.
+
+use samr_engine::{AppKind, Driver, RunConfig, Scheme};
+use topology::presets;
+
+type Fingerprint = (u64, u64, u64, usize, usize, usize);
+
+fn run_with_threads(app: AppKind, threads: usize) -> Fingerprint {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("thread pool");
+    let r = pool.install(|| {
+        let mut cfg = RunConfig::new(app, 16, 3, Scheme::distributed_default());
+        cfg.max_levels = 3;
+        Driver::new(presets::anl_ncsa_wan(2, 2, 11), cfg).run()
+    });
+    (
+        r.total_secs.to_bits(),
+        r.cell_updates,
+        r.breakdown.remote_bytes,
+        r.final_patches,
+        r.peak_patches,
+        r.global_redistributions,
+    )
+}
+
+#[test]
+fn shockpool_fingerprint_identical_under_1_2_8_threads() {
+    let one = run_with_threads(AppKind::ShockPool3D, 1);
+    for threads in [2, 8] {
+        assert_eq!(
+            run_with_threads(AppKind::ShockPool3D, threads),
+            one,
+            "threads={threads}"
+        );
+    }
+}
+
+#[test]
+fn amr64_fingerprint_identical_under_1_2_8_threads() {
+    // AMR64 exercises every solver the engine has (Euler + Poisson) plus
+    // the particle deposit on the flagging path
+    let one = run_with_threads(AppKind::Amr64, 1);
+    for threads in [2, 8] {
+        assert_eq!(
+            run_with_threads(AppKind::Amr64, threads),
+            one,
+            "threads={threads}"
+        );
+    }
+}

@@ -41,8 +41,10 @@ impl Field3 {
 
     /// Like [`Field3::zeros`], but the backing store comes from (and is
     /// zeroed by) `pool` — no heap allocation when the pool has a buffer of
-    /// sufficient capacity. Bit-identical to a fresh `zeros` field.
-    pub fn new_in(pool: &crate::pool::FieldPool, interior: Region, ghost: i64) -> Self {
+    /// sufficient capacity. Bit-identical to a fresh `zeros` field. Generic
+    /// over [`FieldAlloc`](crate::pool::FieldAlloc) so callers can pass
+    /// either the pool itself or a shard-resolved worker handle.
+    pub fn new_in<P: crate::pool::FieldAlloc>(pool: &P, interior: Region, ghost: i64) -> Self {
         assert!(ghost >= 0);
         assert!(!interior.is_empty(), "field over empty region");
         let storage = interior.grow(ghost);
@@ -55,9 +57,44 @@ impl Field3 {
         }
     }
 
+    /// A pooled field whose entire storage (ghosts included) is filled by
+    /// piecewise-constant prolongation from `coarse` — bit-identical to
+    /// [`Field3::new_in`] followed by [`crate::interp::prolong_constant`]
+    /// over the full storage window, without the intermediate zero fill.
+    ///
+    /// Skipping the zero fill is only sound because prolongation covers
+    /// every cell, which requires the outer-coarsened storage to lie inside
+    /// `coarse`'s storage; asserted here.
+    pub fn from_coarse_in<P: crate::pool::FieldAlloc>(
+        pool: &P,
+        interior: Region,
+        ghost: i64,
+        coarse: &Field3,
+        r: i64,
+    ) -> Self {
+        assert!(ghost >= 0);
+        assert!(!interior.is_empty(), "field over empty region");
+        let storage = interior.grow(ghost);
+        assert!(
+            coarse.storage_region().contains_region(&storage.coarsen(r)),
+            "prolongation source {:?} does not cover fine storage {:?}",
+            coarse.storage_region(),
+            storage
+        );
+        let data = pool.acquire_unfilled(storage.cells() as usize);
+        let mut f = Field3 {
+            interior,
+            ghost,
+            storage,
+            data,
+        };
+        crate::interp::prolong_constant(coarse, &mut f, &storage, r);
+        f
+    }
+
     /// Pooled deep copy: same shape and bitwise-identical contents, with the
     /// backing store drawn from `pool` instead of a fresh allocation.
-    pub fn clone_in(&self, pool: &crate::pool::FieldPool) -> Self {
+    pub fn clone_in<P: crate::pool::FieldAlloc>(&self, pool: &P) -> Self {
         let mut data = pool.acquire(self.data.len());
         data.copy_from_slice(&self.data);
         Field3 {
@@ -69,7 +106,7 @@ impl Field3 {
     }
 
     /// Consume the field and shelve its backing store in `pool` for reuse.
-    pub fn recycle(self, pool: &crate::pool::FieldPool) {
+    pub fn recycle<P: crate::pool::FieldAlloc>(self, pool: &P) {
         pool.release(self.data);
     }
 
@@ -203,18 +240,57 @@ impl Field3 {
     /// Extrapolate ghost zones from the nearest interior cell (zero-gradient /
     /// outflow physical boundary). Only cells outside the interior are
     /// touched.
+    ///
+    /// Runs in three sweeps — z-row end fills, then y-edge row copies, then
+    /// whole x-plane copies — touching only the ghost shell instead of
+    /// clamping every storage cell. Each later sweep reads values an earlier
+    /// sweep already clamped, which composes to exactly the per-component
+    /// clamp of the per-cell form: bit-identical to
+    /// [`reference::fill_ghosts_zero_gradient`] (golden test pins it).
     pub fn fill_ghosts_zero_gradient(&mut self) {
         if self.ghost == 0 {
             return;
         }
         let int = self.interior;
-        for p in self.storage.iter_cells() {
-            if int.contains(p) {
-                continue;
+        let sto = self.storage;
+        let g = self.ghost as usize;
+        // 1. z ghosts of every interior (x, y) row: copy the row's first and
+        //    last interior value outward.
+        for x in int.lo.x..int.hi.x {
+            for y in int.lo.y..int.hi.y {
+                let lo = self.data[sto.linear_index(crate::index::ivec3(x, y, int.lo.z))];
+                let hi = self.data[sto.linear_index(crate::index::ivec3(x, y, int.hi.z - 1))];
+                self.data[sto.row_range(x, y, sto.lo.z, int.lo.z)].fill(lo);
+                self.data[sto.row_range(x, y, int.hi.z, sto.hi.z)].fill(hi);
             }
-            let clamped = p.max(int.lo).min(int.hi - IVec3::ONE);
-            let v = self.get(clamped);
-            self.set(p, v);
+        }
+        // 2. y ghosts (z ghosts included): copy the full edge rows at
+        //    y = int.lo.y / int.hi.y − 1, which step 1 already clamped in z.
+        let row_len = (sto.hi.z - sto.lo.z) as usize;
+        for x in int.lo.x..int.hi.x {
+            let lo_src = sto.row_range(x, int.lo.y, sto.lo.z, sto.hi.z);
+            for dy in 1..=g as i64 {
+                let dst = sto.linear_index(crate::index::ivec3(x, int.lo.y - dy, sto.lo.z));
+                self.data.copy_within(lo_src.clone(), dst);
+            }
+            let hi_src = sto.row_range(x, int.hi.y - 1, sto.lo.z, sto.hi.z);
+            for dy in 0..g as i64 {
+                let dst = sto.linear_index(crate::index::ivec3(x, int.hi.y + dy, sto.lo.z));
+                self.data.copy_within(hi_src.clone(), dst);
+            }
+        }
+        // 3. x ghosts: each ghost plane is one contiguous block copied from
+        //    the edge interior plane, which steps 1–2 already clamped.
+        let plane_len = (sto.hi.y - sto.lo.y) as usize * row_len;
+        let lo_src = sto.linear_index(crate::index::ivec3(int.lo.x, sto.lo.y, sto.lo.z));
+        for dx in 1..=g as i64 {
+            let dst = sto.linear_index(crate::index::ivec3(int.lo.x - dx, sto.lo.y, sto.lo.z));
+            self.data.copy_within(lo_src..lo_src + plane_len, dst);
+        }
+        let hi_src = sto.linear_index(crate::index::ivec3(int.hi.x - 1, sto.lo.y, sto.lo.z));
+        for dx in 0..g as i64 {
+            let dst = sto.linear_index(crate::index::ivec3(int.hi.x + dx, sto.lo.y, sto.lo.z));
+            self.data.copy_within(hi_src..hi_src + plane_len, dst);
         }
     }
 }
@@ -267,6 +343,23 @@ pub mod reference {
         for p in f.interior.iter_cells() {
             let v = f.get(p);
             f.set(p, g(p, v));
+        }
+    }
+
+    /// Reference for [`Field3::fill_ghosts_zero_gradient`]: clamp every
+    /// storage cell to the interior box per component.
+    pub fn fill_ghosts_zero_gradient(f: &mut Field3) {
+        if f.ghost == 0 {
+            return;
+        }
+        let int = f.interior;
+        for p in f.storage.iter_cells() {
+            if int.contains(p) {
+                continue;
+            }
+            let clamped = p.max(int.lo).min(int.hi - IVec3::ONE);
+            let v = f.get(clamped);
+            f.set(p, v);
         }
     }
 }
@@ -399,6 +492,25 @@ mod tests {
         for p in shared.iter_cells() {
             assert_eq!(a.get(p), b.get(p));
         }
+    }
+
+    #[test]
+    fn ghost_fill_matches_reference_bitwise() {
+        for (seed, ghost) in [(11u64, 1i64), (12, 2), (13, 3)] {
+            // non-cubic, off-origin interior so every axis differs
+            let r = region(ivec3(-2, 3, 1), ivec3(3, 10, 12));
+            let mut a = scrambled(r, ghost, seed);
+            let mut b = a.clone();
+            a.fill_ghosts_zero_gradient();
+            reference::fill_ghosts_zero_gradient(&mut b);
+            let bits = |f: &Field3| -> Vec<u64> { f.data().iter().map(|v| v.to_bits()).collect() };
+            assert_eq!(bits(&a), bits(&b), "seed {seed} ghost {ghost}");
+        }
+        // ghost 0 is a no-op on both
+        let mut a = scrambled(Region::cube(4), 0, 14);
+        let before = a.clone();
+        a.fill_ghosts_zero_gradient();
+        assert_eq!(a, before);
     }
 
     #[test]

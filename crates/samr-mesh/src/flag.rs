@@ -124,6 +124,37 @@ pub enum RefineCriterion {
     RelativeSlope { field: usize, threshold: f64, eps: f64 },
 }
 
+/// Row-based evaluation of the face-difference criteria for fields with at
+/// least one ghost layer: every face neighbour of an interior cell is then
+/// inside storage, so the per-cell containment checks vanish and the 3D→1D
+/// index math reduces to six constant offsets applied along each z-row. The
+/// neighbour fold runs in `FACE_NEIGHBORS` order, exactly like the per-cell
+/// fallback in [`flag_cells`], so the produced flags are identical.
+fn flag_face_diff(f: &Field3, flags: &mut FlagField, mut pred: impl FnMut(f64, f64) -> bool) {
+    let interior = f.interior();
+    let sto = f.storage_region();
+    let sz = sto.hi.z - sto.lo.z;
+    let sxy = (sto.hi.y - sto.lo.y) * sz;
+    let offs: [i64; 6] = FACE_NEIGHBORS.map(|d| d.x * sxy + d.y * sz + d.z);
+    let data = f.data();
+    for x in interior.lo.x..interior.hi.x {
+        for y in interior.lo.y..interior.hi.y {
+            let base = sto.linear_index(ivec3(x, y, interior.lo.z)) as i64;
+            for k in 0..interior.hi.z - interior.lo.z {
+                let i = base + k;
+                let u = data[i as usize];
+                let mut g: f64 = 0.0;
+                for off in offs {
+                    g = g.max((data[(i + off) as usize] - u).abs());
+                }
+                if pred(g, u) {
+                    flags.set(ivec3(x, y, interior.lo.z + k), true);
+                }
+            }
+        }
+    }
+}
+
 /// Evaluate `criteria` on `fields` (all over the same interior region) and
 /// return the union of the produced flags.
 pub fn flag_cells(fields: &[Field3], criteria: &[RefineCriterion]) -> FlagField {
@@ -134,6 +165,10 @@ pub fn flag_cells(fields: &[Field3], criteria: &[RefineCriterion]) -> FlagField 
         match *c {
             RefineCriterion::Gradient { field, threshold } => {
                 let f = &fields[field];
+                if f.ghost() >= 1 {
+                    flag_face_diff(f, &mut flags, |g, _| g > threshold);
+                    continue;
+                }
                 for p in interior.iter_cells() {
                     let u = f.get(p);
                     let mut g: f64 = 0.0;
@@ -150,14 +185,25 @@ pub fn flag_cells(fields: &[Field3], criteria: &[RefineCriterion]) -> FlagField 
             }
             RefineCriterion::Overdensity { field, threshold } => {
                 let f = &fields[field];
-                for p in interior.iter_cells() {
-                    if f.get(p) > threshold {
-                        flags.set(p, true);
+                let sto = f.storage_region();
+                let data = f.data();
+                for x in interior.lo.x..interior.hi.x {
+                    for y in interior.lo.y..interior.hi.y {
+                        let row = sto.row_range(x, y, interior.lo.z, interior.hi.z);
+                        for (k, &v) in data[row].iter().enumerate() {
+                            if v > threshold {
+                                flags.set(ivec3(x, y, interior.lo.z + k as i64), true);
+                            }
+                        }
                     }
                 }
             }
             RefineCriterion::RelativeSlope { field, threshold, eps } => {
                 let f = &fields[field];
+                if f.ghost() >= 1 {
+                    flag_face_diff(f, &mut flags, |g, u| g / (u.abs() + eps) > threshold);
+                    continue;
+                }
                 for p in interior.iter_cells() {
                     let u = f.get(p);
                     let mut g: f64 = 0.0;
@@ -206,6 +252,39 @@ mod tests {
         );
         let clear = FlagField::new(Region::cube(4));
         assert!(clear.bounding_box().is_empty());
+    }
+
+    #[test]
+    fn row_based_criteria_match_per_cell_form() {
+        let interior = region(ivec3(-2, 1, 0), ivec3(5, 7, 6));
+        let mut f = Field3::zeros(interior, 1);
+        let mut s = 99u64;
+        for v in f.data_mut() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            *v = ((s >> 11) as f64 / (1u64 << 53) as f64) * 4.0 - 2.0;
+        }
+        let criteria = [
+            RefineCriterion::Gradient { field: 0, threshold: 0.8 },
+            RefineCriterion::RelativeSlope { field: 0, threshold: 0.5, eps: 1e-8 },
+            RefineCriterion::Overdensity { field: 0, threshold: 1.2 },
+        ];
+        let fast = flag_cells(std::slice::from_ref(&f), &criteria);
+        // the per-cell form the row kernels replaced
+        let mut slow = FlagField::new(interior);
+        for p in interior.iter_cells() {
+            let u = f.get(p);
+            let mut g: f64 = 0.0;
+            for d in FACE_NEIGHBORS {
+                g = g.max((f.get(p + d) - u).abs());
+            }
+            if g > 0.8 || g / (u.abs() + 1e-8) > 0.5 || u > 1.2 {
+                slow.set(p, true);
+            }
+        }
+        for p in interior.iter_cells() {
+            assert_eq!(fast.get(p), slow.get(p), "at {p:?}");
+        }
+        assert!(fast.count() > 0, "scrambled field must flag something");
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! deterministic creation order. The number of levels, the number of grids,
 //! and the locations of the grids all change with each adaptation.
 
+use crate::field::Field3;
 use crate::index::IVec3;
 use crate::patch::{GridPatch, OwnerProc, PatchId};
 use crate::region::Region;
@@ -194,13 +195,58 @@ impl GridHierarchy {
         let id = self.fresh_id();
         let patch =
             GridPatch::new_in(&self.pool, id, level, region, parent, owner, self.nfields, self.ghost);
+        self.insert_prepared(level, patch);
+        id
+    }
+
+    /// Insert a new refined patch whose field data is piecewise-constant
+    /// prolongation from its parent's fields — the regrid fast path.
+    /// Bit-identical to [`GridHierarchy::insert_patch`] followed by
+    /// full-storage `prolong_constant` from each parent field, but the
+    /// pooled buffers skip the intermediate zero fill (prolongation provably
+    /// overwrites every cell; see [`Field3::from_coarse_in`]).
+    pub fn insert_refined_patch(
+        &mut self,
+        level: usize,
+        region: Region,
+        parent: PatchId,
+        owner: OwnerProc,
+    ) -> PatchId {
+        assert!(!region.is_empty(), "inserting empty patch region");
+        assert!(level < self.max_levels, "level {level} exceeds max_levels");
+        assert!(
+            self.domain_at_level(level).contains_region(&region),
+            "patch region {region:?} outside level-{level} domain"
+        );
+        let r = self.refine_factor;
+        let pp = self.patch(parent);
+        assert_eq!(pp.level + 1, level, "parent must be one level up");
+        let fields: Vec<Field3> = pp
+            .fields
+            .iter()
+            .map(|pf| Field3::from_coarse_in(&self.pool, region, self.ghost, pf, r))
+            .collect();
+        let id = self.fresh_id();
+        let patch = GridPatch {
+            id,
+            level,
+            region,
+            parent: Some(parent),
+            owner,
+            fields,
+        };
+        self.insert_prepared(level, patch);
+        id
+    }
+
+    fn insert_prepared(&mut self, level: usize, patch: GridPatch) {
+        let id = patch.id;
         while self.levels.len() <= level {
             self.levels.push(Vec::new());
         }
         self.levels[level].push(id);
         self.patches.insert(id, patch);
         self.bump_topology();
-        id
     }
 
     /// Remove a patch (and no others — callers remove descendants first).
@@ -362,14 +408,63 @@ impl GridHierarchy {
     /// its cell count.
     pub fn sibling_overlaps(&self, level: usize) -> Vec<SiblingOverlap> {
         let ids = self.level_ids(level);
+        if ids.len() < 2 {
+            return Vec::new();
+        }
+        // Uniform bucket grid over the level domain: each patch registers in
+        // every bucket its region touches, each destination queries the
+        // buckets its ghost shell touches. Any overlapping (shell, region)
+        // pair shares the bucket of a cell of the overlap (the overlap lies
+        // inside the domain, and out-of-domain shell coordinates clamp to
+        // the boundary buckets), so candidates are a superset of the true
+        // overlaps and the exact intersection test below decides.
+        const SHIFT: i64 = 5; // 32-cell buckets ~ the largest movable boxes
+        let dom = self.domain_at_level(level);
+        let nb = |lo: i64, hi: i64| ((hi - lo - 1) >> SHIFT) as usize + 1;
+        let (bx, by, bz) = (
+            nb(dom.lo.x, dom.hi.x),
+            nb(dom.lo.y, dom.hi.y),
+            nb(dom.lo.z, dom.hi.z),
+        );
+        let range = |lo: i64, hi: i64, dlo: i64, n: usize| {
+            let a = ((lo - dlo) >> SHIFT).clamp(0, n as i64 - 1) as usize;
+            let b = ((hi - 1 - dlo) >> SHIFT).clamp(0, n as i64 - 1) as usize;
+            a..=b
+        };
+        let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); bx * by * bz];
+        for (i, &id) in ids.iter().enumerate() {
+            let r = self.patch(id).region;
+            for x in range(r.lo.x, r.hi.x, dom.lo.x, bx) {
+                for y in range(r.lo.y, r.hi.y, dom.lo.y, by) {
+                    for z in range(r.lo.z, r.hi.z, dom.lo.z, bz) {
+                        buckets[(x * by + y) * bz + z].push(i as u32);
+                    }
+                }
+            }
+        }
         let mut out = Vec::new();
-        for &dst in ids {
+        let mut seen = vec![u32::MAX; ids.len()];
+        let mut cand: Vec<u32> = Vec::new();
+        for (di, &dst) in ids.iter().enumerate() {
             let dp = self.patch(dst);
             let shell = dp.region.grow(self.ghost);
-            for &src in ids {
-                if src == dst {
-                    continue;
+            cand.clear();
+            for x in range(shell.lo.x, shell.hi.x, dom.lo.x, bx) {
+                for y in range(shell.lo.y, shell.hi.y, dom.lo.y, by) {
+                    for z in range(shell.lo.z, shell.hi.z, dom.lo.z, bz) {
+                        for &si in &buckets[(x * by + y) * bz + z] {
+                            if si != di as u32 && seen[si as usize] != di as u32 {
+                                seen[si as usize] = di as u32;
+                                cand.push(si);
+                            }
+                        }
+                    }
                 }
+            }
+            // level_ids order, exactly as the all-pairs scan emitted
+            cand.sort_unstable();
+            for &si in &cand {
+                let src = ids[si as usize];
                 let sp = self.patch(src);
                 let w = shell.intersect(&sp.region);
                 if !w.is_empty() && !dp.region.contains_region(&w) {
@@ -646,6 +741,104 @@ mod tests {
         h.insert_patch(1, region(ivec3(0, 0, 0), ivec3(4, 4, 4)), Some(root), 0);
         h.insert_patch(1, region(ivec3(10, 10, 10), ivec3(14, 14, 14)), Some(root), 0);
         assert!(h.sibling_overlaps(1).is_empty());
+    }
+
+    /// The bucket-indexed `sibling_overlaps` must reproduce the all-pairs
+    /// scan exactly — same overlaps, same (dst, src) emission order — on a
+    /// randomized disjoint tiling with patches straddling bucket borders.
+    #[test]
+    fn bucketed_overlaps_match_all_pairs_scan() {
+        let mut h = GridHierarchy::new(Region::cube(48), 2, 2, 1, 1);
+        let root = h.insert_patch(0, Region::cube(48), None, 0);
+        // tile level 1 (96^3) into uneven disjoint boxes, dropping some so
+        // the mesh has holes; splits at 31/33/65 straddle 32-cell buckets
+        let cuts = [0i64, 31, 33, 65, 96];
+        let mut rng = 0x9e37u64;
+        for ix in 0..4 {
+            for iy in 0..4 {
+                for iz in 0..4 {
+                    rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    if rng >> 60 == 0 {
+                        continue;
+                    }
+                    h.insert_patch(
+                        1,
+                        region(
+                            ivec3(cuts[ix], cuts[iy], cuts[iz]),
+                            ivec3(cuts[ix + 1], cuts[iy + 1], cuts[iz + 1]),
+                        ),
+                        Some(root),
+                        0,
+                    );
+                }
+            }
+        }
+        assert!(h.check_invariants().is_ok());
+        let ids = h.level_ids(1).to_vec();
+        let mut brute = Vec::new();
+        for &dst in &ids {
+            let shell = h.patch(dst).region.grow(h.ghost());
+            for &src in &ids {
+                if src == dst {
+                    continue;
+                }
+                let w = shell.intersect(&h.patch(src).region);
+                if !w.is_empty() && !h.patch(dst).region.contains_region(&w) {
+                    brute.push(SiblingOverlap { dst, src, window: w, cells: w.cells() });
+                }
+            }
+        }
+        assert!(brute.len() > 100, "tiling too sparse to exercise the index");
+        assert_eq!(h.sibling_overlaps(1), brute);
+    }
+
+    /// `insert_refined_patch` on a deliberately dirtied pool must produce
+    /// exactly the fields of `insert_patch` + full-storage prolongation —
+    /// i.e. skipping the zero fill is invisible.
+    #[test]
+    fn refined_insert_matches_zeroed_insert_plus_prolong() {
+        let mk = || {
+            let mut h = GridHierarchy::new(Region::cube(8), 2, 3, 2, 1);
+            let root = h.insert_patch(0, Region::cube(8), None, 0);
+            for k in 0..2 {
+                let f = &mut h.patch_mut(root).fields[k];
+                for p in f.storage_region().iter_cells() {
+                    f.set(p, (p.x * 61 + p.y * 17 + p.z * 5 + k as i64 * 911) as f64 * 0.37);
+                }
+            }
+            // dirty the pool: shelve poisoned buffers big enough to serve
+            // the child fields
+            for _ in 0..4 {
+                let mut b = h.pool().acquire(1000);
+                b.fill(f64::NAN);
+                h.pool().release(b);
+            }
+            (h, root)
+        };
+        let child_region = region(ivec3(3, 2, 5), ivec3(11, 12, 13));
+
+        let (mut ha, root_a) = mk();
+        let a = ha.insert_refined_patch(1, child_region, root_a, 1);
+
+        let (mut hb, root_b) = mk();
+        let b = hb.insert_patch(1, child_region, Some(root_b), 1);
+        {
+            let r = hb.refine_factor();
+            let (hb2, id) = (&mut hb, b);
+            let parent_fields: Vec<Field3> = hb2.patch(root_b).fields.to_vec();
+            let child = hb2.patch_mut(id);
+            let window = child.fields[0].storage_region();
+            for (k, pf) in parent_fields.iter().enumerate() {
+                crate::interp::prolong_constant(pf, &mut child.fields[k], &window, r);
+            }
+        }
+        for k in 0..2 {
+            let fa = &ha.patch(a).fields[k];
+            let fb = &hb.patch(b).fields[k];
+            assert_eq!(fa.interior(), fb.interior());
+            let bits = |f: &Field3| f.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(fa), bits(fb), "field {k} diverged");
+        }
     }
 
     #[test]

@@ -10,36 +10,67 @@
 //! `steady_misses` counter proves it).
 //!
 //! Design notes:
+//! - The pool is **sharded**: free-lists live in `NUM_SHARDS` independently
+//!   locked shards, and every thread is pinned (round-robin at first touch)
+//!   to one home shard. `acquire` and `release` touch only the home shard
+//!   in the common case, so solve workers never serialize on a global lock;
+//!   a shard is an array of shelves indexed by class *exponent* with a
+//!   nonempty bitmask, making first-fit one `trailing_zeros`, not a map
+//!   scan. When the home shard cannot serve, the request falls through a
+//!   low-traffic **spill/steal tier**: the global shelf (where
+//!   [`mark_steady`](FieldPool::mark_steady) provisions headroom), then the
+//!   other shards. Only when no shelf anywhere can serve does the pool
+//!   allocate.
 //! - Buffers are keyed by *capacity class* (`len.next_power_of_two()`), not
 //!   exact length: regrid keeps minting patches of novel sizes, and exact
-//!   keying would miss forever. A request is served from its own class or,
-//!   first-fit, from any larger class; the buffer is then `resize`d down to
-//!   the requested length (within capacity, so no reallocation).
+//!   keying would miss forever. A request is served from its own class
+//!   first, then first-fit from a few neighbouring larger classes
+//!   (`BORROW_CLASSES`), and only as a last resort from an arbitrarily
+//!   larger one — eager upward borrowing would let bursts of small
+//!   ghost-slab requests raid the large patch-field shelves and force
+//!   field-sized re-allocations. The served buffer is `resize`d down to the
+//!   requested length (within capacity, so no reallocation).
 //! - Every miss shelves a *spare* buffer of the same class alongside the
 //!   one handed out. A miss marks a high-water mark of concurrent demand
 //!   (solver scratch, ghost slabs and regrid stashes peak together), and
-//!   that peak drifts as the mesh evolves — doubling the class at each
-//!   high-water mark gives later fluctuations headroom, amortizing misses
-//!   to zero in steady state.
-//! - [`mark_steady`](FieldPool::mark_steady) additionally provisions 50%
-//!   slack per class over the warm-up inventory, absorbing the residual
-//!   peak-demand drift (mesh motion, worker scheduling) that spare minting
-//!   alone cannot bound.
+//!   that peak drifts as the mesh evolves — the spare gives later
+//!   fluctuations headroom, amortizing misses to zero in steady state.
+//! - [`mark_steady`](FieldPool::mark_steady) additionally provisions slack
+//!   per class over the warm-up inventory — 50% by default, or a caller
+//!   -supplied factor ([`mark_steady_with_headroom`]) sized to the measured
+//!   mesh growth rate, since a hierarchy that keeps refining after warm-up
+//!   needs inventory for its *final* working set, not its warm-up one.
+//!   Provisioned spares are `Vec::with_capacity` reservations: they cost
+//!   address space, not resident pages, until first use.
 //! - Acquired buffers are always zero-filled, matching [`Field3::zeros`]
 //!   semantics — pooled and fresh fields are bit-identical, which is what
 //!   lets the optimized data path stay on the golden bit-identity tests.
-//! - The handle is a cheap `Arc` clone and every operation is thread-safe
-//!   (a `Mutex` around the shelves, atomics for the counters), so the pool
-//!   can be used from `for_each_task_parallel` workers. Which physical
+//! - The handle is a cheap `Arc` clone and every operation is thread-safe,
+//!   with exact monotone [`PoolStats`] kept in atomics. Which physical
 //!   buffer a worker receives is scheduling-dependent, but since contents
 //!   are always zeroed the *values* computed remain deterministic.
+//! - Solver hot loops can resolve the home shard once via
+//!   [`worker_handle`](FieldPool::worker_handle) and pass the resulting
+//!   [`PoolHandle`] down through `step_patch`; both it and `FieldPool`
+//!   implement [`FieldAlloc`], the trait the solvers are generic over.
 //!
+//! [`mark_steady_with_headroom`]: FieldPool::mark_steady_with_headroom
 //! [`Field3::zeros`]: crate::field::Field3::zeros
 
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+
+/// Number of independently locked shards (power of two).
+const NUM_SHARDS: usize = 16;
+
+/// One shelf per possible power-of-two class exponent.
+const NUM_CLASSES: usize = usize::BITS as usize;
+
+/// A request may be served first-fit from up to this many classes above its
+/// own before falling through to the spill/steal tier; beyond that, upward
+/// borrowing is a last resort (see module docs).
+const BORROW_CLASSES: usize = 3;
 
 /// Monotone counters describing pool behaviour over a run.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -55,20 +86,80 @@ pub struct PoolStats {
     pub steady_misses: u64,
 }
 
-#[derive(Debug, Default)]
+/// Free-lists indexed by class exponent, with a nonempty bitmask so
+/// first-fit in a class range is a couple of bit ops.
+#[derive(Debug)]
+struct Shelves {
+    lists: [Vec<Vec<f64>>; NUM_CLASSES],
+    nonempty: u64,
+}
+
+impl Shelves {
+    fn new() -> Self {
+        Shelves {
+            lists: std::array::from_fn(|_| Vec::new()),
+            nonempty: 0,
+        }
+    }
+
+    fn push(&mut self, exp: usize, buf: Vec<f64>) {
+        self.lists[exp].push(buf);
+        self.nonempty |= 1u64 << exp;
+    }
+
+    /// Pop from the smallest nonempty class in `lo..=hi` (LIFO within a
+    /// class, so the hottest buffer comes back first).
+    fn pop_in(&mut self, lo: usize, hi: usize) -> Option<Vec<f64>> {
+        let mut mask = self.nonempty >> lo << lo;
+        if hi < NUM_CLASSES - 1 {
+            mask &= (1u64 << (hi + 1)) - 1;
+        }
+        if mask == 0 {
+            return None;
+        }
+        let exp = mask.trailing_zeros() as usize;
+        let buf = self.lists[exp].pop();
+        if self.lists[exp].is_empty() {
+            self.nonempty &= !(1u64 << exp);
+        }
+        buf
+    }
+
+    fn len(&self) -> usize {
+        self.lists.iter().map(Vec::len).sum()
+    }
+}
+
+#[derive(Debug)]
 struct PoolInner {
-    /// Free-lists keyed by power-of-two capacity class. Every stored buffer
-    /// has `capacity() >= class`, so serving a request from `class..` never
-    /// reallocates on the resize down to the requested length.
-    shelves: Mutex<BTreeMap<usize, Vec<Vec<f64>>>>,
-    /// Buffers minted per class (by misses), sizing the headroom
+    /// Per-thread-home shards: the uncontended fast path.
+    shards: [Mutex<Shelves>; NUM_SHARDS],
+    /// Spill/steal tier: headroom provisioned at the steady switch lands
+    /// here, and any shard may draw from it when its own shelves run dry.
+    global: Mutex<Shelves>,
+    /// Buffers minted per class exponent (by misses), sizing the headroom
     /// provisioned when [`FieldPool::mark_steady`] ends warm-up.
-    minted: Mutex<BTreeMap<usize, usize>>,
+    minted: [AtomicU64; NUM_CLASSES],
     hits: AtomicU64,
     misses: AtomicU64,
     bytes_recycled: AtomicU64,
     steady: AtomicBool,
     steady_misses: AtomicU64,
+}
+
+impl Default for PoolInner {
+    fn default() -> Self {
+        PoolInner {
+            shards: std::array::from_fn(|_| Mutex::new(Shelves::new())),
+            global: Mutex::new(Shelves::new()),
+            minted: std::array::from_fn(|_| AtomicU64::new(0)),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            bytes_recycled: AtomicU64::new(0),
+            steady: AtomicBool::new(false),
+            steady_misses: AtomicU64::new(0),
+        }
+    }
 }
 
 /// A shared, thread-safe recycling pool of `Vec<f64>` field backing stores.
@@ -77,17 +168,47 @@ pub struct FieldPool {
     inner: Arc<PoolInner>,
 }
 
-/// Power-of-two capacity class a buffer of length `len` is requested from.
-fn class_of(len: usize) -> usize {
-    len.next_power_of_two().max(1)
+/// The allocation interface the solvers are generic over: both the pool
+/// itself and a shard-resolved [`PoolHandle`] satisfy it, so library code
+/// written against `&FieldPool` keeps working while the driver's solve
+/// workers pass pre-resolved handles.
+pub trait FieldAlloc {
+    /// Hand out a zero-filled buffer of exactly `len` elements.
+    fn acquire(&self, len: usize) -> Vec<f64>;
+    /// Hand out a buffer of exactly `len` elements whose contents are
+    /// unspecified (a reused buffer keeps whatever values its previous life
+    /// left behind). Only for callers that overwrite every element before
+    /// any read — skipping the zero fill is the entire point.
+    fn acquire_unfilled(&self, len: usize) -> Vec<f64> {
+        self.acquire(len)
+    }
+    /// Return a backing store for reuse.
+    fn release(&self, buf: Vec<f64>);
 }
 
-/// Class a buffer of capacity `cap` is shelved under: the largest
-/// power of two ≤ `cap`, so lookups from `class..` only ever see buffers
-/// whose capacity covers the class.
-fn shelf_class(cap: usize) -> usize {
+/// Power-of-two class exponent a buffer of length `len` is requested from.
+fn class_exp(len: usize) -> usize {
+    len.next_power_of_two().max(1).trailing_zeros() as usize
+}
+
+/// Class exponent a buffer of capacity `cap` is shelved under: the largest
+/// power of two ≤ `cap`, so serving a request from `exp..` never
+/// reallocates on the resize down to the requested length.
+fn shelf_exp(cap: usize) -> usize {
     debug_assert!(cap > 0);
-    1 << (usize::BITS - 1 - cap.leading_zeros())
+    (usize::BITS - 1 - cap.leading_zeros()) as usize
+}
+
+/// Home shard of the calling thread: assigned round-robin at first touch,
+/// cached in a thread-local. Shard identity only affects which physical
+/// buffer a request receives, never the values computed (buffers are
+/// zeroed), so the round-robin order is free to be scheduling-dependent.
+fn home_shard() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static HOME: usize = NEXT.fetch_add(1, Ordering::Relaxed) & (NUM_SHARDS - 1);
+    }
+    HOME.with(|&h| h)
 }
 
 impl FieldPool {
@@ -96,22 +217,50 @@ impl FieldPool {
         Self::default()
     }
 
-    /// Hand out a zero-filled buffer of exactly `len` elements, reusing a
-    /// pooled backing store when one of sufficient capacity exists.
-    pub fn acquire(&self, len: usize) -> Vec<f64> {
-        let class = class_of(len);
-        let reused = {
-            let mut shelves = self.inner.shelves.lock().unwrap();
-            let key = shelves
-                .range(class..)
-                .find(|(_, list)| !list.is_empty())
-                .map(|(&k, _)| k);
-            key.and_then(|k| shelves.get_mut(&k).and_then(Vec::pop))
-        };
+    /// A handle with the calling thread's home shard resolved once, for
+    /// solver hot loops that acquire and release many buffers per patch.
+    pub fn worker_handle(&self) -> PoolHandle {
+        PoolHandle {
+            pool: self.clone(),
+            shard: home_shard(),
+        }
+    }
+
+    fn try_reuse(&self, shard: usize, lo: usize, hi: usize) -> Option<Vec<f64>> {
+        if let Some(buf) = self.inner.shards[shard].lock().unwrap().pop_in(lo, hi) {
+            return Some(buf);
+        }
+        if let Some(buf) = self.inner.global.lock().unwrap().pop_in(lo, hi) {
+            return Some(buf);
+        }
+        // steal sweep: every other shard, briefly locked
+        for k in 1..NUM_SHARDS {
+            let other = (shard + k) & (NUM_SHARDS - 1);
+            if let Some(buf) = self.inner.shards[other].lock().unwrap().pop_in(lo, hi) {
+                return Some(buf);
+            }
+        }
+        None
+    }
+
+    fn acquire_from(&self, shard: usize, len: usize) -> Vec<f64> {
+        self.acquire_from_with(shard, len, true)
+    }
+
+    fn acquire_from_with(&self, shard: usize, len: usize, zero: bool) -> Vec<f64> {
+        let exp = class_exp(len);
+        let near = (exp + BORROW_CLASSES).min(NUM_CLASSES - 1);
+        let reused = self
+            .try_reuse(shard, exp, near)
+            .or_else(|| self.try_reuse(shard, exp, NUM_CLASSES - 1));
         match reused {
             Some(mut buf) => {
                 debug_assert!(buf.capacity() >= len);
-                buf.clear();
+                if zero {
+                    buf.clear();
+                }
+                // without `zero`, prior contents stay in place and only the
+                // tail past the reused length is (necessarily) initialized
                 buf.resize(len, 0.0);
                 self.inner.hits.fetch_add(1, Ordering::Relaxed);
                 self.inner
@@ -126,57 +275,92 @@ impl FieldPool {
                 }
                 // allocate the full class up front so the buffer can serve
                 // any same-class request on its next life
-                let mut buf = Vec::with_capacity(class);
+                let cap = 1usize << exp;
+                let mut buf = Vec::with_capacity(cap);
                 buf.resize(len, 0.0);
                 // A miss is a high-water mark: peak concurrent demand for
                 // this class just outgrew inventory, and peak demand drifts
                 // as the mesh evolves. Shelve a spare alongside so the next
-                // fluctuation finds headroom instead of allocating again —
-                // per-class doubling that amortizes steady-state misses to
-                // zero the same way `Vec` growth amortizes pushes.
-                self.inner
-                    .shelves
+                // fluctuation finds headroom instead of allocating again.
+                self.inner.shards[shard]
                     .lock()
                     .unwrap()
-                    .entry(class)
-                    .or_default()
-                    .push(Vec::with_capacity(class));
-                *self.inner.minted.lock().unwrap().entry(class).or_insert(0) += 2;
+                    .push(exp, Vec::with_capacity(cap));
+                self.inner.minted[exp].fetch_add(2, Ordering::Relaxed);
                 buf
             }
         }
     }
 
-    /// Return a backing store to the pool for reuse.
-    pub fn release(&self, buf: Vec<f64>) {
+    fn release_to(&self, shard: usize, buf: Vec<f64>) {
         if buf.capacity() == 0 {
             return;
         }
-        let class = shelf_class(buf.capacity());
-        let mut shelves = self.inner.shelves.lock().unwrap();
-        shelves.entry(class).or_default().push(buf);
+        let exp = shelf_exp(buf.capacity());
+        self.inner.shards[shard].lock().unwrap().push(exp, buf);
+    }
+
+    /// Hand out a zero-filled buffer of exactly `len` elements, reusing a
+    /// pooled backing store when one of sufficient capacity exists.
+    pub fn acquire(&self, len: usize) -> Vec<f64> {
+        self.acquire_from(home_shard(), len)
+    }
+
+    /// Return a backing store to the pool for reuse.
+    pub fn release(&self, buf: Vec<f64>) {
+        self.release_to(home_shard(), buf);
+    }
+
+    /// Declare warm-up over with the default 50% headroom; see
+    /// [`mark_steady_with_headroom`](Self::mark_steady_with_headroom).
+    pub fn mark_steady(&self) {
+        self.mark_steady_with_headroom(0.5);
     }
 
     /// Declare warm-up over: from now on every miss increments
     /// `steady_misses`, the count the zero-alloc verify gate asserts is 0.
     ///
     /// The first call (only — the transition is idempotent) also provisions
-    /// 50% headroom per class over everything minted during warm-up. Peak
-    /// concurrent demand drifts with the evolving mesh and with worker
-    /// scheduling, so inventory merely *equal* to the warm-up peak would
-    /// still miss on the next fluctuation; the slack is what lets steady
-    /// steps run allocation-free.
-    pub fn mark_steady(&self) {
+    /// `factor` headroom per class over everything minted during warm-up,
+    /// into the global spill tier. Peak concurrent demand drifts with the
+    /// evolving mesh and with worker scheduling, so inventory merely
+    /// *equal* to the warm-up peak would still miss on the next
+    /// fluctuation. Callers whose mesh keeps growing after warm-up (the
+    /// driver measures this) pass a growth-scaled factor; the spares are
+    /// capacity-only reservations until first use.
+    pub fn mark_steady_with_headroom(&self, factor: f64) {
         if self.inner.steady.swap(true, Ordering::Relaxed) {
             return;
         }
-        let minted = self.inner.minted.lock().unwrap().clone();
-        let mut shelves = self.inner.shelves.lock().unwrap();
-        for (&class, &n) in &minted {
-            let shelf = shelves.entry(class).or_default();
-            for _ in 0..(n / 2 + 1) {
-                shelf.push(Vec::with_capacity(class));
+        let factor = factor.max(0.0);
+        let mut global = self.inner.global.lock().unwrap();
+        for (exp, minted) in self.inner.minted.iter().enumerate() {
+            let n = minted.load(Ordering::Relaxed);
+            if n == 0 {
+                continue;
             }
+            let extra = (n as f64 * factor).ceil() as u64 + 1;
+            for _ in 0..extra {
+                global.push(exp, Vec::with_capacity(1usize << exp));
+            }
+        }
+    }
+
+    /// Shelve `count` spare buffers able to serve `len`-element requests
+    /// into the global spill tier, ahead of demand. Unlike a miss this is a
+    /// *planned* inventory extension: drivers call it when they observe the
+    /// working set grow (e.g. a regrid that enlarged the hierarchy), so the
+    /// zero-alloc steady state survives mesh growth no warm-up projection
+    /// could have foreseen. The spares are `Vec::with_capacity`
+    /// reservations — address space, not resident pages, until first use.
+    pub fn provision(&self, len: usize, count: u64) {
+        if len == 0 || count == 0 {
+            return;
+        }
+        let exp = class_exp(len);
+        let mut global = self.inner.global.lock().unwrap();
+        for _ in 0..count {
+            global.push(exp, Vec::with_capacity(1usize << exp));
         }
     }
 
@@ -197,13 +381,54 @@ impl FieldPool {
 
     /// Number of buffers currently shelved (for tests and diagnostics).
     pub fn idle_buffers(&self) -> usize {
-        self.inner
-            .shelves
-            .lock()
-            .unwrap()
-            .values()
-            .map(Vec::len)
-            .sum()
+        let shards: usize = self
+            .inner
+            .shards
+            .iter()
+            .map(|s| s.lock().unwrap().len())
+            .sum();
+        shards + self.inner.global.lock().unwrap().len()
+    }
+}
+
+impl FieldAlloc for FieldPool {
+    fn acquire(&self, len: usize) -> Vec<f64> {
+        FieldPool::acquire(self, len)
+    }
+    fn acquire_unfilled(&self, len: usize) -> Vec<f64> {
+        self.acquire_from_with(home_shard(), len, false)
+    }
+    fn release(&self, buf: Vec<f64>) {
+        FieldPool::release(self, buf);
+    }
+}
+
+/// A [`FieldPool`] handle with the home shard resolved once. Cheap to
+/// clone; create one per solve worker ([`FieldPool::worker_handle`]) and
+/// thread it through the patch kernels so the per-buffer fast path skips
+/// even the thread-local lookup.
+#[derive(Clone, Debug)]
+pub struct PoolHandle {
+    pool: FieldPool,
+    shard: usize,
+}
+
+impl PoolHandle {
+    /// The underlying pool.
+    pub fn pool(&self) -> &FieldPool {
+        &self.pool
+    }
+}
+
+impl FieldAlloc for PoolHandle {
+    fn acquire(&self, len: usize) -> Vec<f64> {
+        self.pool.acquire_from(self.shard, len)
+    }
+    fn acquire_unfilled(&self, len: usize) -> Vec<f64> {
+        self.pool.acquire_from_with(self.shard, len, false)
+    }
+    fn release(&self, buf: Vec<f64>) {
+        self.pool.release_to(self.shard, buf);
     }
 }
 
@@ -247,6 +472,19 @@ mod tests {
     }
 
     #[test]
+    fn distant_class_still_serves_as_last_resort() {
+        let pool = FieldPool::new();
+        // a huge buffer far above the near-borrow window
+        pool.release(pool.acquire(1 << 16));
+        pool.release(pool.acquire(1 << 16)); // consumes the minted spare
+        assert_eq!(pool.idle_buffers(), 2);
+        // a tiny request: nothing nearby, but inventory exists — must not miss
+        let b = pool.acquire(8);
+        assert_eq!(b.len(), 8);
+        assert_eq!(pool.stats().misses, 1);
+    }
+
+    #[test]
     fn steady_misses_only_count_after_mark() {
         let pool = FieldPool::new();
         let a = pool.acquire(64);
@@ -273,6 +511,8 @@ mod tests {
         assert!(idle_after > idle_before, "no headroom was provisioned");
         pool.mark_steady(); // idempotent: a second call adds nothing
         assert_eq!(pool.idle_buffers(), idle_after);
+        pool.mark_steady_with_headroom(10.0); // still idempotent
+        assert_eq!(pool.idle_buffers(), idle_after);
         // the provisioned slack serves steady demand beyond the warm-up
         // peak without a single steady miss
         let bufs: Vec<_> = (0..idle_after).map(|_| pool.acquire(100)).collect();
@@ -280,6 +520,37 @@ mod tests {
         for b in bufs {
             pool.release(b);
         }
+    }
+
+    #[test]
+    fn headroom_factor_scales_provisioning() {
+        let idle_with = |factor: f64| {
+            let pool = FieldPool::new();
+            pool.release(pool.acquire(100));
+            pool.mark_steady_with_headroom(factor);
+            pool.idle_buffers()
+        };
+        assert!(idle_with(4.0) > idle_with(0.5));
+    }
+
+    #[test]
+    fn provision_extends_inventory_without_counting_misses() {
+        let pool = FieldPool::new();
+        pool.mark_steady();
+        pool.provision(100, 3);
+        assert_eq!(pool.idle_buffers(), 3);
+        // provisioned spares serve steady demand with zero steady misses
+        let bufs: Vec<_> = (0..3).map(|_| pool.acquire(100)).collect();
+        let s = pool.stats();
+        assert_eq!(s.steady_misses, 0);
+        assert_eq!(s.hits, 3);
+        for b in bufs {
+            pool.release(b);
+        }
+        // degenerate inputs are no-ops
+        pool.provision(0, 5);
+        pool.provision(64, 0);
+        assert_eq!(pool.idle_buffers(), 3);
     }
 
     #[test]
@@ -307,6 +578,39 @@ mod tests {
         assert_eq!(pool.stats().hits, 1);
         assert_eq!(handle.stats().hits, 1);
         drop(b);
+    }
+
+    #[test]
+    fn worker_handle_shares_inventory_and_stats() {
+        let pool = FieldPool::new();
+        let h = pool.worker_handle();
+        h.release(h.acquire(128));
+        // the plain pool sees the handle's shelved buffer (same shard on
+        // this thread) and its stats
+        let b = pool.acquire(128);
+        assert_eq!(b.len(), 128);
+        assert_eq!(pool.stats().hits, 1);
+        assert_eq!(h.pool().stats().hits, 1);
+        h.release(b);
+    }
+
+    #[test]
+    fn buffers_released_on_another_thread_are_stolen_not_missed() {
+        let pool = FieldPool::new();
+        // fill several distinct home shards from distinct threads
+        for _ in 0..3 {
+            let p = pool.clone();
+            std::thread::spawn(move || {
+                p.release(p.acquire(4096));
+            })
+            .join()
+            .unwrap();
+        }
+        let before = pool.stats().misses;
+        // this thread's shard may be empty; the steal sweep must find one
+        let b = pool.acquire(4000);
+        assert_eq!(b.len(), 4000);
+        assert_eq!(pool.stats().misses, before, "steal path missed");
     }
 
     #[test]

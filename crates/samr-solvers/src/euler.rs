@@ -9,7 +9,8 @@
 use crate::checked_capacity;
 use samr_mesh::field::Field3;
 use samr_mesh::index::{ivec3, IVec3};
-use samr_mesh::pool::FieldPool;
+use samr_mesh::pool::FieldAlloc;
+use samr_mesh::region::Region;
 
 /// Number of conserved fields: ρ, mx, my, mz, E.
 pub const NFIELDS: usize = 5;
@@ -111,30 +112,84 @@ pub fn store(fieldset: &mut [Field3], p: IVec3, u: Cons, gamma: f64) {
     fieldset[fields::E].set(p, u.e);
 }
 
-/// HLL numerical flux along `axis` between left and right states.
-pub fn hll_flux(l: &Cons, r: &Cons, axis: usize, gamma: f64) -> [f64; NFIELDS] {
-    let vl = l.vel(axis);
-    let vr = r.vel(axis);
-    let al = l.sound_speed(gamma);
-    let ar = r.sound_speed(gamma);
-    let sl = (vl - al).min(vr - ar);
-    let sr = (vl + al).max(vr + ar);
-    if sl >= 0.0 {
-        return l.flux(axis, gamma);
+/// The per-cell quantities an HLL interface needs from each side, computed
+/// once per cell by the line kernel and reused by both of the cell's
+/// interfaces. `v`, `a` and `f` are exactly [`Cons::vel`],
+/// [`Cons::sound_speed`] and [`Cons::flux`] of `u` — pure functions of the
+/// state — so an HLL flux assembled from two `AxisPrim`s is bit-identical
+/// to [`hll_flux`] on the raw states (which now delegates here).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct AxisPrim {
+    pub u: Cons,
+    pub v: f64,
+    pub a: f64,
+    pub f: [f64; NFIELDS],
+}
+
+impl AxisPrim {
+    /// Shared-subexpression form of calling [`Cons::vel`],
+    /// [`Cons::sound_speed`] and [`Cons::flux`] separately: the floored
+    /// density, kinetic energy, pressure and velocity are each the same
+    /// expression on the same inputs as in those methods, computed once and
+    /// reused — so the bits match the three separate calls while performing
+    /// three divisions instead of six.
+    #[inline]
+    pub(crate) fn new(u: Cons, axis: usize, gamma: f64) -> Self {
+        let rho = u.rho.max(RHO_FLOOR);
+        let ke = 0.5 * (u.m[0] * u.m[0] + u.m[1] * u.m[1] + u.m[2] * u.m[2]) / rho;
+        let p = ((gamma - 1.0) * (u.e - ke)).max(P_FLOOR);
+        let v = u.m[axis] / rho;
+        let a = (gamma * p / rho).sqrt();
+        let mut f = [
+            u.rho * v,
+            u.m[0] * v,
+            u.m[1] * v,
+            u.m[2] * v,
+            (u.e + p) * v,
+        ];
+        f[1 + axis] += p;
+        AxisPrim { u, v, a, f }
     }
-    if sr <= 0.0 {
-        return r.flux(axis, gamma);
-    }
-    let fl = l.flux(axis, gamma);
-    let fr = r.flux(axis, gamma);
-    let ul = [l.rho, l.m[0], l.m[1], l.m[2], l.e];
-    let ur = [r.rho, r.m[0], r.m[1], r.m[2], r.e];
+}
+
+/// HLL flux from precomputed per-side primitives — the single shared
+/// implementation behind [`hll_flux`] and the row kernels.
+///
+/// Written branch-free (compute the mid-state flux unconditionally, then
+/// *select* per component) so the row kernels' per-interface loops
+/// if-convert and vectorize. The selected values are exactly those of the
+/// early-return form: when `sl >= 0` the left flux is chosen regardless of
+/// what the mid expression evaluated to (it may be inf/NaN when
+/// `sr == sl`; IEEE arithmetic on it has no side effects and the value is
+/// discarded), and symmetrically for `sr <= 0`.
+#[inline]
+pub(crate) fn hll_from_prims(l: &AxisPrim, r: &AxisPrim) -> [f64; NFIELDS] {
+    let sl = (l.v - l.a).min(r.v - r.a);
+    let sr = (l.v + l.a).max(r.v + r.a);
+    let ul = [l.u.rho, l.u.m[0], l.u.m[1], l.u.m[2], l.u.e];
+    let ur = [r.u.rho, r.u.m[0], r.u.m[1], r.u.m[2], r.u.e];
     let mut f = [0.0; NFIELDS];
     let inv = 1.0 / (sr - sl);
+    let slsr = sl * sr;
     for k in 0..NFIELDS {
-        f[k] = (sr * fl[k] - sl * fr[k] + sl * sr * (ur[k] - ul[k])) * inv;
+        let mid = (sr * l.f[k] - sl * r.f[k] + slsr * (ur[k] - ul[k])) * inv;
+        f[k] = if sl >= 0.0 {
+            l.f[k]
+        } else if sr <= 0.0 {
+            r.f[k]
+        } else {
+            mid
+        };
     }
     f
+}
+
+/// HLL numerical flux along `axis` between left and right states.
+pub fn hll_flux(l: &Cons, r: &Cons, axis: usize, gamma: f64) -> [f64; NFIELDS] {
+    hll_from_prims(
+        &AxisPrim::new(*l, axis, gamma),
+        &AxisPrim::new(*r, axis, gamma),
+    )
 }
 
 /// Axis unit vector for a dimensionally-split sweep.
@@ -147,11 +202,117 @@ pub(crate) fn axis_dir(axis: usize) -> IVec3 {
     }
 }
 
-/// Acquire `NFIELDS` pooled ghost-0 scratch fields over `interior` — the
-/// write side of the solver double buffer.
-pub(crate) fn acquire_scratch(
-    pool: &FieldPool,
-    interior: samr_mesh::region::Region,
+/// The Godunov flux-difference update at one cell, before floors. Shared
+/// verbatim by the optimized line kernels and the reference sweeps, so the
+/// two stay bit-identical by construction.
+#[inline]
+pub(crate) fn flux_difference_update(
+    u0: &Cons,
+    f_lo: &[f64; NFIELDS],
+    f_hi: &[f64; NFIELDS],
+    dt_over_dx: f64,
+) -> Cons {
+    let mut v = [u0.rho, u0.m[0], u0.m[1], u0.m[2], u0.e];
+    for k in 0..NFIELDS {
+        v[k] -= dt_over_dx * (f_hi[k] - f_lo[k]);
+    }
+    Cons {
+        rho: v[0],
+        m: [v[1], v[2], v[3]],
+        e: v[4],
+    }
+}
+
+/// Geometry of one sweep line: the run of cells along the sweep axis at
+/// fixed transverse coordinates, with precomputed start indices and strides
+/// into the (ghosted) source storage and the ghost-0 output region — all
+/// 3D→1D index math is done once per line, not once per cell.
+pub(crate) struct LinePlan {
+    pub src_start: usize,
+    pub out_start: usize,
+    pub src_stride: usize,
+    pub out_stride: usize,
+    pub n: usize,
+}
+
+/// Visit every sweep line of `interior` along `axis`. The transverse
+/// coordinates iterate z-fastest (storage order), so consecutive lines of
+/// the strided x/y sweeps touch adjacent memory and the cache lines loaded
+/// for one line are reused by the next seven — the cache-blocking that
+/// keeps the non-contiguous sweeps streaming. The z sweep's lines are
+/// stride-1 slices outright.
+pub(crate) fn for_each_line(
+    interior: Region,
+    storage: Region,
+    out: Region,
+    axis: usize,
+    mut f: impl FnMut(LinePlan),
+) {
+    let ssz = (storage.hi.z - storage.lo.z) as usize;
+    let osz = (out.hi.z - out.lo.z) as usize;
+    let (src_stride, out_stride) = match axis {
+        0 => (
+            (storage.hi.y - storage.lo.y) as usize * ssz,
+            (out.hi.y - out.lo.y) as usize * osz,
+        ),
+        1 => (ssz, osz),
+        _ => (1, 1),
+    };
+    let lo = interior.lo;
+    let hi = interior.hi;
+    let mut line = |start: IVec3, n: i64| {
+        f(LinePlan {
+            src_start: storage.linear_index(start),
+            out_start: out.linear_index(start),
+            src_stride,
+            out_stride,
+            n: n as usize,
+        })
+    };
+    match axis {
+        0 => {
+            for y in lo.y..hi.y {
+                for z in lo.z..hi.z {
+                    line(ivec3(lo.x, y, z), hi.x - lo.x);
+                }
+            }
+        }
+        1 => {
+            for x in lo.x..hi.x {
+                for z in lo.z..hi.z {
+                    line(ivec3(x, lo.y, z), hi.y - lo.y);
+                }
+            }
+        }
+        _ => {
+            for x in lo.x..hi.x {
+                for y in lo.y..hi.y {
+                    line(ivec3(x, y, lo.z), hi.z - lo.z);
+                }
+            }
+        }
+    }
+}
+
+/// Assert the shape invariant the line kernels index by: every conserved
+/// field shares `fieldset[0]`'s interior and ghost width, with at least one
+/// ghost layer for the stencil.
+fn assert_sweep_shapes(fieldset: &[Field3]) {
+    assert!(fieldset.len() >= NFIELDS);
+    assert!(fieldset[0].ghost() >= 1, "sweep needs ghost width >= 1");
+    for f in &fieldset[..NFIELDS] {
+        assert!(
+            f.interior() == fieldset[0].interior() && f.ghost() == fieldset[0].ghost(),
+            "conserved fields must share one shape"
+        );
+    }
+}
+
+/// Acquire `nfields` pooled ghost-0 scratch fields over `interior` — the
+/// write side of the MUSCL solver's double buffer.
+pub(crate) fn acquire_scratch<P: FieldAlloc>(
+    pool: &P,
+    interior: Region,
     nfields: usize,
 ) -> Vec<Field3> {
     (0..nfields)
@@ -162,7 +323,7 @@ pub(crate) fn acquire_scratch(
 /// Copy the scratch interiors back over `fieldset` and shelve the scratch
 /// buffers. Row-sliced copies preserve bits exactly, so this is equivalent
 /// to the reference path's deferred tuple application.
-pub(crate) fn commit_scratch(fieldset: &mut [Field3], scratch: Vec<Field3>, pool: &FieldPool) {
+pub(crate) fn commit_scratch<P: FieldAlloc>(fieldset: &mut [Field3], scratch: Vec<Field3>, pool: &P) {
     for (dst, src) in fieldset.iter_mut().zip(scratch.iter()) {
         let interior = src.interior();
         dst.copy_from(src, &interior);
@@ -172,54 +333,327 @@ pub(crate) fn commit_scratch(fieldset: &mut [Field3], scratch: Vec<Field3>, pool
     }
 }
 
+/// SoA rows of per-cell sweep primitives for one stride-1 run of cells:
+/// element `i` holds exactly [`AxisPrim::new`] of cell `i` — the conserved
+/// state `u`, `v`, `a` and the physical flux — so an interface flux
+/// assembled from two rows (or two shifted views of one row) is
+/// [`hll_from_prims`] elementwise.
+#[derive(Default)]
+struct PrimRow {
+    u: [Vec<f64>; NFIELDS],
+    v: Vec<f64>,
+    a: Vec<f64>,
+    f: [Vec<f64>; NFIELDS],
+}
+
+/// Reusable per-thread sweep scratch: three primitive rows rolling along
+/// the sweep axis plus two interface-flux rows. A few KiB per thread,
+/// grown once to the longest row seen and reused for every patch after —
+/// steady-state sweeps allocate nothing.
+#[derive(Default)]
+struct SweepScratch {
+    prims: [PrimRow; 3],
+    flux: [[Vec<f64>; NFIELDS]; 2],
+}
+
+impl SweepScratch {
+    fn ensure(&mut self, len: usize) {
+        let grow = |v: &mut Vec<f64>| {
+            if v.len() < len {
+                v.resize(len, 0.0);
+            }
+        };
+        for p in &mut self.prims {
+            p.u.iter_mut().for_each(&grow);
+            grow(&mut p.v);
+            grow(&mut p.a);
+            p.f.iter_mut().for_each(&grow);
+        }
+        for f in &mut self.flux {
+            f.iter_mut().for_each(&grow);
+        }
+    }
+}
+
+thread_local! {
+    static SWEEP_SCRATCH: std::cell::RefCell<SweepScratch> =
+        std::cell::RefCell::new(SweepScratch::default());
+}
+
+/// Fill `out[0..len]` with the primitives of the `len` cells starting at
+/// linear index `start` — one stride-1 pass calling [`AxisPrim::new`] per
+/// element, so the loop body is branch-free straight-line arithmetic the
+/// compiler vectorizes (divisions and the sound-speed square root
+/// included). `AXIS` is const so the flux component picking up the
+/// pressure term is a static index.
+#[inline(always)]
+fn fill_prim_row<const AXIS: usize>(
+    data: &[&mut [f64]; NFIELDS],
+    start: usize,
+    len: usize,
+    gamma: f64,
+    out: &mut PrimRow,
+) {
+    let rho = &data[fields::RHO][start..start + len];
+    let mx = &data[fields::MX][start..start + len];
+    let my = &data[fields::MY][start..start + len];
+    let mz = &data[fields::MZ][start..start + len];
+    let en = &data[fields::E][start..start + len];
+    let [u0, u1, u2, u3, u4] = &mut out.u;
+    let (u0, u1, u2, u3, u4) = (
+        &mut u0[..len],
+        &mut u1[..len],
+        &mut u2[..len],
+        &mut u3[..len],
+        &mut u4[..len],
+    );
+    let ov = &mut out.v[..len];
+    let oa = &mut out.a[..len];
+    let [f0, f1, f2, f3, f4] = &mut out.f;
+    let (f0, f1, f2, f3, f4) = (
+        &mut f0[..len],
+        &mut f1[..len],
+        &mut f2[..len],
+        &mut f3[..len],
+        &mut f4[..len],
+    );
+    for i in 0..len {
+        let u = Cons {
+            rho: rho[i],
+            m: [mx[i], my[i], mz[i]],
+            e: en[i],
+        };
+        let p = AxisPrim::new(u, AXIS, gamma);
+        u0[i] = u.rho;
+        u1[i] = u.m[0];
+        u2[i] = u.m[1];
+        u3[i] = u.m[2];
+        u4[i] = u.e;
+        ov[i] = p.v;
+        oa[i] = p.a;
+        f0[i] = p.f[0];
+        f1[i] = p.f[1];
+        f2[i] = p.f[2];
+        f3[i] = p.f[3];
+        f4[i] = p.f[4];
+    }
+}
+
+/// Reassemble the `i`-th primitive of a row view starting at `off`.
+#[inline(always)]
+fn prim_at(p: &PrimRow, off: usize, i: usize) -> AxisPrim {
+    let j = off + i;
+    AxisPrim {
+        u: Cons {
+            rho: p.u[0][j],
+            m: [p.u[1][j], p.u[2][j], p.u[3][j]],
+            e: p.u[4][j],
+        },
+        v: p.v[j],
+        a: p.a[j],
+        f: [p.f[0][j], p.f[1][j], p.f[2][j], p.f[3][j], p.f[4][j]],
+    }
+}
+
+/// `out[k][0..len] =` [`hll_from_prims`] of rows `l` (from `lo`) and `r`
+/// (from `ro`), elementwise. `hll_from_prims` is branch-free, so this is a
+/// vectorizable select-and-blend loop. `l` and `r` may be the same row at
+/// shifted offsets (the z sweep).
+#[inline(always)]
+fn hll_row(
+    l: &PrimRow,
+    lo: usize,
+    r: &PrimRow,
+    ro: usize,
+    len: usize,
+    out: &mut [Vec<f64>; NFIELDS],
+) {
+    let [o0, o1, o2, o3, o4] = out;
+    let (o0, o1, o2, o3, o4) = (
+        &mut o0[..len],
+        &mut o1[..len],
+        &mut o2[..len],
+        &mut o3[..len],
+        &mut o4[..len],
+    );
+    for i in 0..len {
+        let f = hll_from_prims(&prim_at(l, lo, i), &prim_at(r, ro, i));
+        o0[i] = f[0];
+        o1[i] = f[1];
+        o2[i] = f[2];
+        o3[i] = f[3];
+        o4[i] = f[4];
+    }
+}
+
+/// Write the updated row of `len` cells at linear index `start`:
+/// [`flux_difference_update`] + [`apply_floors`] elementwise, reading the
+/// pre-update states from `prim` (captured before any write touched them)
+/// and the interface fluxes from `fl`/`fh` — which may be the same flux row
+/// at shifted offsets (the z sweep).
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn update_row(
+    data: &mut [&mut [f64]; NFIELDS],
+    start: usize,
+    len: usize,
+    prim: &PrimRow,
+    po: usize,
+    fl: &[Vec<f64>; NFIELDS],
+    flo: usize,
+    fh: &[Vec<f64>; NFIELDS],
+    fho: usize,
+    dt_over_dx: f64,
+    gamma: f64,
+) {
+    let [d0, d1, d2, d3, d4] = data;
+    let (d0, d1, d2, d3, d4) = (
+        &mut d0[start..start + len],
+        &mut d1[start..start + len],
+        &mut d2[start..start + len],
+        &mut d3[start..start + len],
+        &mut d4[start..start + len],
+    );
+    for i in 0..len {
+        let u0 = Cons {
+            rho: prim.u[0][po + i],
+            m: [prim.u[1][po + i], prim.u[2][po + i], prim.u[3][po + i]],
+            e: prim.u[4][po + i],
+        };
+        let f_lo = [
+            fl[0][flo + i],
+            fl[1][flo + i],
+            fl[2][flo + i],
+            fl[3][flo + i],
+            fl[4][flo + i],
+        ];
+        let f_hi = [
+            fh[0][fho + i],
+            fh[1][fho + i],
+            fh[2][fho + i],
+            fh[3][fho + i],
+            fh[4][fho + i],
+        ];
+        let u = apply_floors(flux_difference_update(&u0, &f_lo, &f_hi, dt_over_dx), gamma);
+        d0[i] = u.rho;
+        d1[i] = u.m[0];
+        d2[i] = u.m[1];
+        d3[i] = u.m[2];
+        d4[i] = u.e;
+    }
+}
+
+/// The strided (x or y) sweep: for each transverse line bundle, primitive
+/// rows roll along the sweep axis — `pp` is filled for the next source row
+/// while `p0` still holds the row being updated as it was *before* any
+/// write (the in-place hazard), and the shared interface satisfies
+/// `f_lo(i+1) = f_hi(i)` by a buffer swap, never a recompute.
+fn sweep_strided<const AXIS: usize>(
+    data: &mut [&mut [f64]; NFIELDS],
+    interior: Region,
+    storage: Region,
+    s: &mut SweepScratch,
+    dt_over_dx: f64,
+    gamma: f64,
+) {
+    let nz = (interior.hi.z - interior.lo.z) as usize;
+    let sz = (storage.hi.z - storage.lo.z) as usize;
+    let sxy = (storage.hi.y - storage.lo.y) as usize * sz;
+    let (stride, n_sweep, outer_n) = if AXIS == 0 {
+        (sxy, interior.hi.x - interior.lo.x, interior.hi.y - interior.lo.y)
+    } else {
+        (sz, interior.hi.y - interior.lo.y, interior.hi.x - interior.lo.x)
+    };
+    let lo = interior.lo;
+    let [pm, p0, pp] = &mut s.prims;
+    let [f_lo, f_hi] = &mut s.flux;
+    for j in 0..outer_n {
+        let first = if AXIS == 0 {
+            storage.linear_index(ivec3(lo.x - 1, lo.y + j, lo.z))
+        } else {
+            storage.linear_index(ivec3(lo.x + j, lo.y - 1, lo.z))
+        };
+        fill_prim_row::<AXIS>(data, first, nz, gamma, pm);
+        fill_prim_row::<AXIS>(data, first + stride, nz, gamma, p0);
+        hll_row(pm, 0, p0, 0, nz, f_lo);
+        let mut cur = first + stride;
+        for _ in 0..n_sweep {
+            fill_prim_row::<AXIS>(data, cur + stride, nz, gamma, pp);
+            hll_row(p0, 0, pp, 0, nz, f_hi);
+            update_row(data, cur, nz, p0, 0, f_lo, 0, f_hi, 0, dt_over_dx, gamma);
+            std::mem::swap(pm, p0);
+            std::mem::swap(p0, pp);
+            std::mem::swap(f_lo, f_hi);
+            cur += stride;
+        }
+    }
+}
+
+/// The z sweep: every line is one contiguous run, so a single primitive
+/// row over `nz + 2` cells feeds all `nz + 1` interfaces as two shifted
+/// views of itself, and the update reads the same flux row at offsets 0
+/// and 1.
+fn sweep_z(
+    data: &mut [&mut [f64]; NFIELDS],
+    interior: Region,
+    storage: Region,
+    s: &mut SweepScratch,
+    dt_over_dx: f64,
+    gamma: f64,
+) {
+    let nz = (interior.hi.z - interior.lo.z) as usize;
+    let [p0, _, _] = &mut s.prims;
+    let [f_all, _] = &mut s.flux;
+    let lo = interior.lo;
+    for x in lo.x..interior.hi.x {
+        for y in lo.y..interior.hi.y {
+            let first = storage.linear_index(ivec3(x, y, lo.z - 1));
+            fill_prim_row::<2>(data, first, nz + 2, gamma, p0);
+            hll_row(p0, 0, p0, 1, nz + 1, f_all);
+            update_row(data, first + 1, nz, p0, 1, f_all, 0, f_all, 1, dt_over_dx, gamma);
+        }
+    }
+}
+
 /// One dimensionally-split first-order Godunov sweep along `axis` over the
 /// interior of the patch. Ghost zones must have been filled beforehand.
 ///
-/// Double-buffered through `pool`: updated states stream row-wise into
-/// pooled scratch fields (the stencil reads neighbours, so writes cannot go
-/// in place directly) and the interiors are copied back at the end — no
-/// per-call update-list allocation. Bit-identical to [`reference::sweep`].
-pub fn sweep(fieldset: &mut [Field3], axis: usize, dt_over_dx: f64, gamma: f64, pool: &FieldPool) {
-    assert!(fieldset.len() >= NFIELDS);
+/// Runs **in place** over the fields (no field-sized scratch) as stride-1
+/// row passes: every inner loop — primitive extraction ([`AxisPrim::new`]
+/// per element into SoA rows), interface fluxes (branch-free
+/// [`hll_from_prims`] elementwise) and the flux-difference update — walks
+/// contiguous memory with no data-dependent branches, so the compiler
+/// autovectorizes the divisions and sound-speed square roots that dominate
+/// the kernel. Primitives are computed once per cell and serve both
+/// interfaces (`f_hi` of row `i` *is* `f_lo` of row `i+1` — a buffer swap
+/// of the same pure evaluation), quartering primitive evaluations and
+/// halving Riemann solves versus the per-cell form. In-place safety is the
+/// rolling-row discipline: a row's primitives are captured in scratch
+/// before any write can touch it, exactly reproducing the reference path's
+/// double buffering bit for bit (golden tests and the kernel proptests pin
+/// it). Scratch is a few KiB of thread-local rows reused across calls.
+pub fn sweep(fieldset: &mut [Field3], axis: usize, dt_over_dx: f64, gamma: f64) {
+    assert_sweep_shapes(fieldset);
     let interior = fieldset[0].interior();
-    let dir = axis_dir(axis);
-    let mut scratch = acquire_scratch(pool, interior, NFIELDS);
-    {
-        // ghost-0 scratch ⇒ its storage region is exactly `interior`, so one
-        // row range addresses the same cells in all five output slices
-        let mut out: Vec<&mut [f64]> = scratch.iter_mut().map(|f| f.data_mut()).collect();
-        for x in interior.lo.x..interior.hi.x {
-            for y in interior.lo.y..interior.hi.y {
-                let row = interior.row_range(x, y, interior.lo.z, interior.hi.z);
-                for (k, i) in row.enumerate() {
-                    let p = ivec3(x, y, interior.lo.z + k as i64);
-                    let um = load(fieldset, p - dir);
-                    let u0 = load(fieldset, p);
-                    let up = load(fieldset, p + dir);
-                    let f_lo = hll_flux(&um, &u0, axis, gamma);
-                    let f_hi = hll_flux(&u0, &up, axis, gamma);
-                    let mut v = [u0.rho, u0.m[0], u0.m[1], u0.m[2], u0.e];
-                    for kk in 0..NFIELDS {
-                        v[kk] -= dt_over_dx * (f_hi[kk] - f_lo[kk]);
-                    }
-                    let u = apply_floors(
-                        Cons {
-                            rho: v[0],
-                            m: [v[1], v[2], v[3]],
-                            e: v[4],
-                        },
-                        gamma,
-                    );
-                    out[fields::RHO][i] = u.rho;
-                    out[fields::MX][i] = u.m[0];
-                    out[fields::MY][i] = u.m[1];
-                    out[fields::MZ][i] = u.m[2];
-                    out[fields::E][i] = u.e;
-                }
-            }
+    let storage = fieldset[0].storage_region();
+    let mut slices: Vec<&mut [f64]> = fieldset
+        .iter_mut()
+        .take(NFIELDS)
+        .map(|f| f.data_mut())
+        .collect();
+    // fixed-size view: field selection compiles to plain offsets
+    let data: &mut [&mut [f64]; NFIELDS] =
+        (&mut slices[..]).try_into().expect("NFIELDS field slices");
+    let nz = (interior.hi.z - interior.lo.z) as usize;
+    SWEEP_SCRATCH.with(|s| {
+        let s = &mut *s.borrow_mut();
+        s.ensure(nz + 2);
+        match axis {
+            0 => sweep_strided::<0>(data, interior, storage, s, dt_over_dx, gamma),
+            1 => sweep_strided::<1>(data, interior, storage, s, dt_over_dx, gamma),
+            _ => sweep_z(data, interior, storage, s, dt_over_dx, gamma),
         }
-    }
-    commit_scratch(fieldset, scratch, pool);
+    });
 }
 
 /// Full XYZ dimensionally-split step.
@@ -229,14 +663,15 @@ pub fn sweep(fieldset: &mut [Field3], axis: usize, dt_over_dx: f64, gamma: f64, 
 /// (which would break conservation). Callers that have sibling/parent ghost
 /// data should fill ghosts once before calling (the first sweep then uses
 /// it) or drive [`sweep`] directly with their own exchange between sweeps.
-pub fn euler_step(fieldset: &mut [Field3], dt_over_dx: f64, gamma: f64, pool: &FieldPool) {
+/// Fully in place — the hyperbolic step performs zero heap allocations.
+pub fn euler_step(fieldset: &mut [Field3], dt_over_dx: f64, gamma: f64) {
     for axis in 0..3 {
         if axis > 0 {
             for f in fieldset.iter_mut().take(NFIELDS) {
                 f.fill_ghosts_zero_gradient();
             }
         }
-        sweep(fieldset, axis, dt_over_dx, gamma, pool);
+        sweep(fieldset, axis, dt_over_dx, gamma);
     }
 }
 
@@ -279,7 +714,10 @@ pub mod reference {
     use super::*;
 
     /// Reference for [`super::sweep`]: accumulate `(cell, state)` tuples,
-    /// then apply them through [`store`].
+    /// then apply them through [`store`]. Per-cell and per-flux naive — it
+    /// evaluates [`hll_flux`] twice per cell with no interface reuse — but
+    /// it shares [`flux_difference_update`] with the line kernel, so the
+    /// golden tests pin exactly the reuse and indexing transformations.
     pub fn sweep(fieldset: &mut [Field3], axis: usize, dt_over_dx: f64, gamma: f64) {
         assert!(fieldset.len() >= NFIELDS);
         let interior = fieldset[0].interior();
@@ -292,18 +730,7 @@ pub mod reference {
             let up = load(fieldset, p + dir);
             let f_lo = hll_flux(&um, &u0, axis, gamma);
             let f_hi = hll_flux(&u0, &up, axis, gamma);
-            let mut v = [u0.rho, u0.m[0], u0.m[1], u0.m[2], u0.e];
-            for k in 0..NFIELDS {
-                v[k] -= dt_over_dx * (f_hi[k] - f_lo[k]);
-            }
-            updates.push((
-                p,
-                Cons {
-                    rho: v[0],
-                    m: [v[1], v[2], v[3]],
-                    e: v[4],
-                },
-            ));
+            updates.push((p, flux_difference_update(&u0, &f_lo, &f_hi, dt_over_dx)));
         }
         for (p, u) in updates {
             store(fieldset, p, u, gamma);
@@ -336,7 +763,6 @@ pub fn set_ambient(fieldset: &mut [Field3], rho: f64, v: [f64; 3], p: f64, gamma
 #[cfg(test)]
 mod tests {
     use super::*;
-    use samr_mesh::region::Region;
 
     fn uniform_set(n: i64, ghost: i64) -> Vec<Field3> {
         (0..NFIELDS)
@@ -371,31 +797,26 @@ mod tests {
 
     #[test]
     fn in_place_sweep_matches_reference_bitwise() {
-        let pool = FieldPool::new();
         for seed in [1u64, 2, 3] {
             let mut a = scrambled_state(9, 1, seed);
             let mut b = a.clone();
             for axis in 0..3 {
-                sweep(&mut a, axis, 0.21, 1.4, &pool);
+                sweep(&mut a, axis, 0.21, 1.4);
                 reference::sweep(&mut b, axis, 0.21, 1.4);
                 assert_eq!(bits(&a), bits(&b), "seed {seed} axis {axis}");
             }
-            euler_step(&mut a, 0.17, 1.4, &pool);
+            euler_step(&mut a, 0.17, 1.4);
             reference::euler_step(&mut b, 0.17, 1.4);
             assert_eq!(bits(&a), bits(&b), "seed {seed} full step");
         }
-        // the double buffer actually recycled: after warm-up, zero misses
-        let s = pool.stats();
-        assert!(s.hits > 0, "scratch reused across sweeps: {s:?}");
     }
 
     #[test]
     fn uniform_state_is_steady() {
-        let pool = FieldPool::new();
         let mut fs = uniform_set(6, 1);
         set_ambient(&mut fs, 1.0, [0.0; 3], 1.0, 1.4);
         let before = totals(&fs);
-        euler_step(&mut fs, 0.1, 1.4, &pool);
+        euler_step(&mut fs, 0.1, 1.4);
         let after = totals(&fs);
         assert!((before.0 - after.0).abs() < 1e-12);
         assert!((before.2 - after.2).abs() < 1e-12);
@@ -443,7 +864,6 @@ mod tests {
     fn mass_conserved_in_interior_shock_tube() {
         // Sod-like jump in the middle of a periodic-free box; before the wave
         // reaches the boundary total interior mass is conserved.
-        let pool = FieldPool::new();
         let n = 16;
         let mut fs = uniform_set(n, 1);
         let gamma = 1.4;
@@ -469,7 +889,7 @@ mod tests {
             for f in fs.iter_mut() {
                 f.fill_ghosts_zero_gradient();
             }
-            euler_step(&mut fs, dt_over_dx, gamma, &pool);
+            euler_step(&mut fs, dt_over_dx, gamma);
         }
         let (m1, mom1, e1) = totals(&fs);
         assert!((m0 - m1).abs() / m0 < 1e-10, "mass {m0} -> {m1}");
@@ -480,7 +900,6 @@ mod tests {
 
     #[test]
     fn shock_moves_in_expected_direction() {
-        let pool = FieldPool::new();
         let n = 16;
         let gamma = 1.4;
         let mut fs = uniform_set(n, 1);
@@ -496,7 +915,7 @@ mod tests {
             for f in fs.iter_mut() {
                 f.fill_ghosts_zero_gradient();
             }
-            euler_step(&mut fs, dt_over_dx, gamma, &pool);
+            euler_step(&mut fs, dt_over_dx, gamma);
             steps += 1;
         }
         assert!(steps == 6);

@@ -8,10 +8,12 @@
 
 use crate::advection::minmod;
 use crate::checked_capacity;
-use crate::euler::{apply_floors, hll_flux, load, store, Cons, NFIELDS};
+use crate::euler::{
+    apply_floors, flux_difference_update, for_each_line, hll_flux, load, store, Cons, NFIELDS,
+};
 use samr_mesh::field::Field3;
 use samr_mesh::index::IVec3;
-use samr_mesh::pool::FieldPool;
+use samr_mesh::pool::FieldAlloc;
 
 fn as_array(u: &Cons) -> [f64; NFIELDS] {
     [u.rho, u.m[0], u.m[1], u.m[2], u.e]
@@ -25,21 +27,45 @@ fn from_array(v: [f64; NFIELDS]) -> Cons {
     }
 }
 
-/// Limited slope of each conserved component at cell `p` along `dir`.
-fn slopes(fieldset: &[Field3], p: IVec3, dir: IVec3) -> [f64; NFIELDS] {
-    let um = as_array(&load(fieldset, p - dir));
-    let u0 = as_array(&load(fieldset, p));
-    let up = as_array(&load(fieldset, p + dir));
-    let mut s = [0.0; NFIELDS];
+/// The per-cell MUSCL–Hancock reconstruction: minmod-limited edge states of
+/// the cell with state `u0` (neighbours `um`/`up` along the sweep axis),
+/// advanced by the half-step predictor. Returns (low-side, high-side) edge
+/// states. Shared verbatim by the line kernel and the reference sweep so
+/// they stay bit-identical by construction.
+#[inline]
+pub(crate) fn edge_states(
+    um: &Cons,
+    u0: &Cons,
+    up: &Cons,
+    axis: usize,
+    dt_over_dx: f64,
+    gamma: f64,
+) -> (Cons, Cons) {
+    let um = as_array(um);
+    let u = as_array(u0);
+    let up = as_array(up);
+    let mut ul = [0.0; NFIELDS]; // low-side edge
+    let mut uh = [0.0; NFIELDS]; // high-side edge
     for k in 0..NFIELDS {
-        s[k] = minmod(u0[k] - um[k], up[k] - u0[k]);
+        let s = minmod(u[k] - um[k], up[k] - u[k]);
+        ul[k] = u[k] - 0.5 * s;
+        uh[k] = u[k] + 0.5 * s;
     }
-    s
+    // half-step predictor: u_edge += dt/2dx (F(ul) − F(uh))
+    let fl = from_array(ul).flux(axis, gamma);
+    let fh = from_array(uh).flux(axis, gamma);
+    for k in 0..NFIELDS {
+        let corr = 0.5 * dt_over_dx * (fl[k] - fh[k]);
+        ul[k] += corr;
+        uh[k] += corr;
+    }
+    (from_array(ul), from_array(uh))
 }
 
 /// The per-cell MUSCL–Hancock flux-difference update: the evolved conserved
-/// state at `p`, before floors. Shared verbatim by the in-place and
-/// reference sweeps so they stay bit-identical by construction.
+/// state at `p`, before floors. Used by the reference sweep; the line kernel
+/// computes the same composition of [`edge_states`], [`hll_flux`] and
+/// [`flux_difference_update`] with rolling registers.
 fn updated_state(
     fieldset: &[Field3],
     p: IVec3,
@@ -48,43 +74,24 @@ fn updated_state(
     dt_over_dx: f64,
     gamma: f64,
 ) -> Cons {
-    // face states: for face between p and p+dir we need the evolved
-    // right-edge state of p and left-edge state of p+dir
-    let edge_states = |p: IVec3| -> (Cons, Cons) {
-        let u = as_array(&load(fieldset, p));
-        let s = slopes(fieldset, p, dir);
-        let mut ul = [0.0; NFIELDS]; // low-side edge
-        let mut uh = [0.0; NFIELDS]; // high-side edge
-        for k in 0..NFIELDS {
-            ul[k] = u[k] - 0.5 * s[k];
-            uh[k] = u[k] + 0.5 * s[k];
-        }
-        // half-step predictor: u_edge += dt/2dx (F(ul) − F(uh))
-        let fl = from_array(ul).flux(axis, gamma);
-        let fh = from_array(uh).flux(axis, gamma);
-        for k in 0..NFIELDS {
-            let corr = 0.5 * dt_over_dx * (fl[k] - fh[k]);
-            ul[k] += corr;
-            uh[k] += corr;
-        }
-        (from_array(ul), from_array(uh))
+    let es = |q: IVec3| {
+        edge_states(
+            &load(fieldset, q - dir),
+            &load(fieldset, q),
+            &load(fieldset, q + dir),
+            axis,
+            dt_over_dx,
+            gamma,
+        )
     };
-
-    // flux at low face: between p-dir (its high edge) and p (its low edge)
-    let (p_lo_edge, _) = edge_states(p);
-    let (_, pm_hi_edge) = edge_states(p - dir);
+    // face states: for the face between p and p+dir we need the evolved
+    // high-side edge of p and low-side edge of p+dir
+    let (p_lo_edge, p_hi_edge) = es(p);
+    let (_, pm_hi_edge) = es(p - dir);
+    let (pp_lo_edge, _) = es(p + dir);
     let f_lo = hll_flux(&pm_hi_edge, &p_lo_edge, axis, gamma);
-    // flux at high face
-    let (_, p_hi_edge) = edge_states(p);
-    let (pp_lo_edge, _) = edge_states(p + dir);
     let f_hi = hll_flux(&p_hi_edge, &pp_lo_edge, axis, gamma);
-
-    let u0 = as_array(&load(fieldset, p));
-    let mut v = u0;
-    for k in 0..NFIELDS {
-        v[k] -= dt_over_dx * (f_hi[k] - f_lo[k]);
-    }
-    from_array(v)
+    flux_difference_update(&load(fieldset, p), &f_lo, &f_hi, dt_over_dx)
 }
 
 fn assert_muscl_ghosts(fieldset: &[Field3]) {
@@ -94,48 +101,87 @@ fn assert_muscl_ghosts(fieldset: &[Field3]) {
         "MUSCL needs ghost width >= 2 (have {})",
         fieldset[0].ghost()
     );
+    for f in &fieldset[..NFIELDS] {
+        assert!(
+            f.interior() == fieldset[0].interior() && f.ghost() == fieldset[0].ghost(),
+            "conserved fields must share one shape"
+        );
+    }
 }
 
 /// One MUSCL–Hancock sweep along `axis`. Ghosts (width ≥ 2) must be filled.
 ///
-/// Double-buffered through `pool` like [`crate::euler::sweep`]; bit-identical
-/// to [`reference::sweep_muscl`].
-pub fn sweep_muscl(
+/// Double-buffered through `pool` like [`crate::euler::sweep`], and
+/// line-based the same way: a rolling window of four cell states and two
+/// reconstructed edge-state pairs turns the per-cell form's four
+/// reconstructions and two Riemann solves into one of each per cell (the
+/// reused values are the same pure functions on the same inputs, so the
+/// result stays bit-identical to [`reference::sweep_muscl`] — golden tests
+/// pin it).
+pub fn sweep_muscl<P: FieldAlloc>(
     fieldset: &mut [Field3],
     axis: usize,
     dt_over_dx: f64,
     gamma: f64,
-    pool: &FieldPool,
+    pool: &P,
 ) {
     assert_muscl_ghosts(fieldset);
     let interior = fieldset[0].interior();
-    let dir = crate::euler::axis_dir(axis);
+    let storage = fieldset[0].storage_region();
     let mut scratch = crate::euler::acquire_scratch(pool, interior, NFIELDS);
     {
+        let (rho, rest) = fieldset.split_first().unwrap();
+        let src: [&[f64]; NFIELDS] = [
+            rho.data(),
+            rest[0].data(),
+            rest[1].data(),
+            rest[2].data(),
+            rest[3].data(),
+        ];
+        let at = |i: usize| Cons {
+            rho: src[0][i],
+            m: [src[1][i], src[2][i], src[3][i]],
+            e: src[4][i],
+        };
         let mut out: Vec<&mut [f64]> = scratch.iter_mut().map(|f| f.data_mut()).collect();
-        for x in interior.lo.x..interior.hi.x {
-            for y in interior.lo.y..interior.hi.y {
-                let row = interior.row_range(x, y, interior.lo.z, interior.hi.z);
-                for (k, i) in row.enumerate() {
-                    let p = samr_mesh::ivec3(x, y, interior.lo.z + k as i64);
-                    let u = apply_floors(
-                        updated_state(fieldset, p, dir, axis, dt_over_dx, gamma),
-                        gamma,
-                    );
-                    let v = as_array(&u);
-                    for (kk, o) in out.iter_mut().enumerate() {
-                        o[i] = v[kk];
-                    }
-                }
+        for_each_line(interior, storage, interior, axis, |l| {
+            let s = l.src_stride;
+            // prologue: states of cells [p-2dir ..= p+dir] and the edge
+            // states of p-dir and p give the low-face flux of the first cell
+            let u_mm = at(l.src_start - 2 * s);
+            let u_m = at(l.src_start - s);
+            let mut u_0 = at(l.src_start);
+            let mut u_p = at(l.src_start + s);
+            let e_prev = edge_states(&u_mm, &u_m, &u_0, axis, dt_over_dx, gamma);
+            let mut e_cur = edge_states(&u_m, &u_0, &u_p, axis, dt_over_dx, gamma);
+            let mut f_lo = hll_flux(&e_prev.1, &e_cur.0, axis, gamma);
+            let mut si = l.src_start;
+            let mut oi = l.out_start;
+            for _ in 0..l.n {
+                let u_pp = at(si + 2 * s);
+                let e_next = edge_states(&u_0, &u_p, &u_pp, axis, dt_over_dx, gamma);
+                let f_hi = hll_flux(&e_cur.1, &e_next.0, axis, gamma);
+                let u = apply_floors(flux_difference_update(&u_0, &f_lo, &f_hi, dt_over_dx), gamma);
+                out[crate::euler::fields::RHO][oi] = u.rho;
+                out[crate::euler::fields::MX][oi] = u.m[0];
+                out[crate::euler::fields::MY][oi] = u.m[1];
+                out[crate::euler::fields::MZ][oi] = u.m[2];
+                out[crate::euler::fields::E][oi] = u.e;
+                u_0 = u_p;
+                u_p = u_pp;
+                e_cur = e_next;
+                f_lo = f_hi;
+                si += s;
+                oi += l.out_stride;
             }
-        }
+        });
     }
     crate::euler::commit_scratch(fieldset, scratch, pool);
 }
 
 /// Full dimensionally-split MUSCL–Hancock step (zero-gradient ghost refill
 /// between sweeps, as in [`crate::euler::euler_step`]).
-pub fn muscl_step(fieldset: &mut [Field3], dt_over_dx: f64, gamma: f64, pool: &FieldPool) {
+pub fn muscl_step<P: FieldAlloc>(fieldset: &mut [Field3], dt_over_dx: f64, gamma: f64, pool: &P) {
     for axis in 0..3 {
         if axis > 0 {
             for f in fieldset.iter_mut().take(NFIELDS) {
@@ -182,6 +228,7 @@ pub mod reference {
 mod tests {
     use super::*;
     use crate::euler::{fields as F, max_wave_speed, set_ambient, totals};
+    use samr_mesh::pool::FieldPool;
     use samr_mesh::region::Region;
 
     fn smooth_wave(n: i64, ghost: i64) -> Vec<Field3> {
@@ -290,7 +337,7 @@ mod tests {
             for f in first.iter_mut() {
                 f.fill_ghosts_zero_gradient();
             }
-            crate::euler::euler_step(&mut first, dt_over_dx, gamma, &pool);
+            crate::euler::euler_step(&mut first, dt_over_dx, gamma);
             for f in second.iter_mut() {
                 f.fill_ghosts_zero_gradient();
             }

@@ -7,19 +7,77 @@ use samr_mesh::index::{ivec3, IVec3, FACE_NEIGHBORS};
 
 /// One red-black Gauss–Seidel sweep (both colors) of `∇²φ = rhs` with unit
 /// cell spacing scaled by `h` (so the stencil divides by `h²`).
+///
+/// Row-strided form: per (x,y) z-row the six neighbour offsets are fixed
+/// strides into the storage slice, the color parity picks the starting z,
+/// and cells of one color step by 2 — index math and bounds checks happen
+/// once per row instead of once per cell. The stencil sum accumulates in
+/// the same `FACE_NEIGHBORS` order as [`reference::rbgs_sweep`] and the
+/// cells of each color are visited in the same storage order, so the sweep
+/// is bit-identical to the per-cell form (golden test pins it).
 pub fn rbgs_sweep(phi: &mut Field3, rhs: &Field3, h: f64) {
     let interior = phi.interior();
+    let sto = phi.storage_region();
+    let rsto = rhs.storage_region();
     let h2 = h * h;
+    let dz = (sto.hi.z - sto.lo.z) as usize;
+    let dy = dz;
+    let dx = (sto.hi.y - sto.lo.y) as usize * dz;
+    let rd = rhs.data();
+    let pd = phi.data_mut();
     for color in 0..2i64 {
-        for p in interior.iter_cells() {
-            if (p.x + p.y + p.z).rem_euclid(2) != color {
-                continue;
+        for x in interior.lo.x..interior.hi.x {
+            for y in interior.lo.y..interior.hi.y {
+                let par = (x + y + interior.lo.z).rem_euclid(2);
+                let z0 = if par == color {
+                    interior.lo.z
+                } else {
+                    interior.lo.z + 1
+                };
+                if z0 >= interior.hi.z {
+                    continue;
+                }
+                let mut i = sto.linear_index(ivec3(x, y, z0));
+                let mut ri = rsto.linear_index(ivec3(x, y, z0));
+                let cells = ((interior.hi.z - z0) as usize).div_ceil(2);
+                for _ in 0..cells {
+                    // accumulate in FACE_NEIGHBORS order (−x +x −y +y −z +z)
+                    let mut s = 0.0;
+                    s += pd[i - dx];
+                    s += pd[i + dx];
+                    s += pd[i - dy];
+                    s += pd[i + dy];
+                    s += pd[i - 1];
+                    s += pd[i + 1];
+                    pd[i] = (s - h2 * rd[ri]) / 6.0;
+                    i += 2;
+                    ri += 2;
+                }
             }
-            let mut s = 0.0;
-            for d in FACE_NEIGHBORS {
-                s += phi.get(p + d);
+        }
+    }
+}
+
+/// Per-cell form retained as a bit-identity oracle (see
+/// [`crate::euler::reference`]).
+pub mod reference {
+    use super::*;
+
+    /// Reference for [`super::rbgs_sweep`].
+    pub fn rbgs_sweep(phi: &mut Field3, rhs: &Field3, h: f64) {
+        let interior = phi.interior();
+        let h2 = h * h;
+        for color in 0..2i64 {
+            for p in interior.iter_cells() {
+                if (p.x + p.y + p.z).rem_euclid(2) != color {
+                    continue;
+                }
+                let mut s = 0.0;
+                for d in FACE_NEIGHBORS {
+                    s += phi.get(p + d);
+                }
+                phi.set(p, (s - h2 * rhs.get(p)) / 6.0);
             }
-            phi.set(p, (s - h2 * rhs.get(p)) / 6.0);
         }
     }
 }
@@ -96,6 +154,28 @@ mod tests {
         rbgs_sweep(&mut phi, &rhs, 1.0);
         for p in r.iter_cells() {
             assert!((phi.get(p) - p.x as f64).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn row_strided_sweep_matches_reference_bitwise() {
+        // irregular (non-cube, offset) region, different phi/rhs ghosts
+        let r = samr_mesh::region(ivec3(-2, 1, 0), ivec3(5, 8, 11));
+        for ghost in [1i64, 2] {
+            let mut a = Field3::zeros(r, ghost);
+            let mut rhs = Field3::zeros(r, 0);
+            let mut s = 7u64 + ghost as u64;
+            for v in a.data_mut().iter_mut().chain(rhs.data_mut().iter_mut()) {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                *v = ((s >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0;
+            }
+            let mut b = a.clone();
+            for _ in 0..3 {
+                rbgs_sweep(&mut a, &rhs, 0.5);
+                reference::rbgs_sweep(&mut b, &rhs, 0.5);
+            }
+            let bits = |f: &Field3| -> Vec<u64> { f.data().iter().map(|v| v.to_bits()).collect() };
+            assert_eq!(bits(&a), bits(&b), "ghost={ghost}");
         }
     }
 

@@ -272,7 +272,6 @@ mod tests {
             fs[F::E].set(p, s.p / (GAMMA - 1.0) + 0.5 * s.rho * s.v * s.v);
         }
         // advance to t such that waves stay inside the box
-        let pool = samr_mesh::pool::FieldPool::new();
         let dx = 1.0;
         let mut t = 0.0;
         let t_end = 10.0; // in cell units: waves move ~1.75 cells/unit, safe
@@ -282,7 +281,7 @@ mod tests {
             for f in fs.iter_mut() {
                 f.fill_ghosts_zero_gradient();
             }
-            euler::sweep(&mut fs, 0, dt / dx, GAMMA, &pool);
+            euler::sweep(&mut fs, 0, dt / dx, GAMMA);
             t += dt;
         }
         // compare rho(x) to exact rho((x - x0)/t)

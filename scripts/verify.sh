@@ -40,11 +40,16 @@ for p in cur["presets"]:
     for key in ("cell_updates", "peak_patches", "cell_updates_per_sec",
                 "wall_secs", "phases", "bit_identical",
                 "pool_hits", "pool_misses", "pool_bytes_recycled",
-                "steady_state_field_allocs"):
+                "steady_state_field_allocs", "speedup_vs_reference"):
         if key not in p:
             sys.exit(f"hotpath: preset {p['name']} missing {key}")
     if not p["bit_identical"]:
         sys.exit(f"hotpath: {p['name']} diverged from the reference path")
+    if p["speedup_vs_reference"] < 1.0:
+        sys.exit(
+            f"hotpath: {p['name']} optimized path is slower than the scalar "
+            f"reference (speedup {p['speedup_vs_reference']:.3f} < 1.0)"
+        )
     if p["cell_updates_per_sec"] <= 0:
         sys.exit(f"hotpath: {p['name']} reports no throughput")
     if p["pool_hits"] <= 0:
