@@ -20,7 +20,10 @@
 //! violation (or if the whole sweep was vacuous: no seed produced a crash).
 //!
 //! Flags: `--quick` shrinks scale and seed count for CI runs; `--seeds N`
-//! overrides the seed count; `--out PATH` overrides the output file.
+//! overrides the seed count; `--out PATH` overrides the output file;
+//! `--trace-out PATH` re-runs seed 1's recorded leg after the sweep and
+//! exports it (telemetry JSONL when PATH ends in `.jsonl`, Chrome trace
+//! JSON otherwise — the JSONL feeds `report run`).
 
 use bench::{Scale, TRAFFIC_SEED};
 use rayon::prelude::*;
@@ -342,6 +345,30 @@ fn main() {
     let _ = std::fs::create_dir_all("results");
     std::fs::write(&out, json).expect("write benchmark output");
     println!("wrote {out}");
+
+    if let Some(path) = arg_after("--trace-out") {
+        // a dedicated recorded replay of seed 1 (the sweep's own sinks are
+        // per-seed and already dropped); recording is bit-identical, so
+        // this is the same run the oracle just validated
+        use telemetry::TelemetrySink as _;
+        let link = FaultSchedule::generate(1, horizon, mean_up, mean_down);
+        let sys = chaos_system(n, link);
+        let procs = ProcFaultSchedule::generate_for(&sys, 1, horizon, mean_up, mean_down);
+        let (tel, sink) = Telemetry::recording_shared();
+        let _ = observe(sys, cfg(scale, procs, tel));
+        let sink = sink.lock().unwrap();
+        let doc = if path.ends_with(".jsonl") {
+            sink.to_jsonl()
+        } else {
+            sink.to_chrome_trace()
+        }
+        .expect("recording sink exports");
+        if let Some(dir) = std::path::Path::new(&path).parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        std::fs::write(&path, doc).expect("write trace output");
+        println!("wrote {path}");
+    }
 
     if total_violations > 0 {
         eprintln!("FAIL: {total_violations} oracle violations across the sweep");

@@ -142,6 +142,16 @@ fn main() {
             opt.pool.bytes_recycled as f64 / (1024.0 * 1024.0),
             opt.pool.steady_misses,
         );
+        let pd = &opt.pool_detail;
+        println!(
+            "{:>12}  tiers: {} home / {} spill / {} steal  ({} borrows, {} shards active)",
+            "",
+            pd.home_hits,
+            pd.spill_hits,
+            pd.steal_hits,
+            pd.borrow_hits,
+            pd.shard_hits.iter().filter(|&&h| h > 0).count(),
+        );
         let mut e = String::new();
         let _ = writeln!(e, "    {{");
         let _ = writeln!(e, "      \"name\": \"{name}\",");
@@ -166,6 +176,18 @@ fn main() {
             e,
             "      \"steady_state_field_allocs\": {},",
             opt.pool.steady_misses
+        );
+        let shard_hits = pd
+            .shard_hits
+            .iter()
+            .map(|h| h.to_string())
+            .collect::<Vec<_>>()
+            .join(", ");
+        let _ = writeln!(
+            e,
+            "      \"pool_detail\": {{\"home_hits\": {}, \"spill_hits\": {}, \
+             \"steal_hits\": {}, \"borrow_hits\": {}, \"shard_hits\": [{}]}},",
+            pd.home_hits, pd.spill_hits, pd.steal_hits, pd.borrow_hits, shard_hits
         );
         let _ = writeln!(e, "      \"bit_identical\": {identical}");
         let _ = write!(e, "    }}");

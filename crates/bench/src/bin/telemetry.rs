@@ -122,6 +122,12 @@ fn main() {
         counts.gate_accepts,
         res_rec.global_redistributions,
     );
+    println!(
+        "{:>15} {} bounded metric series, {} anomalies flagged",
+        "",
+        sink.metrics().len(),
+        counts.anomalies,
+    );
 
     if let Some(path) = &trace_out {
         let trace = sink.to_chrome_trace().expect("recording sink exports a trace");
@@ -139,6 +145,7 @@ fn main() {
          \"bit_identical\": {identical},\n  \"jsonl_lines\": {parsed_lines},\n  \
          \"gates\": {},\n  \"gate_accepts\": {},\n  \"global_checks\": {},\n  \
          \"global_redistributions\": {},\n  \"dropped_decisions\": {dropped_decisions},\n  \
+         \"metric_series\": {},\n  \"anomalies\": {},\n  \
          \"counts_match\": {counts_match}\n}}\n",
         scale.n0,
         scale.max_levels,
@@ -150,6 +157,8 @@ fn main() {
         counts.gate_accepts,
         res_rec.global_checks,
         res_rec.global_redistributions,
+        sink.metrics().len(),
+        counts.anomalies,
     );
     let _ = std::fs::create_dir_all("results");
     std::fs::write(&out, json_out).expect("write benchmark output");

@@ -22,7 +22,10 @@
 //! the two fingerprints differ — the shared clock must be bit-identical
 //! per seed. Writes `results/BENCH_tenants.json`.
 //!
-//! Flags: `--quick` shrinks tenant sizes for CI, `--seed N`, `--out PATH`.
+//! Flags: `--quick` shrinks tenant sizes for CI, `--seed N`, `--out PATH`,
+//! `--trace-out PATH` to export the recorded aware/congested replay
+//! (telemetry JSONL when PATH ends in `.jsonl`, Chrome trace JSON
+//! otherwise — the JSONL feeds `report run`).
 
 use bench::TRAFFIC_SEED;
 use samr_engine::AppKind;
@@ -166,6 +169,7 @@ fn main() {
             .and_then(|i| args.get(i + 1).cloned())
     };
     let out = arg_after("--out").unwrap_or_else(|| "results/BENCH_tenants.json".to_string());
+    let trace_out = arg_after("--trace-out");
     let seed: u64 = arg_after("--seed")
         .map(|s| s.parse().expect("--seed takes a number"))
         .unwrap_or(42);
@@ -181,11 +185,27 @@ fn main() {
         if congested {
             // replay the aware cell with telemetry recording: the shared
             // clock must not notice the observer
-            let replay = run_cell(procs, congested, quick, seed, true, Telemetry::recording());
+            let (tel, sink) = Telemetry::recording_shared();
+            let replay = run_cell(procs, congested, quick, seed, true, tel);
             if replay.fingerprint() != aware.fingerprint() {
                 bit_identical = false;
             }
             congested_gap = naive.worst_p99_step_secs() - aware.worst_p99_step_secs();
+            if let Some(path) = &trace_out {
+                use telemetry::TelemetrySink as _;
+                let sink = sink.lock().unwrap();
+                let doc = if path.ends_with(".jsonl") {
+                    sink.to_jsonl()
+                } else {
+                    sink.to_chrome_trace()
+                }
+                .expect("recording sink exports");
+                if let Some(dir) = std::path::Path::new(path).parent() {
+                    let _ = std::fs::create_dir_all(dir);
+                }
+                std::fs::write(path, doc).expect("write trace output");
+                println!("wrote {path}");
+            }
         }
         println!(
             "{name:>9}: aware p99 {:>9.4}s ({} migrations) | static p99 {:>9.4}s",

@@ -332,6 +332,11 @@ impl DistributedDlb {
         let tel = ctx.sim.telemetry().clone();
         for (g, w) in Self::group_cells(ctx.hier, sys).into_iter().enumerate() {
             let before = tel.is_enabled().then(|| self.load_forecasts[g].model_name());
+            if tel.is_enabled() {
+                // per-level-step occupancy, finer-grained than the
+                // driver's per-level-0-step group_load series
+                tel.metric(t, &format!("group_cells:g{g}"), w);
+            }
             self.load_forecasts[g].observe(t, w);
             if let Some(before) = before {
                 let after = self.load_forecasts[g].model_name();
@@ -495,6 +500,13 @@ impl DistributedDlb {
                           verdict: GateVerdict,
                           reason: &'static str| {
             if tel.is_enabled() {
+                // the ratio the gate actually reasoned about, sampled at
+                // decision times (the driver's per-step series is coarser)
+                tel.metric(
+                    sim.elapsed().as_secs_f64(),
+                    "gate_imbalance_ratio",
+                    gain.imbalance_ratio,
+                );
                 tel.event(
                     sim.elapsed().as_secs_f64(),
                     TelEventKind::GammaGate(GammaGateEvent {

@@ -142,6 +142,13 @@ pub struct RunResult {
     /// ([`RunConfig::pool_warmup_steps`]) — the steady-state allocation
     /// count the zero-allocation gate asserts on.
     pub pool: samr_mesh::pool::PoolStats,
+    /// Serving-tier breakdown of the pool's hits (home shard vs global
+    /// spill vs steal sweep, upward class borrows, per-shard service
+    /// counts). Scheduling-dependent diagnostics: excluded from the
+    /// serialized contract (`skip`) and from fingerprints — the hotpath
+    /// bench and the `field_pool` stat block surface it instead.
+    #[serde(skip)]
+    pub pool_detail: samr_mesh::pool::PoolDetail,
     /// Per-level-0-step global decision log (distributed scheme only).
     pub decisions: Vec<DecisionSummary>,
     /// Text report of the telemetry sink (None when the run used the

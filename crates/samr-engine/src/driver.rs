@@ -388,6 +388,41 @@ impl Driver {
         };
         self.faults_seen = cum;
         let fsum = self.scheme.forecast_summary();
+
+        // continuous metrics: one sample per series per level-0 step, on
+        // simulated time. Pure observation of already-computed state, so
+        // recording stays bit-identical to the null handle.
+        let tel = self.sim.telemetry();
+        if tel.is_enabled() {
+            let t = t1.as_secs_f64();
+            // power-normalized inter-group imbalance (max/mean of load per
+            // unit of alive power), the ratio the γ-gate reasons about
+            let mut norm: Vec<f64> = Vec::with_capacity(group_workload.len());
+            for (g, &w) in group_workload.iter().enumerate() {
+                let p = self.sim.alive_group_power(topology::GroupId(g));
+                tel.metric(t, &format!("group_load:g{g}"), w);
+                tel.metric(t, &format!("alive_power:g{g}"), p);
+                if p > 0.0 {
+                    norm.push(w / p);
+                }
+            }
+            let mean = norm.iter().sum::<f64>() / norm.len().max(1) as f64;
+            let imb = if mean > 0.0 {
+                norm.iter().cloned().fold(0.0f64, f64::max) / mean
+            } else {
+                1.0
+            };
+            tel.metric(t, "imbalance", imb);
+            tel.metric(t, "forecast_alpha_mae", fsum.alpha_mae);
+            tel.metric(t, "forecast_beta_mae", fsum.beta_mae);
+            tel.metric(t, "forecast_load_mae", fsum.load_mae);
+            let pool = self.hier.pool().stats();
+            tel.metric(t, "pool_hits", pool.hits as f64);
+            tel.metric(t, "pool_misses", pool.misses as f64);
+            tel.metric(t, "pool_steady_misses", pool.steady_misses as f64);
+            tel.metric(t, "procs_down", self.crashed_at.len() as f64);
+        }
+
         self.trace.push(StepRecord {
             step: self.step_count[0].saturating_sub(1),
             step_secs: (t1 - t0).as_secs_f64(),
@@ -611,6 +646,7 @@ impl Driver {
             recompute_secs: rt.recompute_secs,
         };
         let pool = self.hier.pool().stats();
+        let pd = self.hier.pool().detail();
         self.sim.telemetry().stat_block(
             "field_pool",
             &[
@@ -618,6 +654,11 @@ impl Driver {
                 ("misses", pool.misses),
                 ("bytes_recycled", pool.bytes_recycled),
                 ("steady_misses", pool.steady_misses),
+                ("home_hits", pd.home_hits),
+                ("spill_hits", pd.spill_hits),
+                ("steal_hits", pd.steal_hits),
+                ("borrow_hits", pd.borrow_hits),
+                ("shards_used", pd.shard_hits.iter().filter(|&&h| h > 0).count() as u64),
             ],
         );
         let decisions = self.scheme.decisions();
@@ -639,6 +680,7 @@ impl Driver {
             forecast,
             recovery,
             pool,
+            pool_detail: pd,
             decisions: decisions
                 .iter()
                 .map(|d| crate::config::DecisionSummary {

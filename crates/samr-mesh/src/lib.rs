@@ -44,5 +44,5 @@ pub use flux::FluxRegister;
 pub use hierarchy::{GridHierarchy, LevelTopology, PatchShell, SiblingOverlap};
 pub use index::{ivec3, IVec3};
 pub use patch::{GridPatch, OwnerProc, PatchId};
-pub use pool::{FieldPool, PoolStats};
+pub use pool::{FieldPool, PoolDetail, PoolStats};
 pub use region::{region, total_cells, Region};

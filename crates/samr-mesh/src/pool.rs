@@ -86,6 +86,37 @@ pub struct PoolStats {
     pub steady_misses: u64,
 }
 
+/// Breakdown of *where* hits were served from — the sharded fast path
+/// versus the spill/steal fallback tiers — plus upward class borrowing.
+/// Diagnostics only: which tier serves a given request depends on worker
+/// scheduling, so unlike [`PoolStats`] these are not part of any
+/// serialized result contract (deliberately no serde derives).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PoolDetail {
+    /// Hits served by the caller's own home shard (the uncontended path).
+    pub home_hits: u64,
+    /// Hits served by the global spill tier (steady headroom and
+    /// [`FieldPool::provision`]ed inventory live here).
+    pub spill_hits: u64,
+    /// Hits served by stealing from another thread's shard.
+    pub steal_hits: u64,
+    /// Hits served by a buffer of a *larger* class than requested
+    /// (first-fit upward borrowing; see `BORROW_CLASSES`).
+    pub borrow_hits: u64,
+    /// Hits served out of each shard's shelves (home + stolen), indexed by
+    /// shard. Sums to `home_hits + steal_hits`; spill-tier hits are global
+    /// and belong to no shard.
+    pub shard_hits: Vec<u64>,
+}
+
+/// Which tier ended up serving a reuse request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ServeTier {
+    Home,
+    Spill,
+    Steal(usize),
+}
+
 /// Free-lists indexed by class exponent, with a nonempty bitmask so
 /// first-fit in a class range is a couple of bit ops.
 #[derive(Debug)]
@@ -145,6 +176,12 @@ struct PoolInner {
     bytes_recycled: AtomicU64,
     steady: AtomicBool,
     steady_misses: AtomicU64,
+    /// Serving-tier breakdown (see [`PoolDetail`]).
+    home_hits: AtomicU64,
+    spill_hits: AtomicU64,
+    steal_hits: AtomicU64,
+    borrow_hits: AtomicU64,
+    shard_hits: [AtomicU64; NUM_SHARDS],
 }
 
 impl Default for PoolInner {
@@ -158,6 +195,11 @@ impl Default for PoolInner {
             bytes_recycled: AtomicU64::new(0),
             steady: AtomicBool::new(false),
             steady_misses: AtomicU64::new(0),
+            home_hits: AtomicU64::new(0),
+            spill_hits: AtomicU64::new(0),
+            steal_hits: AtomicU64::new(0),
+            borrow_hits: AtomicU64::new(0),
+            shard_hits: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
 }
@@ -226,18 +268,18 @@ impl FieldPool {
         }
     }
 
-    fn try_reuse(&self, shard: usize, lo: usize, hi: usize) -> Option<Vec<f64>> {
+    fn try_reuse(&self, shard: usize, lo: usize, hi: usize) -> Option<(Vec<f64>, ServeTier)> {
         if let Some(buf) = self.inner.shards[shard].lock().unwrap().pop_in(lo, hi) {
-            return Some(buf);
+            return Some((buf, ServeTier::Home));
         }
         if let Some(buf) = self.inner.global.lock().unwrap().pop_in(lo, hi) {
-            return Some(buf);
+            return Some((buf, ServeTier::Spill));
         }
         // steal sweep: every other shard, briefly locked
         for k in 1..NUM_SHARDS {
             let other = (shard + k) & (NUM_SHARDS - 1);
             if let Some(buf) = self.inner.shards[other].lock().unwrap().pop_in(lo, hi) {
-                return Some(buf);
+                return Some((buf, ServeTier::Steal(other)));
             }
         }
         None
@@ -254,7 +296,7 @@ impl FieldPool {
             .try_reuse(shard, exp, near)
             .or_else(|| self.try_reuse(shard, exp, NUM_CLASSES - 1));
         match reused {
-            Some(mut buf) => {
+            Some((mut buf, tier)) => {
                 debug_assert!(buf.capacity() >= len);
                 if zero {
                     buf.clear();
@@ -266,6 +308,22 @@ impl FieldPool {
                 self.inner
                     .bytes_recycled
                     .fetch_add(8 * len as u64, Ordering::Relaxed);
+                match tier {
+                    ServeTier::Home => {
+                        self.inner.home_hits.fetch_add(1, Ordering::Relaxed);
+                        self.inner.shard_hits[shard].fetch_add(1, Ordering::Relaxed);
+                    }
+                    ServeTier::Spill => {
+                        self.inner.spill_hits.fetch_add(1, Ordering::Relaxed);
+                    }
+                    ServeTier::Steal(other) => {
+                        self.inner.steal_hits.fetch_add(1, Ordering::Relaxed);
+                        self.inner.shard_hits[other].fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                if shelf_exp(buf.capacity()) > exp {
+                    self.inner.borrow_hits.fetch_add(1, Ordering::Relaxed);
+                }
                 buf
             }
             None => {
@@ -376,6 +434,26 @@ impl FieldPool {
             misses: self.inner.misses.load(Ordering::Relaxed),
             bytes_recycled: self.inner.bytes_recycled.load(Ordering::Relaxed),
             steady_misses: self.inner.steady_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Snapshot of the serving-tier breakdown. The invariant
+    /// `home_hits + spill_hits + steal_hits == stats().hits` holds on any
+    /// quiescent pool; which tier served a request is scheduling-dependent,
+    /// so these feed diagnostics (stat blocks, hotpath JSON), never
+    /// fingerprints.
+    pub fn detail(&self) -> PoolDetail {
+        PoolDetail {
+            home_hits: self.inner.home_hits.load(Ordering::Relaxed),
+            spill_hits: self.inner.spill_hits.load(Ordering::Relaxed),
+            steal_hits: self.inner.steal_hits.load(Ordering::Relaxed),
+            borrow_hits: self.inner.borrow_hits.load(Ordering::Relaxed),
+            shard_hits: self
+                .inner
+                .shard_hits
+                .iter()
+                .map(|h| h.load(Ordering::Relaxed))
+                .collect(),
         }
     }
 
@@ -611,6 +689,51 @@ mod tests {
         let b = pool.acquire(4000);
         assert_eq!(b.len(), 4000);
         assert_eq!(pool.stats().misses, before, "steal path missed");
+    }
+
+    #[test]
+    fn detail_attributes_hits_to_their_serving_tier() {
+        let pool = FieldPool::new();
+        // home-shard hit: released and re-acquired on this thread
+        pool.release(pool.acquire(64));
+        let _a = pool.acquire(64);
+        let d = pool.detail();
+        assert_eq!(d.home_hits, 1);
+        assert_eq!((d.spill_hits, d.steal_hits, d.borrow_hits), (0, 0, 0));
+        assert_eq!(d.shard_hits.iter().sum::<u64>(), 1);
+        // spill-tier hit: provisioned inventory lives on the global shelf
+        pool.provision(1 << 12, 1);
+        let _b = pool.acquire(1 << 12);
+        let d = pool.detail();
+        assert_eq!(d.spill_hits, 1);
+        // steal hit: inventory shelved by a different home shard
+        let p = pool.clone();
+        std::thread::spawn(move || p.release(p.acquire(1 << 14)))
+            .join()
+            .unwrap();
+        let d0 = pool.detail();
+        let _c = pool.acquire(1 << 14);
+        let d = pool.detail();
+        // the releasing thread may share this thread's shard (round-robin),
+        // so the hit lands as either home or steal — but never spill
+        assert_eq!(d.home_hits + d.steal_hits, d0.home_hits + d0.steal_hits + 1);
+        let s = pool.stats();
+        assert_eq!(d.home_hits + d.spill_hits + d.steal_hits, s.hits);
+        assert_eq!(d.shard_hits.iter().sum::<u64>(), d.home_hits + d.steal_hits);
+    }
+
+    #[test]
+    fn borrow_hits_count_service_from_a_larger_class() {
+        let pool = FieldPool::new();
+        pool.release(pool.acquire(1000)); // shelves class 1024
+        let _b = pool.acquire(300); // class 512 request served by the 1024 buffer
+        let d = pool.detail();
+        assert_eq!(d.borrow_hits, 1);
+        // same-class service is not a borrow
+        let pool2 = FieldPool::new();
+        pool2.release(pool2.acquire(1000));
+        let _c = pool2.acquire(600);
+        assert_eq!(pool2.detail().borrow_hits, 0);
     }
 
     #[test]

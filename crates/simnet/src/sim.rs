@@ -696,6 +696,25 @@ impl NetSim {
                             elapsed_secs: sample.elapsed.as_secs_f64(),
                         }),
                     );
+                    // per-link α/β estimate series, and the prediction
+                    // error once the estimator has a view to score
+                    let (lo, hi) = (a.0.min(b.0), a.0.max(b.0));
+                    self.telemetry
+                        .metric(t_sim, &format!("alpha:g{lo}-g{hi}"), sample.alpha);
+                    self.telemetry
+                        .metric(t_sim, &format!("beta:g{lo}-g{hi}"), sample.beta);
+                    if let (Some(pa), Some(pb)) = (pred_alpha, pred_beta) {
+                        self.telemetry.metric(
+                            t_sim,
+                            &format!("alpha_abs_err:g{lo}-g{hi}"),
+                            (sample.alpha - pa).abs(),
+                        );
+                        self.telemetry.metric(
+                            t_sim,
+                            &format!("beta_abs_err:g{lo}-g{hi}"),
+                            (sample.beta - pb).abs(),
+                        );
+                    }
                 }
                 Ok(sample)
             }

@@ -267,6 +267,65 @@ pub struct TenantStepEvent {
     pub secs: f64,
 }
 
+/// What an online anomaly detector flagged (see [`crate::metrics`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AnomalyKind {
+    /// Imbalance stayed above threshold for a streak of samples with no
+    /// redistribution attempted in between.
+    ImbalanceStuck,
+    /// A streak of priced γ-gate evaluations all rejected.
+    GateStarvation,
+    /// Rolling probe prediction error drifted far past its baseline.
+    ProbeDrift,
+    /// Steady-state pool misses after the warm-up window.
+    PoolMissStorm,
+}
+
+impl AnomalyKind {
+    /// Every kind, in [`AnomalyKind::index`] order.
+    pub const ALL: [AnomalyKind; 4] = [
+        AnomalyKind::ImbalanceStuck,
+        AnomalyKind::GateStarvation,
+        AnomalyKind::ProbeDrift,
+        AnomalyKind::PoolMissStorm,
+    ];
+
+    /// Stable lowercase name used in JSON exports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AnomalyKind::ImbalanceStuck => "imbalance_stuck",
+            AnomalyKind::GateStarvation => "gate_starvation",
+            AnomalyKind::ProbeDrift => "probe_drift",
+            AnomalyKind::PoolMissStorm => "pool_miss_storm",
+        }
+    }
+
+    /// Dense index into per-kind tallies (the order of [`AnomalyKind::ALL`]).
+    pub fn index(self) -> usize {
+        match self {
+            AnomalyKind::ImbalanceStuck => 0,
+            AnomalyKind::GateStarvation => 1,
+            AnomalyKind::ProbeDrift => 2,
+            AnomalyKind::PoolMissStorm => 3,
+        }
+    }
+}
+
+/// One fired anomaly: an online detector crossed its trigger condition.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AnomalyEvent {
+    /// Which detector fired.
+    pub kind: AnomalyKind,
+    /// The offending magnitude (peak imbalance, miss delta, rolling error).
+    pub value: f64,
+    /// The limit it crossed.
+    pub threshold: f64,
+    /// Consecutive observations involved in the trigger.
+    pub streak: u64,
+    /// Human-readable one-liner for reports.
+    pub detail: String,
+}
+
 /// The closed set of event payloads.
 #[derive(Clone, Debug, PartialEq)]
 pub enum EventKind {
@@ -294,6 +353,8 @@ pub enum EventKind {
     TenantMigrate(TenantMigrateEvent),
     /// Tenant level-0 step completed on the shared clock.
     TenantStep(TenantStepEvent),
+    /// An online anomaly detector fired (see [`crate::metrics`]).
+    Anomaly(AnomalyEvent),
 }
 
 impl EventKind {
@@ -312,6 +373,7 @@ impl EventKind {
             EventKind::TenantAdmit(_) => "tenant_admit",
             EventKind::TenantMigrate(_) => "tenant_migrate",
             EventKind::TenantStep(_) => "tenant_step",
+            EventKind::Anomaly(_) => "anomaly",
         }
     }
 

@@ -179,12 +179,24 @@ pub fn event_json(rec: &EventRecord) -> String {
             t.step,
             json_num(t.secs),
         ),
+        EventKind::Anomaly(a) => format!(
+            ", \"kind\": \"{}\", \"value\": {}, \"threshold\": {}, \"streak\": {}, \
+             \"detail\": \"{}\"",
+            a.kind.as_str(),
+            json_num(a.value),
+            json_num(a.threshold),
+            a.streak,
+            json_escape(&a.detail),
+        ),
     };
     format!("{head}{body}}}")
 }
 
 /// JSONL export: a `"meta"` line first (counters + drop accounting), then
-/// one line per retained event, oldest first.
+/// `"stat_block"` lines, then one `"phase"` line per (span name, level)
+/// histogram (host wall-clock aggregates — individual spans are folded,
+/// not retained), then one `"metric"` line per series (retained points
+/// inline), then one line per retained event, oldest first.
 pub fn to_jsonl(sink: &RecordingSink) -> String {
     let c = sink.counts();
     let (dropped_decisions, dropped_flows) = sink.dropped();
@@ -194,6 +206,7 @@ pub fn to_jsonl(sink: &RecordingSink) -> String {
          \"probes\": {}, \"transfers\": {}, \"failed_transfers\": {}, \
          \"crashes\": {}, \"evacuations\": {}, \"rejoins\": {}, \
          \"tenant_admits\": {}, \"tenant_migrations\": {}, \"tenant_steps\": {}, \
+         \"anomalies\": {}, \
          \"dropped_decisions\": {dropped_decisions}, \"dropped_flows\": {dropped_flows}, \
          \"spans_dropped\": {}}}\n",
         c.gates,
@@ -211,6 +224,7 @@ pub fn to_jsonl(sink: &RecordingSink) -> String {
         c.tenant_admits,
         c.tenant_migrations,
         c.tenant_steps,
+        c.anomalies,
         sink.spans_dropped(),
     );
     for (name, entries) in sink.stat_blocks() {
@@ -219,6 +233,50 @@ pub fn to_jsonl(sink: &RecordingSink) -> String {
             let _ = write!(out, ", \"{}\": {v}", json_escape(k));
         }
         out.push_str("}\n");
+    }
+    for ((name, level), h) in sink.phase_histograms() {
+        let (p50, p95, p99, max) = h.quartet();
+        let level = match level {
+            Some(l) => l.to_string(),
+            None => "null".to_string(),
+        };
+        let _ = writeln!(
+            out,
+            "{{\"type\": \"phase\", \"name\": \"{}\", \"level\": {level}, \"count\": {}, \
+             \"total_secs\": {}, \"p50_secs\": {}, \"p95_secs\": {}, \"p99_secs\": {}, \
+             \"max_secs\": {}}}",
+            json_escape(name),
+            h.count(),
+            json_num(h.sum()),
+            json_num(p50),
+            json_num(p95),
+            json_num(p99),
+            json_num(max),
+        );
+    }
+    for (name, m) in sink.metrics() {
+        let _ = write!(
+            out,
+            "{{\"type\": \"metric\", \"name\": \"{}\", \"samples\": {}, \"kept\": {}, \
+             \"downsamples\": {}, \"stride\": {}, \"min\": {}, \"max\": {}, \"mean\": {}, \
+             \"last\": {}, \"points\": [",
+            json_escape(name),
+            m.observed(),
+            m.points().len(),
+            m.downsamples(),
+            m.stride(),
+            json_num(m.min()),
+            json_num(m.max()),
+            json_num(m.mean()),
+            json_num(m.last().1),
+        );
+        for (i, (t, v)) in m.points().iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "[{}, {}]", json_num(*t), json_num(*v));
+        }
+        out.push_str("]}\n");
     }
     for ev in sink.events() {
         out.push_str(&event_json(&ev));
@@ -240,6 +298,7 @@ fn sim_tid(kind: &EventKind) -> (u64, &'static str) {
         EventKind::TenantAdmit(_) | EventKind::TenantMigrate(_) | EventKind::TenantStep(_) => {
             (8, "tenants")
         }
+        EventKind::Anomaly(_) => (9, "anomalies"),
     }
 }
 
@@ -257,8 +316,9 @@ const SIM_PID: u64 = 1;
 
 /// Chrome trace-event export. Two processes: pid 0 carries host wall-clock
 /// spans (`ph: "X"`, one row per hierarchy level), pid 1 carries instant
-/// decision events (`ph: "i"`) keyed to *simulated* microseconds. Events
-/// are sorted so `ts` is monotone within every `(pid, tid)` track.
+/// decision events (`ph: "i"`) keyed to *simulated* microseconds plus one
+/// counter track (`ph: "C"`) per metric series. Events are sorted so `ts`
+/// is monotone within every `(pid, tid)` track.
 pub fn to_chrome_trace(sink: &RecordingSink) -> String {
     // (pid, tid, ts_us, line)
     let mut rows: Vec<(u64, u64, f64, String)> = Vec::new();
@@ -328,6 +388,27 @@ pub fn to_chrome_trace(sink: &RecordingSink) -> String {
                 json_num(ts),
             ),
         ));
+    }
+
+    // metric series ride as counter tracks on the sim-time process; the
+    // retained points are already time-ordered per series, and the sort
+    // below merges series sharing the track
+    for (name, m) in sink.metrics() {
+        for &(t, v) in m.points() {
+            let ts = t * 1e6;
+            rows.push((
+                SIM_PID,
+                0,
+                ts,
+                format!(
+                    "{{\"name\": \"{}\", \"cat\": \"metric\", \"ph\": \"C\", \"ts\": {}, \
+                     \"pid\": {SIM_PID}, \"tid\": 0, \"args\": {{\"value\": {}}}}}",
+                    json_escape(name),
+                    json_num(ts),
+                    json_num(v),
+                ),
+            ));
+        }
     }
 
     // monotone ts per (pid, tid) track; stable so equal timestamps keep
@@ -408,6 +489,38 @@ pub fn summary_text(sink: &RecordingSink) -> String {
             "tenants: {} admitted, {} migrations, {} shared-clock steps",
             c.tenant_admits, c.tenant_migrations, c.tenant_steps
         );
+    }
+
+    if c.anomalies > 0 {
+        let tally = sink.anomaly_tally();
+        let by_kind: Vec<String> = crate::event::AnomalyKind::ALL
+            .iter()
+            .filter(|k| tally[k.index()] > 0)
+            .map(|k| format!("{} {}", k.as_str(), tally[k.index()]))
+            .collect();
+        let _ = writeln!(out, "anomalies: {} ({})", c.anomalies, by_kind.join(", "));
+        for ev in sink.events() {
+            if let EventKind::Anomaly(a) = &ev.kind {
+                let _ = writeln!(out, "  t={:.3}s {}: {}", ev.t_sim_secs, a.kind.as_str(), a.detail);
+            }
+        }
+    }
+
+    if !sink.metrics().is_empty() {
+        out.push_str("metric series (bounded, stride-downsampled):\n");
+        for (name, m) in sink.metrics() {
+            let _ = writeln!(
+                out,
+                "  {name:<24} n {:>7} kept {:>4} (stride {})  min {:.3e}  mean {:.3e}  max {:.3e}  last {:.3e}",
+                m.observed(),
+                m.points().len(),
+                m.stride(),
+                m.min(),
+                m.mean(),
+                m.max(),
+                m.last().1
+            );
+        }
     }
 
     if !sink.drift().is_empty() {
@@ -560,13 +673,19 @@ mod tests {
         let s = populated_sink();
         let jsonl = s.to_jsonl().unwrap();
         let lines: Vec<&str> = jsonl.lines().collect();
-        assert_eq!(lines.len(), 7); // meta + 6 events
+        // meta + 2 phase aggregates + 1 derived metric (gate_accept_rate)
+        // + 6 events
+        assert_eq!(lines.len(), 10);
         let meta = json::parse(lines[0]).unwrap();
         assert_eq!(meta.get("type").and_then(Json::as_str), Some("meta"));
         assert_eq!(meta.get("gates").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(meta.get("anomalies").and_then(Json::as_f64), Some(0.0));
         for line in &lines[1..] {
             let v = json::parse(line).unwrap();
-            assert!(v.get("type").and_then(Json::as_str).is_some());
+            let ty = v.get("type").and_then(Json::as_str).unwrap();
+            if ty == "metric" || ty == "stat_block" || ty == "phase" {
+                continue; // aggregate lines carry no event envelope
+            }
             assert!(v.get("seq").and_then(Json::as_f64).is_some());
             assert!(v.get("t_sim").and_then(Json::as_f64).is_some());
         }
@@ -580,6 +699,18 @@ mod tests {
             probe.get("predicted_alpha_secs").and_then(Json::as_f64),
             Some(0.010)
         );
+        // phase aggregates carry the folded span histograms
+        let phase = lines[1..]
+            .iter()
+            .map(|l| json::parse(l).unwrap())
+            .find(|v| {
+                v.get("type").and_then(Json::as_str) == Some("phase")
+                    && v.get("name").and_then(Json::as_str) == Some("solve")
+            })
+            .expect("phase line for the solve span");
+        assert_eq!(phase.get("level").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(phase.get("count").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(phase.get("total_secs").and_then(Json::as_f64), Some(0.004));
     }
 
     #[test]
@@ -588,7 +719,8 @@ mod tests {
         s.record_stat_block("field_pool", &[("hits", 42), ("steady_misses", 0)]);
         let jsonl = s.to_jsonl().unwrap();
         let lines: Vec<&str> = jsonl.lines().collect();
-        assert_eq!(lines.len(), 8); // meta + stat block + 6 events
+        // meta + stat block + 2 phase aggregates + 1 derived metric + 6 events
+        assert_eq!(lines.len(), 11);
         let block = json::parse(lines[1]).unwrap();
         assert_eq!(block.get("type").and_then(Json::as_str), Some("stat_block"));
         assert_eq!(block.get("name").and_then(Json::as_str), Some("field_pool"));
@@ -621,6 +753,10 @@ mod tests {
                 }
                 "i" => {
                     assert!(ev.get("args").is_some());
+                }
+                "C" => {
+                    let args = ev.get("args").expect("counter args");
+                    assert!(args.get("value").and_then(Json::as_f64).is_some());
                 }
                 other => panic!("unexpected ph {other}"),
             }
@@ -699,6 +835,84 @@ mod tests {
         assert!(json::parse(&s.to_chrome_trace().unwrap()).is_ok());
         let text = s.summary().unwrap();
         assert!(text.contains("crash-stop recovery"), "{text}");
+    }
+
+    #[test]
+    fn metric_lines_round_trip_points_and_counters_reach_the_trace() {
+        let mut s = RecordingSink::default();
+        for i in 0..5 {
+            s.record_metric(i as f64 * 0.5, "imbalance", 1.0 + i as f64 * 0.01);
+        }
+        let jsonl = s.to_jsonl().unwrap();
+        let metric = jsonl
+            .lines()
+            .map(|l| json::parse(l).unwrap())
+            .find(|v| v.get("type").and_then(Json::as_str) == Some("metric"))
+            .expect("metric line");
+        assert_eq!(metric.get("name").and_then(Json::as_str), Some("imbalance"));
+        assert_eq!(metric.get("samples").and_then(Json::as_f64), Some(5.0));
+        assert_eq!(metric.get("kept").and_then(Json::as_f64), Some(5.0));
+        let points = metric.get("points").and_then(Json::as_arr).unwrap();
+        assert_eq!(points.len(), 5);
+        let p3 = points[3].as_arr().unwrap();
+        assert_eq!(p3[0].as_f64(), Some(1.5));
+        assert_eq!(p3[1].as_f64(), Some(1.03));
+        // the same series shows up as ph "C" counter rows in the trace
+        let trace = json::parse(&s.to_chrome_trace().unwrap()).unwrap();
+        let counters: Vec<&Json> = trace
+            .get("traceEvents")
+            .and_then(Json::as_arr)
+            .unwrap()
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("C"))
+            .collect();
+        assert_eq!(counters.len(), 5);
+        assert_eq!(counters[0].get("name").and_then(Json::as_str), Some("imbalance"));
+        let text = s.summary().unwrap();
+        assert!(text.contains("metric series"), "{text}");
+        assert!(text.contains("imbalance"), "{text}");
+    }
+
+    #[test]
+    fn anomaly_events_export_on_their_own_lane_and_summarize() {
+        use crate::metrics::{IMBALANCE_STUCK_STREAK, IMBALANCE_STUCK_THRESHOLD};
+        let mut s = RecordingSink::default();
+        for i in 0..IMBALANCE_STUCK_STREAK {
+            s.record_metric(i as f64, "imbalance", IMBALANCE_STUCK_THRESHOLD * 2.0);
+        }
+        assert_eq!(s.counts().anomalies, 1);
+        let jsonl = s.to_jsonl().unwrap();
+        let meta = json::parse(jsonl.lines().next().unwrap()).unwrap();
+        assert_eq!(meta.get("anomalies").and_then(Json::as_f64), Some(1.0));
+        let anom = jsonl
+            .lines()
+            .map(|l| json::parse(l).unwrap())
+            .find(|v| v.get("type").and_then(Json::as_str) == Some("anomaly"))
+            .expect("anomaly line");
+        assert_eq!(
+            anom.get("kind").and_then(Json::as_str),
+            Some("imbalance_stuck")
+        );
+        assert!(anom.get("detail").and_then(Json::as_str).is_some());
+        assert_eq!(
+            anom.get("streak").and_then(Json::as_f64),
+            Some(IMBALANCE_STUCK_STREAK as f64)
+        );
+        // the trace puts anomalies on sim lane 9
+        let trace = json::parse(&s.to_chrome_trace().unwrap()).unwrap();
+        let lane9 = trace
+            .get("traceEvents")
+            .and_then(Json::as_arr)
+            .unwrap()
+            .iter()
+            .any(|e| {
+                e.get("ph").and_then(Json::as_str) == Some("i")
+                    && e.get("tid").and_then(Json::as_f64) == Some(9.0)
+            });
+        assert!(lane9, "anomaly instant missing from lane 9");
+        let text = s.summary().unwrap();
+        assert!(text.contains("anomalies: 1"), "{text}");
+        assert!(text.contains("imbalance_stuck"), "{text}");
     }
 
     #[test]

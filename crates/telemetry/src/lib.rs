@@ -14,6 +14,10 @@
 //!   [`RedistributeEvent`], [`FaultEvent`], [`PredictorSwitchEvent`],
 //!   [`ProbeEvent`], [`TransferEvent`]) keyed to *simulated* time, appended
 //!   to bounded in-memory rings.
+//! * **Metrics** — bounded gauge time-series on simulated time with
+//!   deterministic stride-doubling downsampling ([`MetricSeries`]), plus
+//!   online anomaly detectors ([`metrics::AnomalyMonitor`]) that emit
+//!   typed [`AnomalyEvent`]s into the decision lane.
 //! * **Export** — JSONL (one event per line) and Chrome trace-event JSON
 //!   (loadable in `chrome://tracing` or [Perfetto](https://ui.perfetto.dev)),
 //!   plus a human-readable [`Telemetry::summary`] text report.
@@ -25,17 +29,19 @@
 pub mod event;
 pub mod hist;
 pub mod json;
+pub mod metrics;
 pub mod ring;
 pub mod sink;
 
 mod export;
 
 pub use event::{
-    CrashEvent, EvacuateEvent, EventKind, EventRecord, FaultEvent, FaultKind, GammaGateEvent,
-    GateVerdict, PredictorSwitchEvent, ProbeEvent, RedistributeEvent, RejoinEvent,
-    TenantAdmitEvent, TenantMigrateEvent, TenantStepEvent, TransferEvent,
+    AnomalyEvent, AnomalyKind, CrashEvent, EvacuateEvent, EventKind, EventRecord, FaultEvent,
+    FaultKind, GammaGateEvent, GateVerdict, PredictorSwitchEvent, ProbeEvent, RedistributeEvent,
+    RejoinEvent, TenantAdmitEvent, TenantMigrateEvent, TenantStepEvent, TransferEvent,
 };
 pub use hist::{percentile_exact, LogHistogram};
+pub use metrics::{AnomalyMonitor, MetricSeries};
 pub use sink::{NullSink, RecordingSink, SpanGuard, SpanRecord, Telemetry, TelemetrySink};
 
 /// Open a host-wall-clock span: `span!(tel, "ghost_exchange", level)` (or

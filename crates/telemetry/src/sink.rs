@@ -7,9 +7,10 @@
 //! mutex into the sink; recording never touches simulated state, so
 //! enabling telemetry cannot change a run's results.
 
-use crate::event::{EventKind, EventRecord, GateVerdict, ProbeEvent};
+use crate::event::{AnomalyEvent, EventKind, EventRecord, GateVerdict, ProbeEvent};
 use crate::export;
 use crate::hist::LogHistogram;
+use crate::metrics::{AnomalyMonitor, AnomalyTally, MetricSeries, DEFAULT_METRIC_CAP};
 use crate::ring::EventRing;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -47,6 +48,11 @@ pub trait TelemetrySink: Send {
     /// Record (or replace) a named block of whole-run counters — e.g. the
     /// driver's field-pool statistics. Ignored by non-recording sinks.
     fn record_stat_block(&mut self, _name: &'static str, _entries: &[(&'static str, u64)]) {}
+
+    /// Record one gauge sample at simulated time `t_sim_secs` into the
+    /// named bounded series (see [`crate::metrics`]). Ignored by
+    /// non-recording sinks.
+    fn record_metric(&mut self, _t_sim_secs: f64, _name: &str, _value: f64) {}
 
     /// Human-readable report; `None` for non-recording sinks.
     fn summary(&self) -> Option<String> {
@@ -147,6 +153,8 @@ pub struct EventCounts {
     pub tenant_migrations: u64,
     /// Tenant level-0 steps completed on a shared clock.
     pub tenant_steps: u64,
+    /// Anomalies flagged by the online detectors.
+    pub anomalies: u64,
 }
 
 /// Default capacity of the decision ring (gate/redistribute/fault/switch).
@@ -174,6 +182,9 @@ pub struct RecordingSink {
     drift: BTreeMap<(usize, usize), LinkDrift>,
     counts: EventCounts,
     stat_blocks: BTreeMap<&'static str, Vec<(&'static str, u64)>>,
+    metrics: BTreeMap<String, MetricSeries>,
+    metric_cap: usize,
+    monitor: AnomalyMonitor,
 }
 
 impl Default for RecordingSink {
@@ -199,7 +210,18 @@ impl RecordingSink {
             drift: BTreeMap::new(),
             counts: EventCounts::default(),
             stat_blocks: BTreeMap::new(),
+            metrics: BTreeMap::new(),
+            metric_cap: DEFAULT_METRIC_CAP,
+            monitor: AnomalyMonitor::new(),
         }
+    }
+
+    /// Change the retained-point capacity used for *subsequently created*
+    /// metric series (existing series keep theirs). Survives [`clear`].
+    ///
+    /// [`clear`]: TelemetrySink::clear
+    pub fn set_metric_capacity(&mut self, cap: usize) {
+        self.metric_cap = cap;
     }
 
     /// All retained events from both rings, merged oldest-first (by
@@ -265,7 +287,57 @@ impl RecordingSink {
         &self.transfer_latency
     }
 
-    fn absorb(&mut self, kind: &EventKind) {
+    /// All metric series, keyed by name.
+    pub fn metrics(&self) -> &BTreeMap<String, MetricSeries> {
+        &self.metrics
+    }
+
+    /// One metric series by name, if it was ever sampled.
+    pub fn metric(&self, name: &str) -> Option<&MetricSeries> {
+        self.metrics.get(name)
+    }
+
+    /// Anomalies fired per detector kind, indexed by
+    /// [`crate::event::AnomalyKind::index`] (eviction-proof; excludes
+    /// [`EventKind::Anomaly`] records injected from outside the sink).
+    pub fn anomaly_tally(&self) -> AnomalyTally {
+        self.monitor.fired()
+    }
+
+    /// Store one sample and run the metric-driven detectors, collecting
+    /// anything they fire into `fired`.
+    fn sample_metric(
+        &mut self,
+        t_sim_secs: f64,
+        name: &str,
+        value: f64,
+        fired: &mut Vec<AnomalyEvent>,
+    ) {
+        match self.metrics.get_mut(name) {
+            Some(s) => s.push(t_sim_secs, value),
+            None => {
+                let mut s = MetricSeries::new(self.metric_cap);
+                s.push(t_sim_secs, value);
+                self.metrics.insert(name.to_string(), s);
+            }
+        }
+        self.monitor.on_metric(name, value, fired);
+    }
+
+    /// Append a fired anomaly to the decision ring under its own sequence
+    /// number (the monitor never sees these back, so no feedback loops).
+    fn emit_anomaly(&mut self, t_sim_secs: f64, a: AnomalyEvent) {
+        self.counts.anomalies += 1;
+        let rec = EventRecord {
+            seq: self.seq,
+            t_sim_secs,
+            kind: EventKind::Anomaly(a),
+        };
+        self.seq += 1;
+        self.decisions.push(rec);
+    }
+
+    fn absorb(&mut self, t_sim_secs: f64, kind: &EventKind, fired: &mut Vec<AnomalyEvent>) {
         match kind {
             EventKind::GammaGate(g) => {
                 self.counts.gates += 1;
@@ -278,6 +350,9 @@ impl RecordingSink {
                     GateVerdict::Reject => t.reject += 1,
                     GateVerdict::Deferred => t.deferred += 1,
                 }
+                // derived series: running accept rate over all gates
+                let rate = self.counts.gate_accepts as f64 / self.counts.gates as f64;
+                self.sample_metric(t_sim_secs, "gate_accept_rate", rate, fired);
             }
             EventKind::Redistribute(r) => {
                 self.counts.redistributes += 1;
@@ -305,6 +380,7 @@ impl RecordingSink {
             EventKind::TenantAdmit(_) => self.counts.tenant_admits += 1,
             EventKind::TenantMigrate(_) => self.counts.tenant_migrations += 1,
             EventKind::TenantStep(_) => self.counts.tenant_steps += 1,
+            EventKind::Anomaly(_) => self.counts.anomalies += 1,
         }
     }
 
@@ -334,7 +410,12 @@ impl RecordingSink {
 
 impl TelemetrySink for RecordingSink {
     fn record_event(&mut self, t_sim_secs: f64, kind: EventKind) {
-        self.absorb(&kind);
+        let mut fired = Vec::new();
+        self.absorb(t_sim_secs, &kind, &mut fired);
+        // detectors never see their own output (absorb only counts it)
+        if !matches!(kind, EventKind::Anomaly(_)) {
+            self.monitor.on_event(&kind, &mut fired);
+        }
         let rec = EventRecord {
             seq: self.seq,
             t_sim_secs,
@@ -345,6 +426,9 @@ impl TelemetrySink for RecordingSink {
             self.decisions.push(rec);
         } else {
             self.flows.push(rec);
+        }
+        for a in fired {
+            self.emit_anomaly(t_sim_secs, a);
         }
     }
 
@@ -361,16 +445,26 @@ impl TelemetrySink for RecordingSink {
     }
 
     fn clear(&mut self) {
-        let (dc, fc, sc) = (
+        let (dc, fc, sc, mc) = (
             self.decisions.capacity(),
             self.flows.capacity(),
             self.span_cap,
+            self.metric_cap,
         );
         *self = RecordingSink::new(dc, fc, sc);
+        self.metric_cap = mc;
     }
 
     fn record_stat_block(&mut self, name: &'static str, entries: &[(&'static str, u64)]) {
         self.stat_blocks.insert(name, entries.to_vec());
+    }
+
+    fn record_metric(&mut self, t_sim_secs: f64, name: &str, value: f64) {
+        let mut fired = Vec::new();
+        self.sample_metric(t_sim_secs, name, value, &mut fired);
+        for a in fired {
+            self.emit_anomaly(t_sim_secs, a);
+        }
     }
 
     fn summary(&self) -> Option<String> {
@@ -481,6 +575,16 @@ impl Telemetry {
     pub fn stat_block(&self, name: &'static str, entries: &[(&'static str, u64)]) {
         if let Some(s) = &self.shared {
             lock(&s.sink).record_stat_block(name, entries);
+        }
+    }
+
+    /// Sample one gauge into the named bounded metric series at simulated
+    /// time `t_sim_secs` (see [`crate::metrics`]). A no-op when disabled —
+    /// call sites that build the name dynamically should guard on
+    /// [`Telemetry::is_enabled`] so the disabled path never formats.
+    pub fn metric(&self, t_sim_secs: f64, name: &str, value: f64) {
+        if let Some(s) = &self.shared {
+            lock(&s.sink).record_metric(t_sim_secs, name, value);
         }
     }
 
@@ -663,5 +767,67 @@ mod tests {
         let s = sink.lock().unwrap();
         assert_eq!(s.counts().faults, 0);
         assert!(s.events().is_empty());
+    }
+
+    #[test]
+    fn metrics_record_through_the_handle_and_null_stays_inert() {
+        let (tel, sink) = Telemetry::recording_shared();
+        for i in 0..10 {
+            tel.metric(i as f64, "group_load:g0", 100.0 + i as f64);
+        }
+        let s = sink.lock().unwrap();
+        let m = s.metric("group_load:g0").expect("series exists");
+        assert_eq!(m.observed(), 10);
+        assert_eq!(m.last(), (9.0, 109.0));
+        assert!(s.metric("no_such_series").is_none());
+        // gates sampled a derived series too? none recorded here
+        assert_eq!(s.metrics().len(), 1);
+        Telemetry::null().metric(0.0, "group_load:g0", 1.0);
+    }
+
+    #[test]
+    fn anomalies_join_the_decision_ring_with_counts() {
+        use crate::metrics::{IMBALANCE_STUCK_STREAK, IMBALANCE_STUCK_THRESHOLD};
+        let (tel, sink) = Telemetry::recording_shared();
+        for i in 0..IMBALANCE_STUCK_STREAK {
+            tel.metric(i as f64, "imbalance", IMBALANCE_STUCK_THRESHOLD + 1.0);
+        }
+        let s = sink.lock().unwrap();
+        assert_eq!(s.counts().anomalies, 1);
+        assert_eq!(s.anomaly_tally(), [1, 0, 0, 0]);
+        let evs = s.events();
+        assert_eq!(evs.len(), 1);
+        match &evs[0].kind {
+            EventKind::Anomaly(a) => {
+                assert_eq!(a.kind, crate::event::AnomalyKind::ImbalanceStuck);
+                assert!(evs[0].kind.is_decision());
+            }
+            other => panic!("expected anomaly, got {other:?}"),
+        }
+        // the triggering sample's simulated time stamps the anomaly
+        assert_eq!(evs[0].t_sim_secs, (IMBALANCE_STUCK_STREAK - 1) as f64);
+    }
+
+    #[test]
+    fn gate_events_derive_an_accept_rate_series() {
+        let (tel, sink) = Telemetry::recording_shared();
+        tel.event(0.1, gate(0, GateVerdict::Accept));
+        tel.event(0.2, gate(0, GateVerdict::Reject));
+        let s = sink.lock().unwrap();
+        let m = s.metric("gate_accept_rate").expect("derived series");
+        assert_eq!(m.observed(), 2);
+        assert_eq!(m.points(), &[(0.1, 1.0), (0.2, 0.5)]);
+    }
+
+    #[test]
+    fn clear_keeps_the_metric_capacity() {
+        let (tel, sink) = Telemetry::recording_shared();
+        sink.lock().unwrap().set_metric_capacity(16);
+        tel.metric(0.0, "x", 1.0);
+        tel.clear();
+        tel.metric(0.0, "x", 1.0);
+        let s = sink.lock().unwrap();
+        assert_eq!(s.metric("x").unwrap().capacity(), 16);
+        assert_eq!(s.metric("x").unwrap().observed(), 1);
     }
 }

@@ -217,6 +217,12 @@ impl TenantService {
             let secs = now - self.last_mark[t];
             self.last_mark[t] = now;
             self.step_secs[t].push(secs);
+            if self.cfg.telemetry.is_enabled() {
+                // service-latency gauge per tenant, next to the event lane
+                self.cfg
+                    .telemetry
+                    .metric(now, &format!("tenant_step_secs:t{t}"), secs);
+            }
             self.cfg.telemetry.event(
                 now,
                 EventKind::TenantStep(TenantStepEvent {

@@ -4,9 +4,11 @@
 //!
 //! Writes `results/trace_anatomy.trace.json` (open in chrome://tracing or
 //! https://ui.perfetto.dev — pid 0 shows host wall-clock spans per level,
-//! pid 1 shows the γ-gate / redistribute / fault / probe / transfer events
-//! on simulated time) and `results/trace_anatomy.jsonl` (one event per
-//! line, meta line first), then prints the text summary.
+//! pid 1 shows the γ-gate / redistribute / fault / probe / transfer /
+//! anomaly events on simulated time plus one counter track per bounded
+//! metric series) and `results/trace_anatomy.jsonl` (meta line first, then
+//! phase/stat/metric aggregates and one event per line — the input format
+//! of `bench --bin report`), then prints the text summary.
 //!
 //! ```text
 //! cargo run --release --example trace_anatomy

@@ -40,9 +40,19 @@ for p in cur["presets"]:
     for key in ("cell_updates", "peak_patches", "cell_updates_per_sec",
                 "wall_secs", "phases", "bit_identical",
                 "pool_hits", "pool_misses", "pool_bytes_recycled",
-                "steady_state_field_allocs", "speedup_vs_reference"):
+                "steady_state_field_allocs", "speedup_vs_reference",
+                "pool_detail"):
         if key not in p:
             sys.exit(f"hotpath: preset {p['name']} missing {key}")
+    d = p["pool_detail"]
+    for key in ("home_hits", "spill_hits", "steal_hits", "borrow_hits",
+                "shard_hits"):
+        if key not in d:
+            sys.exit(f"hotpath: preset {p['name']} pool_detail missing {key}")
+    if d["home_hits"] + d["spill_hits"] + d["steal_hits"] != p["pool_hits"]:
+        sys.exit(f"hotpath: {p['name']} pool serving tiers do not sum to hits")
+    if sum(d["shard_hits"]) != d["home_hits"] + d["steal_hits"]:
+        sys.exit(f"hotpath: {p['name']} per-shard hits disagree with tier totals")
     if not p["bit_identical"]:
         sys.exit(f"hotpath: {p['name']} diverged from the reference path")
     if p["speedup_vs_reference"] < 1.0:
@@ -95,6 +105,23 @@ if t["gate_accepts"] != t["global_redistributions"]:
     )
 if t["overhead_pct"] > 2.0:
     sys.exit(f"telemetry: recording overhead {t['overhead_pct']:.2f}% exceeds 2%")
+if t.get("metric_series", 0) <= 0:
+    sys.exit("telemetry: recording run sampled no metric series")
+
+# the committed canonical (full-scale) report must carry the same schema
+# and its quality gates must have held when it was generated
+ref = json.load(open("results/BENCH_telemetry.json"))
+for key in ("bench", "preset", "wall_null_secs", "wall_recording_secs",
+            "overhead_pct", "bit_identical", "jsonl_lines", "gates",
+            "gate_accepts", "global_checks", "global_redistributions",
+            "dropped_decisions", "metric_series", "anomalies",
+            "counts_match"):
+    if key not in ref:
+        sys.exit(f"telemetry: committed BENCH_telemetry.json missing {key}")
+if not ref["bit_identical"] or not ref["counts_match"]:
+    sys.exit("telemetry: committed BENCH_telemetry.json fails its own gates")
+if ref["metric_series"] <= 0:
+    sys.exit("telemetry: committed BENCH_telemetry.json recorded no metric series")
 
 trace = json.load(open("results/trace_anatomy.trace.json"))
 events = trace["traceEvents"]
@@ -104,18 +131,47 @@ for e in events:
     for key in ("name", "ph", "pid"):
         if key not in e:
             sys.exit(f"telemetry: trace event missing {key}: {e}")
-    if e["ph"] not in ("M", "X", "i"):
+    if e["ph"] not in ("M", "X", "i", "C"):
         sys.exit(f"telemetry: unexpected phase {e['ph']}")
     if e["ph"] == "X" and (e["dur"] < 0 or e["ts"] < 0):
         sys.exit(f"telemetry: negative span timing: {e}")
+    if e["ph"] == "C" and "value" not in e.get("args", {}):
+        sys.exit(f"telemetry: counter row without a value: {e}")
 phases = {e["ph"] for e in events}
-if not {"X", "i"} <= phases:
-    sys.exit(f"telemetry: trace lacks spans or instant events (saw {sorted(phases)})")
+if not {"X", "i", "C"} <= phases:
+    sys.exit(f"telemetry: trace lacks spans, instants or counters (saw {sorted(phases)})")
 jsonl = [json.loads(l) for l in open("results/trace_anatomy.jsonl")]
 if jsonl[0].get("type") != "meta":
     sys.exit("telemetry: JSONL meta line missing")
+types = {l.get("type") for l in jsonl}
+if not {"phase", "metric"} <= types:
+    sys.exit(f"telemetry: JSONL lacks phase/metric aggregate lines (saw {sorted(types)})")
 print("telemetry gate: ok")
 EOF
+
+# report gate: the analyzer must round-trip a real run's JSONL, stay silent
+# on a diff of identical inputs, and flag a seeded synthetic regression
+# (recording wall time tripled) with a nonzero exit.
+cargo run --release -p bench --bin report -- run results/trace_anatomy.jsonl > /dev/null
+if ! diff_out=$(cargo run --release -p bench --bin report -- diff \
+    results/BENCH_telemetry_quick.json results/BENCH_telemetry_quick.json); then
+  echo "report: diff of identical inputs exited nonzero"; exit 1
+fi
+if [ -n "$diff_out" ]; then
+  echo "report: diff of identical inputs was not silent: $diff_out"; exit 1
+fi
+python3 - <<'EOF'
+import json
+t = json.load(open("results/BENCH_telemetry_quick.json"))
+t["wall_recording_secs"] = t["wall_recording_secs"] * 3 + 1.0
+json.dump(t, open("results/BENCH_telemetry_regressed.json", "w"))
+EOF
+if cargo run --release -p bench --bin report -- diff \
+    results/BENCH_telemetry_quick.json results/BENCH_telemetry_regressed.json > /dev/null; then
+  echo "report: seeded synthetic regression was not flagged"; exit 1
+fi
+rm -f results/BENCH_telemetry_regressed.json
+echo "report gate: ok"
 
 # chaos gate: sweep seeded link+proc fault schedules through the invariant
 # oracle at quick scale (the binary itself exits nonzero on any violation

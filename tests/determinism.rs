@@ -97,11 +97,64 @@ fn recording_telemetry_is_bit_identical_to_null() {
     assert_eq!(null.peak_patches, rec.peak_patches);
     // and it did actually record: the engine's own counters reappear as
     // eviction-proof sink counts
-    let counts = sink.lock().unwrap().counts();
+    let sink = sink.lock().unwrap();
+    let counts = sink.counts();
     assert_eq!(counts.gates, rec.global_checks as u64);
     assert_eq!(counts.gate_accepts, rec.global_redistributions as u64);
     assert!(rec.telemetry_summary.is_some());
     assert!(null.telemetry_summary.is_none());
+    // the metrics layer rode along: per-step gauges were sampled on
+    // simulated time without perturbing the fingerprint above
+    let imb = sink
+        .metric("imbalance")
+        .expect("driver samples the imbalance gauge when recording");
+    assert!(imb.observed() >= 3, "one sample per level-0 step");
+    assert!(imb.min() >= 1.0, "max/mean imbalance is at least 1");
+}
+
+/// Metric series on simulated time are pure functions of the run: two
+/// recording runs retain bit-identical points, and the online anomaly
+/// detectors (fed by those series and the event stream) fire identically.
+/// Pool occupancy gauges are excluded — which physical buffer serves a
+/// request is host-scheduling-dependent by design.
+#[test]
+fn metric_series_and_anomalies_replay_bit_for_bit() {
+    let record = || {
+        let sys = presets::anl_ncsa_wan(2, 2, 11);
+        let mut cfg = RunConfig::new(AppKind::ShockPool3D, 16, 3, Scheme::distributed_default());
+        cfg.max_levels = 3;
+        let (tel, sink) = Telemetry::recording_shared();
+        cfg.telemetry = tel;
+        let res = Driver::new(sys, cfg).run();
+        (res, sink)
+    };
+    let (ra, sa) = record();
+    let (rb, sb) = record();
+    assert_eq!(fingerprint(&ra), fingerprint(&rb));
+    let sa = sa.lock().unwrap();
+    let sb = sb.lock().unwrap();
+    let deterministic = |m: &std::collections::BTreeMap<String, telemetry::MetricSeries>| {
+        m.iter()
+            .filter(|(name, _)| !name.starts_with("pool_"))
+            .map(|(name, s)| {
+                let bits: Vec<(u64, u64)> = s
+                    .points()
+                    .iter()
+                    .map(|(t, v)| (t.to_bits(), v.to_bits()))
+                    .collect();
+                (name.clone(), s.observed(), s.stride(), bits)
+            })
+            .collect::<Vec<_>>()
+    };
+    let (da, db) = (deterministic(sa.metrics()), deterministic(sb.metrics()));
+    assert!(!da.is_empty(), "recording runs sample metric series");
+    assert_eq!(da, db, "sim-time metric series must replay bit-for-bit");
+    assert_eq!(
+        sa.anomaly_tally(),
+        sb.anomaly_tally(),
+        "anomaly detectors must fire identically across identical runs"
+    );
+    assert_eq!(sa.counts().anomalies, sb.counts().anomalies);
 }
 
 #[test]
