@@ -66,11 +66,12 @@ fn num(x: f64) -> String {
 
 fn phases_json(w: &metrics::PhaseWall) -> String {
     format!(
-        "{{\"solve\": {}, \"ghost\": {}, \"regrid\": {}, \"restrict\": {}}}",
+        "{{\"solve\": {}, \"ghost\": {}, \"regrid\": {}, \"restrict\": {}, \"decision\": {}}}",
         num(w.solve),
         num(w.ghost),
         num(w.regrid),
-        num(w.restrict)
+        num(w.restrict),
+        num(w.decision)
     )
 }
 

@@ -31,7 +31,7 @@ const DEFAULT_TOL: f64 = 0.20;
 /// Key substrings where an *increase* is a regression.
 const WORSE_UP: &[&str] = &[
     "secs", "misses", "dropped", "failed", "faults", "aborted", "anomalies", "crashes", "mae",
-    "overhead", "wasted", "evacuations", "quarantines",
+    "overhead", "wasted", "evacuations", "quarantines", "msgs_per_decision",
 ];
 
 /// Key substrings where a *decrease* is a regression. Checked first:
@@ -406,6 +406,12 @@ mod tests {
         assert!(regression("cell_updates_per_sec", 50.0, 100.0).is_none());
         // boolean flip
         assert!(regression("bit_identical", 1.0, 0.0).is_some());
+        // decision traffic up = regression (and "msgs_per_decision" must
+        // not be mistaken for the throughput "per_sec" rule)
+        assert!(regression("msgs_per_decision", 100.0, 400.0).is_some());
+        assert!(regression("msgs_per_decision", 400.0, 100.0).is_none());
+        // decision wall rides the generic "secs" rule
+        assert!(regression("decision_secs_per_step", 0.01, 0.05).is_some());
         // undirected keys never flag
         assert!(regression("peak_patches", 1.0, 100.0).is_none());
         // growth from zero is an infinite relative change

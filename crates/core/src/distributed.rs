@@ -105,6 +105,12 @@ pub struct DistributedDlbConfig {
     /// fine-level step triggers a proactive global check. `None` restricts
     /// global checks to level-0 steps (the paper's protocol).
     pub proactive_threshold: Option<f64>,
+    /// Force the flat all-groups global compare even beyond
+    /// [`TREE_ARITY`] groups — the reference decision datapath the
+    /// hierarchical tree reduction is checked against (mirrors the
+    /// driver's `reference_datapath` flag). At or below the arity the two
+    /// paths are the same code, so this only matters at federation scale.
+    pub flat_reference: bool,
 }
 
 impl Default for DistributedDlbConfig {
@@ -125,6 +131,7 @@ impl Default for DistributedDlbConfig {
             forecast_horizon: 1,
             confidence_widening: 1.0,
             proactive_threshold: None,
+            flat_reference: false,
         }
     }
 }
@@ -203,6 +210,10 @@ pub struct DistributedDlb {
     /// every `after_level_step` (all-alive when no proc faults are
     /// scheduled). Empty until the first step.
     alive: Vec<bool>,
+    /// Inter-group messages the decision phase charged to the simulated
+    /// network: collective legs, probe messages, and the reduction tree's
+    /// summary/delegation traffic.
+    decision_msgs: u64,
 }
 
 impl DistributedDlb {
@@ -215,6 +226,7 @@ impl DistributedDlb {
             decisions: Vec::new(),
             fault_events_forwarded: 0,
             alive: Vec::new(),
+            decision_msgs: 0,
         }
     }
 
@@ -235,6 +247,21 @@ impl DistributedDlb {
     /// How many global redistributions were actually invoked.
     pub fn invocations(&self) -> usize {
         self.decisions.iter().filter(|d| d.invoked).count()
+    }
+
+    /// Link-estimator pairs allocated so far. Estimators are created
+    /// lazily on the first probe of a pair, so this measures decision-
+    /// phase bookkeeping directly: the flat compare touches all O(G²)
+    /// pairs, the hierarchical tree only its representative pairs — O(G).
+    pub fn estimator_pairs(&self) -> usize {
+        self.estimators.len()
+    }
+
+    /// Inter-group messages the decision phase charged to the simulated
+    /// network (collective legs, 2 per α/β probe attempt, and the
+    /// reduction tree's summary/delegation messages).
+    pub fn decision_msgs(&self) -> u64 {
+        self.decision_msgs
     }
 
     /// Chronological fault-event log.
@@ -455,6 +482,7 @@ impl DistributedDlb {
             let pb = sys.procs_in(GroupId(g))[0];
             let t0 = ctx.sim.now(pa).max(ctx.sim.now(pb));
             let dl = t0 + SimTime::from_secs_f64(fault.probe_timeout_secs);
+            self.decision_msgs += 2;
             let est = self.estimator(h0, g);
             if ctx
                 .sim
@@ -499,34 +527,10 @@ impl DistributedDlb {
                           gamma: f64,
                           verdict: GateVerdict,
                           reason: &'static str| {
-            if tel.is_enabled() {
-                // the ratio the gate actually reasoned about, sampled at
-                // decision times (the driver's per-step series is coarser)
-                tel.metric(
-                    sim.elapsed().as_secs_f64(),
-                    "gate_imbalance_ratio",
-                    gain.imbalance_ratio,
-                );
-                tel.event(
-                    sim.elapsed().as_secs_f64(),
-                    TelEventKind::GammaGate(GammaGateEvent {
-                        step,
-                        level,
-                        proactive,
-                        gain_secs: gain.gain_secs,
-                        cost_alpha_beta_w_secs: cost.map_or(0.0, |c| c.comm_secs),
-                        delta_secs: cost.map_or(0.0, |c| c.delta_secs),
-                        cost_upper_secs: cost.map_or(0.0, |c| c.upper_total_secs()),
-                        alpha_secs: alpha,
-                        beta_secs_per_byte: beta,
-                        move_bytes,
-                        gamma,
-                        mae_widening_secs: cost.map_or(0.0, |c| c.comm_upper_secs - c.comm_secs),
-                        verdict,
-                        reason,
-                    }),
-                );
-            }
+            emit_gate_event(
+                tel, sim, step, level, proactive, gain, cost, alpha, beta, move_bytes, gamma,
+                verdict, reason,
+            );
         };
 
         // Quarantined groups get their probation probe first, so a
@@ -548,6 +552,16 @@ impl DistributedDlb {
             .collect();
         if healthy.len() < 2 {
             return; // nobody to exchange work with; local phases continue
+        }
+
+        // Federation scale: beyond the tree arity the flat all-pairs
+        // compare below is replaced by the hierarchical tree reduction
+        // (unless pinned to the flat reference datapath). At or below the
+        // arity the tree would be a single node over the individual
+        // groups — exactly the flat compare — so flat runs verbatim.
+        if !self.cfg.flat_reference && healthy.len() > TREE_ARITY {
+            self.global_phase_hierarchical(ctx, &sys, forecast_gain, level, &healthy, &powers, step);
+            return;
         }
 
         // Evaluate the load distribution among the *healthy* groups: one
@@ -577,6 +591,8 @@ impl DistributedDlb {
         };
         match collective {
             Ok((_, retries)) => {
+                // reduce-exchange-broadcast: two messages per group pair
+                self.decision_msgs += (healthy.len() * (healthy.len() - 1)) as u64;
                 if retries > 0 {
                     self.roster.stats.retries += retries as u64;
                     self.roster
@@ -702,6 +718,8 @@ impl DistributedDlb {
                 };
                 match outcome {
                     Ok((s, retries)) => {
+                        // two messages per probe attempt (§4.2)
+                        self.decision_msgs += 2 * (u64::from(retries) + 1);
                         if retries > 0 {
                             self.roster.stats.retries += retries as u64;
                             self.roster
@@ -722,6 +740,7 @@ impl DistributedDlb {
                         }
                     }
                     Err(e) => {
+                        self.decision_msgs += 2 * u64::from(retry.max_attempts.max(1));
                         self.roster.stats.probe_failures += 1;
                         self.roster.events.push(FaultEvent::ProbeFailure {
                             step,
@@ -908,6 +927,515 @@ impl DistributedDlb {
         });
     }
 
+    /// Federation-scale global phase: a balanced [`TREE_ARITY`]-ary
+    /// reduction tree over the healthy groups replaces the flat all-pairs
+    /// compare. (load, capacity) summaries flow up the tree as real
+    /// messages over the actual inter-group links, imbalance is γ-gated
+    /// per subtree top-down, and an accepted subtree redistributes among
+    /// exactly its own groups — so decision traffic is O(G) messages and
+    /// the probe/estimator set only ever holds the tree's representative
+    /// pairs, instead of O(G²) of both. Only entered above the arity; at
+    /// or below it the flat compare *is* the single-node tree, so the
+    /// flat code runs verbatim (the small-G equivalence the tests pin).
+    #[allow(clippy::too_many_arguments)]
+    fn global_phase_hierarchical(
+        &mut self,
+        ctx: &mut LbContext<'_>,
+        sys: &DistributedSystem,
+        forecast_gain: Option<GainEstimate>,
+        level: usize,
+        healthy: &[usize],
+        powers: &[f64],
+        step: u64,
+    ) {
+        let proactive = forecast_gain.is_some();
+        // Per-group loads: predicted (proactive trigger) or from the
+        // synchronized history snapshot. Local arithmetic on data every
+        // group leader already holds — the communication the phase
+        // charges is the tree's summary/delegation traffic below.
+        let group_loads = match forecast_gain {
+            Some(g) => g.group_loads,
+            None => evaluate_gain_among_with_powers(ctx.history, sys, healthy, powers).group_loads,
+        };
+        let root = build_reduction_tree(0, healthy.len());
+        let inp = HierInputs {
+            sys,
+            healthy,
+            group_loads: &group_loads,
+            powers,
+            step,
+            level,
+            proactive,
+        };
+        if let Err((a, b, e)) = self.hier_upsweep(ctx, &inp, &root) {
+            // no aggregated load picture this step: defer the decision
+            // entirely, exactly like a failed flat collective
+            self.roster.stats.comm_failures += 1;
+            self.roster
+                .record_pair_failure(a, b, step, e.at(), self.cfg.fault.quarantine_after);
+            let gain = GainEstimate {
+                gain_secs: 0.0,
+                group_loads: Vec::new(),
+                imbalance_ratio: 1.0,
+            };
+            self.push_rejected_decision(
+                ctx,
+                &inp,
+                gain,
+                GateVerdict::Deferred,
+                "collective_failed",
+            );
+            return;
+        }
+        self.hier_resolve(ctx, &inp, &root);
+    }
+
+    /// First alive processor of a group — the subtree-representative
+    /// endpoint of summary/delegation messages (nameplate leader as a
+    /// fallback; the phase only runs over groups with alive power).
+    fn leader(ctx: &LbContext<'_>, sys: &DistributedSystem, g: usize) -> ProcId {
+        ctx.sim
+            .alive_procs_in(GroupId(g))
+            .first()
+            .copied()
+            .unwrap_or_else(|| sys.procs_in(GroupId(g))[0])
+    }
+
+    /// One charged control/summary message between two group leaders,
+    /// retried with idle backoff per the fault policy. Every attempt is a
+    /// real message on the pair's actual inter-group link.
+    fn leader_send(
+        &mut self,
+        ctx: &mut LbContext<'_>,
+        sys: &DistributedSystem,
+        from: usize,
+        to: usize,
+        bytes: u64,
+        step: u64,
+    ) -> Result<(), SimError> {
+        let retry = self.cfg.fault.retry;
+        let pa = Self::leader(ctx, sys, from);
+        let pb = Self::leader(ctx, sys, to);
+        let mut attempt = 0u32;
+        loop {
+            self.decision_msgs += 1;
+            match ctx.sim.send(pa, pb, bytes, Activity::LoadBalance) {
+                Ok(_) => {
+                    if attempt > 0 {
+                        self.roster.stats.retries += attempt as u64;
+                        self.roster.events.push(FaultEvent::RetrySucceeded {
+                            step,
+                            retries: attempt,
+                        });
+                    }
+                    return Ok(());
+                }
+                Err(e) => {
+                    attempt += 1;
+                    if attempt >= retry.max_attempts.max(1) {
+                        return Err(e);
+                    }
+                    let backoff = retry.backoff_secs(attempt - 1);
+                    ctx.sim.busy(pa, backoff, Activity::Wait);
+                    ctx.sim.busy(pb, backoff, Activity::Wait);
+                }
+            }
+        }
+    }
+
+    /// Upward pass: post-order over the tree, each child representative
+    /// shipping its subtree's (load, capacity) summary to the node
+    /// representative. The first child shares the node's representative
+    /// (both are the subtree's lowest group), so it sends nothing. On
+    /// failure returns the leader pair whose link dropped the summary.
+    fn hier_upsweep(
+        &mut self,
+        ctx: &mut LbContext<'_>,
+        inp: &HierInputs<'_>,
+        node: &TreeNode,
+    ) -> Result<(), (usize, usize, SimError)> {
+        for child in &node.children {
+            self.hier_upsweep(ctx, inp, child)?;
+        }
+        let rep = inp.healthy[node.lo];
+        for child in node.children.iter().skip(1) {
+            let crep = inp.healthy[child.lo];
+            self.leader_send(ctx, inp.sys, crep, rep, SUMMARY_MSG_BYTES, inp.step)
+                .map_err(|e| (crep, rep, e))?;
+        }
+        Ok(())
+    }
+
+    /// Emit the gate event + decision record of a node that did not
+    /// invoke redistribution (balanced / deferred / delegate failure).
+    fn push_rejected_decision(
+        &mut self,
+        ctx: &LbContext<'_>,
+        inp: &HierInputs<'_>,
+        gain: GainEstimate,
+        verdict: GateVerdict,
+        reason: &'static str,
+    ) {
+        let tel = ctx.sim.telemetry().clone();
+        emit_gate_event(
+            &tel,
+            ctx.sim,
+            inp.step,
+            inp.level,
+            inp.proactive,
+            &gain,
+            None,
+            0.0,
+            0.0,
+            0,
+            self.cfg.gamma,
+            verdict,
+            reason,
+        );
+        self.decisions.push(GlobalDecision {
+            step: inp.step,
+            gain,
+            cost: None,
+            invoked: false,
+            aborted: false,
+            abort_delta_secs: 0.0,
+            report: None,
+            proactive: inp.proactive,
+        });
+    }
+
+    /// Delegate resolution to each multi-group child: a small control
+    /// message from the node representative hands the child's subtree to
+    /// its representative, which then resolves it. A failed delegation
+    /// defers that subtree only (the pair-failure bookkeeping decides who
+    /// sits out next step); its siblings proceed.
+    fn hier_descend(&mut self, ctx: &mut LbContext<'_>, inp: &HierInputs<'_>, node: &TreeNode) {
+        let rep = inp.healthy[node.lo];
+        for child in &node.children {
+            if child.len() < 2 {
+                continue; // a single group balances in its local phase
+            }
+            let crep = inp.healthy[child.lo];
+            if crep != rep {
+                if let Err(e) =
+                    self.leader_send(ctx, inp.sys, rep, crep, DELEGATE_MSG_BYTES, inp.step)
+                {
+                    self.roster.stats.comm_failures += 1;
+                    self.roster.record_pair_failure(
+                        rep,
+                        crep,
+                        inp.step,
+                        e.at(),
+                        self.cfg.fault.quarantine_after,
+                    );
+                    let gain = GainEstimate {
+                        gain_secs: 0.0,
+                        group_loads: Vec::new(),
+                        imbalance_ratio: 1.0,
+                    };
+                    self.push_rejected_decision(
+                        ctx,
+                        inp,
+                        gain,
+                        GateVerdict::Deferred,
+                        "delegate_failed",
+                    );
+                    continue;
+                }
+            }
+            self.hier_resolve(ctx, inp, child);
+        }
+    }
+
+    /// Top-down resolution of one internal tree node: score the subtree's
+    /// imbalance over its children's aggregated (load, capacity)
+    /// summaries; when imbalanced, probe only the child-representative
+    /// pairs, γ-gate, and redistribute among exactly this subtree's
+    /// groups; when the gate rejects (or the node is balanced), descend —
+    /// a child subtree may still fix itself over its cheaper links.
+    fn hier_resolve(&mut self, ctx: &mut LbContext<'_>, inp: &HierInputs<'_>, node: &TreeNode) {
+        let fault = self.cfg.fault;
+        let tel = ctx.sim.telemetry().clone();
+        // each child subtree is scored as one pseudo-group
+        let nch = node.children.len();
+        let mut child_loads = Vec::with_capacity(nch);
+        let mut child_powers = Vec::with_capacity(nch);
+        for c in &node.children {
+            child_loads.push(
+                inp.healthy[c.lo..c.hi]
+                    .iter()
+                    .map(|&g| inp.group_loads[g])
+                    .sum::<f64>(),
+            );
+            child_powers.push(
+                inp.healthy[c.lo..c.hi]
+                    .iter()
+                    .map(|&g| inp.powers[g])
+                    .sum::<f64>(),
+            );
+        }
+        let among: Vec<usize> = (0..nch).collect();
+        let node_gain = crate::gain::gain_from_loads(
+            child_loads,
+            ctx.history.last_step_secs(),
+            &among,
+            &child_powers,
+        );
+        // the decision records the full per-group load vector (what a
+        // redistribution acts on) under the node's own verdict
+        let gain = GainEstimate {
+            gain_secs: node_gain.gain_secs,
+            group_loads: inp.group_loads.to_vec(),
+            imbalance_ratio: node_gain.imbalance_ratio,
+        };
+        let imbalanced = gain.imbalance_ratio > self.cfg.imbalance_tolerance;
+        if !imbalanced || gain.gain_secs <= 0.0 {
+            self.push_rejected_decision(ctx, inp, gain, GateVerdict::Reject, "balanced");
+            self.hier_descend(ctx, inp, node);
+            return;
+        }
+
+        // Imbalance within this subtree: price a redistribution over its
+        // groups. Only the child-representative links are probed — the
+        // sampled worst path of at most arity² probes per node.
+        let mut eligible = vec![false; inp.sys.ngroups()];
+        for &g in &inp.healthy[node.lo..node.hi] {
+            eligible[g] = true;
+        }
+        let move_cells =
+            Self::planned_move_cells(ctx.hier, inp.sys, inp.group_loads, &eligible, inp.powers);
+        let cell_bytes = (ctx.hier.nfields() as u64) * 8;
+        let move_bytes = move_cells.max(0) as u64 * cell_bytes;
+        let reps: Vec<usize> = node.children.iter().map(|c| inp.healthy[c.lo]).collect();
+        let mut alpha = 0.0f64;
+        let mut beta = 0.0f64;
+        let mut alpha_fv = ForecastValue::exact(0.0);
+        let mut beta_fv = ForecastValue::exact(0.0);
+        for (i, &a) in reps.iter().enumerate() {
+            for &b in &reps[i + 1..] {
+                let pa = inp.sys.procs_in(GroupId(a))[0];
+                let pb = inp.sys.procs_in(GroupId(b))[0];
+                let retry = fault.retry;
+                let est = self.estimator(a, b);
+                let mut attempt = 0u32;
+                let outcome = loop {
+                    if attempt > 0 {
+                        let backoff = retry.backoff_secs(attempt - 1);
+                        ctx.sim.busy(pa, backoff, Activity::Wait);
+                        ctx.sim.busy(pb, backoff, Activity::Wait);
+                    }
+                    let t0 = ctx.sim.now(pa).max(ctx.sim.now(pb));
+                    let dl = t0 + SimTime::from_secs_f64(fault.probe_timeout_secs);
+                    match ctx.sim.probe_inter(GroupId(a), GroupId(b), est, Some(dl)) {
+                        Ok(s) => break Ok((s, attempt)),
+                        Err(e) => {
+                            attempt += 1;
+                            if attempt >= retry.max_attempts.max(1) {
+                                break Err(e);
+                            }
+                        }
+                    }
+                };
+                match outcome {
+                    Ok((s, retries)) => {
+                        self.decision_msgs += 2 * (u64::from(retries) + 1);
+                        if retries > 0 {
+                            self.roster.stats.retries += retries as u64;
+                            self.roster
+                                .events
+                                .push(FaultEvent::RetrySucceeded { step: inp.step, retries });
+                        }
+                        self.roster.record_pair_success(a, b);
+                        alpha = alpha.max(s.alpha);
+                        beta = beta.max(s.beta);
+                        if let (Some(af), Some(bf)) = {
+                            let est = self.estimator(a, b);
+                            (est.alpha_forecast(), est.beta_forecast())
+                        } {
+                            alpha_fv.value = alpha_fv.value.max(af.value);
+                            alpha_fv.error = alpha_fv.error.max(af.error);
+                            beta_fv.value = beta_fv.value.max(bf.value);
+                            beta_fv.error = beta_fv.error.max(bf.error);
+                        }
+                    }
+                    Err(e) => {
+                        self.decision_msgs += 2 * u64::from(retry.max_attempts.max(1));
+                        self.roster.stats.probe_failures += 1;
+                        self.roster.events.push(FaultEvent::ProbeFailure {
+                            step: inp.step,
+                            group_a: a,
+                            group_b: b,
+                        });
+                        self.roster.record_pair_failure(
+                            a,
+                            b,
+                            inp.step,
+                            e.at(),
+                            fault.quarantine_after,
+                        );
+                        // a representative link is suspect: defer this
+                        // whole subtree, don't descend through it
+                        self.push_rejected_decision(
+                            ctx,
+                            inp,
+                            gain,
+                            GateVerdict::Deferred,
+                            "probe_failed",
+                        );
+                        return;
+                    }
+                }
+            }
+        }
+        let cost = if self.cfg.predictor.is_none() {
+            evaluate_cost(alpha, beta, move_bytes, ctx.history)
+        } else {
+            let widen = self.cfg.confidence_widening * f64::from(self.cfg.forecast_horizon.max(1));
+            evaluate_cost_forecast(alpha_fv, beta_fv, move_bytes, ctx.history, widen)
+        };
+        let invoked = should_redistribute_confident(gain.gain_secs, &cost, self.cfg.gamma);
+        emit_gate_event(
+            &tel,
+            ctx.sim,
+            inp.step,
+            inp.level,
+            inp.proactive,
+            &gain,
+            Some(&cost),
+            alpha,
+            beta,
+            move_bytes,
+            self.cfg.gamma,
+            if invoked {
+                GateVerdict::Accept
+            } else {
+                GateVerdict::Reject
+            },
+            "gate",
+        );
+        if !invoked {
+            self.decisions.push(GlobalDecision {
+                step: inp.step,
+                gain,
+                cost: Some(cost),
+                invoked: false,
+                aborted: false,
+                abort_delta_secs: 0.0,
+                report: None,
+                proactive: inp.proactive,
+            });
+            // too expensive at this tier (e.g. a congested WAN between
+            // the child representatives) — the children may still fix
+            // their internal imbalance over cheaper links
+            self.hier_descend(ctx, inp, node);
+            return;
+        }
+
+        // Accepted: redistribute among exactly this subtree's groups and
+        // stop descending — the elastic repartition balances everything
+        // under the node in one pass.
+        let snap = checkpoint::snapshot(ctx.hier);
+        let deadline = fault
+            .transfer_deadline_slack
+            .map(|slack| ctx.sim.elapsed() + SimTime::from_secs_f64(slack));
+        let alive = self.alive_mask(inp.sys.nprocs());
+        let mut aborted = false;
+        let mut abort_delta_secs = 0.0;
+        let subtree = &inp.healthy[node.lo..node.hi];
+        let report = match global_redistribute_elastic(
+            ctx.hier,
+            ctx.sim,
+            inp.group_loads,
+            &eligible,
+            &self.cfg.balance,
+            self.cfg.selection,
+            deadline,
+            inp.powers,
+            &alive,
+        ) {
+            Ok(rep) => {
+                // overhead charged to the subtree only: repartitioning and
+                // rebuilding stay inside the groups whose grids moved
+                let mut delta = 0.0;
+                if rep.moves > 0 {
+                    let level0: i64 = ctx.hier.level_cells(0);
+                    delta = level0 as f64 * self.cfg.repartition_secs_per_cell
+                        + rep.moved_cells as f64 * self.cfg.rebuild_secs_per_moved_cell;
+                    charge_groups(ctx.sim, inp.sys, subtree, delta);
+                    ctx.history.record_redistribution_overhead(delta);
+                }
+                if tel.is_enabled() {
+                    tel.event(
+                        ctx.sim.elapsed().as_secs_f64(),
+                        TelEventKind::Redistribute(TelRedistributeEvent {
+                            step: inp.step,
+                            level: inp.level,
+                            moved_cells: rep.moved_cells,
+                            moves: rep.moves,
+                            aborted: false,
+                            delta_secs: delta,
+                        }),
+                    );
+                }
+                Some(rep)
+            }
+            Err(ab) => {
+                *ctx.hier = checkpoint::restore(&snap);
+                aborted = true;
+                let level0: i64 = ctx.hier.level_cells(0);
+                abort_delta_secs = level0 as f64 * self.cfg.repartition_secs_per_cell
+                    + 2.0 * ab.partial.moved_cells as f64 * self.cfg.rebuild_secs_per_moved_cell;
+                charge_groups(ctx.sim, inp.sys, subtree, abort_delta_secs);
+                self.roster.stats.aborts += 1;
+                self.roster.events.push(FaultEvent::RedistributionAborted {
+                    step: inp.step,
+                    error: ab.error,
+                });
+                self.roster.record_pair_failure(
+                    ab.src_group,
+                    ab.dst_group,
+                    inp.step,
+                    ab.error.at(),
+                    fault.quarantine_after,
+                );
+                if tel.is_enabled() {
+                    let t_sim = ctx.sim.elapsed().as_secs_f64();
+                    tel.event(
+                        t_sim,
+                        TelEventKind::Redistribute(TelRedistributeEvent {
+                            step: inp.step,
+                            level: inp.level,
+                            moved_cells: ab.partial.moved_cells,
+                            moves: ab.partial.moves,
+                            aborted: true,
+                            delta_secs: abort_delta_secs,
+                        }),
+                    );
+                    tel.event(
+                        t_sim,
+                        TelEventKind::Fault(TelFaultEvent {
+                            step: inp.step,
+                            kind: TelFaultKind::Rollback {
+                                wasted_secs: abort_delta_secs,
+                            },
+                        }),
+                    );
+                }
+                Some(ab.partial)
+            }
+        };
+        self.decisions.push(GlobalDecision {
+            step: inp.step,
+            gain,
+            cost: Some(cost),
+            invoked: true,
+            aborted,
+            abort_delta_secs,
+            report,
+            proactive: inp.proactive,
+        });
+    }
+
     /// Mirror newly-appended roster fault events into the telemetry sink.
     /// `RedistributionAborted` entries are skipped: the abort site already
     /// emitted an inline `Rollback` right after its redistribute record,
@@ -992,6 +1520,134 @@ fn charge_all(sim: &mut SimView, secs: f64) {
     for p in 0..sim.system().nprocs() {
         sim.busy(ProcId(p), secs, Activity::LoadBalance);
     }
+}
+
+/// [`charge_all`] restricted to the listed groups — a subtree-local
+/// redistribution's repartition/rebuild overhead stays inside the subtree.
+fn charge_groups(sim: &mut SimView, sys: &DistributedSystem, groups: &[usize], secs: f64) {
+    for &g in groups {
+        for &p in sys.procs_in(GroupId(g)) {
+            sim.busy(p, secs, Activity::LoadBalance);
+        }
+    }
+}
+
+/// Fan-out of the reduction tree. Doubles as the flat/hierarchical cutover:
+/// at or below this many healthy groups the tree would be one node over the
+/// individual groups — exactly the flat compare — so the flat path runs.
+/// Matches `topology::presets::FEDERATION_FANOUT`, so one tree tier maps to
+/// one site and the next to one region of the federation presets.
+pub const TREE_ARITY: usize = 8;
+
+/// Bytes of one upward (load, capacity) subtree summary — same size class
+/// as the flat collective's per-leg payload ([`LOAD_MSG_BYTES`]).
+const SUMMARY_MSG_BYTES: u64 = LOAD_MSG_BYTES;
+
+/// Bytes of one downward delegation message.
+const DELEGATE_MSG_BYTES: u64 = LOAD_MSG_BYTES;
+
+/// One node of the balanced reduction tree: the contiguous index range
+/// `lo..hi` into the sorted healthy-group list (children partition it).
+/// Contiguity is what makes subtrees cheap: group ids are assigned
+/// site-major by the federation presets, so a subtree is a site, a region,
+/// or a run of regions — and its internal links are the cheap ones.
+#[derive(Debug)]
+struct TreeNode {
+    lo: usize,
+    hi: usize,
+    children: Vec<TreeNode>,
+}
+
+impl TreeNode {
+    fn len(&self) -> usize {
+        self.hi - self.lo
+    }
+}
+
+/// Balanced [`TREE_ARITY`]-ary tree over `lo..hi`: split into up to arity
+/// near-equal contiguous chunks, recurse into every multi-element chunk.
+/// Depth is ⌈log₈ n⌉, so summaries and delegations are O(n) messages total
+/// with an O(log n) critical path.
+fn build_reduction_tree(lo: usize, hi: usize) -> TreeNode {
+    let n = hi - lo;
+    if n <= 1 {
+        return TreeNode {
+            lo,
+            hi,
+            children: Vec::new(),
+        };
+    }
+    let nchunks = n.min(TREE_ARITY);
+    let base = n / nchunks;
+    let extra = n % nchunks;
+    let mut children = Vec::with_capacity(nchunks);
+    let mut start = lo;
+    for i in 0..nchunks {
+        let size = base + usize::from(i < extra);
+        children.push(build_reduction_tree(start, start + size));
+        start += size;
+    }
+    debug_assert_eq!(start, hi);
+    TreeNode { lo, hi, children }
+}
+
+/// Per-step immutable inputs threaded through the tree walk.
+struct HierInputs<'a> {
+    sys: &'a DistributedSystem,
+    /// Sorted healthy group ids — the tree's index space.
+    healthy: &'a [usize],
+    /// Loads indexed by group id (full length).
+    group_loads: &'a [f64],
+    /// Alive compute power indexed by group id (full length).
+    powers: &'a [f64],
+    step: u64,
+    level: usize,
+    proactive: bool,
+}
+
+/// The one gate event every pushed [`GlobalDecision`] gets, flat or
+/// hierarchical — the audit log's gamma_gate count equals the run's
+/// global_checks because every decision funnels through here exactly once.
+#[allow(clippy::too_many_arguments)]
+fn emit_gate_event(
+    tel: &Telemetry,
+    sim: &SimView,
+    step: u64,
+    level: usize,
+    proactive: bool,
+    gain: &GainEstimate,
+    cost: Option<&CostEstimate>,
+    alpha: f64,
+    beta: f64,
+    move_bytes: u64,
+    gamma: f64,
+    verdict: GateVerdict,
+    reason: &'static str,
+) {
+    if !tel.is_enabled() {
+        return;
+    }
+    let t = sim.elapsed().as_secs_f64();
+    tel.metric(t, "gate_imbalance_ratio", gain.imbalance_ratio);
+    tel.event(
+        t,
+        TelEventKind::GammaGate(GammaGateEvent {
+            step,
+            level,
+            proactive,
+            gain_secs: gain.gain_secs,
+            cost_alpha_beta_w_secs: cost.map_or(0.0, |c| c.comm_secs),
+            delta_secs: cost.map_or(0.0, |c| c.delta_secs),
+            cost_upper_secs: cost.map_or(0.0, CostEstimate::upper_total_secs),
+            alpha_secs: alpha,
+            beta_secs_per_byte: beta,
+            move_bytes,
+            gamma,
+            mae_widening_secs: cost.map_or(0.0, |c| c.comm_upper_secs - c.comm_secs),
+            verdict,
+            reason,
+        }),
+    );
 }
 
 impl Default for DistributedDlb {

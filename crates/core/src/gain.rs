@@ -93,7 +93,13 @@ pub fn evaluate_gain_forecast_with_powers(
     gain_from_loads(predicted_loads, last_step_secs, among, powers)
 }
 
-fn gain_from_loads(
+/// Eq. 4 straight from an explicit load vector: the primitive behind every
+/// `evaluate_gain_*` entry point, public so the hierarchical decision tree
+/// can score a subtree from its children's aggregated (load, capacity)
+/// summaries — `group_loads`/`powers` indexed by whatever granularity
+/// `among` enumerates (groups for the flat path, child subtrees for a tree
+/// node).
+pub fn gain_from_loads(
     group_loads: Vec<f64>,
     last_step_secs: f64,
     among: &[usize],

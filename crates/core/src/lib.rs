@@ -42,7 +42,7 @@ pub use fault::{
 pub use forecast::{ForecastValue, PredictorKind};
 pub use gain::{
     evaluate_gain, evaluate_gain_among, evaluate_gain_among_with_powers, evaluate_gain_forecast,
-    evaluate_gain_forecast_with_powers, static_powers, GainEstimate,
+    evaluate_gain_forecast_with_powers, gain_from_loads, static_powers, GainEstimate,
 };
 pub use history::WorkloadHistory;
 pub use parallel::ParallelDlb;

@@ -649,6 +649,16 @@ pub fn decompose_domain(domain: Region, shares: &[f64]) -> Vec<(Region, usize)> 
     let total: f64 = shares.iter().sum();
     assert!(total > 0.0);
     let axis = domain.size().longest_axis();
+    if shares.len() as i64 > domain.size()[axis] {
+        // Federation scale: more shares than planes along the longest
+        // axis, so single-axis slabbing cannot host them. Recursive
+        // weighted bisection instead, re-picking the longest axis at
+        // every cut so leaves stay near-cubic.
+        let mut out = Vec::with_capacity(shares.len());
+        let idx: Vec<usize> = (0..shares.len()).collect();
+        bisect_shares(domain, &idx, shares, &mut out);
+        return out;
+    }
     let mut out = Vec::with_capacity(shares.len());
     let mut rest = domain;
     for (i, &s) in shares.iter().enumerate() {
@@ -670,6 +680,48 @@ pub fn decompose_domain(domain: Region, shares: &[f64]) -> Vec<(Region, usize)> 
         }
     }
     out
+}
+
+/// Recursive weighted bisection of `domain` over the share indices `idx`:
+/// split the shares near half their total weight, cut the region
+/// proportionally along its current longest axis, recurse. A region too
+/// thin to cut (or with fewer cells than shares) goes whole to the heavier
+/// half — the shares left out start empty and pick up work from the first
+/// balancing pass.
+fn bisect_shares(domain: Region, idx: &[usize], shares: &[f64], out: &mut Vec<(Region, usize)>) {
+    if domain.is_empty() {
+        return;
+    }
+    if idx.len() == 1 {
+        out.push((domain, idx[0]));
+        return;
+    }
+    let total: f64 = idx.iter().map(|&i| shares[i]).sum();
+    let mut acc = 0.0;
+    let mut k = idx.len() - 1;
+    for (j, &i) in idx.iter().enumerate() {
+        acc += shares[i];
+        if acc >= total / 2.0 {
+            k = (j + 1).clamp(1, idx.len() - 1);
+            break;
+        }
+    }
+    let (li, ri) = idx.split_at(k);
+    let ltotal: f64 = li.iter().map(|&i| shares[i]).sum();
+    let axis = domain.size().longest_axis();
+    if domain.size()[axis] < 2 {
+        // indivisible: the heavier half takes the whole region
+        if ltotal * 2.0 >= total {
+            bisect_shares(domain, li, shares, out);
+        } else {
+            bisect_shares(domain, ri, shares, out);
+        }
+        return;
+    }
+    let want = (domain.cells() as f64 * ltotal / total).round() as i64;
+    let (a, b) = domain.split_cells(want.max(1), axis);
+    bisect_shares(a, li, shares, out);
+    bisect_shares(b, ri, shares, out);
 }
 
 #[cfg(test)]

@@ -39,12 +39,17 @@ pub struct PhaseWall {
     pub regrid: f64,
     /// Fine-to-coarse restriction.
     pub restrict: f64,
+    /// Load-balancing decision phase: the scheme's `after_level_step`
+    /// (global γ-gated checks plus local balancing) — the host-side cost
+    /// the hierarchical tree reduction keeps sublinear in group count.
+    #[serde(default)]
+    pub decision: f64,
 }
 
 impl PhaseWall {
     /// Sum over the phases.
     pub fn total(&self) -> f64 {
-        self.solve + self.ghost + self.regrid + self.restrict
+        self.solve + self.ghost + self.regrid + self.restrict + self.decision
     }
 }
 

@@ -149,6 +149,18 @@ pub struct RunResult {
     /// bench and the `field_pool` stat block surface it instead.
     #[serde(skip)]
     pub pool_detail: samr_mesh::pool::PoolDetail,
+    /// Final power-normalized group imbalance: `(max_g W_g/P_g) /
+    /// (mean_g W_g/P_g)` over groups with surviving power, from the
+    /// hierarchy's end-of-run cell counts (1.0 when degenerate — a single
+    /// group, or nothing loaded). Always finite, unlike the decision-time
+    /// max/min ratio, so sweeps can compare it across fault scenarios.
+    pub final_imbalance: f64,
+    /// Link-estimator pairs the decision phase ever allocated — O(G²) for
+    /// the flat all-pairs compare, O(G) for the hierarchical tree.
+    pub estimator_pairs: u64,
+    /// Inter-group messages charged by global decision phases (collective
+    /// legs, probe messages, tree summary/delegation traffic).
+    pub decision_msgs: u64,
     /// Per-level-0-step global decision log (distributed scheme only).
     pub decisions: Vec<DecisionSummary>,
     /// Text report of the telemetry sink (None when the run used the

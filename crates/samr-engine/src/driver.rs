@@ -661,6 +661,37 @@ impl Driver {
                 ("shards_used", pd.shard_hits.iter().filter(|&&h| h > 0).count() as u64),
             ],
         );
+        let (estimator_pairs, decision_msgs) = self.scheme.decision_net();
+        self.sim.telemetry().stat_block(
+            "decision_phase",
+            &[
+                ("estimator_pairs", estimator_pairs),
+                ("decision_msgs", decision_msgs),
+            ],
+        );
+        // Final power-normalized imbalance, from the hierarchy's end state:
+        // (max_g W_g/P_g) / (mean_g W_g/P_g) over groups with surviving
+        // power. The mean-based ratio stays finite even when a group ends
+        // the run empty, so scale sweeps can compare it across runs.
+        let final_imbalance = {
+            let per_proc = dlb::proc_total_cells(&self.hier, sys.nprocs());
+            let mut loads = vec![0.0f64; sys.ngroups()];
+            for (p, &cells) in per_proc.iter().enumerate() {
+                loads[sys.group_of(ProcId(p)).0] += cells as f64;
+            }
+            let norms: Vec<f64> = (0..sys.ngroups())
+                .filter_map(|g| {
+                    let p = self.sim.alive_group_power(topology::GroupId(g));
+                    (p > 0.0).then(|| loads[g] / p)
+                })
+                .collect();
+            let mean = norms.iter().sum::<f64>() / norms.len().max(1) as f64;
+            if norms.len() < 2 || mean <= 0.0 {
+                1.0
+            } else {
+                norms.iter().copied().fold(0.0, f64::max) / mean
+            }
+        };
         let decisions = self.scheme.decisions();
         RunResult {
             scheme: self.scheme.name().to_string(),
@@ -681,6 +712,9 @@ impl Driver {
             recovery,
             pool,
             pool_detail: pd,
+            final_imbalance,
+            estimator_pairs,
+            decision_msgs,
             decisions: decisions
                 .iter()
                 .map(|d| crate::config::DecisionSummary {
@@ -735,8 +769,13 @@ impl Driver {
         // A fault-tolerant scheme absorbs link failures itself; a baseline
         // scheme without a degraded mode skips this step's balancing when
         // its load exchange dies. Either way the run continues.
-        if self.scheme.after_level_step(ctx, level).is_err() {
-            self.failed_transfers += 1;
+        {
+            let t0 = std::time::Instant::now();
+            let _span = telemetry::span!(self.cfg.telemetry, "decision", level);
+            if self.scheme.after_level_step(ctx, level).is_err() {
+                self.failed_transfers += 1;
+            }
+            self.wall.decision += t0.elapsed().as_secs_f64();
         }
         self.step_count[level] += 1;
     }

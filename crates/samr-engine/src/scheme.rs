@@ -129,6 +129,17 @@ impl SchemeInstance {
         }
     }
 
+    /// Decision-phase network bookkeeping: `(estimator_pairs,
+    /// decision_msgs)` — link-estimator pairs ever allocated and
+    /// inter-group messages charged by global checks. Zeroes for schemes
+    /// without a global decision phase.
+    pub fn decision_net(&self) -> (u64, u64) {
+        match self {
+            SchemeInstance::Distributed(d) => (d.estimator_pairs() as u64, d.decision_msgs()),
+            _ => (0, 0),
+        }
+    }
+
     /// Chronological fault-event log (empty for schemes without one).
     pub fn fault_events(&self) -> &[dlb::FaultEvent] {
         match self {

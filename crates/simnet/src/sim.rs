@@ -506,19 +506,16 @@ impl NetSim {
         if groups.len() > 1 {
             let t_inter = t0 + dur;
             // every needed pairwise link must be usable when the exchange
-            // reaches it
-            for (i, &a) in groups.iter().enumerate() {
-                for &b in &groups[i + 1..] {
-                    let l = self.sys.inter_link(a, b).clone();
-                    if !l.health_at(t_inter).passes_probes() {
-                        return Err(self.fail_collective(&procs, &l, t_inter, a, b, act));
-                    }
-                }
-            }
+            // reaches it; the link is only cloned on the failure path, so
+            // the healthy pass over G² pairs stays allocation-free
             let mut inter_d = SimTime::ZERO;
             for (i, &a) in groups.iter().enumerate() {
                 for &b in &groups[i + 1..] {
                     let l = self.sys.inter_link(a, b);
+                    if !l.health_at(t_inter).passes_probes() {
+                        let l = l.clone();
+                        return Err(self.fail_collective(&procs, &l, t_inter, a, b, act));
+                    }
                     let per = l.transfer_time(t_inter, bytes);
                     inter_d = inter_d.max(SimTime(per.as_nanos() * 2));
                 }

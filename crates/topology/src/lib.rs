@@ -18,6 +18,8 @@ pub use faults::{
 };
 pub use link::Link;
 pub use probe::{probe_link, LinkEstimator, ProbeError, ProbeSample, MIN_BETA};
-pub use system::{DistributedSystem, Group, GroupId, ProcId, Processor, SystemBuilder};
+pub use system::{
+    DistributedSystem, Group, GroupId, ProcId, Processor, SystemBuilder, TierTopology,
+};
 pub use time::SimTime;
 pub use traffic::TrafficModel;

@@ -9,9 +9,10 @@
 //! observation that remote communication dominates on the WAN.
 
 use crate::link::Link;
-use crate::system::{DistributedSystem, SystemBuilder};
+use crate::system::{DistributedSystem, SystemBuilder, TierTopology};
 use crate::time::SimTime;
 use crate::traffic::TrafficModel;
+use std::collections::BTreeMap;
 
 /// Origin2000 intra-machine interconnect (CrayLink-class): a dedicated,
 /// low-latency, high-bandwidth link. MPI-visible numbers, not raw hardware.
@@ -129,6 +130,90 @@ pub fn faulty_anl_ncsa_wan(
         .build()
 }
 
+/// Groups per site and sites per region of the [`federation`] generator —
+/// also the arity of the hierarchical decision tree's natural alignment:
+/// group ids are assigned site-major, so a contiguous id range is a site
+/// (or a region) and subtree traffic stays on the cheap low tiers.
+pub const FEDERATION_FANOUT: usize = 8;
+
+/// SplitMix64 — the deterministic per-entity seed/weight mixer.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Metro-area network joining the sites of one region: an order of
+/// magnitude slower than the site LAN, an order faster than the WAN.
+fn metro_man(seed: u64) -> Link {
+    Link::shared(
+        "Metro MAN",
+        SimTime::from_millis(1),
+        50e6,
+        TrafficModel::Bursty {
+            low: 0.15,
+            high: 0.60,
+            p_on: 0.40,
+            slot: SimTime::from_secs(3).into(),
+            seed,
+        },
+    )
+}
+
+/// Federation-scale preset (seeded, deterministic): `ngroups` groups of
+/// `procs_per_group` processors arranged site→region→federation, with
+/// [`FEDERATION_FANOUT`] groups per site and sites per region. Every site
+/// shares a GigE-class LAN, every region a metro MAN, and every region
+/// pair an OC-3-class WAN — all with seeded bursty background traffic —
+/// and each group's processors carry a heterogeneous weight in
+/// [0.75, 1.25) derived from the seed. Group ids are site-major, so a
+/// contiguous id range maps to a site or region and the storage stays
+/// O(G) via [`TierTopology`] instead of an O(G²) explicit link map.
+pub fn federation(ngroups: usize, procs_per_group: usize, seed: u64) -> DistributedSystem {
+    assert!(ngroups > 0 && procs_per_group > 0, "empty federation");
+    let mut coords = Vec::with_capacity(ngroups);
+    let mut site_links = BTreeMap::new();
+    let mut region_links = BTreeMap::new();
+    let mut wan_links = BTreeMap::new();
+    let mut b = SystemBuilder::new();
+    for g in 0..ngroups {
+        let site_global = g / FEDERATION_FANOUT;
+        let region = site_global / FEDERATION_FANOUT;
+        let site = site_global % FEDERATION_FANOUT;
+        coords.push((region, site));
+        site_links
+            .entry((region, site))
+            .or_insert_with(|| gige_lan(mix(seed ^ 0x5349_5445).wrapping_add(site_global as u64)));
+        region_links
+            .entry(region)
+            .or_insert_with(|| metro_man(mix(seed ^ 0x5245_4749).wrapping_add(region as u64)));
+        let weight = 0.75 + 0.5 * (mix(seed.wrapping_add(g as u64)) % 1000) as f64 / 1000.0;
+        b = b.group(
+            &format!("R{region}S{site}G{g}"),
+            procs_per_group,
+            weight,
+            origin2000_intra(),
+        );
+    }
+    let nregions = coords.iter().map(|&(r, _)| r).max().unwrap_or(0) + 1;
+    for ra in 0..nregions {
+        for rb in (ra + 1)..nregions {
+            wan_links.insert(
+                (ra, rb),
+                mren_oc3_wan(mix(seed ^ 0x5741_4E00).wrapping_add((ra * 1024 + rb) as u64)),
+            );
+        }
+    }
+    b.tiers(TierTopology {
+        coords,
+        site_links,
+        region_links,
+        wan_links,
+    })
+    .build()
+}
+
 /// Heterogeneous extension: `nb` processors in group B run at `rel` times the
 /// speed of group A's (exercises the weight-proportional code path the paper
 /// describes but could not test on its homogeneous testbeds).
@@ -184,6 +269,35 @@ mod tests {
         // deterministic: same seed, same schedule
         let s2 = faulty_anl_ncsa_wan(2, 2, 9, SimTime::from_secs(600));
         assert_eq!(link.faults, s2.inter_link(GroupId(0), GroupId(1)).faults);
+    }
+
+    #[test]
+    fn federation_shape_and_tiers() {
+        let s = federation(130, 4, 7);
+        assert_eq!(s.ngroups(), 130);
+        assert_eq!(s.nprocs(), 520);
+        // same site → LAN, same region / different site → MAN,
+        // different region → WAN (ids are site-major, fanout 8)
+        assert_eq!(s.inter_link(GroupId(0), GroupId(7)).name, "GigE LAN");
+        assert_eq!(s.inter_link(GroupId(0), GroupId(8)).name, "Metro MAN");
+        assert_eq!(s.inter_link(GroupId(0), GroupId(64)).name, "MREN OC-3");
+        assert_eq!(s.inter_link(GroupId(129), GroupId(0)).name, "MREN OC-3");
+    }
+
+    #[test]
+    fn federation_deterministic_and_heterogeneous() {
+        let a = federation(20, 2, 11);
+        let b = federation(20, 2, 11);
+        let wa: Vec<f64> = a.procs().iter().map(|p| p.weight).collect();
+        let wb: Vec<f64> = b.procs().iter().map(|p| p.weight).collect();
+        assert_eq!(wa, wb, "same seed, same weights");
+        let min = wa.iter().cloned().fold(f64::MAX, f64::min);
+        let max = wa.iter().cloned().fold(0.0, f64::max);
+        assert!((0.75..1.25).contains(&min));
+        assert!(max < 1.25 && max > min, "weights heterogeneous: {min}..{max}");
+        let c = federation(20, 2, 12);
+        let wc: Vec<f64> = c.procs().iter().map(|p| p.weight).collect();
+        assert_ne!(wa, wc, "different seed, different weights");
     }
 
     #[test]

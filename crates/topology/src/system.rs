@@ -48,6 +48,50 @@ impl Group {
     }
 }
 
+/// Hierarchical inter-group connectivity for federation-scale systems:
+/// instead of an explicit link per group pair (O(G²) storage, and O(G²)
+/// builder work), each group carries a `(region, site)` coordinate and the
+/// link between two groups is resolved from the lowest tier they share —
+/// the site LAN when co-located, the region MAN across sites, and the
+/// per-region-pair WAN across regions. Links are stateless (background
+/// traffic is a pure function of time and seed), so sharing one [`Link`]
+/// across every pair it serves is sound; the simulator still contends
+/// traffic per group pair.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TierTopology {
+    /// `(region, site)` coordinate per group, indexed by group id.
+    pub coords: Vec<(usize, usize)>,
+    /// LAN joining the groups of one site, keyed by `(region, site)`.
+    pub site_links: BTreeMap<(usize, usize), Link>,
+    /// MAN joining the sites of one region, keyed by region.
+    pub region_links: BTreeMap<usize, Link>,
+    /// WAN joining two regions, keyed by unordered `(min, max)` region pair.
+    pub wan_links: BTreeMap<(usize, usize), Link>,
+}
+
+impl TierTopology {
+    /// The link serving the pair of groups `a`/`b` (panics when the needed
+    /// tier link is missing — [`SystemBuilder::build`] validates coverage).
+    pub fn link_for(&self, a: usize, b: usize) -> &Link {
+        let (ra, sa) = self.coords[a];
+        let (rb, sb) = self.coords[b];
+        if ra == rb && sa == sb {
+            self.site_links
+                .get(&(ra, sa))
+                .unwrap_or_else(|| panic!("no site link for region {ra} site {sa}"))
+        } else if ra == rb {
+            self.region_links
+                .get(&ra)
+                .unwrap_or_else(|| panic!("no region link for region {ra}"))
+        } else {
+            let key = (ra.min(rb), ra.max(rb));
+            self.wan_links
+                .get(&key)
+                .unwrap_or_else(|| panic!("no wan link for regions {key:?}"))
+        }
+    }
+}
+
 /// A distributed system: groups of processors plus inter-group links.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct DistributedSystem {
@@ -55,6 +99,10 @@ pub struct DistributedSystem {
     procs: Vec<Processor>,
     /// Inter-group links keyed by unordered `(min, max)` group pair.
     inter: BTreeMap<(usize, usize), Link>,
+    /// Tiered connectivity backing the pairs `inter` does not list
+    /// (federation-scale systems; absent for the explicit-map presets).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    tiers: Option<TierTopology>,
 }
 
 impl DistributedSystem {
@@ -111,12 +159,23 @@ impl DistributedSystem {
     }
 
     /// The inter-group link between `a` and `b` (panics if absent or a == b).
+    /// An explicit per-pair link wins; otherwise the tier hierarchy resolves
+    /// the pair to its lowest shared tier.
     pub fn inter_link(&self, a: GroupId, b: GroupId) -> &Link {
         assert_ne!(a, b, "no inter link within a group");
         let key = (a.0.min(b.0), a.0.max(b.0));
-        self.inter
-            .get(&key)
-            .unwrap_or_else(|| panic!("groups {a:?} and {b:?} are not connected"))
+        if let Some(l) = self.inter.get(&key) {
+            return l;
+        }
+        if let Some(tiers) = &self.tiers {
+            return tiers.link_for(a.0, b.0);
+        }
+        panic!("groups {a:?} and {b:?} are not connected")
+    }
+
+    /// The tier hierarchy, when this system uses one.
+    pub fn tiers(&self) -> Option<&TierTopology> {
+        self.tiers.as_ref()
     }
 
     /// Point-to-point transfer time at `t` for `bytes` from `a` to `b`
@@ -149,8 +208,31 @@ impl DistributedSystem {
         &self.groups[g.0].procs
     }
 
-    /// Short description like `"ANL(4) + NCSA(4) over MREN OC-3"`.
+    /// Short description like `"ANL(4) + NCSA(4) over MREN OC-3"`. A
+    /// federation-scale system is summarized rather than enumerated.
     pub fn describe(&self) -> String {
+        if self.groups.len() > 8 {
+            let regions = self
+                .tiers
+                .as_ref()
+                .map(|t| {
+                    let mut rs: Vec<usize> = t.coords.iter().map(|&(r, _)| r).collect();
+                    rs.sort_unstable();
+                    rs.dedup();
+                    rs.len()
+                })
+                .unwrap_or(0);
+            return if regions > 0 {
+                format!(
+                    "{} groups / {} procs in {} regions",
+                    self.groups.len(),
+                    self.procs.len(),
+                    regions
+                )
+            } else {
+                format!("{} groups / {} procs", self.groups.len(), self.procs.len())
+            };
+        }
         let parts: Vec<String> = self
             .groups
             .iter()
@@ -171,6 +253,7 @@ impl DistributedSystem {
 pub struct SystemBuilder {
     groups: Vec<(String, usize, f64, Link)>,
     inter: Vec<(usize, usize, Link)>,
+    tiers: Option<TierTopology>,
 }
 
 impl SystemBuilder {
@@ -190,6 +273,15 @@ impl SystemBuilder {
     /// Connect groups `a` and `b` (indices in insertion order) with `link`.
     pub fn connect(mut self, a: usize, b: usize, link: Link) -> Self {
         self.inter.push((a, b, link));
+        self
+    }
+
+    /// Back the system with a tier hierarchy: pairs without an explicit
+    /// [`connect`](Self::connect) resolve through `tiers` instead, and the
+    /// all-pairs completeness requirement is waived (the hierarchy must
+    /// still cover every unconnected pair — `build` validates that).
+    pub fn tiers(mut self, tiers: TierTopology) -> Self {
+        self.tiers = Some(tiers);
         self
     }
 
@@ -222,19 +314,37 @@ impl SystemBuilder {
             assert!(a < groups.len() && b < groups.len() && a != b, "bad connect({a},{b})");
             inter.insert((a.min(b), a.max(b)), link);
         }
-        // every distinct pair must be connected
-        for a in 0..groups.len() {
-            for b in (a + 1)..groups.len() {
-                assert!(
-                    inter.contains_key(&(a, b)),
-                    "groups {a} and {b} are not connected"
-                );
+        // every distinct pair must be connected: explicitly, or through
+        // the tier hierarchy when one is configured
+        if let Some(tiers) = &self.tiers {
+            assert_eq!(
+                tiers.coords.len(),
+                groups.len(),
+                "tier coords must cover every group"
+            );
+            for a in 0..groups.len() {
+                for b in (a + 1)..groups.len() {
+                    if !inter.contains_key(&(a, b)) {
+                        // panics with the missing tier if uncovered
+                        let _ = tiers.link_for(a, b);
+                    }
+                }
+            }
+        } else {
+            for a in 0..groups.len() {
+                for b in (a + 1)..groups.len() {
+                    assert!(
+                        inter.contains_key(&(a, b)),
+                        "groups {a} and {b} are not connected"
+                    );
+                }
             }
         }
         DistributedSystem {
             groups,
             procs,
             inter,
+            tiers: self.tiers,
         }
     }
 }
@@ -302,6 +412,77 @@ mod tests {
         let _ = SystemBuilder::new()
             .group("A", 1, 1.0, intra.clone())
             .group("B", 1, 1.0, intra)
+            .build();
+    }
+
+    fn tiny_tiers() -> TierTopology {
+        let mut site_links = BTreeMap::new();
+        site_links.insert((0, 0), Link::dedicated("lan00", SimTime::from_micros(100), 1e8));
+        site_links.insert((0, 1), Link::dedicated("lan01", SimTime::from_micros(100), 1e8));
+        site_links.insert((1, 0), Link::dedicated("lan10", SimTime::from_micros(100), 1e8));
+        let mut region_links = BTreeMap::new();
+        region_links.insert(0, Link::dedicated("man0", SimTime::from_millis(1), 5e7));
+        region_links.insert(1, Link::dedicated("man1", SimTime::from_millis(1), 5e7));
+        let mut wan_links = BTreeMap::new();
+        wan_links.insert((0, 1), Link::dedicated("wan01", SimTime::from_millis(6), 2e7));
+        TierTopology {
+            // groups 0,1 share region 0 / site 0; group 2 is region 0 /
+            // site 1; group 3 is region 1 / site 0
+            coords: vec![(0, 0), (0, 0), (0, 1), (1, 0)],
+            site_links,
+            region_links,
+            wan_links,
+        }
+    }
+
+    fn tiered_system() -> DistributedSystem {
+        let intra = Link::dedicated("intra", SimTime::from_micros(10), 3e8);
+        SystemBuilder::new()
+            .group("G0", 2, 1.0, intra.clone())
+            .group("G1", 2, 1.0, intra.clone())
+            .group("G2", 2, 1.0, intra.clone())
+            .group("G3", 2, 1.0, intra)
+            .tiers(tiny_tiers())
+            .build()
+    }
+
+    #[test]
+    fn tiers_resolve_lowest_shared_tier() {
+        let s = tiered_system();
+        assert_eq!(s.inter_link(GroupId(0), GroupId(1)).name, "lan00");
+        assert_eq!(s.inter_link(GroupId(0), GroupId(2)).name, "man0");
+        assert_eq!(s.inter_link(GroupId(2), GroupId(3)).name, "wan01");
+        assert_eq!(s.inter_link(GroupId(3), GroupId(0)).name, "wan01");
+    }
+
+    #[test]
+    fn explicit_connect_overrides_tiers() {
+        let intra = Link::dedicated("intra", SimTime::from_micros(10), 3e8);
+        let direct = Link::dedicated("direct", SimTime::from_micros(50), 2e8);
+        let s = SystemBuilder::new()
+            .group("G0", 1, 1.0, intra.clone())
+            .group("G1", 1, 1.0, intra.clone())
+            .group("G2", 1, 1.0, intra.clone())
+            .group("G3", 1, 1.0, intra)
+            .connect(0, 1, direct)
+            .tiers(tiny_tiers())
+            .build();
+        assert_eq!(s.inter_link(GroupId(0), GroupId(1)).name, "direct");
+        assert_eq!(s.inter_link(GroupId(0), GroupId(2)).name, "man0");
+    }
+
+    #[test]
+    #[should_panic]
+    fn tiers_missing_coverage_panics() {
+        let intra = Link::dedicated("intra", SimTime::ZERO, 1e9);
+        let mut tiers = tiny_tiers();
+        tiers.wan_links.clear(); // groups 0..3 span regions 0 and 1
+        let _ = SystemBuilder::new()
+            .group("G0", 1, 1.0, intra.clone())
+            .group("G1", 1, 1.0, intra.clone())
+            .group("G2", 1, 1.0, intra.clone())
+            .group("G3", 1, 1.0, intra)
+            .tiers(tiers)
             .build();
     }
 

@@ -251,3 +251,61 @@ print(f"tenants gate: ok (congested p99: aware {aware['worst_p99_step_secs']:.4f
       f"<= static {static['worst_p99_step_secs']:.4f}s, "
       f"{aware['migrations']} migrations)")
 EOF
+
+# scale gate: federation-scale decision sweep at quick scale (the binary
+# itself exits nonzero if the hierarchical path ends a run >10% worse
+# balanced than the flat reference), then check the schema and the scaling
+# claims: hierarchical decision bookkeeping must stay O(G) while the flat
+# reference touches all O(G²) pairs, small G must be flat-equivalent, and
+# the hierarchical decision wall must stay sublinear in group count.
+cargo run --release -p bench --bin scale -- --quick --out results/BENCH_scale_quick.json
+python3 - <<'EOF'
+import json, sys
+
+s = json.load(open("results/BENCH_scale_quick.json"))
+rows = s["sweep"]
+for r in rows:
+    for key in ("groups", "procs", "mode", "decision_secs_per_step",
+                "msgs_per_decision", "estimator_pairs", "final_imbalance",
+                "global_checks", "redistributions", "wall_secs"):
+        if key not in r:
+            sys.exit(f"scale: sweep row missing {key}: {r}")
+hier = {r["groups"]: r for r in rows if r["mode"] == "hierarchical"}
+flat = {r["groups"]: r for r in rows if r["mode"] == "flat"}
+if sorted(hier) != [2, 4, 8, 16, 32, 64] or sorted(flat) != sorted(hier):
+    sys.exit(f"scale: unexpected sweep points {sorted(hier)}")
+# at or below the tree arity the hierarchical dispatch is inert: the two
+# modes must report identical decision traffic and outcomes
+for g in (2, 4, 8):
+    for key in ("msgs_per_decision", "estimator_pairs", "final_imbalance",
+                "redistributions"):
+        if hier[g][key] != flat[g][key]:
+            sys.exit(f"scale: G={g} hierarchical {key} {hier[g][key]} != "
+                     f"flat {flat[g][key]} (small-G equivalence broken)")
+for g, r in hier.items():
+    if r["estimator_pairs"] > 8 * g:
+        sys.exit(f"scale: G={g} hierarchical estimator pairs "
+                 f"{r['estimator_pairs']} are not O(G)")
+    if r["msgs_per_decision"] > 16 * g + 32:
+        sys.exit(f"scale: G={g} hierarchical decision traffic "
+                 f"{r['msgs_per_decision']:.0f} msgs/step is not O(G)")
+if flat[64]["estimator_pairs"] != 64 * 63 // 2:
+    sys.exit(f"scale: flat G=64 estimator pairs {flat[64]['estimator_pairs']} "
+             f"!= all {64 * 63 // 2} pairs")
+if flat[64]["msgs_per_decision"] < 64 * 63:
+    sys.exit("scale: flat G=64 decision traffic is not all-pairs")
+for g, r in hier.items():
+    if r["final_imbalance"] > 1.10 * flat[g]["final_imbalance"]:
+        sys.exit(f"scale: G={g} hierarchical final imbalance "
+                 f"{r['final_imbalance']:.4f} is >10% worse than flat "
+                 f"{flat[g]['final_imbalance']:.4f}")
+w8 = hier[8]["decision_secs_per_step"]
+w64 = hier[64]["decision_secs_per_step"]
+if w64 > 4 * max(w8, 0.02):
+    sys.exit(f"scale: G=64 decision wall {w64:.4f}s/step is not sublinear "
+             f"vs G=8 {w8:.4f}s/step")
+print(f"scale gate: ok (hier G=64: {hier[64]['msgs_per_decision']:.0f} "
+      f"msgs/step, {hier[64]['estimator_pairs']} pairs vs flat "
+      f"{flat[64]['msgs_per_decision']:.0f} msgs, "
+      f"{flat[64]['estimator_pairs']} pairs)")
+EOF
